@@ -1,0 +1,50 @@
+// Ablation: analysis grid resolution.
+//
+// The grid is this implementation's choice (the paper works with
+// continuous geometry); this ablation shows the resolution where region
+// areas and verdicts stabilise, and the cost of finer grids.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "algos/cbg_pp.hpp"
+#include "bench_util.hpp"
+#include "measure/tools.hpp"
+#include "measure/two_phase.hpp"
+
+using namespace ageo;
+
+int main() {
+  auto bed = bench::standard_testbed(bench::scale_from_env());
+  Rng rng(31, "ablation-grid");
+  netsim::HostProfile p;
+  p.location = {50.08, 14.44};  // Prague
+  netsim::HostId target = bed->add_host(p);
+  measure::ProbeFn probe = [&](std::size_t lm) {
+    return measure::CliTool::measure_ms(bed->net(), target,
+                                        bed->landmark_host(lm));
+  };
+  auto tp = measure::two_phase_measure(*bed, probe, rng);
+  algos::CbgPlusPlusGeolocator locator;
+
+  std::printf("=== Ablation: grid resolution ===\n\n");
+  std::printf("cell_deg   cells     area km^2   covers  locate ms\n");
+  for (double cell : {4.0, 2.0, 1.0, 0.5, 0.25}) {
+    grid::Grid g(cell);
+    grid::Region mask = bed->world().plausibility_mask(g);
+    auto t0 = std::chrono::steady_clock::now();
+    auto est = locator.locate(g, bed->store(), tp.observations, &mask);
+    auto t1 = std::chrono::steady_clock::now();
+    double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    std::printf("%8.2f %8zu %12.0f   %-6s %9.1f\n", cell, g.size(),
+                est.area_km2(),
+                est.region.contains(p.location) ? "yes" : "NO", ms);
+  }
+  std::printf("\n(areas shrink with the cell size because the "
+              "conservative half-cell padding shrinks with it; very fine "
+              "grids stop covering the truth once padding no longer "
+              "masks the measurement-model error — the reason 1 degree "
+              "is the default)\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation: Spotter's credible-mass threshold.
+//
+// Spotter's prediction region is not intrinsic to the algorithm — it is
+// the highest-density set holding a chosen share of the posterior. The
+// paper does not state its choice; this ablation sweeps the threshold
+// and shows the coverage/area trade-off the choice controls, which
+// matters when comparing Spotter's "small but wrong" regions to CBG's
+// "big but right" ones (Fig. 9 panels A and C).
+#include <cstdio>
+#include <vector>
+
+#include "algos/spotter.hpp"
+#include "bench_util.hpp"
+#include "geo/units.hpp"
+
+using namespace ageo;
+
+int main() {
+  double scale = bench::scale_from_env();
+  auto bed = bench::standard_testbed(scale);
+  world::CrowdConfig cc;
+  cc.n_volunteers = std::max(8, static_cast<int>(40 * scale));
+  cc.n_turkers = std::max(20, static_cast<int>(100 * scale));
+  auto crowd = world::generate_crowd(bed->world(), cc);
+  auto measurements = bench::measure_crowd(*bed, crowd);
+
+  grid::Grid g(1.0);
+  grid::Region mask = bed->world().plausibility_mask(g);
+
+  std::printf("=== Ablation: Spotter credible mass, %zu crowd hosts "
+              "===\n\n",
+              crowd.size());
+  std::printf("mass    covered   missed   median area km^2   median "
+              "area/land\n");
+  double cov50 = 0, cov99 = 0;
+  for (double mass : {0.50, 0.75, 0.90, 0.95, 0.99}) {
+    algos::SpotterGeolocator spotter(mass);
+    std::size_t covered = 0, missed = 0;
+    std::vector<double> areas;
+    for (const auto& m : measurements) {
+      if (m.observations.empty()) continue;
+      auto est = spotter.locate(g, bed->store(), m.observations, &mask);
+      if (est.empty()) {
+        ++missed;
+        continue;
+      }
+      areas.push_back(est.area_km2());
+      if (est.region.contains(m.host->true_location))
+        ++covered;
+      else
+        ++missed;
+    }
+    std::sort(areas.begin(), areas.end());
+    double med = areas.empty() ? 0.0 : areas[areas.size() / 2];
+    std::printf("%.2f   %8zu %8zu %18.0f %18.4f\n", mass, covered, missed,
+                med, med / geo::kEarthLandAreaKm2);
+    if (mass == 0.50) cov50 = static_cast<double>(covered);
+    if (mass == 0.99) cov99 = static_cast<double>(covered);
+  }
+  std::printf("\nshape check: raising the credible mass buys coverage "
+              "with area: %s\n",
+              cov99 > cov50 ? "PASS" : "FAIL");
+  std::printf("(no threshold makes Spotter cover like CBG does — the "
+              "delay model, not the region rule, is what fails at world "
+              "scale; paper §5)\n");
+  return 0;
+}

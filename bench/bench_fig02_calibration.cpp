@@ -1,0 +1,81 @@
+// Figure 2: example calibration for CBG, Quasi-Octant, and Spotter.
+//
+// The paper shows one RIPE anchor's (distance, one-way delay) scatter
+// with the fitted CBG bestline (solid), baseline and slowline (dotted),
+// the Octant convex-hull sections, and Spotter's mu +/- k*sigma cubics.
+// This bench prints the fitted parameters and curve samples; the paper's
+// example bestline speed is 93.5 km/ms — less than half the physical
+// maximum — and ours should land in the same band.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "geo/units.hpp"
+
+using namespace ageo;
+
+int main() {
+  auto bed = bench::standard_testbed(bench::scale_from_env());
+
+  // A European anchor with plenty of calibration data.
+  std::size_t anchor = bed->anchor_ids().front();
+  for (std::size_t a : bed->anchor_ids()) {
+    if (bed->landmarks()[a].continent == world::Continent::kEurope) {
+      anchor = a;
+      break;
+    }
+  }
+  auto data = bed->store().data(anchor);
+  std::printf("=== Figure 2: calibration example ===\n");
+  std::printf("landmark %zu (%s), %zu calibration points\n\n", anchor,
+              bed->world().country(bed->landmarks()[anchor].country)
+                  .name.c_str(),
+              data.size());
+
+  // --- CBG panel ---
+  const auto& cbg = bed->store().cbg(anchor);
+  const auto& cbgpp = bed->store().cbg_slowline(anchor);
+  std::printf("[CBG]     baseline speed: %.1f km/ms (physical limit)\n",
+              geo::kFibreSpeedKmPerMs);
+  std::printf("[CBG]     bestline: t = %.6f ms/km * d + %.2f ms  "
+              "(speed %.1f km/ms; paper's example: 93.5)\n",
+              cbg.slope_ms_per_km(), cbg.intercept_ms(),
+              cbg.speed_km_per_ms());
+  std::printf("[CBG++]   slowline-constrained bestline speed: %.1f km/ms "
+              "(floor %.1f)\n\n",
+              cbgpp.speed_km_per_ms(), geo::kSlowlineSpeedKmPerMs);
+
+  // Feasibility confirmation: the bestline is below every point.
+  std::size_t touching = 0;
+  for (const auto& p : data) {
+    double line = cbg.slope_ms_per_km() * p.distance_km + cbg.intercept_ms();
+    if (p.delay_ms <= line + 1e-6) ++touching;
+  }
+  std::printf("[CBG]     points on the bestline: %zu (all others above)\n\n",
+              touching);
+
+  // --- Quasi-Octant panel ---
+  const auto& oct = bed->store().octant(anchor);
+  std::printf("[Octant]  50%%-RTT cutoff: %.1f ms, 75%%-RTT cutoff: %.1f ms\n",
+              oct.max_cutoff_ms(), oct.min_cutoff_ms());
+  std::printf("[Octant]  delay(ms) -> [min_km, max_km]:\n");
+  for (double t : {5.0, 10.0, 20.0, 40.0, 80.0, 160.0}) {
+    std::printf("            %6.1f -> [%8.0f, %8.0f]\n", t,
+                oct.min_distance_km(t), oct.max_distance_km(t));
+  }
+
+  // --- Spotter panel ---
+  const auto& spot = bed->store().spotter();
+  std::printf("\n[Spotter] global cubic fit over all landmark pairs\n");
+  std::printf("[Spotter] delay(ms) ->  mu_km  sigma_km  [mu-5s, mu+5s]\n");
+  for (double t : {5.0, 10.0, 20.0, 40.0, 80.0, 160.0}) {
+    double mu = spot.mu_km(t), sg = spot.sigma_km(t);
+    std::printf("            %6.1f -> %7.0f  %7.0f   [%8.0f, %8.0f]\n", t,
+                mu, sg, std::max(0.0, mu - 5 * sg), mu + 5 * sg);
+  }
+  std::printf("\nshape check: bestline speed in (slowline, fibre) band: %s\n",
+              (cbg.speed_km_per_ms() > 60.0 &&
+               cbg.speed_km_per_ms() < geo::kFibreSpeedKmPerMs)
+                  ? "PASS"
+                  : "FAIL");
+  return 0;
+}

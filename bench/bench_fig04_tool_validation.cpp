@@ -1,0 +1,108 @@
+// Figures 4 & 7: CLI tool vs web application on Linux.
+//
+// The paper's validation: one known client measures many landmarks with
+// the CLI tool (always one round trip) and the web tool (one or two
+// round trips depending on whether the landmark listens on port 80).
+// Partitioning web measurements into 1-RTT and 2-RTT groups, the
+// 2-RTT regression slope is ~1.96x the 1-RTT slope (adjusted R^2
+// 0.9942), and ANOVA finds no significant difference among tools
+// (F = 0.83, p = 0.44).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "geo/geodesy.hpp"
+#include "stats/linmodel.hpp"
+#include "stats/regression.hpp"
+
+using namespace ageo;
+
+int main() {
+  auto bed = bench::standard_testbed(bench::scale_from_env());
+  Rng rng(44, "fig04");
+
+  netsim::HostProfile cp;
+  cp.location = {50.11, 8.68};  // the known Linux client
+  netsim::HostId client = bed->add_host(cp);
+
+  measure::WebTool web;
+  struct Sample {
+    double dist_km;
+    double time_ms;
+    int rtts;     // ground truth
+    int tool;     // 0 = CLI, 1 = web(chrome), 2 = web(firefox)
+  };
+  std::vector<Sample> samples;
+  for (std::size_t lm = 0; lm < bed->landmarks().size(); ++lm) {
+    if (!bed->landmarks()[lm].is_anchor) continue;
+    double d = geo::distance_km(cp.location, bed->landmarks()[lm].location);
+    auto cli = measure::CliTool::measure_ms(bed->net(), client,
+                                            bed->landmark_host(lm));
+    if (cli) samples.push_back({d, *cli, 1, 0});
+    for (int tool = 1; tool <= 2; ++tool) {
+      auto s = web.measure(bed->net(), client, bed->landmark_host(lm),
+                           bed->landmarks()[lm].listens_port80,
+                           world::ClientOs::kLinux,
+                           tool == 1 ? world::Browser::kChrome
+                                     : world::Browser::kFirefox,
+                           rng);
+      samples.push_back({d, s.elapsed_ms, s.round_trips, tool});
+    }
+  }
+
+  std::printf("=== Figure 4: CLI vs web tool (Linux) ===\n");
+  std::printf("%zu measurements from one client to %zu anchors\n\n",
+              samples.size(), bed->anchor_ids().size());
+
+  // Regressions per round-trip group (one-way time axis = time/2 in the
+  // paper's plot; slopes ratios are invariant, so we regress raw time).
+  std::vector<double> x1, y1, x2, y2;
+  for (const auto& s : samples) {
+    if (s.rtts == 1) {
+      x1.push_back(s.dist_km);
+      y1.push_back(s.time_ms);
+    } else {
+      x2.push_back(s.dist_km);
+      y2.push_back(s.time_ms);
+    }
+  }
+  auto f1 = stats::ols(x1, y1);
+  auto f2 = stats::ols(x2, y2);
+  std::printf("1-RTT group: t = %.5f d + %5.2f   (n=%zu, R^2=%.4f)\n",
+              f1.slope, f1.intercept, f1.n, f1.r_squared);
+  std::printf("2-RTT group: t = %.5f d + %5.2f   (n=%zu, R^2=%.4f)\n",
+              f2.slope, f2.intercept, f2.n, f2.r_squared);
+  double ratio = f2.slope / f1.slope;
+  std::printf("slope ratio (paper: 1.96): %.2f  -> %s\n\n", ratio,
+              ratio > 1.6 && ratio < 2.4 ? "PASS" : "FAIL");
+
+  // ANOVA: does the tool matter once distance and round-trips are
+  // accounted for? (paper: F = 0.8262, p = 0.44 -> no).
+  const std::size_t n = samples.size();
+  stats::DesignMatrix small(n, 3), large(n, 5);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& s = samples[i];
+    y[i] = s.time_ms;
+    double rt2 = s.rtts == 2 ? 1.0 : 0.0;
+    small.at(i, 0) = 1.0;
+    small.at(i, 1) = s.dist_km * (s.rtts == 2 ? 2.0 : 1.0);
+    small.at(i, 2) = rt2;
+    large.at(i, 0) = 1.0;
+    large.at(i, 1) = small.at(i, 1);
+    large.at(i, 2) = rt2;
+    large.at(i, 3) = s.tool == 1 ? 1.0 : 0.0;
+    large.at(i, 4) = s.tool == 2 ? 1.0 : 0.0;
+  }
+  auto fs = stats::fit_linear_model(small, y);
+  auto fl = stats::fit_linear_model(large, y);
+  auto anova = stats::anova_nested(fs, fl);
+  std::printf("combined model adjusted R^2 (paper: 0.9942): %.4f\n",
+              fs.r_squared);
+  std::printf("ANOVA, tool effect (2 df; paper F=0.83, p=0.44): F=%.2f "
+              "p=%.3f -> %s\n",
+              anova.f_statistic, anova.p_value,
+              anova.p_value > 0.01 ? "no significant tool effect (PASS)"
+                                   : "tool effect detected (FAIL)");
+  return 0;
+}

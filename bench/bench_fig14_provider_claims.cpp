@@ -1,0 +1,79 @@
+// Figure 14: claimed-country counts of the studied providers vs the
+// wider VPN market.
+//
+// Providers A-E are among the 20 that make the broadest claims; F and G
+// are modest/typical. Providers with few claims claim mostly the same
+// popular countries.
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace ageo;
+
+int main() {
+  world::WorldModel w;
+  auto specs = world::default_provider_specs();
+  auto fleet = world::generate_fleet(w, specs, 2018);
+  auto competitors = world::competitor_claim_counts(150, 2018);
+
+  // Claim counts per studied provider.
+  std::printf("=== Figure 14: claimed countries per provider ===\n\n");
+  struct Row {
+    std::string name;
+    std::size_t claims;
+  };
+  std::vector<Row> rows;
+  for (const auto& s : specs) {
+    std::set<world::CountryId> claimed;
+    for (const auto& h : fleet.hosts)
+      if (h.provider == s.name) claimed.insert(h.claimed_country);
+    rows.push_back({s.name, claimed.size()});
+  }
+
+  // Rank each studied provider within the combined population.
+  std::vector<int> all(competitors);
+  for (const auto& r : rows) all.push_back(static_cast<int>(r.claims));
+  std::sort(all.rbegin(), all.rend());
+  std::printf("provider  claimed  market rank (of %zu)\n", all.size());
+  int top20 = 0;
+  for (const auto& r : rows) {
+    auto rank = static_cast<std::size_t>(
+                    std::lower_bound(all.rbegin(), all.rend(),
+                                     static_cast<int>(r.claims)) -
+                    all.rbegin());
+    rank = all.size() - rank;  // descending rank
+    std::size_t pos = 1;
+    for (int v : all) {
+      if (v <= static_cast<int>(r.claims)) break;
+      ++pos;
+    }
+    std::printf("   %-6s  %5zu    #%zu\n", r.name.c_str(), r.claims, pos);
+    if (pos <= 20) ++top20;
+  }
+  std::printf("\nproviders in the market's top 20 by claims "
+              "(paper: A-E are): %d -> %s\n",
+              top20, top20 >= 4 ? "PASS" : "FAIL");
+
+  // Popular-country overlap among the modest providers (F, G).
+  std::set<world::CountryId> f_claims, g_claims;
+  for (const auto& h : fleet.hosts) {
+    if (h.provider == "F") f_claims.insert(h.claimed_country);
+    if (h.provider == "G") g_claims.insert(h.claimed_country);
+  }
+  std::size_t shared = 0;
+  for (auto c : g_claims)
+    if (f_claims.count(c)) ++shared;
+  std::printf("small providers claim the same places: %zu of G's %zu "
+              "claims also claimed by F (paper: high overlap)\n",
+              shared, g_claims.size());
+
+  // Market distribution summary.
+  std::printf("\ncompetitor claim counts (150 providers): max=%d median=%d "
+              "min=%d\n",
+              competitors.front(), competitors[competitors.size() / 2],
+              competitors.back());
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Figures 15 & 16: disambiguation case studies.
+//
+// Fig. 15: prediction regions for proxies in Santiago de Chile (claimed
+// to be in Argentina) often straddle the border. Data centers resolve
+// the uncertain cases: when the only facilities inside the region are
+// Chilean, the Argentina claim is false.
+// Fig. 16: 20 hosts share a provider, AS and /24 near the US-Canada
+// border; their individual regions differ (two-phase noise) but all
+// cover Canada, so metadata grouping ascribes the whole group to Canada.
+//
+// Proxy regions here are noisy — the indirect measurement correction
+// displaces them by a few hundred km, exactly the effect the paper's
+// Fig. 16 shows — so Fig. 15 is reproduced statistically over a batch
+// of identical proxies rather than from a single lucky draw.
+#include <cstdio>
+
+#include "assess/audit.hpp"
+#include "bench_util.hpp"
+#include "geo/geodesy.hpp"
+#include "stats/summary.hpp"
+
+using namespace ageo;
+
+int main() {
+  auto bed = bench::standard_testbed(bench::scale_from_env());
+  const auto& w = bed->world();
+  auto cl = w.find_country("cl").value();
+  auto ar = w.find_country("ar").value();
+  auto ca = w.find_country("ca").value();
+  auto us = w.find_country("us").value();
+
+  world::Fleet fleet;
+  constexpr int kChileProxies = 12;
+  // --- Fig. 15 case: servers in Santiago claimed as Argentina ---
+  {
+    world::ProviderSite site;
+    site.provider = "demo";
+    site.country = cl;
+    site.location = {-33.45, -70.67};  // Santiago
+    site.asn = 65001;
+    fleet.sites.push_back(site);
+    for (int i = 0; i < kChileProxies; ++i) {
+      world::ProxyHost h;
+      h.provider = "demo";
+      h.server_id = i;
+      h.claimed_country = ar;
+      h.true_country = cl;
+      h.true_location = site.location;
+      h.true_site = 0;
+      h.asn = 65001;
+      h.prefix24 = static_cast<std::uint32_t>(100 + i);  // separate /24s:
+      fleet.hosts.push_back(h);  // no AS grouping; pure DC logic
+    }
+  }
+  // --- Fig. 16 case: 20 hosts in one Canadian border-city DC ---
+  {
+    world::ProviderSite site;
+    site.provider = "demo2";
+    site.country = ca;
+    site.location = {49.90, -97.14};  // Winnipeg, near the border
+    site.asn = 63128;
+    fleet.sites.push_back(site);
+    for (int i = 0; i < 20; ++i) {
+      world::ProxyHost h;
+      h.provider = "demo2";
+      h.server_id = i;
+      h.claimed_country = ca;
+      h.true_country = ca;
+      h.true_location = site.location;
+      h.true_site = 1;
+      h.asn = 63128;
+      h.prefix24 = 200;
+      fleet.hosts.push_back(h);
+    }
+  }
+
+  assess::Auditor auditor(*bed, {});
+  auto report = auditor.run(fleet);
+
+  std::printf("=== Figure 15: disambiguation by data centers ===\n");
+  std::printf("%d Santiago proxies claimed to be in Argentina:\n",
+              kChileProxies);
+  int covers_both = 0, resolved_false = 0, raw_false = 0, wrongly_ok = 0;
+  for (int i = 0; i < kChileProxies; ++i) {
+    const auto& r = report.rows[static_cast<std::size_t>(i)];
+    bool has_cl = false, has_ar = false;
+    for (auto c : r.candidates) {
+      if (c == cl) has_cl = true;
+      if (c == ar) has_ar = true;
+    }
+    if (r.verdict_raw == assess::Verdict::kUncertain && has_cl && has_ar)
+      ++covers_both;
+    if (r.verdict_raw == assess::Verdict::kFalse) ++raw_false;
+    if (r.verdict_dc == assess::Verdict::kFalse) ++resolved_false;
+    if (r.verdict_dc == assess::Verdict::kCredible) ++wrongly_ok;
+  }
+  std::printf("  region covers Chile AND Argentina (the Fig. 15 "
+              "situation): %d\n",
+              covers_both);
+  std::printf("  Argentina claim false before data centers: %d\n",
+              raw_false);
+  std::printf("  Argentina claim false after data centers:  %d\n",
+              resolved_false);
+  std::printf("  (wrongly accepted as credible: %d — displaced regions, "
+              "the paper's Fig. 16 noise)\n",
+              wrongly_ok);
+  std::printf("shape check: DC disambiguation catches more false claims "
+              "than raw CBG++: %s\n\n",
+              resolved_false >= raw_false && resolved_false > 0 ? "PASS"
+                                                                : "FAIL");
+
+  std::printf("=== Figure 16: disambiguation by AS metadata (AS63128) ===\n");
+  std::vector<double> areas;
+  std::size_t cover_ca = 0, cover_us = 0, final_ok = 0;
+  for (std::size_t i = kChileProxies; i < report.rows.size(); ++i) {
+    const auto& r = report.rows[i];
+    areas.push_back(r.area_km2);
+    bool ca_cov = false, us_cov = false;
+    for (auto c : r.candidates) {
+      if (c == ca) ca_cov = true;
+      if (c == us) us_cov = true;
+    }
+    if (ca_cov) ++cover_ca;
+    if (us_cov) ++cover_us;
+    if (r.verdict_final != assess::Verdict::kFalse) ++final_ok;
+  }
+  auto s = stats::summarize(areas);
+  std::printf("20 hosts, same provider+AS+/24; region areas km^2: "
+              "min=%.0f mean=%.0f max=%.0f (regions differ, as in the "
+              "paper)\n",
+              s.min, s.mean, s.max);
+  std::printf("regions covering Canada: %zu/20, crossing into the US: "
+              "%zu/20\n",
+              cover_ca, cover_us);
+  std::printf("after AS grouping, hosts ascribed to the claimed country: "
+              "%zu/20 -> %s\n",
+              final_ok, final_ok >= 17 ? "PASS" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 18: credible claims concentrate in commonly-claimed countries.
+//
+// The paper's provider x country grid, countries ordered by how many
+// providers claim them: honesty (fraction of a provider's claims for the
+// country that CBG++ backs up at least partly) is high on the left
+// (popular countries) and collapses in the tail.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace ageo;
+
+int main() {
+  auto bundle = bench::run_standard_audit(bench::scale_from_env());
+  const auto& rows = bundle.report.rows;
+  const auto& w = bundle.bed->world();
+
+  // Order countries by number of providers claiming them, then by claim
+  // volume.
+  std::map<world::CountryId, std::set<std::string>> claimers;
+  std::map<world::CountryId, std::size_t> volume;
+  for (const auto& r : rows) {
+    claimers[r.claimed].insert(r.provider);
+    ++volume[r.claimed];
+  }
+  std::vector<world::CountryId> order;
+  for (const auto& [c, _] : claimers) order.push_back(c);
+  std::sort(order.begin(), order.end(),
+            [&](world::CountryId a, world::CountryId b) {
+              if (claimers[a].size() != claimers[b].size())
+                return claimers[a].size() > claimers[b].size();
+              return volume[a] > volume[b];
+            });
+  const std::size_t n_cols = std::min<std::size_t>(20, order.size());
+
+  // honesty[provider][country] = fraction of claims backed up
+  // (credible or uncertain after disambiguation).
+  std::map<std::string, std::map<world::CountryId, std::pair<int, int>>>
+      tally;
+  for (const auto& r : rows) {
+    auto& t = tally[r.provider][r.claimed];
+    ++t.second;
+    if (r.verdict_final != assess::Verdict::kFalse) ++t.first;
+  }
+
+  std::printf("=== Figure 18: honesty by provider x country (top %zu "
+              "countries by claim popularity) ===\n\n     ",
+              n_cols);
+  for (std::size_t c = 0; c < n_cols; ++c)
+    std::printf(" %3s", w.country(order[c]).code.c_str());
+  std::printf("\n");
+  double head_sum = 0, tail_sum = 0;
+  int head_n = 0, tail_n = 0;
+  for (const auto& [provider, per_country] : tally) {
+    std::printf("  %s: ", provider.c_str());
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      auto it = per_country.find(order[c]);
+      if (it == per_country.end()) {
+        std::printf("   .");
+        continue;
+      }
+      int pct = static_cast<int>(
+          100.0 * it->second.first / std::max(1, it->second.second));
+      std::printf(" %3d", pct);
+      if (c < 10) {
+        head_sum += pct;
+        ++head_n;
+      }
+    }
+    std::printf("\n");
+    // Tail honesty: countries outside the top 20.
+    for (std::size_t c = n_cols; c < order.size(); ++c) {
+      auto it = per_country.find(order[c]);
+      if (it == per_country.end()) continue;
+      tail_sum += 100.0 * it->second.first / std::max(1, it->second.second);
+      ++tail_n;
+    }
+  }
+  double head = head_n ? head_sum / head_n : 0;
+  double tail = tail_n ? tail_sum / tail_n : 0;
+  std::printf("\nmean honesty, top-10 countries: %.0f%%; tail countries: "
+              "%.0f%%\n",
+              head, tail);
+  std::printf("shape check (paper: credible claims concentrate in common "
+              "countries): %s\n",
+              head > tail + 15.0 ? "PASS" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 19: per-provider country honesty maps.
+//
+// For each provider, every claimed country is colored by the fraction of
+// its claimed proxies whose CBG++ prediction overlaps the country at
+// least somewhat (after disambiguation). The paper's reading: variation
+// exists (C and E really host in South America, A and B just say they
+// do), and claims in hard-hosting countries are almost always false.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace ageo;
+
+int main() {
+  auto bundle = bench::run_standard_audit(bench::scale_from_env());
+  const auto& rows = bundle.report.rows;
+  const auto& w = bundle.bed->world();
+
+  std::map<std::string,
+           std::map<world::CountryId, std::pair<int, int>>>
+      tally;  // provider -> country -> (backed, total)
+  for (const auto& r : rows) {
+    auto& t = tally[r.provider][r.claimed];
+    ++t.second;
+    if (r.verdict_final != assess::Verdict::kFalse) ++t.first;
+  }
+
+  std::printf("=== Figure 19: per-provider honesty by country ===\n");
+  std::printf("(fraction of claimed proxies whose prediction overlaps the "
+              "country; '--' = claim fully disproved)\n");
+  for (const auto& [provider, per_country] : tally) {
+    std::printf("\nprovider %s (%zu claimed countries):\n",
+                provider.c_str(), per_country.size());
+    int printed = 0;
+    for (const auto& [country, t] : per_country) {
+      int pct = static_cast<int>(100.0 * t.first / std::max(1, t.second));
+      std::printf("  %s:%3s", w.country(country).code.c_str(),
+                  pct == 0 ? "--" : std::to_string(pct).c_str());
+      if (++printed % 12 == 0) std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  // Hard-hosting countries are almost always false (paper).
+  int hard_total = 0, hard_false = 0;
+  for (const auto& r : rows) {
+    if (w.country(r.claimed).hosting_score < 0.1) {
+      ++hard_total;
+      if (r.verdict_final == assess::Verdict::kFalse) ++hard_false;
+    }
+  }
+  if (hard_total > 0) {
+    std::printf("\nclaims in hard-hosting countries disproved: %d/%d "
+                "(%.0f%%) -> %s\n",
+                hard_false, hard_total, 100.0 * hard_false / hard_total,
+                hard_false * 10 >= hard_total * 8 ? "PASS" : "FAIL");
+  }
+
+  // South America: who actually hosts there?
+  std::printf("\nSouth America backing per provider (paper: C and E "
+              "actually host there):\n");
+  for (const auto& [provider, per_country] : tally) {
+    int backed = 0, total = 0;
+    for (const auto& [country, t] : per_country) {
+      if (w.continent_of(country) != world::Continent::kSouthAmerica)
+        continue;
+      backed += t.first;
+      total += t.second;
+    }
+    if (total > 0)
+      std::printf("  %s: %d/%d claims backed\n", provider.c_str(), backed,
+                  total);
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 22: continent confusion matrix.
+//
+// Which continents co-occur inside prediction regions. The paper's
+// matrix is diagonal-dominant with the expected neighbour confusion:
+// Europe/Africa/Asia, Asia/Oceania/Australia, and the Americas chain.
+#include <cstdio>
+#include <string>
+
+#include "assess/confusion.hpp"
+#include "bench_util.hpp"
+
+using namespace ageo;
+
+int main() {
+  auto bundle = bench::run_standard_audit(bench::scale_from_env());
+  auto m = assess::continent_confusion(bundle.bed->world(),
+                                       bundle.report.rows);
+
+  std::printf("=== Figure 22: confusion matrix among continents ===\n\n");
+  std::printf("%-9s", "");
+  for (std::size_t c = 0; c < world::kContinentCount; ++c)
+    std::printf("%8.7s", std::string(world::kContinentNames[c]).c_str());
+  std::printf("\n");
+  for (std::size_t a = 0; a < world::kContinentCount; ++a) {
+    std::printf("%-9.9s", std::string(world::kContinentNames[a]).c_str());
+    for (std::size_t b = 0; b < world::kContinentCount; ++b)
+      std::printf("%8zu", m.at(a, b));
+    std::printf("\n");
+  }
+
+  // Shape checks from the paper's matrix structure.
+  double diag = static_cast<double>(m.trace());
+  double total = static_cast<double>(m.total());
+  std::printf("\ndiagonal mass: %.0f%% (diagonal-dominant: %s)\n",
+              100.0 * diag / total, diag > total / 2 ? "PASS" : "FAIL");
+
+  auto cell = [&](world::Continent a, world::Continent b) {
+    return m.at(static_cast<std::size_t>(a), static_cast<std::size_t>(b));
+  };
+  using C = world::Continent;
+  bool eu_af = cell(C::kEurope, C::kAfrica) > 0;
+  bool as_oc = cell(C::kAsia, C::kOceania) > 0;
+  bool na_ca = cell(C::kNorthAmerica, C::kCentralAmerica) > 0;
+  bool eu_sa = cell(C::kEurope, C::kSouthAmerica) <=
+               cell(C::kEurope, C::kAfrica);
+  std::printf("expected confusion pairs present (EU/AF, AS/OC, NA/CA): "
+              "%s %s %s\n",
+              eu_af ? "yes" : "NO", as_oc ? "yes" : "NO",
+              na_ca ? "yes" : "NO");
+  std::printf("distant pairs rarer than neighbours (EU/SA <= EU/AF): %s\n",
+              eu_sa ? "PASS" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 23: country confusion matrix.
+//
+// Within a continent, most neighbours can share a prediction region.
+// The interesting exceptions the paper highlights: southern African and
+// Indian Ocean countries get confused with Asia "all the way to Japan"
+// because their routes transit a developed hub.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "assess/confusion.hpp"
+#include "bench_util.hpp"
+
+using namespace ageo;
+
+int main() {
+  auto bundle = bench::run_standard_audit(bench::scale_from_env());
+  const auto& w = bundle.bed->world();
+  auto m = assess::country_confusion(w, bundle.report.rows);
+
+  std::printf("=== Figure 23: confusion matrix among countries ===\n\n");
+
+  // Print the strongest off-diagonal confusion pairs.
+  struct Pair {
+    world::CountryId a, b;
+    std::size_t count;
+    bool same_continent;
+  };
+  std::vector<Pair> pairs;
+  for (world::CountryId a = 0; a < w.country_count(); ++a) {
+    for (world::CountryId b = a + 1; b < w.country_count(); ++b) {
+      std::size_t c = m.at(a, b);
+      if (c > 0)
+        pairs.push_back(
+            {a, b, c, w.continent_of(a) == w.continent_of(b)});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Pair& x, const Pair& y) { return x.count > y.count; });
+
+  std::printf("top confused country pairs:\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(20, pairs.size()); ++i) {
+    const auto& p = pairs[i];
+    std::printf("  %-16s <-> %-16s %5zu  %s\n",
+                w.country(p.a).name.c_str(), w.country(p.b).name.c_str(),
+                p.count, p.same_continent ? "" : "(cross-continent)");
+  }
+
+  // Same-continent confusion dominates.
+  std::size_t same = 0, cross = 0;
+  for (const auto& p : pairs) {
+    if (p.same_continent)
+      same += p.count;
+    else
+      cross += p.count;
+  }
+  std::printf("\nconfusion mass: same-continent %zu, cross-continent %zu "
+              "-> neighbours dominate: %s\n",
+              same, cross, same > cross ? "PASS" : "FAIL");
+
+  // Diagonal sanity: popular hosting countries are covered most.
+  std::vector<std::pair<std::size_t, world::CountryId>> diag;
+  for (world::CountryId c = 0; c < w.country_count(); ++c)
+    diag.push_back({m.at(c, c), c});
+  std::sort(diag.rbegin(), diag.rend());
+  std::printf("\nmost-covered countries (diagonal):");
+  for (int i = 0; i < 8; ++i)
+    std::printf(" %s:%zu", w.country(diag[static_cast<std::size_t>(i)].second).code.c_str(),
+                diag[static_cast<std::size_t>(i)].first);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Micro-benchmarks of the core primitives (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "algos/cbg_pp.hpp"
+#include "calib/cbg_model.hpp"
+#include "common/rng.hpp"
+#include "geo/geodesy.hpp"
+#include "grid/field.hpp"
+#include "grid/raster.hpp"
+#include "mlat/multilateration.hpp"
+
+using namespace ageo;
+
+static void BM_GreatCircleDistance(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<geo::LatLon> pts(1024);
+  for (auto& p : pts)
+    p = {rng.uniform(-90.0, 90.0), rng.uniform(-180.0, 180.0)};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        geo::distance_km(pts[i % 1024], pts[(i + 7) % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_GreatCircleDistance);
+
+static void BM_RasterizeCap(benchmark::State& state) {
+  grid::Grid g(static_cast<double>(state.range(0)) / 100.0);
+  geo::Cap cap{{48.0, 11.0}, 2000.0};
+  for (auto _ : state) {
+    auto r = grid::rasterize_cap(g, cap);
+    benchmark::DoNotOptimize(r.count());
+  }
+  state.SetLabel("cell_deg=" + std::to_string(state.range(0) / 100.0));
+}
+BENCHMARK(BM_RasterizeCap)->Arg(200)->Arg(100)->Arg(50);
+
+static void BM_RegionIntersect(benchmark::State& state) {
+  grid::Grid g(1.0);
+  auto a = grid::rasterize_cap(g, geo::Cap{{48.0, 11.0}, 3000.0});
+  auto b = grid::rasterize_cap(g, geo::Cap{{50.0, 15.0}, 3000.0});
+  for (auto _ : state) {
+    grid::Region c = a;
+    c &= b;
+    benchmark::DoNotOptimize(c.count());
+  }
+}
+BENCHMARK(BM_RegionIntersect);
+
+static void BM_RegionCentroid(benchmark::State& state) {
+  grid::Grid g(1.0);
+  auto r = grid::rasterize_cap(g, geo::Cap{{48.0, 11.0}, 3000.0});
+  for (auto _ : state) benchmark::DoNotOptimize(r.centroid());
+}
+BENCHMARK(BM_RegionCentroid);
+
+static void BM_BestlineFit(benchmark::State& state) {
+  Rng rng(2);
+  calib::CalibData data;
+  for (int i = 0; i < state.range(0); ++i) {
+    double d = rng.uniform(50.0, 15000.0);
+    data.push_back({d, d / 100.0 + 2.0 + rng.exponential(8.0)});
+  }
+  calib::CbgOptions opt;
+  opt.enforce_slowline = true;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(calib::fit_cbg_bestline(data, opt));
+}
+BENCHMARK(BM_BestlineFit)->Arg(100)->Arg(400)->Arg(1600);
+
+static void BM_SubsetSolve(benchmark::State& state) {
+  grid::Grid g(1.0);
+  Rng rng(3);
+  std::vector<mlat::DiskConstraint> disks;
+  geo::LatLon truth{47.0, 12.0};
+  for (int i = 0; i < state.range(0); ++i) {
+    geo::LatLon lm{rng.uniform(30.0, 65.0), rng.uniform(-15.0, 40.0)};
+    disks.push_back(
+        {lm, geo::distance_km(lm, truth) + rng.uniform(50.0, 800.0)});
+  }
+  for (auto _ : state) {
+    auto res = mlat::largest_consistent_subset(g, disks);
+    benchmark::DoNotOptimize(res.region.count());
+  }
+}
+BENCHMARK(BM_SubsetSolve)->Arg(8)->Arg(25)->Arg(60);
+
+static void BM_GaussianFusion(benchmark::State& state) {
+  grid::Grid g(1.0);
+  Rng rng(4);
+  std::vector<mlat::GaussianConstraint> rings;
+  for (int i = 0; i < 25; ++i) {
+    rings.push_back({{rng.uniform(30.0, 65.0), rng.uniform(-15.0, 40.0)},
+                     rng.uniform(300.0, 3000.0), 200.0});
+  }
+  for (auto _ : state) {
+    auto f = mlat::fuse_gaussian_rings(g, rings);
+    benchmark::DoNotOptimize(f.credible_region(0.95).count());
+  }
+}
+BENCHMARK(BM_GaussianFusion);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+
+namespace ageo::bench {
+
+double scale_from_env() {
+  if (const char* s = std::getenv("AGEO_SCALE")) {
+    double v = std::atof(s);
+    if (v > 0.0 && v <= 4.0) return v;
+  }
+  return 1.0;
+}
+
+std::unique_ptr<measure::Testbed> standard_testbed(double scale) {
+  measure::TestbedConfig cfg;
+  cfg.seed = 2018;
+  cfg.constellation.n_anchors =
+      std::max(40, static_cast<int>(250 * std::min(1.0, scale * 2.0)));
+  cfg.constellation.n_probes = std::max(80, static_cast<int>(800 * scale));
+  return std::make_unique<measure::Testbed>(cfg);
+}
+
+world::Fleet standard_fleet(const world::WorldModel& w, double scale) {
+  auto specs = world::default_provider_specs();
+  for (auto& s : specs)
+    s.target_servers = std::max(10, static_cast<int>(s.target_servers * scale));
+  return world::generate_fleet(w, specs, 2018);
+}
+
+AuditBundle run_standard_audit(double scale) {
+  AuditBundle bundle;
+  bundle.bed = standard_testbed(scale);
+  bundle.fleet = standard_fleet(bundle.bed->world(), scale);
+  assess::Auditor auditor(*bundle.bed, {});
+  bundle.report = auditor.run(bundle.fleet);
+  return bundle;
+}
+
+std::vector<CrowdMeasurement> measure_crowd(
+    measure::Testbed& bed, const std::vector<world::CrowdHost>& crowd,
+    std::uint64_t seed) {
+  measure::WebTool web;
+  Rng rng(seed, "crowd-measure");
+  std::vector<CrowdMeasurement> out;
+  out.reserve(crowd.size());
+  for (const auto& host : crowd) {
+    netsim::HostProfile p;
+    p.location = host.true_location;
+    p.net_quality = host.net_quality;
+    netsim::HostId id = bed.add_host(p);
+    measure::ProbeFn probe = [&](std::size_t lm) -> std::optional<double> {
+      auto sample =
+          web.measure(bed.net(), id, bed.landmark_host(lm),
+                      bed.landmarks()[lm].listens_port80, host.os,
+                      host.browser, rng);
+      return sample.elapsed_ms;
+    };
+    auto tp = measure::two_phase_measure(bed, probe, rng);
+    CrowdMeasurement m;
+    m.host = &host;
+    m.observations = std::move(tp.observations);
+    m.continent = tp.continent;
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+void print_quantiles(const std::string& name, std::vector<double> xs) {
+  if (xs.empty()) {
+    std::printf("%-28s (no data)\n", name.c_str());
+    return;
+  }
+  std::sort(xs.begin(), xs.end());
+  auto q = [&](double p) {
+    return xs[static_cast<std::size_t>(p * (xs.size() - 1))];
+  };
+  std::printf("%-28s p10=%-10.1f p25=%-10.1f p50=%-10.1f p75=%-10.1f "
+              "p90=%-10.1f max=%.1f\n",
+              name.c_str(), q(0.10), q(0.25), q(0.50), q(0.75), q(0.90),
+              xs.back());
+}
+
+void print_ecdf(const std::string& name, const std::vector<double>& xs,
+                const std::vector<double>& at) {
+  std::vector<double> sorted(xs);
+  std::sort(sorted.begin(), sorted.end());
+  std::printf("%-14s", name.c_str());
+  for (double a : at) {
+    auto it = std::upper_bound(sorted.begin(), sorted.end(), a);
+    double f = sorted.empty()
+                   ? 0.0
+                   : static_cast<double>(it - sorted.begin()) /
+                         static_cast<double>(sorted.size());
+    std::printf("  %5.1f%%", 100.0 * f);
+  }
+  std::printf("\n");
+}
+
+}  // namespace ageo::bench

@@ -1,0 +1,60 @@
+// Shared scaffolding for the figure-regeneration benches.
+//
+// Every bench builds the same standard testbed (or a scaled version of
+// it; set AGEO_SCALE=0.25 in the environment to shrink workloads while
+// iterating) and prints paper-style tables to stdout.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "assess/audit.hpp"
+#include "measure/testbed.hpp"
+#include "measure/tools.hpp"
+#include "measure/two_phase.hpp"
+#include "world/crowd.hpp"
+#include "world/fleet.hpp"
+
+namespace ageo::bench {
+
+/// Workload scale factor from AGEO_SCALE (default 1.0 = paper scale).
+double scale_from_env();
+
+/// The standard testbed: 250 anchors + 800 probes (paper Fig. 3 scale),
+/// seed 2018.
+std::unique_ptr<measure::Testbed> standard_testbed(double scale = 1.0);
+
+/// The seven-provider fleet at the paper's ~2269-server scale.
+world::Fleet standard_fleet(const world::WorldModel& w, double scale = 1.0);
+
+struct AuditBundle {
+  std::unique_ptr<measure::Testbed> bed;
+  world::Fleet fleet;
+  assess::AuditReport report;
+};
+
+/// Full §6 audit: testbed + fleet + CBG++ pipeline over every proxy.
+AuditBundle run_standard_audit(double scale = 1.0);
+
+/// Per-crowd-host measurement result for the §5 validation experiments.
+struct CrowdMeasurement {
+  const world::CrowdHost* host = nullptr;
+  std::vector<algos::Observation> observations;
+  world::Continent continent = world::Continent::kEurope;
+};
+
+/// Measure every crowd host with the web tool through the two-phase
+/// procedure (the paper's validation setup, §5).
+std::vector<CrowdMeasurement> measure_crowd(
+    measure::Testbed& bed, const std::vector<world::CrowdHost>& crowd,
+    std::uint64_t seed = 5);
+
+/// Print "name: p10 p25 p50 p75 p90 max" for a sample.
+void print_quantiles(const std::string& name, std::vector<double> xs);
+
+/// Print an ECDF evaluated at the given points.
+void print_ecdf(const std::string& name, const std::vector<double>& xs,
+                const std::vector<double>& at);
+
+}  // namespace ageo::bench

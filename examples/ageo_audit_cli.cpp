@@ -1,0 +1,118 @@
+// ageo_audit_cli: the full audit as a command-line tool.
+//
+//   ageo_audit_cli [--scale F] [--seed N] [--grid DEG] [--json FILE]
+//                  [--ground-truth]
+//
+// Runs the seven-provider audit and prints the per-provider summary;
+// optionally writes the complete per-proxy results as JSON.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "assess/audit.hpp"
+#include "assess/report.hpp"
+#include "measure/testbed.hpp"
+#include "world/fleet.hpp"
+
+using namespace ageo;
+
+namespace {
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--scale F] [--seed N] [--grid DEG] "
+               "[--json FILE] [--ground-truth]\n"
+               "  --scale F         fleet/constellation scale factor "
+               "(default 0.25; 1.0 = paper scale)\n"
+               "  --seed N          master seed (default 2018)\n"
+               "  --grid DEG        analysis grid cell size (default 1.0)\n"
+               "  --json FILE       write per-proxy results as JSON\n"
+               "  --ground-truth    include simulator ground truth in the "
+               "JSON\n",
+               argv0);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 0.25;
+  std::uint64_t seed = 2018;
+  double grid_deg = 1.0;
+  std::string json_path;
+  bool ground_truth = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--scale")) {
+      scale = std::atof(need_value("--scale"));
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      seed = static_cast<std::uint64_t>(std::atoll(need_value("--seed")));
+    } else if (!std::strcmp(argv[i], "--grid")) {
+      grid_deg = std::atof(need_value("--grid"));
+    } else if (!std::strcmp(argv[i], "--json")) {
+      json_path = need_value("--json");
+    } else if (!std::strcmp(argv[i], "--ground-truth")) {
+      ground_truth = true;
+    } else if (!std::strcmp(argv[i], "--help") ||
+               !std::strcmp(argv[i], "-h")) {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (!(scale > 0.0 && scale <= 4.0) || !(grid_deg > 0.0)) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  measure::TestbedConfig tb;
+  tb.seed = seed;
+  tb.constellation.n_anchors =
+      std::max(40, static_cast<int>(250 * std::min(1.0, scale * 2.0)));
+  tb.constellation.n_probes = std::max(80, static_cast<int>(800 * scale));
+  std::fprintf(stderr, "building testbed (%d anchors, %d probes)...\n",
+               tb.constellation.n_anchors, tb.constellation.n_probes);
+  measure::Testbed bed(tb);
+
+  auto specs = world::default_provider_specs();
+  for (auto& s : specs)
+    s.target_servers = std::max(10, static_cast<int>(s.target_servers * scale));
+  auto fleet = world::generate_fleet(bed.world(), specs, seed);
+  std::fprintf(stderr, "auditing %zu proxies...\n", fleet.hosts.size());
+
+  assess::AuditConfig ac;
+  ac.grid_cell_deg = grid_deg;
+  ac.seed = seed + 1;
+  assess::Auditor auditor(bed, ac);
+  auto report = auditor.run(fleet);
+
+  assess::write_text_summary(std::cout, report, bed.world());
+  std::printf("eta: %.3f [%.3f, %.3f] (R^2 %.3f, %zu pingable)\n",
+              report.eta.eta, report.eta.eta_ci_low,
+              report.eta.eta_ci_high, report.eta.r_squared,
+              report.eta.n_proxies);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    assess::ReportOptions opt;
+    opt.include_ground_truth = ground_truth;
+    assess::write_json(out, report, bed.world(), opt);
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

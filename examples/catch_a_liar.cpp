@@ -1,0 +1,125 @@
+// Catch a liar: investigate one suspicious VPN server end to end.
+//
+// A provider advertises a server in North Korea. The server is really in
+// a Frankfurt data center. This walks through the paper's §4-§6 pipeline
+// for a single target: tunnel setup, eta correction, two-phase
+// measurement, CBG++ multilateration, the ICLab cross-check, claim
+// classification, and co-location detection against a second "server"
+// that is allegedly in Japan.
+#include <cstdio>
+
+#include "algos/cbg_pp.hpp"
+#include "algos/iclab.hpp"
+#include "assess/claim.hpp"
+#include "assess/colocation.hpp"
+#include "assess/investigate.hpp"
+#include "grid/ascii_map.hpp"
+#include "measure/proxy_measure.hpp"
+#include "measure/testbed.hpp"
+#include "measure/two_phase.hpp"
+
+using namespace ageo;
+
+int main() {
+  measure::TestbedConfig cfg;
+  cfg.seed = 404;
+  cfg.constellation.n_anchors = 200;
+  cfg.constellation.n_probes = 400;
+  measure::Testbed bed(cfg);
+  const auto& w = bed.world();
+  auto kp = w.find_country("kp").value();
+  auto jp = w.find_country("jp").value();
+
+  std::printf("== catching a lying proxy ==\n\n");
+  std::printf("advertised: \"server in %s\"\n", w.country(kp).name.c_str());
+  std::printf("reality (hidden from the pipeline): Frankfurt, Germany\n\n");
+
+  // The measurement client (Frankfurt too — the worst case for us, since
+  // the tunnel leg is tiny) and the lying proxies.
+  netsim::HostProfile client_profile;
+  client_profile.location = {48.2, 16.37};  // Vienna client
+  netsim::HostId client = bed.add_host(client_profile);
+  geo::LatLon truth{50.12, 8.66};
+  netsim::HostProfile proxy_profile;
+  proxy_profile.location = truth;
+  proxy_profile.icmp_responds = false;  // ignores pings, like 90% of them
+  netsim::HostId proxy = bed.add_host(proxy_profile);
+  netsim::HostId proxy2 = bed.add_host(proxy_profile);  // "in Japan"
+
+  netsim::ProxySession session(bed.net(), client, proxy, {});
+  std::printf("direct ping: %s\n",
+              session.direct_ping_ms() ? "answered" : "filtered (as usual)");
+
+  // Tunnel RTT estimate from self-pings.
+  measure::ProxyProber prober(bed, session, 0.5);
+  std::printf("tunnel RTT estimate (eta * min self-ping): %.1f ms\n",
+              prober.tunnel_rtt_ms());
+
+  // Two-phase measurement through the tunnel.
+  Rng rng(7, "investigation");
+  auto probe = prober.as_probe_fn();
+  auto tp = measure::two_phase_measure(bed, probe, rng);
+  std::printf("phase 1 says the server is in: %s\n",
+              std::string(world::to_string(tp.continent)).c_str());
+  std::printf("phase 2 measured %zu landmarks there\n\n",
+              tp.observations.size());
+
+  // CBG++ prediction.
+  grid::Grid g(1.0);
+  grid::Region mask = w.plausibility_mask(g);
+  algos::CbgPlusPlusGeolocator locator;
+  auto est = locator.locate(g, bed.store(), tp.observations, &mask);
+  auto raster = w.country_raster(g);
+  auto assessment = assess::assess_claim(w, raster, est.region, kp);
+  std::printf("CBG++ region: %.0f km^2, covering:", est.area_km2());
+  for (auto c : assessment.covered_countries)
+    std::printf(" %s", w.country(c).name.c_str());
+  std::printf("\nclaim \"%s\": %s (continent: %s)\n",
+              w.country(kp).name.c_str(),
+              assess::to_string(assessment.country),
+              assess::to_string(assessment.continent));
+
+  // ICLab cross-check.
+  algos::IclabChecker iclab;
+  grid::Region kp_region = w.country_region(g, kp);
+  std::printf("ICLab speed-limit check: %s (%zu measurements violate "
+              "153 km/ms toward %s)\n\n",
+              iclab.accepts(kp_region, tp.observations) ? "accepted"
+                                                        : "REJECTED",
+              iclab.violations(kp_region, tp.observations),
+              w.country(kp).name.c_str());
+
+  // Co-location: the "North Korea" and "Japan" servers answer each other
+  // in under 5 ms.
+  std::vector<netsim::HostId> proxies{proxy, proxy2};
+  auto groups = assess::colocation_groups(bed.net(), proxies);
+  std::printf("co-location check: \"%s\" server and \"%s\" server %s\n",
+              w.country(kp).name.c_str(), w.country(jp).name.c_str(),
+              groups[0] == groups[1]
+                  ? "are on the SAME local network (RTT < 5 ms)"
+                  : "appear to be in different facilities");
+
+  std::printf("\nverdict: the advertised location is %s.\n",
+              assessment.country == assess::Verdict::kFalse
+                  ? "definitively false"
+                  : "not disproven");
+
+  // Where the server really is, drawn on the map: '.' = land, '#' =
+  // prediction region, 'K' = the claimed location (Pyongyang).
+  grid::AsciiMap viz(120);
+  viz.add_layer(mask, '.');
+  viz.add_layer(est.region, '#');
+  viz.add_marker(w.country(kp).capital, 'K');
+  viz.crop_latitude(30.0, 62.0);
+  std::printf("\n%s\n", viz.to_string().c_str());
+
+  // The same investigation as a single library call.
+  netsim::ProxySession session2(bed.net(), client, proxy, {});
+  auto inv = assess::investigate_proxy(bed, session2, kp);
+  std::printf("one-call API agrees: verdict %s, ICLab %s, region %.0f "
+              "km^2 on %s\n",
+              assess::to_string(inv.verdict),
+              inv.iclab_accepted ? "accepted" : "rejected", inv.area_km2,
+              std::string(world::to_string(inv.continent)).c_str());
+  return assessment.country == assess::Verdict::kFalse ? 0 : 1;
+}

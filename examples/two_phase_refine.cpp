@@ -1,0 +1,74 @@
+// Two-phase measurement and iterative refinement (§4.1 + §8.1).
+//
+// Shows the measurement budget story: a handful of continental probes
+// pick the continent, 25 random landmarks produce a region, and the
+// iterative-refinement extension (the paper's future work) keeps adding
+// the nearest unused landmarks until the region stops shrinking.
+#include <cstdio>
+
+#include "algos/cbg_pp.hpp"
+#include "measure/refine.hpp"
+#include "measure/testbed.hpp"
+#include "measure/tools.hpp"
+#include "measure/two_phase.hpp"
+#include "world/placement.hpp"
+
+using namespace ageo;
+
+int main() {
+  measure::TestbedConfig cfg;
+  cfg.seed = 314;
+  cfg.constellation.n_anchors = 220;
+  cfg.constellation.n_probes = 500;
+  measure::Testbed bed(cfg);
+
+  Rng rng(3, "refine-demo");
+  auto se = bed.world().find_country("se").value();
+  geo::LatLon truth = world::random_point_in_country(bed.world(), se, rng);
+  std::printf("== two-phase measurement + refinement ==\n");
+  std::printf("target: %s (%s)\n\n", geo::to_string(truth).c_str(),
+              bed.world().country(se).name.c_str());
+
+  netsim::HostProfile p;
+  p.location = truth;
+  p.net_quality = 0.75;
+  netsim::HostId target = bed.add_host(p);
+  std::size_t probes_used = 0;
+  measure::ProbeFn probe = [&](std::size_t lm) {
+    ++probes_used;
+    return measure::CliTool::measure_ms(bed.net(), target,
+                                        bed.landmark_host(lm));
+  };
+
+  auto tp = measure::two_phase_measure(bed, probe, rng);
+  std::printf("phase 1: continent = %s (from %zu continental anchors)\n",
+              std::string(world::to_string(tp.continent)).c_str(),
+              tp.phase1.size());
+  std::printf("phase 2: %zu landmarks measured, %zu probes so far\n",
+              tp.observations.size(), probes_used);
+
+  grid::Grid g(1.0);
+  grid::Region mask = bed.world().plausibility_mask(g);
+  algos::CbgPlusPlusGeolocator locator;
+  auto initial = locator.locate(g, bed.store(), tp.observations, &mask);
+  std::printf("\ninitial region: %.0f km^2, covers truth: %s\n",
+              initial.area_km2(),
+              initial.region.contains(truth) ? "yes" : "no");
+
+  measure::RefineConfig rc;
+  rc.batch_size = 8;
+  rc.max_rounds = 5;
+  auto refined =
+      measure::refine_region(bed, g, locator, probe, tp, &mask, rc);
+  std::printf("after %d refinement rounds (%zu observations, %zu probes "
+              "total):\n",
+              refined.rounds_used, refined.observations.size(),
+              probes_used);
+  std::printf("refined region: %.0f km^2 (%.0f%% of initial), covers "
+              "truth: %s\n",
+              refined.estimate.area_km2(),
+              100.0 * refined.estimate.area_km2() /
+                  std::max(1.0, initial.area_km2()),
+              refined.estimate.region.contains(truth) ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Constraint-Based Geolocation (paper §3.1; Gueye et al. 2004).
+#pragma once
+
+#include "algos/geolocator.hpp"
+
+namespace ageo::algos {
+
+/// Classic CBG: one bestline disk per landmark, intersected. Fails
+/// (empty region) when any bestline underestimates.
+class CbgGeolocator final : public Geolocator {
+ public:
+  std::string_view name() const noexcept override { return "CBG"; }
+
+  GeoEstimate locate(const grid::Grid& g,
+                     const calib::CalibrationStore& store,
+                     std::span<const Observation> observations,
+                     const grid::Region* mask = nullptr) const override;
+};
+
+}  // namespace ageo::algos

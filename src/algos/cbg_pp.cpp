@@ -1,0 +1,106 @@
+#include "algos/cbg_pp.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "grid/raster.hpp"
+#include "mlat/multilateration.hpp"
+
+namespace ageo::algos {
+
+CbgPlusPlusGeolocator::CbgPlusPlusGeolocator(CbgPlusPlusOptions options)
+    : options_(options) {}
+
+GeoEstimate CbgPlusPlusGeolocator::locate(
+    const grid::Grid& g, const calib::CalibrationStore& store,
+    std::span<const Observation> observations,
+    const grid::Region* mask) const {
+  return locate_detailed(g, store, observations, mask).estimate;
+}
+
+CbgPlusPlusGeolocator::Detail CbgPlusPlusGeolocator::locate_detailed(
+    const grid::Grid& g, const calib::CalibrationStore& store,
+    std::span<const Observation> observations,
+    const grid::Region* mask) const {
+  validate(store, observations);
+  Detail detail;
+
+  std::vector<mlat::DiskConstraint> bestline, baseline;
+  bestline.reserve(observations.size());
+  baseline.reserve(observations.size());
+  const calib::CbgModel physics = calib::cbg_baseline();
+  for (const auto& ob : observations) {
+    const auto& model = options_.use_slowline
+                            ? store.cbg_slowline(ob.landmark_id)
+                            : store.cbg(ob.landmark_id);
+    bestline.push_back(
+        {ob.landmark, model.max_distance_km(ob.one_way_delay_ms)});
+    baseline.push_back(
+        {ob.landmark, physics.max_distance_km(ob.one_way_delay_ms)});
+  }
+
+  if (!options_.use_subset_filter) {
+    detail.estimate = GeoEstimate{mlat::intersect_disks(g, bestline, mask)};
+    detail.bestline_subset_size = observations.size();
+    detail.baseline_subset_size = observations.size();
+    return detail;
+  }
+
+  // The subset engine handles at most 64 constraints. With more (e.g. a
+  // full 250-anchor scan), run it on the 64 tightest disks — the ones
+  // that actually shape the region — and fold the looser disks in
+  // afterwards, skipping any that would empty the region (the same
+  // drop-inconsistent-constraints philosophy, applied to the long tail
+  // of ineffective overestimates; cf. Fig. 11).
+  constexpr std::size_t kMaxSubset = 64;
+  std::vector<mlat::DiskConstraint> spare;
+  auto keep_tightest = [&](std::vector<mlat::DiskConstraint>& disks) {
+    if (disks.size() <= kMaxSubset) return;
+    std::sort(disks.begin(), disks.end(),
+              [](const mlat::DiskConstraint& a,
+                 const mlat::DiskConstraint& b) {
+                return a.max_km < b.max_km;
+              });
+    spare.insert(spare.end(), disks.begin() + kMaxSubset, disks.end());
+    disks.resize(kMaxSubset);
+  };
+  keep_tightest(bestline);
+  // Baseline disks correspond 1:1 with observations only when not
+  // truncated; truncate them independently by radius as well.
+  keep_tightest(baseline);
+
+  // Stage 1: baseline region — largest consistent subset of the
+  // physics-only disks.
+  auto base = mlat::largest_consistent_subset(g, baseline, mask);
+  detail.baseline_subset_size = base.n_used;
+
+  // Stage 2: drop bestline disks that do not overlap the baseline region.
+  std::vector<mlat::DiskConstraint> retained;
+  retained.reserve(bestline.size());
+  for (const auto& d : bestline) {
+    if (base.region.empty() ||
+        base.region.distance_from_km(d.center) <= d.max_km) {
+      retained.push_back(d);
+    } else {
+      ++detail.disks_discarded_by_baseline;
+    }
+  }
+
+  // Stage 3: bestline region — largest consistent subset of the rest.
+  auto bestr = mlat::largest_consistent_subset(g, retained, mask);
+  detail.bestline_subset_size = bestr.n_used;
+
+  // Fold in the spare (loose) disks; skip any that would empty the
+  // region.
+  for (const auto& d : spare) {
+    grid::Region clipped = bestr.region;
+    clipped &= grid::rasterize_cap(
+        g, geo::Cap{d.center, d.max_km + mlat::conservative_pad_km(g)});
+    if (!clipped.empty()) bestr.region = std::move(clipped);
+  }
+  detail.estimate = GeoEstimate{std::move(bestr.region)};
+  return detail;
+}
+
+}  // namespace ageo::algos

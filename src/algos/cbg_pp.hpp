@@ -1,0 +1,57 @@
+// CBG++ (paper §5.1): the paper's contribution.
+//
+// Two changes over CBG, both aimed at eliminating bestline
+// underestimation (the only way CBG can miss the true location):
+//
+//  1. The "slowline" physical-plausibility constraint: bestline travel
+//     speed estimates may be no slower than 84.5 km/ms (a one-way time
+//     above 237 ms could have crossed a geostationary satellite hop and
+//     is uninformative).
+//  2. Consistency-filtered multilateration: compute a disk per landmark
+//     from both the bestline and the (physics-only) baseline. Take the
+//     largest subset of baseline disks with nonempty intersection (the
+//     "baseline region"); discard bestline disks that do not overlap it;
+//     then take the largest subset of the survivors with nonempty
+//     intersection (the "bestline region" — the prediction).
+#pragma once
+
+#include "algos/geolocator.hpp"
+
+namespace ageo::algos {
+
+struct CbgPlusPlusOptions {
+  /// Disable for ablation: use plain (baseline-only) bestlines.
+  bool use_slowline = true;
+  /// Disable for ablation: intersect all disks like plain CBG instead of
+  /// the largest-consistent-subset filter.
+  bool use_subset_filter = true;
+};
+
+class CbgPlusPlusGeolocator final : public Geolocator {
+ public:
+  explicit CbgPlusPlusGeolocator(CbgPlusPlusOptions options = {});
+
+  std::string_view name() const noexcept override { return "CBG++"; }
+
+  GeoEstimate locate(const grid::Grid& g,
+                     const calib::CalibrationStore& store,
+                     std::span<const Observation> observations,
+                     const grid::Region* mask = nullptr) const override;
+
+  /// Detailed result for diagnostics and tests.
+  struct Detail {
+    GeoEstimate estimate;
+    std::size_t baseline_subset_size = 0;
+    std::size_t bestline_subset_size = 0;
+    std::size_t disks_discarded_by_baseline = 0;
+  };
+  Detail locate_detailed(const grid::Grid& g,
+                         const calib::CalibrationStore& store,
+                         std::span<const Observation> observations,
+                         const grid::Region* mask = nullptr) const;
+
+ private:
+  CbgPlusPlusOptions options_;
+};
+
+}  // namespace ageo::algos

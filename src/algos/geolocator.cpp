@@ -1,0 +1,38 @@
+#include "algos/geolocator.hpp"
+
+#include "algos/cbg.hpp"
+#include "algos/cbg_pp.hpp"
+#include "algos/hybrid.hpp"
+#include "algos/quasi_octant.hpp"
+#include "algos/spotter.hpp"
+#include "common/error.hpp"
+
+namespace ageo::algos {
+
+void Geolocator::validate(const calib::CalibrationStore& store,
+                          std::span<const Observation> observations) {
+  detail::require(store.fitted(),
+                  "Geolocator: calibration store is not fitted");
+  detail::require(!observations.empty(),
+                  "Geolocator: need at least one observation");
+  for (const auto& ob : observations) {
+    detail::require(ob.landmark_id < store.size(),
+                    "Geolocator: observation references unknown landmark");
+    detail::require(ob.one_way_delay_ms >= 0.0,
+                    "Geolocator: negative delay");
+    detail::require(geo::is_valid(ob.landmark),
+                    "Geolocator: invalid landmark location");
+  }
+}
+
+std::vector<std::unique_ptr<Geolocator>> make_all_geolocators() {
+  std::vector<std::unique_ptr<Geolocator>> out;
+  out.push_back(std::make_unique<CbgGeolocator>());
+  out.push_back(std::make_unique<QuasiOctantGeolocator>());
+  out.push_back(std::make_unique<SpotterGeolocator>());
+  out.push_back(std::make_unique<HybridGeolocator>());
+  out.push_back(std::make_unique<CbgPlusPlusGeolocator>());
+  return out;
+}
+
+}  // namespace ageo::algos

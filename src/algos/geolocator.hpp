@@ -1,0 +1,66 @@
+// The Geolocator interface.
+//
+// Every algorithm consumes the same input — per-landmark one-way delay
+// observations plus the shared calibration store — and produces a
+// prediction region on the analysis grid. This is the library's primary
+// public API (paper §3: "we reimplemented four active geolocation
+// algorithms ... plus two variations of our own design").
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "calib/store.hpp"
+#include "geo/latlon.hpp"
+#include "grid/region.hpp"
+
+namespace ageo::algos {
+
+/// One landmark's measurement of the target.
+struct Observation {
+  /// Index of the landmark in the CalibrationStore.
+  std::size_t landmark_id = 0;
+  /// Landmark's (known, trusted) location.
+  geo::LatLon landmark;
+  /// Minimum observed ONE-WAY delay to the target, ms (RTT/2, already
+  /// corrected for proxy indirection when applicable).
+  double one_way_delay_ms = 0.0;
+};
+
+struct GeoEstimate {
+  grid::Region region;
+  /// True when the constraints were mutually inconsistent (an empty
+  /// region); CBG++ is designed to avoid this (paper §5.1).
+  bool empty() const noexcept { return region.empty(); }
+  std::optional<geo::LatLon> centroid() const { return region.centroid(); }
+  double area_km2() const noexcept { return region.area_km2(); }
+};
+
+class Geolocator {
+ public:
+  virtual ~Geolocator() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Estimate the target's location. `mask` (usually the world's
+  /// plausibility mask: land between 60 S and 85 N, paper §3) clips the
+  /// prediction when non-null. Requires store.fitted().
+  virtual GeoEstimate locate(const grid::Grid& g,
+                             const calib::CalibrationStore& store,
+                             std::span<const Observation> observations,
+                             const grid::Region* mask = nullptr) const = 0;
+
+ protected:
+  /// Shared precondition checks for implementations.
+  static void validate(const calib::CalibrationStore& store,
+                       std::span<const Observation> observations);
+};
+
+/// Factory for all five estimators, in the paper's order:
+/// CBG, Quasi-Octant, Spotter, Hybrid, CBG++.
+std::vector<std::unique_ptr<Geolocator>> make_all_geolocators();
+
+}  // namespace ageo::algos

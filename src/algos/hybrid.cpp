@@ -1,0 +1,31 @@
+#include "algos/hybrid.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "mlat/multilateration.hpp"
+
+namespace ageo::algos {
+
+HybridGeolocator::HybridGeolocator(double n_sigma) : n_sigma_(n_sigma) {
+  detail::require(n_sigma > 0.0, "HybridGeolocator: n_sigma must be > 0");
+}
+
+GeoEstimate HybridGeolocator::locate(
+    const grid::Grid& g, const calib::CalibrationStore& store,
+    std::span<const Observation> observations,
+    const grid::Region* mask) const {
+  validate(store, observations);
+  const auto& model = store.spotter();
+  std::vector<mlat::RingConstraint> rings;
+  rings.reserve(observations.size());
+  for (const auto& ob : observations) {
+    double mu = model.mu_km(ob.one_way_delay_ms);
+    double sigma = model.sigma_km(ob.one_way_delay_ms);
+    rings.push_back({ob.landmark, std::max(0.0, mu - n_sigma_ * sigma),
+                     mu + n_sigma_ * sigma});
+  }
+  return GeoEstimate{mlat::intersect_rings(g, rings, mask)};
+}
+
+}  // namespace ageo::algos

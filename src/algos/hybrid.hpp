@@ -1,0 +1,27 @@
+// Quasi-Octant/Spotter hybrid (paper §3.4).
+//
+// Separates the effect of Spotter's probabilistic multilateration from
+// its delay model: uses Spotter's mu/sigma curves but Quasi-Octant's
+// ring intersection, with ring radii mu - 5 sigma and mu + 5 sigma.
+#pragma once
+
+#include "algos/geolocator.hpp"
+
+namespace ageo::algos {
+
+class HybridGeolocator final : public Geolocator {
+ public:
+  explicit HybridGeolocator(double n_sigma = 5.0);
+
+  std::string_view name() const noexcept override { return "Hybrid"; }
+
+  GeoEstimate locate(const grid::Grid& g,
+                     const calib::CalibrationStore& store,
+                     std::span<const Observation> observations,
+                     const grid::Region* mask = nullptr) const override;
+
+ private:
+  double n_sigma_;
+};
+
+}  // namespace ageo::algos

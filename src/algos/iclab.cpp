@@ -1,0 +1,37 @@
+#include "algos/iclab.hpp"
+
+#include "common/error.hpp"
+
+namespace ageo::algos {
+
+IclabChecker::IclabChecker(IclabOptions options) : options_(options) {
+  detail::require(options_.speed_limit_km_per_ms > 0.0,
+                  "IclabChecker: speed limit must be positive");
+}
+
+std::size_t IclabChecker::violations(
+    const grid::Region& claimed_country,
+    std::span<const Observation> observations) const {
+  detail::require(!claimed_country.empty(),
+                  "IclabChecker: claimed country region is empty");
+  std::size_t count = 0;
+  for (const auto& ob : observations) {
+    // Minimum distance from the landmark to anywhere in the country.
+    double min_km = claimed_country.distance_from_km(ob.landmark);
+    if (min_km <= 0.0) continue;  // landmark inside the claimed country
+    if (ob.one_way_delay_ms <= 0.0) {
+      ++count;  // instantaneous reply from a nonzero distance
+      continue;
+    }
+    double required_speed = min_km / ob.one_way_delay_ms;
+    if (required_speed > options_.speed_limit_km_per_ms) ++count;
+  }
+  return count;
+}
+
+bool IclabChecker::accepts(const grid::Region& claimed_country,
+                           std::span<const Observation> observations) const {
+  return violations(claimed_country, observations) == 0;
+}
+
+}  // namespace ageo::algos

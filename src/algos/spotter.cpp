@@ -1,0 +1,30 @@
+#include "algos/spotter.hpp"
+
+#include "common/error.hpp"
+#include "mlat/multilateration.hpp"
+
+namespace ageo::algos {
+
+SpotterGeolocator::SpotterGeolocator(double credible_mass)
+    : credible_mass_(credible_mass) {
+  detail::require(credible_mass > 0.0 && credible_mass <= 1.0,
+                  "SpotterGeolocator: credible mass must be in (0, 1]");
+}
+
+GeoEstimate SpotterGeolocator::locate(
+    const grid::Grid& g, const calib::CalibrationStore& store,
+    std::span<const Observation> observations,
+    const grid::Region* mask) const {
+  validate(store, observations);
+  const auto& model = store.spotter();
+  std::vector<mlat::GaussianConstraint> rings;
+  rings.reserve(observations.size());
+  for (const auto& ob : observations) {
+    rings.push_back({ob.landmark, model.mu_km(ob.one_way_delay_ms),
+                     model.sigma_km(ob.one_way_delay_ms)});
+  }
+  grid::Field posterior = mlat::fuse_gaussian_rings(g, rings, mask);
+  return GeoEstimate{posterior.credible_region(credible_mass_)};
+}
+
+}  // namespace ageo::algos

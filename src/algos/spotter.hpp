@@ -1,0 +1,26 @@
+// Spotter (paper §3.3; Laki et al. 2011).
+#pragma once
+
+#include "algos/geolocator.hpp"
+
+namespace ageo::algos {
+
+/// Probabilistic multilateration: per-landmark Gaussian rings of
+/// probability combined with Bayes' rule; the prediction region is the
+/// highest-density set holding `credible_mass` of the posterior.
+class SpotterGeolocator final : public Geolocator {
+ public:
+  explicit SpotterGeolocator(double credible_mass = 0.95);
+
+  std::string_view name() const noexcept override { return "Spotter"; }
+
+  GeoEstimate locate(const grid::Grid& g,
+                     const calib::CalibrationStore& store,
+                     std::span<const Observation> observations,
+                     const grid::Region* mask = nullptr) const override;
+
+ private:
+  double credible_mass_;
+};
+
+}  // namespace ageo::algos

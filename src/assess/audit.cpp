@@ -1,0 +1,230 @@
+#include "assess/audit.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/error.hpp"
+#include "geo/geodesy.hpp"
+
+namespace ageo::assess {
+
+Auditor::Auditor(measure::Testbed& bed, AuditConfig config)
+    : bed_(&bed),
+      config_(config),
+      grid_(std::make_shared<grid::Grid>(config.grid_cell_deg)),
+      mask_(bed.world().plausibility_mask(*grid_)),
+      raster_(bed.world().country_raster(*grid_)),
+      country_regions_(bed.world().country_count()),
+      locator_(config.cbg_pp),
+      iclab_(config.iclab) {}
+
+const grid::Region& Auditor::country_region(world::CountryId id) {
+  detail::require(id < country_regions_.size(),
+                  "Auditor::country_region: bad country id");
+  if (!country_regions_[id]) {
+    grid::Region r(*grid_);
+    for (std::size_t c = 0; c < grid_->size(); ++c)
+      if (raster_.at(c) == id) r.set(c);
+    r.set(grid_->cell_at(bed_->world().country(id).capital));
+    country_regions_[id] = std::move(r);
+  }
+  return *country_regions_[id];
+}
+
+AuditReport Auditor::run(const world::Fleet& fleet) {
+  AuditReport report;
+  report.grid = grid_;
+
+  // Register the client and every proxy on the simulated network.
+  netsim::HostProfile client_profile;
+  client_profile.location = config_.client_location;
+  client_profile.net_quality = 0.95;
+  netsim::HostId client = bed_->add_host(client_profile);
+
+  std::vector<netsim::ProxySession> sessions;
+  sessions.reserve(fleet.hosts.size());
+  for (const auto& h : fleet.hosts) {
+    netsim::HostProfile p;
+    p.location = h.true_location;
+    p.net_quality = 0.8;
+    p.icmp_responds = h.pingable;
+    p.tcp_port80_open = true;
+    p.filters_uncommon_ports = true;
+    p.sends_time_exceeded = !h.drops_time_exceeded;
+    netsim::HostId id = bed_->add_host(p);
+    netsim::ProxyBehavior behavior;
+    behavior.icmp_responds = h.pingable;
+    behavior.gateway_pingable = h.gateway_pingable;
+    behavior.drops_time_exceeded = h.drops_time_exceeded;
+    sessions.emplace_back(bed_->net(), client, id, behavior);
+  }
+
+  // Fleet-wide eta from the pingable minority (paper Fig. 13).
+  report.eta = measure::estimate_eta(sessions, config_.eta_samples);
+
+  Rng rng(config_.seed, "audit");
+  report.rows.reserve(fleet.hosts.size());
+  for (std::size_t i = 0; i < fleet.hosts.size(); ++i) {
+    const auto& host = fleet.hosts[i];
+    ProxyAuditRow row;
+    row.host_index = i;
+    row.provider = host.provider;
+    row.claimed = host.claimed_country;
+    row.claimed_continent = bed_->world().continent_of(host.claimed_country);
+    row.true_country = host.true_country;
+
+    measure::ProxyProber prober(*bed_, sessions[i], report.eta.eta,
+                                config_.self_ping_samples);
+    auto probe = prober.as_probe_fn();
+    auto tp = measure::two_phase_measure(*bed_, probe, rng,
+                                         config_.two_phase);
+    row.observations = tp.observations;
+
+    if (row.observations.empty()) {
+      row.empty_prediction = true;
+      row.region = grid::Region(*grid_);
+    } else {
+      auto est =
+          locator_.locate(*grid_, bed_->store(), row.observations, &mask_);
+      row.region = std::move(est.region);
+    }
+
+    ClaimAssessment base =
+        assess_claim(bed_->world(), raster_, row.region, row.claimed);
+    row.verdict_raw = base.country;
+    row.continent_verdict = base.continent;
+    row.empty_prediction = base.empty_prediction || row.empty_prediction;
+    row.candidates = base.covered_countries;
+
+    if (config_.use_data_centers) {
+      Disambiguated d = disambiguate_by_data_centers(
+          bed_->world(), row.region, row.claimed, base);
+      row.verdict_dc = d.verdict;
+      row.candidates = d.candidates;
+    } else {
+      row.verdict_dc = base.country;
+    }
+    row.verdict_final = row.verdict_dc;
+
+    row.area_km2 = row.region.area_km2();
+    row.centroid = row.region.centroid();
+    if (row.centroid) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& ob : row.observations)
+        best = std::min(best,
+                        geo::distance_km(ob.landmark, *row.centroid));
+      row.nearest_landmark_km = best;
+    }
+    row.iclab_accepted =
+        !row.observations.empty() &&
+        iclab_.accepts(country_region(row.claimed), row.observations);
+
+    report.rows.push_back(std::move(row));
+  }
+
+  if (config_.use_as_grouping) apply_as_grouping(report.rows, fleet);
+  return report;
+}
+
+void Auditor::apply_as_grouping(std::vector<ProxyAuditRow>& rows,
+                                const world::Fleet& fleet) const {
+  // Hosts sharing provider + AS + /24 are practically certain to sit in
+  // one data center (Fig. 16); intersect their candidate-country sets.
+  std::map<std::tuple<std::string, std::uint32_t, std::uint32_t>,
+           std::vector<std::size_t>>
+      groups;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto& h = fleet.hosts[rows[r].host_index];
+    groups[{h.provider, h.asn, h.prefix24}].push_back(r);
+  }
+  for (const auto& [key, members] : groups) {
+    if (members.size() < 2) continue;
+    // Intersect candidates across the group (skip empty predictions).
+    std::vector<world::CountryId> common;
+    bool first = true;
+    for (std::size_t r : members) {
+      if (rows[r].empty_prediction) continue;
+      const auto& cand = rows[r].candidates;
+      if (first) {
+        common = cand;
+        first = false;
+        continue;
+      }
+      std::vector<world::CountryId> next;
+      for (world::CountryId c : common)
+        if (std::find(cand.begin(), cand.end(), c) != cand.end())
+          next.push_back(c);
+      common = std::move(next);
+      if (common.empty()) break;
+    }
+    if (first || common.empty()) continue;  // no usable intersection
+    for (std::size_t r : members) {
+      if (rows[r].empty_prediction) continue;
+      if (rows[r].verdict_dc != Verdict::kUncertain) continue;
+      rows[r].candidates = common;
+      const bool claimed_possible =
+          std::find(common.begin(), common.end(), rows[r].claimed) !=
+          common.end();
+      if (!claimed_possible) {
+        rows[r].verdict_final = Verdict::kFalse;
+      } else if (common.size() == 1) {
+        rows[r].verdict_final = Verdict::kCredible;
+      }
+    }
+  }
+}
+
+AssessmentBreakdown breakdown(std::span<const ProxyAuditRow> rows,
+                              bool use_disambiguated) {
+  AssessmentBreakdown b;
+  for (const auto& r : rows) {
+    Verdict v = use_disambiguated ? r.verdict_final : r.verdict_raw;
+    if (r.continent_verdict == Verdict::kFalse) {
+      ++b.continent_false;
+    } else if (v == Verdict::kCredible) {
+      ++b.credible;
+    } else if (v == Verdict::kUncertain) {
+      if (r.continent_verdict == Verdict::kCredible)
+        ++b.country_uncertain_continent_credible;
+      else
+        ++b.country_and_continent_uncertain;
+    } else {
+      if (r.continent_verdict == Verdict::kCredible)
+        ++b.country_false_continent_credible;
+      else
+        ++b.country_false_continent_uncertain;
+    }
+  }
+  return b;
+}
+
+std::vector<ProviderHonesty> honesty_by_provider(
+    std::span<const ProxyAuditRow> rows, bool use_disambiguated) {
+  std::vector<ProviderHonesty> out;
+  auto find = [&](const std::string& p) -> ProviderHonesty& {
+    for (auto& h : out)
+      if (h.provider == p) return h;
+    out.push_back(ProviderHonesty{p, 0, 0, 0, 0});
+    return out.back();
+  };
+  for (const auto& r : rows) {
+    auto& h = find(r.provider);
+    ++h.n;
+    Verdict v = use_disambiguated ? r.verdict_final : r.verdict_raw;
+    switch (v) {
+      case Verdict::kCredible:
+        ++h.credible;
+        break;
+      case Verdict::kUncertain:
+        ++h.uncertain;
+        break;
+      case Verdict::kFalse:
+        ++h.false_;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ageo::assess

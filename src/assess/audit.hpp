@@ -1,0 +1,138 @@
+// The full VPN-fleet audit pipeline (paper §6).
+//
+// For every proxy: open a tunnel from the measurement client (Frankfurt
+// in the paper), estimate the client-proxy RTT via tunnel self-pings
+// scaled by the fleet-wide eta, run the two-phase measurement, locate
+// with CBG++, classify the provider's country claim, and disambiguate
+// with data-center locations and AS//24 metadata. Ground-truth fields
+// ride along for scoring but are never consulted by the pipeline.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "algos/cbg_pp.hpp"
+#include "algos/iclab.hpp"
+#include "assess/claim.hpp"
+#include "measure/proxy_measure.hpp"
+#include "measure/testbed.hpp"
+#include "measure/two_phase.hpp"
+#include "world/fleet.hpp"
+
+namespace ageo::assess {
+
+struct AuditConfig {
+  double grid_cell_deg = 1.0;
+  /// Measurement client location (the paper used one host in Frankfurt).
+  geo::LatLon client_location{50.11, 8.68};
+  measure::TwoPhaseConfig two_phase;
+  int self_ping_samples = 5;
+  int eta_samples = 5;
+  bool use_data_centers = true;
+  bool use_as_grouping = true;
+  algos::CbgPlusPlusOptions cbg_pp;
+  algos::IclabOptions iclab;
+  std::uint64_t seed = 99;
+};
+
+struct ProxyAuditRow {
+  std::size_t host_index = 0;  // into Fleet::hosts
+  std::string provider;
+  world::CountryId claimed = world::kNoCountry;
+  world::Continent claimed_continent = world::Continent::kEurope;
+
+  // Ground truth, for scoring only.
+  world::CountryId true_country = world::kNoCountry;
+
+  // Pipeline outputs.
+  grid::Region region;
+  std::vector<algos::Observation> observations;
+  Verdict verdict_raw = Verdict::kFalse;
+  Verdict verdict_dc = Verdict::kFalse;     // after data-center step
+  Verdict verdict_final = Verdict::kFalse;  // after AS//24 grouping
+  Verdict continent_verdict = Verdict::kFalse;
+  std::vector<world::CountryId> candidates;  // post-disambiguation
+  bool empty_prediction = false;
+  double area_km2 = 0.0;
+  std::optional<geo::LatLon> centroid;
+  double nearest_landmark_km = 0.0;
+  bool iclab_accepted = false;
+};
+
+struct AuditReport {
+  std::shared_ptr<const grid::Grid> grid;
+  std::vector<ProxyAuditRow> rows;
+  measure::EtaEstimate eta;
+};
+
+class Auditor {
+ public:
+  Auditor(measure::Testbed& bed, AuditConfig config = {});
+
+  /// Audit every host of the fleet.
+  AuditReport run(const world::Fleet& fleet);
+
+  const grid::Grid& grid() const noexcept { return *grid_; }
+  const grid::Region& plausibility_mask() const noexcept { return mask_; }
+
+  /// Region of one country on the audit grid (cached).
+  const grid::Region& country_region(world::CountryId id);
+
+ private:
+  measure::Testbed* bed_;
+  AuditConfig config_;
+  std::shared_ptr<grid::Grid> grid_;
+  grid::Region mask_;
+  world::CountryRaster raster_;
+  std::vector<std::optional<grid::Region>> country_regions_;
+  algos::CbgPlusPlusGeolocator locator_;
+  algos::IclabChecker iclab_;
+
+  void apply_as_grouping(std::vector<ProxyAuditRow>& rows,
+                         const world::Fleet& fleet) const;
+};
+
+// ---- aggregation helpers used by the figure benches ----
+
+/// Fig. 17 detailed categories.
+struct AssessmentBreakdown {
+  std::size_t credible = 0;
+  std::size_t country_uncertain_continent_credible = 0;
+  std::size_t country_and_continent_uncertain = 0;
+  std::size_t country_false_continent_credible = 0;
+  std::size_t country_false_continent_uncertain = 0;
+  std::size_t continent_false = 0;
+  std::size_t total() const noexcept {
+    return credible + country_uncertain_continent_credible +
+           country_and_continent_uncertain +
+           country_false_continent_credible +
+           country_false_continent_uncertain + continent_false;
+  }
+};
+
+/// Aggregate rows into Fig. 17's categories. `use_disambiguated` selects
+/// verdict_final (true) or verdict_raw (false).
+AssessmentBreakdown breakdown(std::span<const ProxyAuditRow> rows,
+                              bool use_disambiguated);
+
+/// Per-provider honesty: fraction of claims whose region overlaps the
+/// claimed country at all (credible or uncertain), and strict fraction
+/// (credible only). Keys are provider names in first-seen order.
+struct ProviderHonesty {
+  std::string provider;
+  std::size_t n = 0;
+  std::size_t credible = 0;
+  std::size_t uncertain = 0;
+  std::size_t false_ = 0;
+  double generous() const noexcept {
+    return n ? static_cast<double>(credible + uncertain) / n : 0.0;
+  }
+  double strict() const noexcept {
+    return n ? static_cast<double>(credible) / n : 0.0;
+  }
+};
+std::vector<ProviderHonesty> honesty_by_provider(
+    std::span<const ProxyAuditRow> rows, bool use_disambiguated);
+
+}  // namespace ageo::assess

@@ -1,0 +1,102 @@
+#include "assess/claim.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ageo::assess {
+
+const char* to_string(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::kCredible:
+      return "credible";
+    case Verdict::kUncertain:
+      return "uncertain";
+    case Verdict::kFalse:
+      return "false";
+  }
+  return "?";
+}
+
+ClaimAssessment assess_claim(const world::WorldModel& w,
+                             const world::CountryRaster& raster,
+                             const grid::Region& prediction,
+                             world::CountryId claimed) {
+  detail::require(claimed < w.country_count(),
+                  "assess_claim: unknown claimed country");
+  ClaimAssessment a;
+  if (prediction.empty()) {
+    a.empty_prediction = true;
+    return a;
+  }
+  a.covered_countries = raster.countries_in(prediction);
+
+  const bool covers_claimed =
+      std::find(a.covered_countries.begin(), a.covered_countries.end(),
+                claimed) != a.covered_countries.end();
+  // Cells over modelled ocean / unmodelled land don't belong to any
+  // country; only country cells count toward "entirely within".
+  const bool covers_other_country =
+      std::any_of(a.covered_countries.begin(), a.covered_countries.end(),
+                  [&](world::CountryId c) { return c != claimed; });
+
+  if (!covers_claimed) {
+    a.country = Verdict::kFalse;
+  } else if (!covers_other_country) {
+    a.country = Verdict::kCredible;
+  } else {
+    a.country = Verdict::kUncertain;
+  }
+
+  const world::Continent claimed_cont = w.continent_of(claimed);
+  bool covers_claimed_cont = false, covers_other_cont = false;
+  for (world::CountryId c : a.covered_countries) {
+    if (w.continent_of(c) == claimed_cont)
+      covers_claimed_cont = true;
+    else
+      covers_other_cont = true;
+  }
+  if (!covers_claimed_cont) {
+    a.continent = Verdict::kFalse;
+  } else if (!covers_other_cont) {
+    a.continent = Verdict::kCredible;
+  } else {
+    a.continent = Verdict::kUncertain;
+  }
+  return a;
+}
+
+Disambiguated disambiguate_by_data_centers(const world::WorldModel& w,
+                                           const grid::Region& prediction,
+                                           world::CountryId claimed,
+                                           const ClaimAssessment& base) {
+  Disambiguated d;
+  d.verdict = base.country;
+  d.candidates = base.covered_countries;
+  if (base.country != Verdict::kUncertain) return d;
+
+  auto dcs = w.data_centers_in(prediction);
+  if (dcs.empty()) return d;  // no information
+
+  std::vector<world::CountryId> dc_countries;
+  for (const auto* dc : dcs) {
+    if (std::find(dc_countries.begin(), dc_countries.end(), dc->country) ==
+        dc_countries.end())
+      dc_countries.push_back(dc->country);
+  }
+  d.candidates = dc_countries;
+  const bool claimed_has_dc =
+      std::find(dc_countries.begin(), dc_countries.end(), claimed) !=
+      dc_countries.end();
+  if (!claimed_has_dc) {
+    // Servers live in data centers; none of the region's facilities are
+    // in the claimed country (Fig. 15: "the only data centers in this
+    // region are in Chile, not Argentina").
+    d.verdict = Verdict::kFalse;
+  } else if (dc_countries.size() == 1) {
+    d.verdict = Verdict::kCredible;
+  }
+  return d;
+}
+
+}  // namespace ageo::assess

@@ -1,0 +1,51 @@
+// Claim classification (paper §6).
+//
+// A provider's country claim for a proxy is FALSE if the prediction
+// region does not cover any part of the claimed country, CREDIBLE if the
+// region lies entirely within the claimed country, and UNCERTAIN when it
+// covers the claimed country and others. Continent-level verdicts follow
+// the same rule over continents.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/region.hpp"
+#include "world/world_model.hpp"
+
+namespace ageo::assess {
+
+enum class Verdict : std::uint8_t { kCredible, kUncertain, kFalse };
+
+const char* to_string(Verdict v) noexcept;
+
+struct ClaimAssessment {
+  Verdict country = Verdict::kFalse;
+  Verdict continent = Verdict::kFalse;
+  /// Countries with at least one cell in the prediction region.
+  std::vector<world::CountryId> covered_countries;
+  /// Empty region (estimator failure): everything reported false, with
+  /// this flag set so callers can separate "disproved" from "no answer".
+  bool empty_prediction = false;
+};
+
+/// Classify one prediction region against a claimed country.
+ClaimAssessment assess_claim(const world::WorldModel& w,
+                             const world::CountryRaster& raster,
+                             const grid::Region& prediction,
+                             world::CountryId claimed);
+
+/// Data-center disambiguation (paper Fig. 15): restrict an UNCERTAIN
+/// verdict's candidate countries to those with a known data center
+/// inside the region. Returns the possibly-upgraded verdict and the
+/// surviving candidates. When no data center lies in the region the
+/// verdict is unchanged.
+struct Disambiguated {
+  Verdict verdict = Verdict::kUncertain;
+  std::vector<world::CountryId> candidates;
+};
+Disambiguated disambiguate_by_data_centers(
+    const world::WorldModel& w, const grid::Region& prediction,
+    world::CountryId claimed, const ClaimAssessment& base);
+
+}  // namespace ageo::assess

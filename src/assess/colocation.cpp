@@ -1,0 +1,60 @@
+#include "assess/colocation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace ageo::assess {
+
+namespace {
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+}  // namespace
+
+std::vector<std::size_t> colocation_groups(
+    netsim::Network& net, std::span<const netsim::HostId> proxies,
+    const ColocationConfig& cfg) {
+  detail::require(cfg.threshold_ms > 0.0 && cfg.samples > 0,
+                  "colocation_groups: invalid config");
+  UnionFind uf(proxies.size());
+  for (std::size_t i = 0; i < proxies.size(); ++i) {
+    for (std::size_t j = i + 1; j < proxies.size(); ++j) {
+      double best = net.sample_rtt_ms(proxies[i], proxies[j]);
+      for (int s = 1; s < cfg.samples; ++s)
+        best = std::min(best, net.sample_rtt_ms(proxies[i], proxies[j]));
+      if (best < cfg.threshold_ms) uf.unite(i, j);
+    }
+  }
+  // Dense group ids.
+  std::vector<std::size_t> out(proxies.size());
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < proxies.size(); ++i) {
+    std::size_t root = uf.find(i);
+    auto it = std::find(roots.begin(), roots.end(), root);
+    if (it == roots.end()) {
+      roots.push_back(root);
+      out[i] = roots.size() - 1;
+    } else {
+      out[i] = static_cast<std::size_t>(it - roots.begin());
+    }
+  }
+  return out;
+}
+
+}  // namespace ageo::assess

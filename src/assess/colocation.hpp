@@ -1,0 +1,27 @@
+// Proxy co-location detection (paper §8.1, future work).
+//
+// Proxies claimed to be in different countries that show < 5 ms RTT
+// between themselves are practically guaranteed to share a local
+// network. Groups are computed with union-find over pairwise RTT minima.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netsim/network.hpp"
+
+namespace ageo::assess {
+
+struct ColocationConfig {
+  double threshold_ms = 5.0;
+  int samples = 3;
+};
+
+/// Partition `proxies` into co-location groups: result[i] is the group
+/// id of proxies[i]; ids are dense starting at 0.
+std::vector<std::size_t> colocation_groups(
+    netsim::Network& net, std::span<const netsim::HostId> proxies,
+    const ColocationConfig& cfg = {});
+
+}  // namespace ageo::assess

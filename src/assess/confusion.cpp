@@ -1,0 +1,65 @@
+#include "assess/confusion.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ageo::assess {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t n)
+    : n_(n), cells_(n * n, 0) {
+  detail::require(n > 0, "ConfusionMatrix: size must be positive");
+}
+
+std::size_t ConfusionMatrix::at(std::size_t a, std::size_t b) const {
+  detail::require(a < n_ && b < n_, "ConfusionMatrix::at: out of range");
+  return cells_[a * n_ + b];
+}
+
+void ConfusionMatrix::add(std::size_t a, std::size_t b) {
+  detail::require(a < n_ && b < n_, "ConfusionMatrix::add: out of range");
+  ++cells_[a * n_ + b];
+}
+
+std::size_t ConfusionMatrix::trace() const noexcept {
+  std::size_t t = 0;
+  for (std::size_t i = 0; i < n_; ++i) t += cells_[i * n_ + i];
+  return t;
+}
+
+std::size_t ConfusionMatrix::total() const noexcept {
+  std::size_t t = 0;
+  for (auto c : cells_) t += c;
+  return t;
+}
+
+ConfusionMatrix continent_confusion(const world::WorldModel& w,
+                                    std::span<const ProxyAuditRow> rows) {
+  ConfusionMatrix m(world::kContinentCount);
+  for (const auto& r : rows) {
+    if (r.empty_prediction) continue;
+    // Distinct continents covered by this prediction.
+    std::vector<std::size_t> conts;
+    for (world::CountryId c : r.candidates) {
+      auto cont = static_cast<std::size_t>(w.continent_of(c));
+      if (std::find(conts.begin(), conts.end(), cont) == conts.end())
+        conts.push_back(cont);
+    }
+    for (std::size_t a : conts)
+      for (std::size_t b : conts) m.add(a, b);
+  }
+  return m;
+}
+
+ConfusionMatrix country_confusion(const world::WorldModel& w,
+                                  std::span<const ProxyAuditRow> rows) {
+  ConfusionMatrix m(w.country_count());
+  for (const auto& r : rows) {
+    if (r.empty_prediction) continue;
+    for (world::CountryId a : r.candidates)
+      for (world::CountryId b : r.candidates) m.add(a, b);
+  }
+  return m;
+}
+
+}  // namespace ageo::assess

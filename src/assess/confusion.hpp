@@ -1,0 +1,44 @@
+// Confusion matrices over prediction regions (paper Appendix A,
+// Figs. 22-23): which countries/continents co-occur inside one
+// prediction region. The diagonal counts predictions covering a
+// country/continent at all; off-diagonal entries count predictions
+// covering both members of the pair, i.e. claims that cannot be told
+// apart at that granularity.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "assess/audit.hpp"
+#include "world/world_model.hpp"
+
+namespace ageo::assess {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+  std::size_t at(std::size_t a, std::size_t b) const;
+  void add(std::size_t a, std::size_t b);
+
+  /// Sum of the diagonal.
+  std::size_t trace() const noexcept;
+  /// Sum of all entries.
+  std::size_t total() const noexcept;
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> cells_;
+};
+
+/// Continent-level confusion (8x8, paper Fig. 22).
+ConfusionMatrix continent_confusion(const world::WorldModel& w,
+                                    std::span<const ProxyAuditRow> rows);
+
+/// Country-level confusion (paper Fig. 23).
+ConfusionMatrix country_confusion(const world::WorldModel& w,
+                                  std::span<const ProxyAuditRow> rows);
+
+}  // namespace ageo::assess

@@ -1,0 +1,73 @@
+#include "assess/investigate.hpp"
+
+#include "common/rng.hpp"
+#include "measure/tools.hpp"
+
+namespace ageo::assess {
+
+namespace {
+Investigation run_investigation(measure::Testbed& bed,
+                                const measure::ProbeFn& probe,
+                                double tunnel_rtt_ms,
+                                world::CountryId claimed,
+                                const InvestigationConfig& config) {
+  Investigation inv;
+  inv.tunnel_rtt_ms = tunnel_rtt_ms;
+
+  Rng rng(config.seed, "investigate");
+  auto tp = measure::two_phase_measure(bed, probe, rng, config.two_phase);
+  inv.continent = tp.continent;
+  inv.observations = std::move(tp.observations);
+
+  grid::Grid g(config.grid_cell_deg);
+  grid::Region mask = bed.world().plausibility_mask(g);
+  if (inv.observations.empty()) {
+    inv.measurement_failed = true;
+    inv.region = grid::Region(g);
+    return inv;
+  }
+
+  algos::CbgPlusPlusGeolocator locator(config.cbg_pp);
+  auto est = locator.locate(g, bed.store(), inv.observations, &mask);
+  inv.region = std::move(est.region);
+  inv.centroid = inv.region.centroid();
+  inv.area_km2 = inv.region.area_km2();
+
+  auto raster = bed.world().country_raster(g);
+  auto base = assess_claim(bed.world(), raster, inv.region, claimed);
+  inv.verdict = base.country;
+  inv.continent_verdict = base.continent;
+  inv.covered_countries = base.covered_countries;
+  auto dc = disambiguate_by_data_centers(bed.world(), inv.region, claimed,
+                                         base);
+  inv.verdict_after_dc = dc.verdict;
+
+  algos::IclabChecker iclab(config.iclab);
+  grid::Region claimed_region = bed.world().country_region(g, claimed);
+  inv.iclab_accepted = iclab.accepts(claimed_region, inv.observations);
+  return inv;
+}
+}  // namespace
+
+Investigation investigate_proxy(measure::Testbed& bed,
+                                netsim::ProxySession& session,
+                                world::CountryId claimed,
+                                const InvestigationConfig& config) {
+  measure::ProxyProber prober(bed, session, config.eta,
+                              config.self_ping_samples);
+  auto probe = prober.as_probe_fn();
+  return run_investigation(bed, probe, prober.tunnel_rtt_ms(), claimed,
+                           config);
+}
+
+Investigation investigate_host(measure::Testbed& bed, netsim::HostId target,
+                               world::CountryId claimed,
+                               const InvestigationConfig& config) {
+  measure::ProbeFn probe = [&bed, target](std::size_t lm) {
+    return measure::CliTool::measure_ms(bed.net(), target,
+                                        bed.landmark_host(lm));
+  };
+  return run_investigation(bed, probe, 0.0, claimed, config);
+}
+
+}  // namespace ageo::assess

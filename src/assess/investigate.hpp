@@ -1,0 +1,66 @@
+// Single-proxy investigation: the complete §4-§6 pipeline for one
+// suspicious server, as one call.
+//
+// This is the flow a journalist or consumer watchdog actually wants:
+// open the tunnel, estimate the tunnel RTT, run the two-phase
+// measurement, multilaterate with CBG++, classify the provider's claim,
+// cross-check with the ICLab speed limit, and disambiguate with data
+// centers. (The fleet-scale Auditor amortises setup across thousands of
+// proxies; this entry point trades that for a self-contained API.)
+#pragma once
+
+#include <optional>
+
+#include "algos/cbg_pp.hpp"
+#include "algos/iclab.hpp"
+#include "assess/claim.hpp"
+#include "measure/proxy_measure.hpp"
+#include "measure/testbed.hpp"
+#include "netsim/proxy.hpp"
+
+namespace ageo::assess {
+
+struct InvestigationConfig {
+  double grid_cell_deg = 1.0;
+  measure::TwoPhaseConfig two_phase;
+  /// eta for the tunnel correction; 0.5 when no fleet estimate exists.
+  double eta = 0.5;
+  int self_ping_samples = 5;
+  algos::CbgPlusPlusOptions cbg_pp;
+  algos::IclabOptions iclab;
+  std::uint64_t seed = 1;
+};
+
+struct Investigation {
+  /// Measurement stage.
+  world::Continent continent = world::Continent::kEurope;
+  std::vector<algos::Observation> observations;
+  double tunnel_rtt_ms = 0.0;
+
+  /// Location stage.
+  grid::Region region;
+  std::optional<geo::LatLon> centroid;
+  double area_km2 = 0.0;
+
+  /// Verdict stage.
+  Verdict verdict = Verdict::kFalse;
+  Verdict verdict_after_dc = Verdict::kFalse;
+  Verdict continent_verdict = Verdict::kFalse;
+  std::vector<world::CountryId> covered_countries;
+  bool iclab_accepted = false;
+  bool measurement_failed = false;
+};
+
+/// Investigate one proxy's claimed country.
+Investigation investigate_proxy(measure::Testbed& bed,
+                                netsim::ProxySession& session,
+                                world::CountryId claimed,
+                                const InvestigationConfig& config = {});
+
+/// Direct-target variant (no tunnel): investigate a host we can reach
+/// directly, e.g. for validating the pipeline against a known machine.
+Investigation investigate_host(measure::Testbed& bed, netsim::HostId target,
+                               world::CountryId claimed,
+                               const InvestigationConfig& config = {});
+
+}  // namespace ageo::assess

@@ -1,0 +1,115 @@
+#include "assess/report.hpp"
+
+#include <cmath>
+#include <ostream>
+
+namespace ageo::assess {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+const char* verdict_str(Verdict v) { return to_string(v); }
+
+void write_row(std::ostream& os, const ProxyAuditRow& r,
+               const world::WorldModel& w, const ReportOptions& opt) {
+  os << "    {\"provider\":\"" << json_escape(r.provider) << "\""
+     << ",\"claimed\":\"" << json_escape(w.country(r.claimed).code) << "\""
+     << ",\"verdict\":\"" << verdict_str(r.verdict_final) << "\""
+     << ",\"verdict_raw\":\"" << verdict_str(r.verdict_raw) << "\""
+     << ",\"continent_verdict\":\"" << verdict_str(r.continent_verdict)
+     << "\"" << ",\"empty_prediction\":"
+     << (r.empty_prediction ? "true" : "false")
+     << ",\"area_km2\":" << (std::isfinite(r.area_km2) ? r.area_km2 : 0.0)
+     << ",\"iclab_accepted\":" << (r.iclab_accepted ? "true" : "false");
+  if (r.centroid) {
+    os << ",\"centroid\":{\"lat\":" << r.centroid->lat_deg
+       << ",\"lon\":" << r.centroid->lon_deg << "}";
+  }
+  if (opt.include_candidates) {
+    os << ",\"candidates\":[";
+    for (std::size_t i = 0; i < r.candidates.size(); ++i) {
+      if (i) os << ",";
+      os << "\"" << json_escape(w.country(r.candidates[i]).code) << "\"";
+    }
+    os << "]";
+  }
+  if (opt.include_ground_truth) {
+    os << ",\"true_country\":\""
+       << json_escape(w.country(r.true_country).code) << "\"";
+  }
+  os << "}";
+}
+}  // namespace
+
+void write_json(std::ostream& os, const AuditReport& report,
+                const world::WorldModel& w, const ReportOptions& options) {
+  os << "{\n  \"eta\": {\"value\":" << report.eta.eta
+     << ",\"r_squared\":" << report.eta.r_squared
+     << ",\"n_proxies\":" << report.eta.n_proxies << "},\n";
+  os << "  \"proxies\": [\n";
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    write_row(os, report.rows[i], w, options);
+    if (i + 1 < report.rows.size()) os << ",";
+    os << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+void write_text_summary(std::ostream& os, const AuditReport& report,
+                        const world::WorldModel& w) {
+  (void)w;
+  auto honesty = honesty_by_provider(report.rows, true);
+  os << "provider  servers  credible  uncertain  false   strict  generous\n";
+  char buf[160];
+  for (const auto& h : honesty) {
+    std::snprintf(buf, sizeof buf,
+                  "%-8s  %7zu  %8zu  %9zu  %5zu   %5.1f%%  %7.1f%%\n",
+                  h.provider.c_str(), h.n, h.credible, h.uncertain,
+                  h.false_, 100.0 * h.strict(), 100.0 * h.generous());
+    os << buf;
+  }
+  auto b = breakdown(report.rows, true);
+  std::snprintf(buf, sizeof buf,
+                "total %zu: %zu credible, %zu uncertain, %zu false "
+                "(%zu on another continent)\n",
+                b.total(), b.credible,
+                b.country_uncertain_continent_credible +
+                    b.country_and_continent_uncertain,
+                b.country_false_continent_credible +
+                    b.country_false_continent_uncertain + b.continent_false,
+                b.continent_false);
+  os << buf;
+}
+
+}  // namespace ageo::assess

@@ -1,0 +1,35 @@
+// Audit report writers.
+//
+// Serialise an AuditReport for downstream consumers: a JSON document
+// (hand-rolled, no dependencies) with one record per proxy, and a
+// human-readable text summary. Ground-truth fields are included only
+// when requested — a real deployment doesn't have them.
+#pragma once
+
+#include <iosfwd>
+
+#include "assess/audit.hpp"
+#include "world/world_model.hpp"
+
+namespace ageo::assess {
+
+struct ReportOptions {
+  /// Include simulator-only ground-truth fields (true_country).
+  bool include_ground_truth = false;
+  /// Include the covered-country candidate lists.
+  bool include_candidates = true;
+};
+
+/// Write the report as a JSON object:
+/// { "eta": {...}, "proxies": [ {provider, claimed, verdict, ...} ] }.
+void write_json(std::ostream& os, const AuditReport& report,
+                const world::WorldModel& w, const ReportOptions& options = {});
+
+/// Write a human-readable per-provider summary table.
+void write_text_summary(std::ostream& os, const AuditReport& report,
+                        const world::WorldModel& w);
+
+/// Escape a string for inclusion in JSON output (exposed for tests).
+std::string json_escape(std::string_view s);
+
+}  // namespace ageo::assess

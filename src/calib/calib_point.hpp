@@ -1,0 +1,20 @@
+// Calibration observations.
+#pragma once
+
+#include <vector>
+
+namespace ageo::calib {
+
+/// One calibration observation for a landmark: great-circle distance to a
+/// peer in a known location, and the minimum ONE-WAY delay (RTT/2)
+/// observed to that peer over the calibration window. All delay models in
+/// this library work in one-way milliseconds, matching the paper's
+/// figures ("one-way travel time").
+struct CalibPoint {
+  double distance_km = 0.0;
+  double delay_ms = 0.0;
+};
+
+using CalibData = std::vector<CalibPoint>;
+
+}  // namespace ageo::calib

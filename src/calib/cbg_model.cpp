@@ -1,0 +1,131 @@
+#include "calib/cbg_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "geo/units.hpp"
+#include "stats/hull.hpp"
+
+namespace ageo::calib {
+
+CbgModel::CbgModel(double slope_ms_per_km, double intercept_ms)
+    : slope_(slope_ms_per_km), intercept_(intercept_ms), calibrated_(true) {
+  detail::require(slope_ms_per_km > 0.0, "CbgModel: slope must be positive");
+  detail::require(intercept_ms >= 0.0,
+                  "CbgModel: intercept must be non-negative");
+}
+
+double CbgModel::max_distance_km(double one_way_delay_ms) const noexcept {
+  double d = (one_way_delay_ms - intercept_) / slope_;
+  return std::clamp(d, 0.0, geo::kMaxSurfaceDistanceKm);
+}
+
+CbgModel cbg_baseline(const CbgOptions& options) {
+  CbgModel m(1.0 / options.baseline_speed, 0.0);
+  return m;
+}
+
+namespace {
+struct Candidate {
+  double m = 0.0, b = 0.0;
+};
+
+bool feasible(std::span<const CalibPoint> pts, double m, double b) {
+  constexpr double kEps = 1e-9;
+  for (const auto& p : pts) {
+    if (p.delay_ms < m * p.distance_km + b - kEps) return false;
+  }
+  return true;
+}
+
+/// Objective: total vertical distance from the data to the line; smaller
+/// is a closer fit. Equivalent to maximising m*sum(d) + n*b.
+double total_gap(std::span<const CalibPoint> pts, double m, double b) {
+  double g = 0.0;
+  for (const auto& p : pts) g += p.delay_ms - (m * p.distance_km + b);
+  return g;
+}
+}  // namespace
+
+CbgModel fit_cbg_bestline(std::span<const CalibPoint> points,
+                          const CbgOptions& options) {
+  detail::require(!points.empty(), "fit_cbg_bestline: no calibration data");
+  for (const auto& p : points) {
+    detail::require(std::isfinite(p.distance_km) && std::isfinite(p.delay_ms),
+                    "fit_cbg_bestline: non-finite calibration point");
+    detail::require(p.distance_km >= 0.0 && p.delay_ms >= 0.0,
+                    "fit_cbg_bestline: negative calibration point");
+  }
+  const double m_min = 1.0 / options.baseline_speed;
+  const double m_max = options.enforce_slowline
+                           ? 1.0 / options.slowline_speed
+                           : std::numeric_limits<double>::infinity();
+
+  // The bestline is supported by vertices of the lower convex hull of the
+  // (distance, delay) scatter; enumerate hull edges and extreme-slope
+  // lines through hull vertices.
+  std::vector<stats::Point2> pts2;
+  pts2.reserve(points.size());
+  for (const auto& p : points) pts2.push_back({p.distance_km, p.delay_ms});
+  auto lower = stats::lower_envelope(
+      pts2, std::numeric_limits<double>::infinity());
+  auto knots = lower.knots();
+
+  std::vector<Candidate> candidates;
+  auto add_through_vertex = [&](const stats::Point2& v, double m) {
+    if (!(m > 0.0) || !std::isfinite(m)) return;
+    double b = std::max(0.0, v.y - m * v.x);
+    candidates.push_back({m, b});
+  };
+
+  // Hull edges (slope between consecutive lower-hull vertices).
+  for (std::size_t i = 1; i < knots.size(); ++i) {
+    double dx = knots[i].x - knots[i - 1].x;
+    if (dx <= 0.0) continue;
+    double m = (knots[i].y - knots[i - 1].y) / dx;
+    double mc = std::clamp(m, m_min, m_max);
+    if (mc == m) {
+      double b = std::max(0.0, knots[i].y - m * knots[i].x);
+      candidates.push_back({m, b});
+    } else {
+      // Slope clamped: pivot around each endpoint instead.
+      add_through_vertex(knots[i - 1], mc);
+      add_through_vertex(knots[i], mc);
+    }
+  }
+  // Extreme slopes through every hull vertex (covers single-point data).
+  for (const auto& v : knots) {
+    add_through_vertex(v, m_min);
+    if (std::isfinite(m_max)) add_through_vertex(v, m_max);
+  }
+  // Through-origin candidate: steepest line with b = 0 under all points.
+  {
+    double m = std::numeric_limits<double>::infinity();
+    for (const auto& p : points) {
+      if (p.distance_km > 0.0) m = std::min(m, p.delay_ms / p.distance_km);
+    }
+    if (std::isfinite(m)) candidates.push_back({std::clamp(m, m_min, m_max), 0.0});
+  }
+  // Physical fallback.
+  candidates.push_back({m_min, 0.0});
+
+  const Candidate* best = nullptr;
+  double best_gap = std::numeric_limits<double>::infinity();
+  for (const auto& c : candidates) {
+    if (!feasible(points, c.m, c.b)) continue;
+    double g = total_gap(points, c.m, c.b);
+    if (g < best_gap) {
+      best_gap = g;
+      best = &c;
+    }
+  }
+  // The baseline with b=0 is feasible unless some point lies below the
+  // physical limit (possible with forged measurements); fall back to it.
+  if (!best) return cbg_baseline(options);
+  return CbgModel(best->m, best->b);
+}
+
+}  // namespace ageo::calib

@@ -1,0 +1,58 @@
+// CBG calibration: baseline, bestline, slowline (paper §3.1, §5.1).
+//
+// For each landmark, CBG fits a "bestline" t = m*d + b that lies below
+// every calibration point, above the physical "baseline" (200 km/ms), and
+// — in CBG++ — below the "slowline" (84.5 km/ms). Among feasible lines it
+// picks the one closest to the data (minimum total vertical distance).
+// The bestline converts a measured one-way delay into the maximum
+// distance the packet could have covered.
+#pragma once
+
+#include <span>
+
+#include "calib/calib_point.hpp"
+
+namespace ageo::calib {
+
+struct CbgOptions {
+  /// Enforce the CBG++ slowline (maximum slope 1/84.5 ms/km). Plain CBG
+  /// sets this false.
+  bool enforce_slowline = false;
+  /// Physical speed limits, km/ms.
+  double baseline_speed = 200.0;
+  double slowline_speed = 84.5;
+};
+
+class CbgModel {
+ public:
+  /// An uncalibrated model predicts the worldwide maximum everywhere.
+  CbgModel() = default;
+  CbgModel(double slope_ms_per_km, double intercept_ms);
+
+  double slope_ms_per_km() const noexcept { return slope_; }
+  double intercept_ms() const noexcept { return intercept_; }
+  /// Travel speed implied by the bestline, km/ms.
+  double speed_km_per_ms() const noexcept { return 1.0 / slope_; }
+  bool calibrated() const noexcept { return calibrated_; }
+
+  /// Maximum distance a packet could travel in `one_way_delay_ms`,
+  /// clamped to [0, half the Earth's circumference]. Uncalibrated models
+  /// return the physical baseline bound (delay * 200 km/ms).
+  double max_distance_km(double one_way_delay_ms) const noexcept;
+
+ private:
+  double slope_ = 1.0 / 200.0;
+  double intercept_ = 0.0;
+  bool calibrated_ = false;
+};
+
+/// Fit the bestline. Throws InvalidArgument when `points` is empty or
+/// contains non-finite values. With fewer than 2 points the line passes
+/// through the single point at the baseline slope.
+CbgModel fit_cbg_bestline(std::span<const CalibPoint> points,
+                          const CbgOptions& options = {});
+
+/// The baseline model (no calibration, physical limit only).
+CbgModel cbg_baseline(const CbgOptions& options = {});
+
+}  // namespace ageo::calib

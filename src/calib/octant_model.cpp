@@ -1,0 +1,81 @@
+#include "calib/octant_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "geo/units.hpp"
+#include "stats/summary.hpp"
+
+namespace ageo::calib {
+
+OctantModel::OctantModel(stats::PiecewiseLinear max_curve,
+                         stats::PiecewiseLinear min_curve,
+                         double max_cutoff_ms, double min_cutoff_ms,
+                         const OctantOptions& options)
+    : max_curve_(std::move(max_curve)),
+      min_curve_(std::move(min_curve)),
+      max_cutoff_ms_(max_cutoff_ms),
+      min_cutoff_ms_(min_cutoff_ms),
+      options_(options),
+      calibrated_(true) {}
+
+double OctantModel::max_distance_km(double one_way_delay_ms) const noexcept {
+  double d;
+  if (!calibrated_) {
+    d = one_way_delay_ms * geo::kFibreSpeedKmPerMs;
+  } else if (one_way_delay_ms <= max_cutoff_ms_) {
+    d = max_curve_(one_way_delay_ms);
+  } else {
+    d = max_curve_(max_cutoff_ms_) +
+        options_.fast_speed_beyond_cutoff * (one_way_delay_ms - max_cutoff_ms_);
+  }
+  // Physics still applies on top of the empirical curve.
+  d = std::min(d, one_way_delay_ms * geo::kFibreSpeedKmPerMs);
+  return std::clamp(d, 0.0, geo::kMaxSurfaceDistanceKm);
+}
+
+double OctantModel::min_distance_km(double one_way_delay_ms) const noexcept {
+  if (!calibrated_) return 0.0;
+  double d;
+  if (one_way_delay_ms <= min_cutoff_ms_) {
+    d = min_curve_(one_way_delay_ms);
+  } else {
+    d = min_curve_(min_cutoff_ms_) +
+        options_.slow_speed_beyond_cutoff * (one_way_delay_ms - min_cutoff_ms_);
+  }
+  d = std::clamp(d, 0.0, geo::kMaxSurfaceDistanceKm);
+  return std::min(d, max_distance_km(one_way_delay_ms));
+}
+
+OctantModel fit_octant(std::span<const CalibPoint> points,
+                       const OctantOptions& options) {
+  detail::require(points.size() >= 3,
+                  "fit_octant: need at least 3 calibration points");
+  detail::require(options.max_curve_percentile > 0.0 &&
+                      options.max_curve_percentile <= 1.0 &&
+                      options.min_curve_percentile > 0.0 &&
+                      options.min_curve_percentile <= 1.0,
+                  "fit_octant: percentiles must be in (0, 1]");
+
+  std::vector<double> delays;
+  delays.reserve(points.size());
+  std::vector<stats::Point2> scatter;  // x = delay, y = distance
+  scatter.reserve(points.size());
+  for (const auto& p : points) {
+    detail::require(std::isfinite(p.distance_km) && std::isfinite(p.delay_ms),
+                    "fit_octant: non-finite calibration point");
+    delays.push_back(p.delay_ms);
+    scatter.push_back({p.delay_ms, p.distance_km});
+  }
+  double cut_max = stats::quantile(delays, options.max_curve_percentile);
+  double cut_min = stats::quantile(delays, options.min_curve_percentile);
+
+  auto upper = stats::upper_envelope(scatter, cut_max);
+  auto lower = stats::lower_envelope(scatter, cut_min);
+  return OctantModel(std::move(upper), std::move(lower), cut_max, cut_min,
+                     options);
+}
+
+}  // namespace ageo::calib

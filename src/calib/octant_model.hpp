@@ -1,0 +1,65 @@
+// Quasi-Octant calibration (paper §3.2).
+//
+// Octant estimates both the maximum and the minimum distance per delay,
+// from piecewise-linear curves defined by the convex hull of the
+// (delay, distance) scatter, up to the 50th (max curve) and 75th (min
+// curve) percentile of round-trip times. Beyond those cutoffs, fixed
+// empirical speeds take over. The route-trace "height" feature of the
+// original Octant is omitted (we cannot traceroute through proxies),
+// which is exactly the paper's "Quasi-Octant" variant.
+#pragma once
+
+#include <span>
+
+#include "calib/calib_point.hpp"
+#include "stats/hull.hpp"
+
+namespace ageo::calib {
+
+struct OctantOptions {
+  /// Percentile cutoffs on delay for the convex-hull sections.
+  double max_curve_percentile = 0.50;
+  double min_curve_percentile = 0.75;
+  /// Fixed empirical speeds beyond the cutoffs, km/ms.
+  double fast_speed_beyond_cutoff = 100.0;
+  double slow_speed_beyond_cutoff = 15.0;
+};
+
+class OctantModel {
+ public:
+  OctantModel() = default;
+  OctantModel(stats::PiecewiseLinear max_curve,
+              stats::PiecewiseLinear min_curve, double max_cutoff_ms,
+              double min_cutoff_ms, const OctantOptions& options);
+
+  bool calibrated() const noexcept { return calibrated_; }
+
+  /// Ring bounds for a measured one-way delay: outer (maximum possible
+  /// distance) and inner (minimum plausible distance). Both clamped to
+  /// [0, half Earth circumference]; inner <= outer always holds.
+  double max_distance_km(double one_way_delay_ms) const noexcept;
+  double min_distance_km(double one_way_delay_ms) const noexcept;
+
+  const stats::PiecewiseLinear& max_curve() const noexcept {
+    return max_curve_;
+  }
+  const stats::PiecewiseLinear& min_curve() const noexcept {
+    return min_curve_;
+  }
+  double max_cutoff_ms() const noexcept { return max_cutoff_ms_; }
+  double min_cutoff_ms() const noexcept { return min_cutoff_ms_; }
+
+ private:
+  stats::PiecewiseLinear max_curve_;
+  stats::PiecewiseLinear min_curve_;
+  double max_cutoff_ms_ = 0.0;
+  double min_cutoff_ms_ = 0.0;
+  OctantOptions options_;
+  bool calibrated_ = false;
+};
+
+/// Fit from a landmark's calibration scatter. Requires at least 3 points.
+OctantModel fit_octant(std::span<const CalibPoint> points,
+                       const OctantOptions& options = {});
+
+}  // namespace ageo::calib

@@ -1,0 +1,85 @@
+#include "calib/spotter_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "geo/units.hpp"
+#include "stats/summary.hpp"
+
+namespace ageo::calib {
+
+SpotterModel::SpotterModel(stats::Polynomial mu, stats::Polynomial sigma,
+                           double delay_lo_ms, double delay_hi_ms,
+                           double sigma_floor_km)
+    : mu_(std::move(mu)),
+      sigma_(std::move(sigma)),
+      lo_(delay_lo_ms),
+      hi_(delay_hi_ms),
+      sigma_floor_(sigma_floor_km),
+      calibrated_(true) {}
+
+double SpotterModel::mu_km(double one_way_delay_ms) const noexcept {
+  if (!calibrated_)
+    return std::min(one_way_delay_ms * geo::kFibreSpeedKmPerMs,
+                    geo::kMaxSurfaceDistanceKm);
+  double t = std::clamp(one_way_delay_ms, lo_, hi_);
+  return std::clamp(mu_(t), 0.0, geo::kMaxSurfaceDistanceKm);
+}
+
+double SpotterModel::sigma_km(double one_way_delay_ms) const noexcept {
+  if (!calibrated_) return geo::kMaxSurfaceDistanceKm / 2.0;
+  double t = std::clamp(one_way_delay_ms, lo_, hi_);
+  return std::max(sigma_(t), sigma_floor_);
+}
+
+SpotterModel fit_spotter(std::span<const CalibPoint> points,
+                         const SpotterOptions& options) {
+  detail::require(options.n_bins >= 4, "fit_spotter: need >= 4 bins");
+  detail::require(options.polynomial_degree >= 1,
+                  "fit_spotter: degree must be >= 1");
+  detail::require(
+      points.size() >= 2 * static_cast<std::size_t>(options.n_bins),
+      "fit_spotter: not enough calibration data");
+
+  // Sort observations by delay and cut into equal-count bins, so sparse
+  // tails don't starve the fit.
+  std::vector<CalibPoint> sorted(points.begin(), points.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const CalibPoint& a, const CalibPoint& b) {
+              return a.delay_ms < b.delay_ms;
+            });
+
+  const auto n_bins = static_cast<std::size_t>(options.n_bins);
+  std::vector<double> bin_delay, bin_mu, bin_sigma;
+  bin_delay.reserve(n_bins);
+  bin_mu.reserve(n_bins);
+  bin_sigma.reserve(n_bins);
+  const std::size_t per_bin = sorted.size() / n_bins;
+  for (std::size_t b = 0; b < n_bins; ++b) {
+    std::size_t begin = b * per_bin;
+    std::size_t end = (b + 1 == n_bins) ? sorted.size() : begin + per_bin;
+    std::vector<double> dists, dels;
+    dists.reserve(end - begin);
+    dels.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      dists.push_back(sorted[i].distance_km);
+      dels.push_back(sorted[i].delay_ms);
+    }
+    auto ds = stats::summarize(dists);
+    auto ts = stats::summarize(dels);
+    bin_delay.push_back(ts.mean);
+    bin_mu.push_back(ds.mean);
+    bin_sigma.push_back(ds.stddev);
+  }
+
+  auto mu = stats::polyfit_monotone(bin_delay, bin_mu,
+                                    options.polynomial_degree);
+  auto sigma = stats::polyfit_monotone(bin_delay, bin_sigma,
+                                       options.polynomial_degree);
+  return SpotterModel(std::move(mu), std::move(sigma), bin_delay.front(),
+                      bin_delay.back(), options.sigma_floor_km);
+}
+
+}  // namespace ageo::calib

@@ -1,0 +1,56 @@
+// Spotter calibration (paper §3.3).
+//
+// Spotter pools ALL landmark-landmark observations (a single global fit,
+// unlike CBG/Octant's per-landmark fits), computes the mean and standard
+// deviation of distance as a function of delay, and fits a cubic
+// polynomial to each, constrained to be increasing (the paper found
+// anything more flexible overfits badly).
+#pragma once
+
+#include <span>
+
+#include "calib/calib_point.hpp"
+#include "stats/polyfit.hpp"
+
+namespace ageo::calib {
+
+struct SpotterOptions {
+  int polynomial_degree = 3;
+  /// Number of delay bins used to estimate mean/stddev per delay.
+  int n_bins = 40;
+  /// Floor on the modelled standard deviation, km: keeps the Gaussian
+  /// rings from collapsing when a bin happens to be tight.
+  double sigma_floor_km = 50.0;
+};
+
+class SpotterModel {
+ public:
+  SpotterModel() = default;
+  SpotterModel(stats::Polynomial mu, stats::Polynomial sigma,
+               double delay_lo_ms, double delay_hi_ms,
+               double sigma_floor_km);
+
+  bool calibrated() const noexcept { return calibrated_; }
+
+  /// Mean distance for a one-way delay, km (clamped non-negative; delays
+  /// outside the calibrated range are clamped to its ends).
+  double mu_km(double one_way_delay_ms) const noexcept;
+  /// Standard deviation of distance for a one-way delay, km (floored).
+  double sigma_km(double one_way_delay_ms) const noexcept;
+
+  const stats::Polynomial& mu_poly() const noexcept { return mu_; }
+  const stats::Polynomial& sigma_poly() const noexcept { return sigma_; }
+
+ private:
+  stats::Polynomial mu_;
+  stats::Polynomial sigma_;
+  double lo_ = 0.0, hi_ = 0.0;
+  double sigma_floor_ = 50.0;
+  bool calibrated_ = false;
+};
+
+/// Fit from pooled calibration data. Requires at least 2 * n_bins points.
+SpotterModel fit_spotter(std::span<const CalibPoint> points,
+                         const SpotterOptions& options = {});
+
+}  // namespace ageo::calib

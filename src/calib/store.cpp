@@ -1,0 +1,78 @@
+#include "calib/store.hpp"
+
+#include "common/error.hpp"
+
+namespace ageo::calib {
+
+std::size_t CalibrationStore::add_landmark(CalibData data) {
+  data_.push_back(std::move(data));
+  fitted_ = false;
+  return data_.size() - 1;
+}
+
+std::span<const CalibPoint> CalibrationStore::data(std::size_t id) const {
+  check_id(id);
+  return data_[id];
+}
+
+void CalibrationStore::check_id(std::size_t id) const {
+  detail::require(id < data_.size(), "CalibrationStore: unknown landmark id");
+}
+
+void CalibrationStore::check_fitted() const {
+  detail::require(fitted_, "CalibrationStore: call fit_all() first");
+}
+
+void CalibrationStore::fit_all(const CbgOptions& cbg_options,
+                               const OctantOptions& octant_options,
+                               const SpotterOptions& spotter_options) {
+  cbg_.assign(data_.size(), CbgModel{});
+  cbg_slow_.assign(data_.size(), CbgModel{});
+  octant_.assign(data_.size(), OctantModel{});
+
+  CbgOptions plain = cbg_options;
+  plain.enforce_slowline = false;
+  CbgOptions slow = cbg_options;
+  slow.enforce_slowline = true;
+
+  CalibData pooled;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const CalibData& d = data_[i];
+    if (!d.empty()) {
+      cbg_[i] = fit_cbg_bestline(d, plain);
+      cbg_slow_[i] = fit_cbg_bestline(d, slow);
+    }
+    if (d.size() >= 3) octant_[i] = fit_octant(d, octant_options);
+    pooled.insert(pooled.end(), d.begin(), d.end());
+  }
+  if (pooled.size() >= 2 * static_cast<std::size_t>(spotter_options.n_bins))
+    spotter_ = fit_spotter(pooled, spotter_options);
+  else
+    spotter_ = SpotterModel{};
+  fitted_ = true;
+}
+
+const CbgModel& CalibrationStore::cbg(std::size_t id) const {
+  check_fitted();
+  check_id(id);
+  return cbg_[id];
+}
+
+const CbgModel& CalibrationStore::cbg_slowline(std::size_t id) const {
+  check_fitted();
+  check_id(id);
+  return cbg_slow_[id];
+}
+
+const OctantModel& CalibrationStore::octant(std::size_t id) const {
+  check_fitted();
+  check_id(id);
+  return octant_[id];
+}
+
+const SpotterModel& CalibrationStore::spotter() const {
+  check_fitted();
+  return spotter_;
+}
+
+}  // namespace ageo::calib

@@ -1,0 +1,58 @@
+// Per-landmark calibration store.
+//
+// Mirrors the paper's measurement server (§4.1), which refreshes a
+// delay-distance model for every landmark from the most recent two weeks
+// of RIPE Atlas mesh pings. Models are fitted once by fit_all() and then
+// shared read-only by the geolocation algorithms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "calib/calib_point.hpp"
+#include "calib/cbg_model.hpp"
+#include "calib/octant_model.hpp"
+#include "calib/spotter_model.hpp"
+
+namespace ageo::calib {
+
+class CalibrationStore {
+ public:
+  /// Add one landmark's calibration scatter; returns its id (insertion
+  /// order, matching the landmark indexing the caller uses).
+  std::size_t add_landmark(CalibData data);
+
+  std::size_t size() const noexcept { return data_.size(); }
+  std::span<const CalibPoint> data(std::size_t id) const;
+
+  /// Fit every per-landmark model plus the pooled Spotter model.
+  /// Landmarks with too little data keep default (uncalibrated,
+  /// physics-only) models, which the algorithms handle gracefully.
+  void fit_all(const CbgOptions& cbg_options = {},
+               const OctantOptions& octant_options = {},
+               const SpotterOptions& spotter_options = {});
+
+  bool fitted() const noexcept { return fitted_; }
+
+  /// Plain CBG bestline (baseline constraint only).
+  const CbgModel& cbg(std::size_t id) const;
+  /// Slowline-constrained bestline (CBG++, §5.1).
+  const CbgModel& cbg_slowline(std::size_t id) const;
+  const OctantModel& octant(std::size_t id) const;
+  /// Pooled global Spotter fit.
+  const SpotterModel& spotter() const;
+
+ private:
+  std::vector<CalibData> data_;
+  std::vector<CbgModel> cbg_;
+  std::vector<CbgModel> cbg_slow_;
+  std::vector<OctantModel> octant_;
+  SpotterModel spotter_;
+  bool fitted_ = false;
+
+  void check_id(std::size_t id) const;
+  void check_fitted() const;
+};
+
+}  // namespace ageo::calib

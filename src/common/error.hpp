@@ -1,0 +1,46 @@
+// Error hierarchy for the ageo library.
+//
+// Libraries throw; applications decide. All ageo exceptions derive from
+// ageo::Error so callers can catch the whole library with one handler.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ageo {
+
+/// Base class for every exception thrown by the ageo library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller-supplied argument violated a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// An operation required data that has not been supplied yet
+/// (e.g. multilaterating before calibrating).
+class NotCalibrated : public Error {
+ public:
+  explicit NotCalibrated(const std::string& what) : Error(what) {}
+};
+
+/// A network-simulation operation was refused by the simulated host
+/// (filtered protocol, rate limit, unreachable).
+class NetRefused : public Error {
+ public:
+  explicit NetRefused(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+/// Throw InvalidArgument when `cond` is false. Used to validate wide
+/// contracts at public API boundaries.
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
+}  // namespace detail
+
+}  // namespace ageo

@@ -1,0 +1,102 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ageo {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t hash_name(std::string_view name) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void Rng::seed_from(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+  // xoshiro must not be seeded with all zeros; SplitMix64 cannot produce
+  // four consecutive zeros, so no further check is needed.
+}
+
+Rng::Rng(std::uint64_t seed) noexcept { seed_from(seed); }
+
+Rng::Rng(std::uint64_t master_seed, std::string_view stream_name) noexcept {
+  seed_from(master_seed ^ rotl(hash_name(stream_name), 32));
+}
+
+Rng Rng::fork(std::string_view stream_name) const noexcept {
+  // Mix the current state (not advancing it) with the stream name.
+  std::uint64_t mixed = s_[0] ^ rotl(s_[2], 17) ^ hash_name(stream_name);
+  return Rng(mixed);
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ULL - ~0ULL % n;
+  std::uint64_t x;
+  do {
+    x = next();
+  } while (x >= limit);
+  return x % n;
+}
+
+double Rng::normal() noexcept {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  // Box–Muller; u1 in (0,1] to keep log() finite.
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * std::numbers::pi * u2;
+  spare_normal_ = r * std::sin(theta);
+  has_spare_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double sigma) noexcept {
+  return mean + sigma * normal();
+}
+
+double Rng::exponential(double mean) noexcept {
+  return -mean * std::log(1.0 - uniform());
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+bool Rng::chance(double p) noexcept { return uniform() < p; }
+
+}  // namespace ageo

@@ -1,0 +1,83 @@
+// Deterministic random-number streams.
+//
+// Every stochastic component of the simulator draws from a named stream
+// derived from a master seed, so whole experiments reproduce bit-for-bit.
+// The generator is xoshiro256++ seeded via SplitMix64, both public-domain
+// algorithms by Blackman & Vigna.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ageo {
+
+/// SplitMix64: used to expand seeds and hash stream names.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ PRNG. Satisfies std::uniform_random_bit_generator so it can
+/// drive <random> distributions, though we provide the distributions we need
+/// directly (uniform, normal, exponential, lognormal) for cross-platform
+/// determinism — libstdc++'s std::normal_distribution is not guaranteed to
+/// produce identical streams across versions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed from a master seed plus a stream name; distinct names give
+  /// statistically independent streams.
+  Rng(std::uint64_t master_seed, std::string_view stream_name) noexcept;
+
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+  /// Standard normal via Box–Muller (deterministic across platforms).
+  double normal() noexcept;
+  /// Normal with the given mean and standard deviation (sigma >= 0).
+  double normal(double mean, double sigma) noexcept;
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) noexcept;
+  /// Log-normal given the mean/sigma of the underlying normal.
+  double lognormal(double mu, double sigma) noexcept;
+  /// Bernoulli trial with probability p in [0, 1].
+  bool chance(double p) noexcept;
+
+  /// Derive a child stream; children of the same parent with different
+  /// names are independent.
+  Rng fork(std::string_view stream_name) const noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+
+  void seed_from(std::uint64_t seed) noexcept;
+};
+
+/// Stable 64-bit FNV-1a hash of a string; used to derive stream seeds.
+std::uint64_t hash_name(std::string_view name) noexcept;
+
+}  // namespace ageo

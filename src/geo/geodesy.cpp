@@ -1,0 +1,120 @@
+#include "geo/geodesy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace ageo::geo {
+
+double central_angle_rad(const LatLon& a, const LatLon& b) noexcept {
+  // atan2 of cross/dot is numerically stable for both tiny and
+  // near-antipodal separations, unlike acos of the dot product.
+  Vec3 va = to_vec3(a), vb = to_vec3(b);
+  return std::atan2(va.cross(vb).norm(), va.dot(vb));
+}
+
+double distance_km(const LatLon& a, const LatLon& b) noexcept {
+  return kEarthRadiusKm * central_angle_rad(a, b);
+}
+
+double initial_bearing_deg(const LatLon& from, const LatLon& to) noexcept {
+  double lat1 = deg_to_rad(from.lat_deg), lat2 = deg_to_rad(to.lat_deg);
+  double dlon = deg_to_rad(to.lon_deg - from.lon_deg);
+  double y = std::sin(dlon) * std::cos(lat2);
+  double x = std::cos(lat1) * std::sin(lat2) -
+             std::sin(lat1) * std::cos(lat2) * std::cos(dlon);
+  if (x == 0.0 && y == 0.0) return 0.0;
+  double deg = rad_to_deg(std::atan2(y, x));
+  return deg < 0 ? deg + 360.0 : deg;
+}
+
+LatLon destination(const LatLon& start, double bearing_deg,
+                   double distance_km) noexcept {
+  double delta = distance_km / kEarthRadiusKm;
+  double theta = deg_to_rad(bearing_deg);
+  double lat1 = deg_to_rad(start.lat_deg);
+  double lon1 = deg_to_rad(start.lon_deg);
+  double sin_lat2 = std::sin(lat1) * std::cos(delta) +
+                    std::cos(lat1) * std::sin(delta) * std::cos(theta);
+  sin_lat2 = std::clamp(sin_lat2, -1.0, 1.0);
+  double lat2 = std::asin(sin_lat2);
+  double lon2 =
+      lon1 + std::atan2(std::sin(theta) * std::sin(delta) * std::cos(lat1),
+                        std::cos(delta) - std::sin(lat1) * sin_lat2);
+  return {rad_to_deg(lat2), wrap_longitude(rad_to_deg(lon2))};
+}
+
+LatLon midpoint(const LatLon& a, const LatLon& b) noexcept {
+  return to_latlon(to_vec3(a) + to_vec3(b));
+}
+
+double vincenty_distance_km(const LatLon& p1, const LatLon& p2) noexcept {
+  // WGS-84 ellipsoid.
+  constexpr double a = 6378.137;            // equatorial radius, km
+  constexpr double f = 1.0 / 298.257223563; // flattening
+  constexpr double b = a * (1.0 - f);
+
+  double L = deg_to_rad(p2.lon_deg - p1.lon_deg);
+  double U1 = std::atan((1.0 - f) * std::tan(deg_to_rad(p1.lat_deg)));
+  double U2 = std::atan((1.0 - f) * std::tan(deg_to_rad(p2.lat_deg)));
+  double sinU1 = std::sin(U1), cosU1 = std::cos(U1);
+  double sinU2 = std::sin(U2), cosU2 = std::cos(U2);
+
+  double lambda = L;
+  double sin_sigma = 0, cos_sigma = 0, sigma = 0;
+  double cos_sq_alpha = 0, cos_2sigma_m = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    double sin_l = std::sin(lambda), cos_l = std::cos(lambda);
+    double t1 = cosU2 * sin_l;
+    double t2 = cosU1 * sinU2 - sinU1 * cosU2 * cos_l;
+    sin_sigma = std::sqrt(t1 * t1 + t2 * t2);
+    if (sin_sigma == 0.0) return 0.0;  // coincident points
+    cos_sigma = sinU1 * sinU2 + cosU1 * cosU2 * cos_l;
+    sigma = std::atan2(sin_sigma, cos_sigma);
+    double sin_alpha = cosU1 * cosU2 * sin_l / sin_sigma;
+    cos_sq_alpha = 1.0 - sin_alpha * sin_alpha;
+    cos_2sigma_m = cos_sq_alpha != 0.0
+                       ? cos_sigma - 2.0 * sinU1 * sinU2 / cos_sq_alpha
+                       : 0.0;  // equatorial line
+    double C = f / 16.0 * cos_sq_alpha * (4.0 + f * (4.0 - 3.0 * cos_sq_alpha));
+    double lambda_prev = lambda;
+    lambda = L + (1.0 - C) * f * sin_alpha *
+                     (sigma + C * sin_sigma *
+                                  (cos_2sigma_m +
+                                   C * cos_sigma *
+                                       (-1.0 + 2.0 * cos_2sigma_m *
+                                                   cos_2sigma_m)));
+    if (std::abs(lambda - lambda_prev) < 1e-12) {
+      double u_sq = cos_sq_alpha * (a * a - b * b) / (b * b);
+      double A = 1.0 + u_sq / 16384.0 *
+                           (4096.0 + u_sq * (-768.0 + u_sq * (320.0 -
+                                                              175.0 * u_sq)));
+      double B = u_sq / 1024.0 *
+                 (256.0 + u_sq * (-128.0 + u_sq * (74.0 - 47.0 * u_sq)));
+      double delta_sigma =
+          B * sin_sigma *
+          (cos_2sigma_m +
+           B / 4.0 *
+               (cos_sigma * (-1.0 + 2.0 * cos_2sigma_m * cos_2sigma_m) -
+                B / 6.0 * cos_2sigma_m *
+                    (-3.0 + 4.0 * sin_sigma * sin_sigma) *
+                    (-3.0 + 4.0 * cos_2sigma_m * cos_2sigma_m)));
+      return b * A * (sigma - delta_sigma);
+    }
+  }
+  // Near-antipodal: Vincenty does not converge; the spherical answer is
+  // within ~0.5%.
+  return distance_km(p1, p2);
+}
+
+double cap_area_km2(double radius_km) noexcept {
+  double theta = std::min(radius_km / kEarthRadiusKm, std::numbers::pi);
+  return 2.0 * std::numbers::pi * kEarthRadiusKm * kEarthRadiusKm *
+         (1.0 - std::cos(theta));
+}
+
+double earth_area_km2() noexcept {
+  return 4.0 * std::numbers::pi * kEarthRadiusKm * kEarthRadiusKm;
+}
+
+}  // namespace ageo::geo

@@ -1,0 +1,35 @@
+#include "geo/latlon.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace ageo::geo {
+
+double wrap_longitude(double lon_deg) noexcept {
+  double w = std::fmod(lon_deg + 180.0, 360.0);
+  if (w < 0) w += 360.0;
+  return w - 180.0;
+}
+
+LatLon make_latlon(double lat_deg, double lon_deg) {
+  detail::require(std::isfinite(lat_deg) && std::isfinite(lon_deg),
+                  "make_latlon: coordinates must be finite");
+  detail::require(lat_deg >= -90.0 && lat_deg <= 90.0,
+                  "make_latlon: latitude out of [-90, 90]");
+  return LatLon{lat_deg, wrap_longitude(lon_deg)};
+}
+
+bool is_valid(const LatLon& p) noexcept {
+  return std::isfinite(p.lat_deg) && std::isfinite(p.lon_deg) &&
+         p.lat_deg >= -90.0 && p.lat_deg <= 90.0;
+}
+
+std::string to_string(const LatLon& p) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4f,%.4f", p.lat_deg, p.lon_deg);
+  return buf;
+}
+
+}  // namespace ageo::geo

@@ -1,0 +1,40 @@
+// Geographic coordinates.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <numbers>
+#include <string>
+
+namespace ageo::geo {
+
+inline constexpr double deg_to_rad(double deg) noexcept {
+  return deg * (std::numbers::pi / 180.0);
+}
+inline constexpr double rad_to_deg(double rad) noexcept {
+  return rad * (180.0 / std::numbers::pi);
+}
+
+/// A point on the Earth's surface, degrees. Latitude in [-90, 90];
+/// longitude normalised to [-180, 180).
+struct LatLon {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  friend constexpr auto operator<=>(const LatLon&, const LatLon&) = default;
+};
+
+/// Validate and normalise a coordinate pair. Longitude is wrapped into
+/// [-180, 180); latitude outside [-90, 90] throws InvalidArgument.
+LatLon make_latlon(double lat_deg, double lon_deg);
+
+/// Wrap a longitude into [-180, 180).
+double wrap_longitude(double lon_deg) noexcept;
+
+/// True if latitude is in [-90, 90] and both values are finite.
+bool is_valid(const LatLon& p) noexcept;
+
+/// "lat,lon" with 4 decimal places; for logs and test diagnostics.
+std::string to_string(const LatLon& p);
+
+}  // namespace ageo::geo

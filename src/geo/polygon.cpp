@@ -1,0 +1,99 @@
+#include "geo/polygon.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "geo/vec3.hpp"
+
+namespace ageo::geo {
+
+Polygon::Polygon(std::vector<LatLon> vertices) : verts_(std::move(vertices)) {
+  build();
+}
+
+Polygon::Polygon(std::initializer_list<LatLon> vertices)
+    : verts_(vertices) {
+  build();
+}
+
+void Polygon::build() {
+  detail::require(verts_.size() >= 3, "Polygon: need at least 3 vertices");
+  for (const auto& v : verts_)
+    detail::require(is_valid(v), "Polygon: invalid vertex");
+
+  // Unwrap longitudes so consecutive vertices differ by < 180 degrees.
+  unwrapped_lon_.resize(verts_.size());
+  unwrapped_lon_[0] = verts_[0].lon_deg;
+  for (std::size_t i = 1; i < verts_.size(); ++i) {
+    double prev = unwrapped_lon_[i - 1];
+    // Choose the representative of this longitude closest to the previous
+    // vertex, so edges never appear to jump across the antimeridian.
+    double delta = std::remainder(verts_[i].lon_deg - prev, 360.0);
+    unwrapped_lon_[i] = prev + delta;
+  }
+
+  min_lat_ = max_lat_ = verts_[0].lat_deg;
+  min_lon_u_ = max_lon_u_ = unwrapped_lon_[0];
+  for (std::size_t i = 0; i < verts_.size(); ++i) {
+    min_lat_ = std::min(min_lat_, verts_[i].lat_deg);
+    max_lat_ = std::max(max_lat_, verts_[i].lat_deg);
+    min_lon_u_ = std::min(min_lon_u_, unwrapped_lon_[i]);
+    max_lon_u_ = std::max(max_lon_u_, unwrapped_lon_[i]);
+  }
+  detail::require(max_lon_u_ - min_lon_u_ < 360.0,
+                  "Polygon: longitudinal extent must be < 360 degrees");
+}
+
+bool Polygon::contains(const LatLon& p) const noexcept {
+  if (verts_.empty()) return false;
+  if (p.lat_deg < min_lat_ || p.lat_deg > max_lat_) return false;
+
+  // Shift the query longitude into the polygon's unwrapped frame.
+  double px = p.lon_deg;
+  while (px < min_lon_u_ - 1e-12) px += 360.0;
+  while (px > min_lon_u_ + 360.0) px -= 360.0;
+  if (px > max_lon_u_ + 1e-12) {
+    double alt = px - 360.0;
+    if (alt < min_lon_u_ - 1e-12) return false;
+    px = alt;
+  }
+
+  // Even-odd rule, ray cast in +longitude direction at constant latitude.
+  const double py = p.lat_deg;
+  bool inside = false;
+  const std::size_t n = verts_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    double yi = verts_[i].lat_deg, yj = verts_[j].lat_deg;
+    double xi = unwrapped_lon_[i], xj = unwrapped_lon_[j];
+    if ((yi > py) != (yj > py)) {
+      double x_cross = xi + (py - yi) / (yj - yi) * (xj - xi);
+      if (px < x_cross) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+LatLon Polygon::centroid() const noexcept {
+  Vec3 sum{};
+  for (const auto& v : verts_) sum += to_vec3(v);
+  return to_latlon(sum);
+}
+
+Polygon box_polygon(double south, double west, double north, double east) {
+  detail::require(south < north, "box_polygon: south must be < north");
+  double e = east;
+  if (e <= west) e += 360.0;  // straddles the antimeridian
+  double mid = (west + e) / 2.0;
+  // Insert midpoints so longitude unwrapping never sees a >180 degree jump.
+  return Polygon{std::vector<LatLon>{
+      {south, wrap_longitude(west)},
+      {south, wrap_longitude(mid)},
+      {south, wrap_longitude(e)},
+      {north, wrap_longitude(e)},
+      {north, wrap_longitude(mid)},
+      {north, wrap_longitude(west)},
+  }};
+}
+
+}  // namespace ageo::geo

@@ -1,0 +1,57 @@
+// Simple geographic polygons for country outlines.
+//
+// Countries in the synthetic world model are plate-carree polygons: edges
+// are straight lines in (lat, lon) space, with correct handling of the
+// antimeridian. That is accurate enough for coarse country shapes (the real
+// paper uses Natural Earth; see DESIGN.md substitution table) and keeps
+// point-in-polygon exact and fast.
+#pragma once
+
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "geo/latlon.hpp"
+
+namespace ageo::geo {
+
+/// A closed polygon in latitude/longitude space. Vertices are in order
+/// (either winding); the closing edge from back() to front() is implicit.
+/// Must have at least 3 vertices and must not cross itself. Polygons wider
+/// than 180 degrees of longitude are not supported (split them instead).
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<LatLon> vertices);
+  Polygon(std::initializer_list<LatLon> vertices);
+
+  /// Even-odd point-in-polygon test with antimeridian-aware longitude
+  /// unwrapping. Points exactly on an edge may land on either side.
+  bool contains(const LatLon& p) const noexcept;
+
+  /// Loose bounding box (lat range plus unwrapped lon range) for quick
+  /// rejection.
+  double min_lat() const noexcept { return min_lat_; }
+  double max_lat() const noexcept { return max_lat_; }
+
+  std::span<const LatLon> vertices() const noexcept { return verts_; }
+  bool empty() const noexcept { return verts_.empty(); }
+
+  /// Vertex-average centroid (adequate for the coarse shapes we use).
+  LatLon centroid() const noexcept;
+
+ private:
+  std::vector<LatLon> verts_;
+  // Longitudes unwrapped relative to verts_[0] so edges never jump 360.
+  std::vector<double> unwrapped_lon_;
+  double min_lat_ = 0, max_lat_ = 0;
+  double min_lon_u_ = 0, max_lon_u_ = 0;
+
+  void build();
+};
+
+/// Convenience: axis-aligned "box" polygon from south-west and north-east
+/// corners (corners given in degrees; may straddle the antimeridian).
+Polygon box_polygon(double south, double west, double north, double east);
+
+}  // namespace ageo::geo

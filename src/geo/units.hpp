@@ -1,0 +1,45 @@
+// Physical constants used throughout the library.
+//
+// Distances are kilometres, times are milliseconds, speeds km/ms, angles
+// degrees at API boundaries and radians internally.
+#pragma once
+
+namespace ageo::geo {
+
+/// Mean Earth radius (IUGG R1), km. Used for great-circle distances.
+inline constexpr double kEarthRadiusKm = 6371.0088;
+
+/// Equatorial Earth radius (WGS-84 a), km.
+inline constexpr double kEarthEquatorialRadiusKm = 6378.137;
+
+/// Half the equatorial circumference: the farthest any two points on Earth
+/// can be apart, km. The paper quotes 20 037.508 km (pi * a).
+inline constexpr double kMaxSurfaceDistanceKm = 20037.508;
+
+/// Speed of light in fibre, ~2/3 c: the physical upper bound on how far a
+/// packet travels per millisecond of one-way delay. CBG's "baseline" speed.
+inline constexpr double kFibreSpeedKmPerMs = 200.0;
+
+/// CBG++ "slowline" speed (km/ms). One-way times above 237 ms could have
+/// traversed a geostationary satellite hop, which bridges any two points on
+/// a hemisphere, so they carry no distance information:
+/// 20037.508 km / 237 ms = 84.5 km/ms.
+inline constexpr double kSlowlineSpeedKmPerMs = 84.5;
+
+/// One-way delay above which a measurement is uninformative (geostationary
+/// satellite bound), ms.
+inline constexpr double kSatelliteOneWayMs = 237.0;
+
+/// ICLab's "speed of internet" limit: 153 km/ms = 0.5104 c.
+inline constexpr double kIclabSpeedKmPerMs = 153.0;
+
+/// Latitude band excluded from all prediction regions (paper §3):
+/// nothing north of 85 N or south of 60 S.
+inline constexpr double kMaxPlausibleLatDeg = 85.0;
+inline constexpr double kMinPlausibleLatDeg = -60.0;
+
+/// Total land area of Earth, used to normalise region areas (paper Fig. 11
+/// caption: "roughly 150 square megameters" = 150e6 km^2).
+inline constexpr double kEarthLandAreaKm2 = 150.0e6;
+
+}  // namespace ageo::geo

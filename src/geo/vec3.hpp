@@ -1,0 +1,62 @@
+// Unit vectors on the sphere (n-vector representation).
+//
+// Vector geodesy avoids the numerical trouble haversine formulas have near
+// antipodes and poles, and makes centroids of regions trivial (average and
+// renormalise).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/latlon.hpp"
+
+namespace ageo::geo {
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+
+  constexpr Vec3 operator+(const Vec3& o) const noexcept {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const noexcept {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const noexcept {
+    return {x * s, y * s, z * s};
+  }
+  constexpr Vec3& operator+=(const Vec3& o) noexcept {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+
+  constexpr double dot(const Vec3& o) const noexcept {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 cross(const Vec3& o) const noexcept {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const noexcept { return std::sqrt(dot(*this)); }
+  /// Unit vector in the same direction; the zero vector maps to itself.
+  Vec3 normalized() const noexcept {
+    double n = norm();
+    return n > 0 ? Vec3{x / n, y / n, z / n} : Vec3{};
+  }
+};
+
+/// Unit n-vector of a geographic point.
+inline Vec3 to_vec3(const LatLon& p) noexcept {
+  double lat = deg_to_rad(p.lat_deg), lon = deg_to_rad(p.lon_deg);
+  double cl = std::cos(lat);
+  return {cl * std::cos(lon), cl * std::sin(lon), std::sin(lat)};
+}
+
+/// Geographic point of a (not necessarily unit) direction vector.
+inline LatLon to_latlon(const Vec3& v) noexcept {
+  Vec3 u = v.normalized();
+  return {rad_to_deg(std::asin(std::clamp(u.z, -1.0, 1.0))),
+          rad_to_deg(std::atan2(u.y, u.x))};
+}
+
+}  // namespace ageo::geo

@@ -1,0 +1,75 @@
+#include "grid/ascii_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ageo::grid {
+
+AsciiMap::AsciiMap(int width) : width_(width), height_(width / 4) {
+  detail::require(width >= 20 && width <= 360,
+                  "AsciiMap: width must be in [20, 360]");
+  // Terminal characters are roughly twice as tall as wide, so a 2:1
+  // lon:lat map uses width/4 rows for a square-ish aspect.
+  cells_.assign(static_cast<std::size_t>(width_) *
+                    static_cast<std::size_t>(height_),
+                ' ');
+}
+
+int AsciiMap::col_of(double lon) const noexcept {
+  double f = (geo::wrap_longitude(lon) + 180.0) / 360.0;
+  return std::clamp(static_cast<int>(f * width_), 0, width_ - 1);
+}
+
+int AsciiMap::row_of(double lat) const noexcept {
+  // Row 0 is north.
+  double f = (90.0 - std::clamp(lat, -90.0, 90.0)) / 180.0;
+  return std::clamp(static_cast<int>(f * height_), 0, height_ - 1);
+}
+
+void AsciiMap::add_layer(const Region& region, char glyph) {
+  detail::require(region.grid() != nullptr, "AsciiMap: detached region");
+  region.for_each_cell([&](std::size_t idx) {
+    geo::LatLon c = region.grid()->center(idx);
+    cells_[static_cast<std::size_t>(row_of(c.lat_deg)) *
+               static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(col_of(c.lon_deg))] = glyph;
+  });
+}
+
+void AsciiMap::add_marker(const geo::LatLon& p, char glyph) {
+  detail::require(geo::is_valid(p), "AsciiMap: invalid marker");
+  cells_[static_cast<std::size_t>(row_of(p.lat_deg)) *
+             static_cast<std::size_t>(width_) +
+         static_cast<std::size_t>(col_of(p.lon_deg))] = glyph;
+}
+
+void AsciiMap::crop_latitude(double lat_lo, double lat_hi) {
+  detail::require(lat_lo < lat_hi, "AsciiMap: empty latitude crop");
+  lat_lo_ = std::max(-90.0, lat_lo);
+  lat_hi_ = std::min(90.0, lat_hi);
+}
+
+std::vector<std::string> AsciiMap::render() const {
+  std::vector<std::string> rows;
+  int first = row_of(lat_hi_);
+  int last = row_of(lat_lo_);
+  for (int r = first; r <= last; ++r) {
+    rows.emplace_back(
+        cells_.begin() + static_cast<std::ptrdiff_t>(r) * width_,
+        cells_.begin() + static_cast<std::ptrdiff_t>(r + 1) * width_);
+  }
+  return rows;
+}
+
+std::string AsciiMap::to_string() const {
+  std::string out;
+  for (const auto& row : render()) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ageo::grid

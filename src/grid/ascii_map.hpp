@@ -1,0 +1,48 @@
+// Terminal rendering of regions on a world map.
+//
+// Renders one or more layers (land mask, prediction region, markers)
+// into a character raster in plate-carree projection. Used by the
+// examples to show predictions the way the paper's figures do.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/latlon.hpp"
+#include "grid/region.hpp"
+
+namespace ageo::grid {
+
+class AsciiMap {
+ public:
+  /// `width` columns cover longitude [-180, 180); rows derive from a
+  /// 2:1 aspect ratio (plate carree). Width must be in [20, 360].
+  explicit AsciiMap(int width = 120);
+
+  /// Paint every cell of `region` with `glyph`; later layers overwrite
+  /// earlier ones.
+  void add_layer(const Region& region, char glyph);
+
+  /// Paint a single point marker.
+  void add_marker(const geo::LatLon& p, char glyph);
+
+  /// Optionally crop the output rows to a latitude band.
+  void crop_latitude(double lat_lo, double lat_hi);
+
+  /// The rendered map, one string per row, north at the top.
+  std::vector<std::string> render() const;
+
+  /// Convenience: render and join with newlines.
+  std::string to_string() const;
+
+ private:
+  int width_;
+  int height_;
+  double lat_lo_ = -90.0, lat_hi_ = 90.0;
+  std::vector<char> cells_;
+
+  int col_of(double lon) const noexcept;
+  int row_of(double lat) const noexcept;
+};
+
+}  // namespace ageo::grid

@@ -1,0 +1,94 @@
+#include "grid/field.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "geo/units.hpp"
+#include "geo/vec3.hpp"
+
+namespace ageo::grid {
+
+Field::Field(const Grid& g) : grid_(&g), density_(g.size(), 1.0) {}
+
+void Field::multiply_gaussian_ring(const geo::LatLon& center, double mu_km,
+                                   double sigma_km) {
+  detail::require(grid_ != nullptr, "Field: not attached to a grid");
+  detail::require(sigma_km > 0.0, "Field: sigma must be positive");
+  detail::require(geo::is_valid(center), "Field: invalid ring center");
+  const geo::Vec3 v = geo::to_vec3(center);
+  const double inv_2s2 = 1.0 / (2.0 * sigma_km * sigma_km);
+  for (std::size_t i = 0; i < density_.size(); ++i) {
+    if (density_[i] == 0.0) continue;
+    const geo::Vec3& u = grid_->center_vec(i);
+    double ang = std::atan2(v.cross(u).norm(), v.dot(u));
+    double d = geo::kEarthRadiusKm * ang;
+    double r = d - mu_km;
+    density_[i] *= std::exp(-r * r * inv_2s2);
+  }
+}
+
+void Field::apply_mask(const Region& mask) {
+  detail::require(grid_ != nullptr && mask.grid() == grid_,
+                  "Field: mask must share the field's grid");
+  for (std::size_t i = 0; i < density_.size(); ++i)
+    if (!mask.test(i)) density_[i] = 0.0;
+}
+
+double Field::total_mass() const noexcept {
+  if (!grid_) return 0.0;
+  double m = 0.0;
+  for (std::size_t i = 0; i < density_.size(); ++i)
+    m += density_[i] * grid_->cell_area_km2(i);
+  return m;
+}
+
+bool Field::normalize() noexcept {
+  double m = total_mass();
+  if (!(m > 0.0) || !std::isfinite(m)) return false;
+  for (auto& d : density_) d /= m;
+  return true;
+}
+
+Region Field::credible_region(double mass) const {
+  detail::require(grid_ != nullptr, "Field: not attached to a grid");
+  detail::require(mass > 0.0 && mass <= 1.0,
+                  "Field: credible mass must be in (0, 1]");
+  Region out(*grid_);
+  double total = total_mass();
+  if (!(total > 0.0)) return out;
+
+  std::vector<std::size_t> order;
+  order.reserve(density_.size());
+  for (std::size_t i = 0; i < density_.size(); ++i)
+    if (density_[i] > 0.0) order.push_back(i);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return density_[a] > density_[b];
+  });
+
+  double acc = 0.0;
+  const double target = mass * total;
+  for (std::size_t idx : order) {
+    out.set(idx);
+    acc += density_[idx] * grid_->cell_area_km2(idx);
+    if (acc >= target) break;
+  }
+  return out;
+}
+
+std::optional<std::size_t> Field::mode() const noexcept {
+  if (!grid_) return std::nullopt;
+  std::size_t best = 0;
+  double best_d = 0.0;
+  for (std::size_t i = 0; i < density_.size(); ++i) {
+    if (density_[i] > best_d) {
+      best_d = density_[i];
+      best = i;
+    }
+  }
+  if (best_d <= 0.0) return std::nullopt;
+  return best;
+}
+
+}  // namespace ageo::grid

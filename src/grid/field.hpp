@@ -1,0 +1,60 @@
+// Probability fields over the grid (Spotter's multilateration).
+//
+// Spotter models each landmark's distance constraint as a Gaussian ring of
+// probability over the Earth's surface and combines rings with Bayes' rule
+// (pointwise product followed by renormalisation). A Field is that density,
+// stored per cell and weighted by cell area when normalising.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "geo/latlon.hpp"
+#include "grid/grid.hpp"
+#include "grid/region.hpp"
+
+namespace ageo::grid {
+
+class Field {
+ public:
+  Field() = default;
+  /// Uniform (unnormalised, all-ones) field over `g`.
+  explicit Field(const Grid& g);
+
+  const Grid* grid() const noexcept { return grid_; }
+
+  double at(std::size_t idx) const noexcept { return density_[idx]; }
+  double& at(std::size_t idx) noexcept { return density_[idx]; }
+
+  /// Multiply in a Gaussian ring likelihood centered on `center`:
+  /// L(cell) = exp(-(dist(cell, center) - mu)^2 / (2 sigma^2)).
+  /// Requires sigma > 0.
+  void multiply_gaussian_ring(const geo::LatLon& center, double mu_km,
+                              double sigma_km);
+
+  /// Zero out density outside `mask` (e.g. the land mask).
+  void apply_mask(const Region& mask);
+
+  /// Normalise so the area-weighted integral is 1. Returns false (leaving
+  /// the field unchanged) when the total mass is zero — i.e. the
+  /// constraints were inconsistent.
+  bool normalize() noexcept;
+
+  /// Total area-weighted mass.
+  double total_mass() const noexcept;
+
+  /// Highest-density region containing at least `mass` of the total
+  /// probability (cells added in decreasing density order). Returns an
+  /// empty region if the field has zero mass. `mass` must be in (0, 1].
+  Region credible_region(double mass) const;
+
+  /// Cell with the highest density, if any mass exists.
+  std::optional<std::size_t> mode() const noexcept;
+
+ private:
+  const Grid* grid_ = nullptr;
+  std::vector<double> density_;
+};
+
+}  // namespace ageo::grid

@@ -1,0 +1,78 @@
+#include "grid/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "geo/units.hpp"
+
+namespace ageo::grid {
+
+Grid::Grid(double cell_deg) : cell_deg_(cell_deg) {
+  detail::require(cell_deg > 0.0 && cell_deg <= 30.0,
+                  "Grid: cell size must be in (0, 30] degrees");
+  double rows_f = 180.0 / cell_deg;
+  double cols_f = 360.0 / cell_deg;
+  detail::require(std::abs(rows_f - std::round(rows_f)) < 1e-9 &&
+                      std::abs(cols_f - std::round(cols_f)) < 1e-9,
+                  "Grid: cell size must divide 180 and 360 exactly");
+  rows_ = static_cast<std::size_t>(std::llround(rows_f));
+  cols_ = static_cast<std::size_t>(std::llround(cols_f));
+
+  centers_.resize(size());
+  row_area_km2_.resize(rows_);
+  const double R2 = geo::kEarthRadiusKm * geo::kEarthRadiusKm;
+  const double dlon_rad = geo::deg_to_rad(cell_deg_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = geo::deg_to_rad(row_lat_south(r));
+    double n = geo::deg_to_rad(row_lat_north(r));
+    row_area_km2_[r] = R2 * dlon_rad * (std::sin(n) - std::sin(s));
+    double lat_c = row_lat_south(r) + cell_deg_ / 2.0;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      double lon_c = -180.0 + (static_cast<double>(c) + 0.5) * cell_deg_;
+      centers_[index(r, c)] = geo::to_vec3({lat_c, lon_c});
+    }
+  }
+}
+
+geo::LatLon Grid::center(std::size_t idx) const noexcept {
+  std::size_t r = row_of(idx), c = col_of(idx);
+  return {row_lat_south(r) + cell_deg_ / 2.0,
+          -180.0 + (static_cast<double>(c) + 0.5) * cell_deg_};
+}
+
+std::size_t Grid::cell_at(const geo::LatLon& p) const noexcept {
+  double lat = std::clamp(p.lat_deg, -90.0, 90.0);
+  double lon = geo::wrap_longitude(p.lon_deg);
+  auto r = static_cast<std::size_t>(
+      std::min(static_cast<double>(rows_ - 1),
+               std::floor((lat + 90.0) / cell_deg_)));
+  auto c = static_cast<std::size_t>(
+      std::min(static_cast<double>(cols_ - 1),
+               std::floor((lon + 180.0) / cell_deg_)));
+  return index(r, c);
+}
+
+std::pair<std::size_t, std::size_t> Grid::rows_in_lat_band(
+    double lat_lo, double lat_hi) const noexcept {
+  lat_lo = std::clamp(lat_lo, -90.0, 90.0);
+  lat_hi = std::clamp(lat_hi, -90.0, 90.0);
+  if (lat_hi < lat_lo) return {0, 0};
+  auto first = static_cast<std::size_t>(
+      std::max(0.0, std::floor((lat_lo + 90.0) / cell_deg_)));
+  auto last = static_cast<std::size_t>(
+      std::min(static_cast<double>(rows_),
+               std::ceil((lat_hi + 90.0) / cell_deg_)));
+  first = std::min(first, rows_);
+  return {first, std::max(first, last)};
+}
+
+double Grid::distance_to_cell_km(const geo::LatLon& p,
+                                 std::size_t idx) const noexcept {
+  geo::Vec3 v = geo::to_vec3(p);
+  const geo::Vec3& u = centers_[idx];
+  return geo::kEarthRadiusKm * std::atan2(v.cross(u).norm(), v.dot(u));
+}
+
+}  // namespace ageo::grid

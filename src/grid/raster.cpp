@@ -1,0 +1,109 @@
+#include "grid/raster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "geo/units.hpp"
+#include "geo/vec3.hpp"
+
+namespace ageo::grid {
+
+namespace {
+
+/// Visit every cell whose center is within [inner_km, outer_km] of
+/// `center`, pruned to the latitude band the annulus can touch.
+template <typename F>
+void scan_annulus(const Grid& g, const geo::LatLon& center, double inner_km,
+                  double outer_km, F&& f) {
+  if (outer_km < 0 || outer_km < inner_km) return;
+  const double outer_capped =
+      std::min(outer_km, geo::kEarthRadiusKm * std::numbers::pi);
+  const double dlat = geo::rad_to_deg(outer_capped / geo::kEarthRadiusKm);
+  // Half a cell of slack so cell centers right at the band edge are kept.
+  auto [r0, r1] = g.rows_in_lat_band(center.lat_deg - dlat - g.cell_deg(),
+                                     center.lat_deg + dlat + g.cell_deg());
+  const geo::Vec3 v = geo::to_vec3(center);
+  // Convert distance bounds to dot-product bounds: d <= r  <=>
+  // angle <= r/R  <=>  dot >= cos(r/R), for r/R in [0, pi].
+  const double cos_outer = std::cos(outer_capped / geo::kEarthRadiusKm);
+  const double inner_clamped =
+      std::clamp(inner_km, 0.0, geo::kEarthRadiusKm * std::numbers::pi);
+  const double cos_inner = std::cos(inner_clamped / geo::kEarthRadiusKm);
+  for (std::size_t r = r0; r < r1; ++r) {
+    const std::size_t base = g.index(r, 0);
+    for (std::size_t c = 0; c < g.cols(); ++c) {
+      double d = v.dot(g.center_vec(base + c));
+      if (d >= cos_outer && d <= cos_inner) f(base + c);
+    }
+  }
+}
+
+}  // namespace
+
+Region rasterize_cap(const Grid& g, const geo::Cap& cap) {
+  detail::require(geo::is_valid(cap.center), "rasterize_cap: invalid center");
+  Region out(g);
+  scan_annulus(g, cap.center, 0.0, cap.radius_km,
+               [&](std::size_t idx) { out.set(idx); });
+  return out;
+}
+
+Region rasterize_ring(const Grid& g, const geo::Ring& ring) {
+  detail::require(geo::is_valid(ring.center),
+                  "rasterize_ring: invalid center");
+  Region out(g);
+  scan_annulus(g, ring.center, ring.inner_km, ring.outer_km,
+               [&](std::size_t idx) { out.set(idx); });
+  return out;
+}
+
+Region rasterize_polygon(const Grid& g, const geo::Polygon& poly) {
+  Region out(g);
+  if (poly.empty()) return out;
+  auto [r0, r1] = g.rows_in_lat_band(poly.min_lat() - g.cell_deg(),
+                                     poly.max_lat() + g.cell_deg());
+  for (std::size_t r = r0; r < r1; ++r) {
+    const std::size_t base = g.index(r, 0);
+    for (std::size_t c = 0; c < g.cols(); ++c) {
+      if (poly.contains(g.center(base + c))) out.set(base + c);
+    }
+  }
+  return out;
+}
+
+Region rasterize_lat_band(const Grid& g, double lat_lo, double lat_hi) {
+  Region out(g);
+  auto [r0, r1] = g.rows_in_lat_band(lat_lo, lat_hi);
+  for (std::size_t r = r0; r < r1; ++r) {
+    const std::size_t base = g.index(r, 0);
+    for (std::size_t c = 0; c < g.cols(); ++c) {
+      geo::LatLon p = g.center(base + c);
+      if (p.lat_deg >= lat_lo && p.lat_deg <= lat_hi) out.set(base + c);
+    }
+  }
+  return out;
+}
+
+void accumulate_cap_mask(const Grid& g, const geo::Cap& cap,
+                         std::vector<std::uint64_t>& masks, unsigned bit) {
+  detail::require(masks.size() == g.size(),
+                  "accumulate_cap_mask: mask size mismatch");
+  detail::require(bit < 64, "accumulate_cap_mask: bit must be < 64");
+  const std::uint64_t m = 1ULL << bit;
+  scan_annulus(g, cap.center, 0.0, cap.radius_km,
+               [&](std::size_t idx) { masks[idx] |= m; });
+}
+
+void accumulate_ring_mask(const Grid& g, const geo::Ring& ring,
+                          std::vector<std::uint64_t>& masks, unsigned bit) {
+  detail::require(masks.size() == g.size(),
+                  "accumulate_ring_mask: mask size mismatch");
+  detail::require(bit < 64, "accumulate_ring_mask: bit must be < 64");
+  const std::uint64_t m = 1ULL << bit;
+  scan_annulus(g, ring.center, ring.inner_km, ring.outer_km,
+               [&](std::size_t idx) { masks[idx] |= m; });
+}
+
+}  // namespace ageo::grid

@@ -1,0 +1,39 @@
+// Rasterization of geometric constraints onto the grid.
+//
+// These functions turn the geometric primitives the algorithms produce
+// (caps, rings, polygons) into Regions. Cap/ring rasterization prunes to
+// the latitude band the shape can touch, which makes small disks cheap
+// even on fine grids.
+#pragma once
+
+#include "geo/geodesy.hpp"
+#include "geo/polygon.hpp"
+#include "grid/region.hpp"
+
+namespace ageo::grid {
+
+/// Cells whose centers lie within `cap`.
+Region rasterize_cap(const Grid& g, const geo::Cap& cap);
+
+/// Cells whose centers lie within `ring`.
+Region rasterize_ring(const Grid& g, const geo::Ring& ring);
+
+/// Cells whose centers lie inside `poly`.
+Region rasterize_polygon(const Grid& g, const geo::Polygon& poly);
+
+/// Cells whose centers lie in the latitude band [lat_lo, lat_hi].
+Region rasterize_lat_band(const Grid& g, double lat_lo, double lat_hi);
+
+/// Add to `mask` (by bitwise-or) the cell-coverage of a cap; returns the
+/// number of newly covered rows scanned. Used by the multilateration
+/// engines to accumulate per-cell coverage masks without allocating one
+/// Region per landmark. `bit` selects which bit of each cell's mask word
+/// to set; `masks` must have g.size() entries.
+void accumulate_cap_mask(const Grid& g, const geo::Cap& cap,
+                         std::vector<std::uint64_t>& masks, unsigned bit);
+
+/// Same for a ring constraint.
+void accumulate_ring_mask(const Grid& g, const geo::Ring& ring,
+                          std::vector<std::uint64_t>& masks, unsigned bit);
+
+}  // namespace ageo::grid

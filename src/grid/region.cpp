@@ -1,0 +1,128 @@
+#include "grid/region.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "geo/vec3.hpp"
+
+namespace ageo::grid {
+
+Region::Region(const Grid& g)
+    : grid_(&g), words_((g.size() + 63) / 64, 0) {}
+
+void Region::check_compatible(const Region& o) const {
+  detail::require(grid_ != nullptr && grid_ == o.grid_,
+                  "Region: operands must share the same Grid");
+}
+
+void Region::trim_tail() noexcept {
+  // Clear bits beyond grid()->size() so count()/comparisons stay exact.
+  std::size_t n = grid_->size();
+  if (n % 64 != 0 && !words_.empty())
+    words_.back() &= (1ULL << (n % 64)) - 1;
+}
+
+bool Region::contains(const geo::LatLon& p) const noexcept {
+  if (!grid_) return false;
+  return test(grid_->cell_at(p));
+}
+
+std::size_t Region::count() const noexcept {
+  std::size_t c = 0;
+  for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+bool Region::empty() const noexcept {
+  for (auto w : words_)
+    if (w) return false;
+  return true;
+}
+
+void Region::fill() noexcept {
+  for (auto& w : words_) w = ~0ULL;
+  if (grid_) trim_tail();
+}
+
+void Region::clear() noexcept {
+  for (auto& w : words_) w = 0;
+}
+
+Region& Region::operator&=(const Region& o) {
+  check_compatible(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+Region& Region::operator|=(const Region& o) {
+  check_compatible(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+Region& Region::subtract(const Region& o) {
+  check_compatible(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+  return *this;
+}
+
+bool Region::operator==(const Region& o) const noexcept {
+  return grid_ == o.grid_ && words_ == o.words_;
+}
+
+bool Region::intersects(const Region& o) const {
+  check_compatible(o);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if (words_[i] & o.words_[i]) return true;
+  return false;
+}
+
+bool Region::subset_of(const Region& o) const {
+  check_compatible(o);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if (words_[i] & ~o.words_[i]) return false;
+  return true;
+}
+
+double Region::area_km2() const noexcept {
+  if (!grid_) return 0.0;
+  double a = 0.0;
+  for_each_cell([&](std::size_t idx) { a += grid_->cell_area_km2(idx); });
+  return a;
+}
+
+std::optional<geo::LatLon> Region::centroid() const noexcept {
+  if (!grid_ || empty()) return std::nullopt;
+  geo::Vec3 sum{};
+  for_each_cell([&](std::size_t idx) {
+    sum += grid_->center_vec(idx) * grid_->cell_area_km2(idx);
+  });
+  if (sum.norm() == 0.0) return std::nullopt;  // perfectly symmetric region
+  return geo::to_latlon(sum);
+}
+
+double Region::distance_from_km(const geo::LatLon& p) const noexcept {
+  if (!grid_ || empty()) return std::numeric_limits<double>::infinity();
+  std::size_t pc = grid_->cell_at(p);
+  if (test(pc)) return 0.0;
+  geo::Vec3 v = geo::to_vec3(p);
+  // Maximise the dot product == minimise the central angle.
+  double best_dot = -2.0;
+  for_each_cell([&](std::size_t idx) {
+    double d = v.dot(grid_->center_vec(idx));
+    if (d > best_dot) best_dot = d;
+  });
+  best_dot = std::min(1.0, std::max(-1.0, best_dot));
+  return geo::kEarthRadiusKm * std::acos(best_dot);
+}
+
+std::vector<std::size_t> Region::cells() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for_each_cell([&](std::size_t idx) { out.push_back(idx); });
+  return out;
+}
+
+}  // namespace ageo::grid

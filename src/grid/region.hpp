@@ -1,0 +1,101 @@
+// Prediction regions: sets of grid cells.
+//
+// A Region is a bitset over the cells of one Grid. All the geometry the
+// geolocation algorithms need — intersection, area, centroid, distance
+// from a point to the region — is linear in the number of cells (words).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geo/latlon.hpp"
+#include "grid/grid.hpp"
+
+namespace ageo::grid {
+
+/// A set of cells of a Grid. The Grid must outlive every Region built on
+/// it. Binary operations require both operands to share the same Grid.
+class Region {
+ public:
+  Region() = default;
+  /// Empty region on `g`.
+  explicit Region(const Grid& g);
+
+  const Grid* grid() const noexcept { return grid_; }
+  bool attached() const noexcept { return grid_ != nullptr; }
+
+  bool test(std::size_t idx) const noexcept {
+    return (words_[idx >> 6] >> (idx & 63)) & 1;
+  }
+  void set(std::size_t idx) noexcept { words_[idx >> 6] |= 1ULL << (idx & 63); }
+  void reset(std::size_t idx) noexcept {
+    words_[idx >> 6] &= ~(1ULL << (idx & 63));
+  }
+
+  /// True if the point's cell is in the region.
+  bool contains(const geo::LatLon& p) const noexcept;
+
+  std::size_t count() const noexcept;
+  bool empty() const noexcept;
+
+  /// Fill / clear every cell.
+  void fill() noexcept;
+  void clear() noexcept;
+
+  Region& operator&=(const Region& o);
+  Region& operator|=(const Region& o);
+  /// Remove o's cells from this region.
+  Region& subtract(const Region& o);
+
+  friend Region operator&(Region a, const Region& b) { return a &= b; }
+  friend Region operator|(Region a, const Region& b) { return a |= b; }
+
+  bool operator==(const Region& o) const noexcept;
+
+  /// True if the two regions share at least one cell.
+  bool intersects(const Region& o) const;
+  /// True if every cell of this region is also in `o`.
+  bool subset_of(const Region& o) const;
+
+  /// Total spherical area, km^2.
+  double area_km2() const noexcept;
+
+  /// Area-weighted centroid (3-D mean of cell centers, renormalised).
+  /// Empty regions have no centroid.
+  std::optional<geo::LatLon> centroid() const noexcept;
+
+  /// Distance from `p` to the nearest cell center of the region, km;
+  /// 0 if the region contains p's cell. Empty regions yield +infinity.
+  /// This is the paper's "distance from edge to true location" metric
+  /// (Fig. 9A), up to half a cell of quantisation.
+  double distance_from_km(const geo::LatLon& p) const noexcept;
+
+  /// Indices of all set cells, ascending.
+  std::vector<std::size_t> cells() const;
+
+  /// Visit all set cells without materialising the list.
+  template <typename F>
+  void for_each_cell(F&& f) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits) {
+        unsigned b = static_cast<unsigned>(__builtin_ctzll(bits));
+        f(w * 64 + b);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  std::vector<std::uint64_t>& words() noexcept { return words_; }
+  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+
+ private:
+  const Grid* grid_ = nullptr;
+  std::vector<std::uint64_t> words_;
+
+  void check_compatible(const Region& o) const;
+  void trim_tail() noexcept;
+};
+
+}  // namespace ageo::grid

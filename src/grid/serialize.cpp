@@ -1,0 +1,84 @@
+#include "grid/serialize.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace ageo::grid {
+
+std::string region_to_string(const Region& region) {
+  detail::require(region.grid() != nullptr,
+                  "region_to_string: detached region");
+  const Grid& g = *region.grid();
+  char head[32];
+  std::snprintf(head, sizeof head, "%.6g:", g.cell_deg());
+  std::string out = head;
+  if (region.empty()) return out;
+
+  bool current = false;  // runs start with "unset"
+  std::size_t run = 0;
+  bool first = true;
+  auto flush = [&]() {
+    if (!first) out += ',';
+    out += std::to_string(run);
+    first = false;
+  };
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    bool bit = region.test(i);
+    if (bit == current) {
+      ++run;
+    } else {
+      flush();
+      current = bit;
+      run = 1;
+    }
+  }
+  if (current) flush();  // trailing set-run matters; unset tail implied
+  return out;
+}
+
+Region region_from_string(const Grid& g, std::string_view encoded) {
+  auto colon = encoded.find(':');
+  detail::require(colon != std::string_view::npos,
+                  "region_from_string: missing ':' header");
+  double cell = 0.0;
+  {
+    std::string head(encoded.substr(0, colon));
+    char* end = nullptr;
+    cell = std::strtod(head.c_str(), &end);
+    detail::require(end && *end == '\0',
+                    "region_from_string: bad cell size");
+  }
+  detail::require(std::abs(cell - g.cell_deg()) < 1e-9,
+                  "region_from_string: grid cell size mismatch");
+
+  Region out(g);
+  std::string_view body = encoded.substr(colon + 1);
+  bool current = false;
+  std::size_t pos = 0;
+  const char* p = body.data();
+  const char* last = body.data() + body.size();
+  while (p < last) {
+    std::size_t run = 0;
+    auto [next, ec] = std::from_chars(p, last, run);
+    detail::require(ec == std::errc(), "region_from_string: bad run");
+    detail::require(pos + run <= g.size(),
+                    "region_from_string: runs overflow the grid");
+    if (current) {
+      for (std::size_t i = 0; i < run; ++i) out.set(pos + i);
+    }
+    pos += run;
+    current = !current;
+    p = next;
+    if (p < last) {
+      detail::require(*p == ',', "region_from_string: expected ','");
+      ++p;
+      detail::require(p < last, "region_from_string: trailing ','");
+    }
+  }
+  return out;
+}
+
+}  // namespace ageo::grid

@@ -1,0 +1,26 @@
+// Region serialization.
+//
+// Compact run-length text encoding of a Region, so prediction regions
+// can leave the process (JSON export, caching across audit epochs, test
+// fixtures) without dragging the grid along: "cell_deg:RLE" where the
+// RLE alternates run lengths of unset/set cells in row-major order.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "grid/region.hpp"
+
+namespace ageo::grid {
+
+/// Encode: "<cell_deg>:<n0>,<n1>,<n2>,..." with runs alternating
+/// unset/set starting with unset (a leading 0 means the region starts
+/// set). Empty region encodes as "<cell_deg>:".
+std::string region_to_string(const Region& region);
+
+/// Decode onto `g`. Throws InvalidArgument when the encoding is
+/// malformed, the cell size disagrees with `g`, or the runs overflow
+/// the grid.
+Region region_from_string(const Grid& g, std::string_view encoded);
+
+}  // namespace ageo::grid

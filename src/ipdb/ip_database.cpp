@@ -1,0 +1,101 @@
+#include "ipdb/ip_database.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ageo::ipdb {
+
+std::vector<IpDbSpec> default_database_specs() {
+  return {
+      {"GeoBaseA", 0.93, 0.08},
+      {"GeoBaseB", 0.97, 0.04},
+      {"GeoBaseC", 0.80, 0.25},
+      {"GeoBaseD", 0.88, 0.28},
+      {"GeoBaseE", 0.96, 0.05},
+  };
+}
+
+IpLocationDb::IpLocationDb(IpDbSpec spec, const world::Fleet& fleet,
+                           std::uint64_t seed)
+    : spec_(std::move(spec)), fleet_(&fleet) {
+  detail::require(spec_.influence >= 0.0 && spec_.influence <= 1.0,
+                  "IpLocationDb: influence must be in [0, 1]");
+  Rng rng(seed, "ipdb/" + spec_.name);
+  // Per-provider influence level: the database may systematically lag or
+  // distrust one provider's entries.
+  auto provider_influence = [&](const std::string& provider) {
+    Rng pr = rng.fork("provider/" + provider);
+    if (spec_.provider_jitter <= 0.0) return spec_.influence;
+    // Occasionally a database systematically distrusts one provider
+    // (Fig. 21's 39-47% outlier cells).
+    double p = spec_.influence +
+               pr.uniform(-spec_.provider_jitter, spec_.provider_jitter) -
+               (pr.chance(0.12) ? pr.uniform(0.2, 0.5) : 0.0);
+    return std::clamp(p, 0.0, 1.0);
+  };
+
+  entries_.reserve(fleet.hosts.size());
+  lag_days_.reserve(fleet.hosts.size());
+  for (const auto& h : fleet.hosts) {
+    double p = provider_influence(h.provider);
+    // Influenced entry: the claim. Otherwise: registry data, which for
+    // commercial data centers is usually the true country.
+    entries_.push_back(rng.chance(p) ? h.claimed_country : h.true_country);
+    // How long the database takes to "make a more precise assessment"
+    // of a new address — weeks to months, heavy-tailed.
+    lag_days_.push_back(rng.lognormal(3.4, 0.6));  // median ~30 days
+  }
+}
+
+world::CountryId IpLocationDb::lookup_at(std::size_t host_index,
+                                         double days_since_added) const {
+  detail::require(host_index < entries_.size(),
+                  "IpLocationDb::lookup_at: bad host index");
+  detail::require(days_since_added >= 0.0,
+                  "IpLocationDb::lookup_at: negative age");
+  if (days_since_added < lag_days_[host_index]) {
+    // Registry default: the true hosting country.
+    return fleet_->hosts[host_index].true_country;
+  }
+  return entries_[host_index];
+}
+
+double IpLocationDb::influence_lag_days(std::size_t host_index) const {
+  detail::require(host_index < lag_days_.size(),
+                  "IpLocationDb::influence_lag_days: bad host index");
+  return lag_days_[host_index];
+}
+
+world::CountryId IpLocationDb::lookup(std::size_t host_index) const {
+  detail::require(host_index < entries_.size(),
+                  "IpLocationDb::lookup: bad host index");
+  return entries_[host_index];
+}
+
+double IpLocationDb::agreement_with_claims(const world::Fleet& fleet,
+                                           const std::string& provider,
+                                           double days_since_added) const {
+  detail::require(fleet.hosts.size() == entries_.size(),
+                  "IpLocationDb: fleet mismatch");
+  std::size_t n = 0, agree = 0;
+  for (std::size_t i = 0; i < fleet.hosts.size(); ++i) {
+    if (fleet.hosts[i].provider != provider) continue;
+    ++n;
+    world::CountryId reported =
+        days_since_added < 0.0 ? entries_[i] : lookup_at(i, days_since_added);
+    if (reported == fleet.hosts[i].claimed_country) ++agree;
+  }
+  return n ? static_cast<double>(agree) / static_cast<double>(n) : 0.0;
+}
+
+std::vector<IpLocationDb> make_default_databases(const world::Fleet& fleet,
+                                                 std::uint64_t seed) {
+  std::vector<IpLocationDb> out;
+  for (auto& spec : default_database_specs())
+    out.emplace_back(std::move(spec), fleet, seed);
+  return out;
+}
+
+}  // namespace ageo::ipdb

@@ -1,0 +1,77 @@
+// Synthetic IP-to-location databases (paper §6.2, Fig. 21).
+//
+// The paper compares CBG++ and ICLab against five commercial databases
+// and finds the databases agree with provider claims far more often than
+// active geolocation does — consistent with providers influencing the
+// database entries (e.g. via location codes in router names, §1). Each
+// synthetic database therefore reports the provider's CLAIMED country
+// with high probability ("influenced" entries) and falls back to a
+// registry-based guess — the true hosting country — otherwise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "world/fleet.hpp"
+
+namespace ageo::ipdb {
+
+struct IpDbSpec {
+  std::string name;
+  /// Base probability that an entry echoes the provider's claim.
+  double influence = 0.9;
+  /// Spread of per-provider deviations from the base (some databases are
+  /// much worse for specific providers — Fig. 21: IPInfo agrees with B
+  /// only 39% of the time while agreeing 93-100% elsewhere).
+  double provider_jitter = 0.1;
+};
+
+/// The five databases of the paper's comparison (names genericised).
+std::vector<IpDbSpec> default_database_specs();
+
+class IpLocationDb {
+ public:
+  /// Build the database's view of a fleet: one country per host,
+  /// deterministic in (spec, seed).
+  IpLocationDb(IpDbSpec spec, const world::Fleet& fleet,
+               std::uint64_t seed);
+
+  const std::string& name() const noexcept { return spec_.name; }
+
+  /// Country the database reports for fleet host `host_index` (the
+  /// steady-state entry, after any influence has landed).
+  world::CountryId lookup(std::size_t host_index) const;
+
+  /// The paper's lag hypothesis (§6.2): "As the proxy providers add
+  /// servers, the databases default their locations to a guess based on
+  /// IP address registry information ... When the database services
+  /// attempt to make a more precise assessment, this draws on the
+  /// source that the providers can influence." This lookup models that:
+  /// before `influence_lag_days` have elapsed since the host was added,
+  /// the database reports the registry guess (the true hosting
+  /// country); afterwards it reports the steady-state entry.
+  world::CountryId lookup_at(std::size_t host_index,
+                             double days_since_added) const;
+
+  /// Fraction of a provider's hosts whose database entry agrees with the
+  /// claimed country; `days_since_added` < 0 means steady state.
+  double agreement_with_claims(const world::Fleet& fleet,
+                               const std::string& provider,
+                               double days_since_added = -1.0) const;
+
+  /// Days before an influenced entry lands (per-host, deterministic).
+  double influence_lag_days(std::size_t host_index) const;
+
+ private:
+  IpDbSpec spec_;
+  const world::Fleet* fleet_;
+  std::vector<world::CountryId> entries_;
+  std::vector<double> lag_days_;
+};
+
+/// All five default databases over one fleet.
+std::vector<IpLocationDb> make_default_databases(const world::Fleet& fleet,
+                                                 std::uint64_t seed);
+
+}  // namespace ageo::ipdb

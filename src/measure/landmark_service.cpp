@@ -1,0 +1,112 @@
+#include "measure/landmark_service.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ageo::measure {
+
+LandmarkService::LandmarkService(LandmarkServiceConfig config)
+    : config_(config), rng_(config.testbed.seed, "landmark-service") {
+  detail::require(config_.anchor_decommission_rate >= 0.0 &&
+                      config_.anchor_decommission_rate < 1.0,
+                  "LandmarkService: bad decommission rate");
+  detail::require(config_.anchor_addition_rate >= 0.0,
+                  "LandmarkService: bad addition rate");
+  detail::require(config_.probe_instability >= 0.0 &&
+                      config_.probe_instability < 1.0,
+                  "LandmarkService: bad probe instability");
+  // Build the constellation with a reserve of future anchors (the 61
+  // anchors that joined during the paper's experiment were real machines
+  // that existed before RIPE admitted them).
+  TestbedConfig tb = config_.testbed;
+  int base_anchors = tb.constellation.n_anchors;
+  tb.constellation.n_anchors =
+      base_anchors + std::max(4, base_anchors / 2);
+  bed_ = std::make_unique<Testbed>(tb);
+
+  decommissioned_.assign(bed_->landmarks().size(), false);
+  offline_probe_.assign(bed_->landmarks().size(), false);
+  // Reserve anchors start decommissioned ("not yet admitted").
+  int seen = 0;
+  for (std::size_t a : bed_->anchor_ids()) {
+    if (seen++ >= base_anchors) decommissioned_[a] = true;
+  }
+  // Initial probe stability roll.
+  for (std::size_t i = 0; i < bed_->landmarks().size(); ++i) {
+    if (!bed_->landmarks()[i].is_anchor)
+      offline_probe_[i] = rng_.chance(config_.probe_instability);
+  }
+  rebuild_active();
+}
+
+void LandmarkService::rebuild_active() {
+  active_.clear();
+  for (std::size_t i = 0; i < bed_->landmarks().size(); ++i) {
+    if (bed_->landmarks()[i].is_anchor) {
+      if (!decommissioned_[i]) active_.push_back(i);
+    } else if (!offline_probe_[i]) {
+      active_.push_back(i);
+    }
+  }
+}
+
+bool LandmarkService::is_active(std::size_t landmark_id) const {
+  detail::require(landmark_id < bed_->landmarks().size(),
+                  "LandmarkService: unknown landmark");
+  if (bed_->landmarks()[landmark_id].is_anchor)
+    return !decommissioned_[landmark_id];
+  return !offline_probe_[landmark_id];
+}
+
+LandmarkService::RefreshStats LandmarkService::refresh() {
+  RefreshStats stats;
+  ++epoch_;
+  // Decommission a few live anchors...
+  std::vector<std::size_t> alive, reserve;
+  for (std::size_t a : bed_->anchor_ids()) {
+    (decommissioned_[a] ? reserve : alive).push_back(a);
+  }
+  auto n_out = static_cast<int>(
+      std::floor(config_.anchor_decommission_rate *
+                     static_cast<double>(alive.size()) +
+                 rng_.uniform()));
+  for (int k = 0; k < n_out && !alive.empty(); ++k) {
+    std::size_t pick = rng_.uniform_index(alive.size());
+    decommissioned_[alive[pick]] = true;
+    alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(pick));
+    ++stats.anchors_decommissioned;
+  }
+  // ...and admit some reserve ones.
+  auto n_in = static_cast<int>(
+      std::floor(config_.anchor_addition_rate *
+                     static_cast<double>(alive.size()) +
+                 rng_.uniform()));
+  for (int k = 0; k < n_in && !reserve.empty(); ++k) {
+    std::size_t pick = rng_.uniform_index(reserve.size());
+    decommissioned_[reserve[pick]] = false;
+    reserve.erase(reserve.begin() + static_cast<std::ptrdiff_t>(pick));
+    ++stats.anchors_added;
+  }
+  // Re-roll probe stability ("online for the past 30 days").
+  for (std::size_t i = 0; i < bed_->landmarks().size(); ++i) {
+    if (!bed_->landmarks()[i].is_anchor)
+      offline_probe_[i] = rng_.chance(config_.probe_instability);
+  }
+  // Slide the two-week calibration window: refit on fresh samples.
+  bed_->recalibrate();
+  rebuild_active();
+  stats.active_landmarks = active_.size();
+  return stats;
+}
+
+ProbeFn LandmarkService::gate(ProbeFn inner) const {
+  return [this, inner = std::move(inner)](
+             std::size_t landmark_id) -> std::optional<double> {
+    if (!is_active(landmark_id)) return std::nullopt;
+    return inner(landmark_id);
+  };
+}
+
+}  // namespace ageo::measure

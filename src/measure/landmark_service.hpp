@@ -1,0 +1,80 @@
+// The landmark service (paper §4.1).
+//
+// "We maintain a server that retrieves the list of anchors and probes
+// from RIPE's database every day, selects the probes to be used as
+// landmarks, and updates a delay-distance model for each landmark,
+// based on the most recent two weeks of ping measurements."
+//
+// The constellation is not static either: during the paper's experiment
+// 12 anchors were decommissioned and 61 added. This service owns a
+// Testbed and evolves it epoch by epoch — decommissioning anchors,
+// admitting new ones, rotating which probes are "stable" (online 30
+// days with a stable address), and refitting every calibration model —
+// so long-running audits measure against a live constellation, as the
+// real system did.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "measure/testbed.hpp"
+#include "measure/two_phase.hpp"
+
+namespace ageo::measure {
+
+struct LandmarkServiceConfig {
+  TestbedConfig testbed;
+  /// Per-epoch anchor churn (fractions of the current anchor count).
+  double anchor_decommission_rate = 0.01;
+  double anchor_addition_rate = 0.05;
+  /// Fraction of probes offline (not "stable") in any given epoch.
+  double probe_instability = 0.15;
+};
+
+class LandmarkService {
+ public:
+  explicit LandmarkService(LandmarkServiceConfig config = {});
+
+  /// The current epoch's testbed (calibrated against the live
+  /// landmark set). Valid until the next refresh().
+  Testbed& testbed() noexcept { return *bed_; }
+  const Testbed& testbed() const noexcept { return *bed_; }
+
+  int epoch() const noexcept { return epoch_; }
+
+  /// Landmark ids usable this epoch (alive anchors + stable probes).
+  /// Decommissioned anchors and offline probes are excluded — exactly
+  /// what two_phase_measure should select from.
+  const std::vector<std::size_t>& active_landmarks() const noexcept {
+    return active_;
+  }
+  bool is_active(std::size_t landmark_id) const;
+
+  /// Advance one epoch: churn the anchor set, re-roll probe stability,
+  /// refit calibration. Counts of decommissioned/added anchors are
+  /// returned for logging.
+  struct RefreshStats {
+    int anchors_decommissioned = 0;
+    int anchors_added = 0;
+    std::size_t active_landmarks = 0;
+  };
+  RefreshStats refresh();
+
+  /// A probe wrapper that refuses landmarks not active this epoch, so
+  /// campaigns automatically skip dead infrastructure.
+  ProbeFn gate(ProbeFn inner) const;
+
+ private:
+  LandmarkServiceConfig config_;
+  std::unique_ptr<Testbed> bed_;
+  std::vector<bool> decommissioned_;
+  std::vector<bool> offline_probe_;
+  std::vector<std::size_t> active_;
+  int epoch_ = 0;
+  Rng rng_;
+
+  void rebuild_active();
+};
+
+}  // namespace ageo::measure

@@ -1,0 +1,96 @@
+#include "measure/proxy_measure.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "measure/tools.hpp"
+
+namespace ageo::measure {
+
+EtaEstimate estimate_eta(std::span<netsim::ProxySession> sessions,
+                         int samples) {
+  detail::require(samples > 0, "estimate_eta: samples must be > 0");
+  std::vector<double> direct, indirect;
+  for (auto& s : sessions) {
+    if (!s.behavior().icmp_responds) continue;
+    double d = std::numeric_limits<double>::infinity();
+    double ind = std::numeric_limits<double>::infinity();
+    bool ok = true;
+    for (int i = 0; i < samples; ++i) {
+      auto dp = s.direct_ping_ms();
+      if (!dp) {
+        ok = false;
+        break;
+      }
+      d = std::min(d, *dp);
+      ind = std::min(ind, s.self_ping_ms());
+    }
+    if (!ok) continue;
+    direct.push_back(d);
+    indirect.push_back(ind);
+  }
+  EtaEstimate e;
+  e.n_proxies = direct.size();
+  if (direct.size() < 3) return e;  // default eta = 0.5
+  auto fit = stats::theil_sen(indirect, direct);
+  e.eta = fit.slope;
+  e.r_squared = fit.r_squared;
+  e.eta_ci_low = e.eta_ci_high = e.eta;
+
+  // 95% bootstrap CI over proxies (resample pairs, refit).
+  if (direct.size() >= 5) {
+    constexpr int kResamples = 200;
+    Rng rng(hash_name("eta-bootstrap") ^ direct.size());
+    std::vector<double> slopes;
+    slopes.reserve(kResamples);
+    std::vector<double> bx(direct.size()), by(direct.size());
+    for (int r = 0; r < kResamples; ++r) {
+      for (std::size_t i = 0; i < direct.size(); ++i) {
+        std::size_t k = rng.uniform_index(direct.size());
+        bx[i] = indirect[k];
+        by[i] = direct[k];
+      }
+      // Degenerate resamples (all-equal x) are skipped.
+      bool constant = true;
+      for (std::size_t i = 1; i < bx.size(); ++i)
+        if (bx[i] != bx[0]) constant = false;
+      if (constant) continue;
+      slopes.push_back(stats::theil_sen(bx, by).slope);
+    }
+    if (slopes.size() >= 20) {
+      std::sort(slopes.begin(), slopes.end());
+      e.eta_ci_low = slopes[slopes.size() * 25 / 1000];
+      e.eta_ci_high = slopes[slopes.size() * 975 / 1000];
+    }
+  }
+  return e;
+}
+
+ProxyProber::ProxyProber(const Testbed& bed, netsim::ProxySession& session,
+                         double eta, int self_ping_samples)
+    : bed_(&bed), session_(&session), eta_(eta) {
+  detail::require(eta > 0.0 && eta < 1.0,
+                  "ProxyProber: eta must be in (0, 1)");
+  detail::require(self_ping_samples > 0,
+                  "ProxyProber: need at least one self ping");
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < self_ping_samples; ++i)
+    best = std::min(best, session.self_ping_ms());
+  tunnel_rtt_ms_ = eta_ * best;
+}
+
+std::optional<double> ProxyProber::operator()(std::size_t landmark_id) {
+  netsim::HostId lm = bed_->landmark_host(landmark_id);
+  auto m = CliTool::measure_via_ms(*session_, lm);
+  if (!m) return std::nullopt;
+  constexpr double kFloorMs = 0.05;
+  return std::max(kFloorMs, *m - tunnel_rtt_ms_);
+}
+
+ProbeFn ProxyProber::as_probe_fn() {
+  return [this](std::size_t id) { return (*this)(id); };
+}
+
+}  // namespace ageo::measure

@@ -1,0 +1,78 @@
+#include "measure/refine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/error.hpp"
+#include "geo/geodesy.hpp"
+
+namespace ageo::measure {
+
+RefineResult refine_region(const Testbed& bed, const grid::Grid& g,
+                           const algos::Geolocator& locator,
+                           const ProbeFn& probe,
+                           const TwoPhaseResult& initial,
+                           const grid::Region* mask,
+                           const RefineConfig& cfg) {
+  detail::require(cfg.batch_size > 0 && cfg.max_rounds >= 0 &&
+                      cfg.attempts > 0,
+                  "refine_region: invalid config");
+  RefineResult result;
+  result.observations = initial.observations;
+  result.estimate =
+      locator.locate(g, bed.store(), result.observations, mask);
+
+  std::set<std::size_t> used(initial.landmark_ids.begin(),
+                             initial.landmark_ids.end());
+  for (const auto& ob : initial.phase1) used.insert(ob.landmark_id);
+
+  const auto& landmarks = bed.landmarks();
+  for (int round = 0; round < cfg.max_rounds; ++round) {
+    auto center = result.estimate.centroid();
+    if (!center) break;  // empty region: nothing to steer by
+    double area_before = result.estimate.area_km2();
+
+    // Unused landmarks on the same continent, nearest to the centroid.
+    std::vector<std::size_t> pool;
+    for (std::size_t i = 0; i < landmarks.size(); ++i) {
+      if (used.count(i)) continue;
+      if (landmarks[i].continent != initial.continent) continue;
+      pool.push_back(i);
+    }
+    if (pool.empty()) break;
+    std::sort(pool.begin(), pool.end(), [&](std::size_t a, std::size_t b) {
+      return geo::distance_km(landmarks[a].location, *center) <
+             geo::distance_km(landmarks[b].location, *center);
+    });
+    pool.resize(std::min<std::size_t>(
+        pool.size(), static_cast<std::size_t>(cfg.batch_size)));
+
+    bool added = false;
+    for (std::size_t id : pool) {
+      used.insert(id);
+      std::optional<double> best;
+      for (int a = 0; a < cfg.attempts; ++a) {
+        auto m = probe(id);
+        if (m && (!best || *m < *best)) best = m;
+      }
+      if (!best) continue;
+      result.observations.push_back(
+          {id, landmarks[id].location, *best / 2.0});
+      added = true;
+    }
+    if (!added) break;
+
+    result.estimate =
+        locator.locate(g, bed.store(), result.observations, mask);
+    ++result.rounds_used;
+    double area_after = result.estimate.area_km2();
+    if (area_before <= 0.0) break;
+    if ((area_before - area_after) / area_before <
+        cfg.min_relative_improvement)
+      break;
+  }
+  return result;
+}
+
+}  // namespace ageo::measure

@@ -1,0 +1,37 @@
+// Iterative region refinement (paper §8.1, future work).
+//
+// The two-phase procedure's random landmark selection produces noisy
+// groups of predictions (Fig. 16). Refinement adds the unused landmarks
+// closest to the current region's centroid, batch by batch, re-running
+// the estimator until the region stops shrinking.
+#pragma once
+
+#include "algos/geolocator.hpp"
+#include "measure/testbed.hpp"
+#include "measure/two_phase.hpp"
+
+namespace ageo::measure {
+
+struct RefineConfig {
+  int batch_size = 10;
+  int max_rounds = 6;
+  /// Stop when a round shrinks the region by less than this fraction.
+  double min_relative_improvement = 0.05;
+  int attempts = 3;
+};
+
+struct RefineResult {
+  algos::GeoEstimate estimate;
+  std::vector<algos::Observation> observations;
+  int rounds_used = 0;
+};
+
+/// Refine `initial` (typically a two-phase result) with extra landmarks.
+RefineResult refine_region(const Testbed& bed, const grid::Grid& g,
+                           const algos::Geolocator& locator,
+                           const ProbeFn& probe,
+                           const TwoPhaseResult& initial,
+                           const grid::Region* mask = nullptr,
+                           const RefineConfig& cfg = {});
+
+}  // namespace ageo::measure

@@ -1,0 +1,88 @@
+#include "measure/testbed.hpp"
+
+#include <algorithm>
+
+#include "geo/geodesy.hpp"
+
+namespace ageo::measure {
+
+Testbed::Testbed(TestbedConfig config)
+    : config_(config),
+      world_(),
+      net_(world::HubGraph::builtin(), config.seed, config.latency) {
+  world::ConstellationConfig cc = config_.constellation;
+  cc.seed = config_.seed;
+  landmarks_ = world::generate_constellation(world_, cc);
+  landmark_hosts_.reserve(landmarks_.size());
+  for (std::size_t i = 0; i < landmarks_.size(); ++i) {
+    const auto& lm = landmarks_[i];
+    netsim::HostProfile p;
+    p.location = lm.location;
+    p.net_quality = lm.net_quality;
+    p.icmp_responds = true;
+    p.tcp_port80_open = lm.listens_port80;
+    landmark_hosts_.push_back(net_.add_host(p));
+    if (lm.is_anchor) anchor_ids_.push_back(i);
+  }
+  calibrate();
+}
+
+void Testbed::recalibrate() {
+  store_ = calib::CalibrationStore();
+  calibrate();
+}
+
+void Testbed::calibrate() {
+  // Each landmark's calibration scatter: minimum one-way delay (RTT/2)
+  // versus great-circle distance. Peers are every anchor plus the
+  // nearest probes — the RIPE mesh records probe-anchor pings too, and
+  // those short-haul pairs are what keep bestlines honest at small
+  // distances (without them, a landmark extrapolates its long-haul
+  // envelope and underestimates nearby targets; cf. paper Fig. 10).
+  const int samples = std::max(1, config_.calibration_samples);
+
+  auto measure_pair = [&](std::size_t i, std::size_t j) {
+    double best = net_.sample_rtt_ms(landmark_hosts_[i], landmark_hosts_[j]);
+    for (int s = 1; s < samples; ++s)
+      best = std::min(best, net_.sample_rtt_ms(landmark_hosts_[i],
+                                               landmark_hosts_[j]));
+    return calib::CalibPoint{
+        geo::distance_km(landmarks_[i].location, landmarks_[j].location),
+        best / 2.0};
+  };
+
+  // Nearest-probe peers per landmark.
+  std::vector<std::size_t> probe_ids;
+  for (std::size_t i = 0; i < landmarks_.size(); ++i)
+    if (!landmarks_[i].is_anchor) probe_ids.push_back(i);
+  constexpr std::size_t kNearProbePeers = 30;
+
+  for (std::size_t i = 0; i < landmarks_.size(); ++i) {
+    calib::CalibData data;
+    if (landmarks_[i].is_anchor || config_.calibrate_probes) {
+      data.reserve(anchor_ids_.size() + kNearProbePeers);
+      for (std::size_t a : anchor_ids_) {
+        if (a == i) continue;
+        data.push_back(measure_pair(i, a));
+      }
+      // The closest probes contribute short-haul calibration points.
+      std::vector<std::size_t> near = probe_ids;
+      std::erase(near, i);
+      std::size_t take = std::min(kNearProbePeers, near.size());
+      std::partial_sort(
+          near.begin(), near.begin() + static_cast<std::ptrdiff_t>(take),
+          near.end(), [&](std::size_t a, std::size_t b) {
+            return geo::distance_km(landmarks_[i].location,
+                                    landmarks_[a].location) <
+                   geo::distance_km(landmarks_[i].location,
+                                    landmarks_[b].location);
+          });
+      for (std::size_t k = 0; k < take; ++k)
+        data.push_back(measure_pair(i, near[k]));
+    }
+    store_.add_landmark(std::move(data));
+  }
+  store_.fit_all();
+}
+
+}  // namespace ageo::measure

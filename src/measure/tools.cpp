@@ -1,0 +1,87 @@
+#include "measure/tools.hpp"
+
+#include <cmath>
+
+namespace ageo::measure {
+
+std::optional<double> CliTool::measure_ms(netsim::Network& net,
+                                          netsim::HostId from,
+                                          netsim::HostId to) {
+  auto r = net.tcp_connect(from, to, 80);
+  if (r.outcome == netsim::ConnectOutcome::kTimeout) return std::nullopt;
+  return r.elapsed_ms;
+}
+
+std::optional<double> CliTool::measure_via_ms(netsim::ProxySession& session,
+                                              netsim::HostId landmark) {
+  auto r = session.connect_via(landmark, 80);
+  if (r.outcome == netsim::ConnectOutcome::kTimeout) return std::nullopt;
+  return r.elapsed_ms;
+}
+
+WebTool::WebTool(WebToolParams params) : params_(params) {}
+
+namespace {
+/// Browser-specific fixed overhead of the fetch/timer stack on Windows,
+/// ms. Separate from the rare high outliers; this is what makes the
+/// browser a significant ANOVA factor in Fig. 5 (F = 13.11).
+double browser_base_ms(world::Browser browser) {
+  switch (browser) {
+    case world::Browser::kChrome:
+      return 0.0;
+    case world::Browser::kFirefox:
+      return 12.0;
+    case world::Browser::kEdge:
+      return 28.0;
+    case world::Browser::kCli:
+      return 0.0;
+  }
+  return 0.0;
+}
+}  // namespace
+
+double WebTool::outlier_base_ms(world::Browser browser) const noexcept {
+  // Fig. 6: outlier magnitude depends primarily on the browser.
+  switch (browser) {
+    case world::Browser::kChrome:
+      return 600.0;
+    case world::Browser::kFirefox:
+      return 1100.0;
+    case world::Browser::kEdge:
+      return 1900.0;
+    case world::Browser::kCli:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+WebSample WebTool::measure(netsim::Network& net, netsim::HostId from,
+                           netsim::HostId landmark, bool listens_port80,
+                           world::ClientOs os, world::Browser browser,
+                           Rng& rng) const {
+  WebSample s;
+  // One round trip for the SYN/RST; if the landmark listens, the TLS
+  // ClientHello goes out and the failure only surfaces a round trip
+  // later (paper Fig. 7).
+  s.round_trips = listens_port80 ? 2 : 1;
+  double rtt_sum = 0.0;
+  for (int i = 0; i < s.round_trips; ++i)
+    rtt_sum += net.sample_rtt_ms(from, landmark);
+
+  if (os == world::ClientOs::kLinux) {
+    s.elapsed_ms = rtt_sum + params_.linux_overhead_ms +
+                   std::abs(rng.normal(0.0, 0.5));
+  } else {
+    s.elapsed_ms =
+        rtt_sum * params_.windows_slope_factor + browser_base_ms(browser) +
+        std::max(0.0, rng.normal(params_.windows_overhead_mean_ms,
+                                 params_.windows_overhead_sd_ms));
+    if (rng.chance(params_.outlier_probability)) {
+      s.is_outlier = true;
+      s.elapsed_ms += outlier_base_ms(browser) * rng.lognormal(0.0, 0.35);
+    }
+  }
+  return s;
+}
+
+}  // namespace ageo::measure

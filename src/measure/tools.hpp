@@ -1,0 +1,77 @@
+// Measurement tools (paper §4.2-§4.3).
+//
+// The command-line tool measures exactly one round trip per TCP connect
+// (connect() returns on the SYN-ACK; "connection refused" also counts).
+// The web tool can only issue fetch()es: it measures ONE round trip when
+// the landmark is not listening on port 80 (RST) and TWO when it is (the
+// TLS ClientHello must bounce off the server before the protocol error
+// surfaces) — and it cannot tell which happened. On Windows, browser
+// timers add large multiplicative and additive noise plus occasional
+// "high outliers" (Figs. 4-6).
+#pragma once
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "netsim/network.hpp"
+#include "netsim/proxy.hpp"
+#include "world/crowd.hpp"
+
+namespace ageo::measure {
+
+/// CLI tool: one TCP connect, one RTT, or nothing (filtered).
+class CliTool {
+ public:
+  /// Measured connect time from `from` to `to`, ms, or nullopt when the
+  /// connection timed out (errors other than "refused" are discarded,
+  /// paper §4.2).
+  static std::optional<double> measure_ms(netsim::Network& net,
+                                          netsim::HostId from,
+                                          netsim::HostId to);
+
+  /// Same, but through a proxy tunnel.
+  static std::optional<double> measure_via_ms(netsim::ProxySession& session,
+                                              netsim::HostId landmark);
+};
+
+struct WebToolParams {
+  double linux_overhead_ms = 2.0;
+  /// Windows timer/network-stack penalty: multiplies the per-round-trip
+  /// time (the paper's Linux-2RTT == Windows-1RTT observation) and adds
+  /// a large noisy constant.
+  double windows_slope_factor = 1.95;
+  double windows_overhead_mean_ms = 45.0;
+  double windows_overhead_sd_ms = 12.0;
+  /// Probability of a browser-dependent "high outlier" on Windows.
+  double outlier_probability = 0.08;
+};
+
+/// Web tool measurement of one landmark.
+struct WebSample {
+  double elapsed_ms = 0.0;
+  /// Ground truth (invisible to the web application itself): how many
+  /// round trips the fetch actually took.
+  int round_trips = 1;
+  bool is_outlier = false;
+};
+
+class WebTool {
+ public:
+  explicit WebTool(WebToolParams params = {});
+
+  /// One fetch("https://landmark:80/") measurement. `listens_port80`
+  /// decides one vs two round trips.
+  WebSample measure(netsim::Network& net, netsim::HostId from,
+                    netsim::HostId landmark, bool listens_port80,
+                    world::ClientOs os, world::Browser browser,
+                    Rng& rng) const;
+
+  const WebToolParams& params() const noexcept { return params_; }
+
+ private:
+  WebToolParams params_;
+
+  double outlier_base_ms(world::Browser browser) const noexcept;
+};
+
+}  // namespace ageo::measure

@@ -1,0 +1,55 @@
+// Two-phase measurement (paper §4.1).
+//
+// Pinging all ~250 anchors takes minutes and landmarks far from the
+// target contribute little (§5.2), so: phase 1 measures three anchors per
+// continent and guesses the target's continent from the fastest reply;
+// phase 2 measures 25 randomly selected landmarks (anchors + stable
+// probes) on that continent.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "algos/geolocator.hpp"
+#include "common/rng.hpp"
+#include "measure/testbed.hpp"
+#include "world/continent.hpp"
+
+namespace ageo::measure {
+
+/// One probe of one landmark: returns the measured (possibly
+/// proxy-corrected) round-trip time in ms, or nullopt when the
+/// measurement failed and must be discarded.
+using ProbeFn =
+    std::function<std::optional<double>(std::size_t landmark_id)>;
+
+struct TwoPhaseConfig {
+  int anchors_per_continent = 3;
+  int phase2_landmarks = 25;
+  /// Probes per landmark; the minimum is kept.
+  int attempts = 3;
+};
+
+struct TwoPhaseResult {
+  world::Continent continent = world::Continent::kEurope;
+  /// Phase-2 observations (one-way delays), ready for a Geolocator.
+  std::vector<algos::Observation> observations;
+  /// The phase-1 continental scan, same format.
+  std::vector<algos::Observation> phase1;
+  /// Landmark ids used in phase 2 (diagnostics / refinement).
+  std::vector<std::size_t> landmark_ids;
+};
+
+/// Run the two-phase procedure. The returned observations may be fewer
+/// than requested when landmarks are unreachable through `probe`.
+TwoPhaseResult two_phase_measure(const Testbed& bed, const ProbeFn& probe,
+                                 Rng& rng, const TwoPhaseConfig& cfg = {});
+
+/// Single-phase variant (measure every anchor); used by the landmark
+/// effectiveness analysis (Fig. 11) and as an ablation baseline.
+std::vector<algos::Observation> full_scan_measure(const Testbed& bed,
+                                                  const ProbeFn& probe,
+                                                  int attempts = 3);
+
+}  // namespace ageo::measure

@@ -1,0 +1,142 @@
+#include "mlat/multilateration.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/error.hpp"
+#include "grid/raster.hpp"
+
+namespace ageo::mlat {
+
+double conservative_pad_km(const grid::Grid& g) noexcept {
+  // Half the diagonal of an equatorial cell: a point strictly inside a
+  // constraint is never more than this far from the center of some cell
+  // that should be kept, so padding outward by it makes rasterized
+  // regions over-cover rather than under-cover (predictions must contain
+  // the truth; see paper §5, "our priority").
+  return 0.7072 * g.cell_deg() * 111.2;
+}
+
+grid::Region intersect_disks(const grid::Grid& g,
+                             std::span<const DiskConstraint> disks,
+                             const grid::Region* mask) {
+  grid::Region out(g);
+  if (mask) {
+    detail::require(mask->grid() == &g, "intersect_disks: mask grid mismatch");
+    out = *mask;
+  } else {
+    out.fill();
+  }
+  const double pad = conservative_pad_km(g);
+  for (const auto& d : disks) {
+    out &= grid::rasterize_cap(g, geo::Cap{d.center, d.max_km + pad});
+    if (out.empty()) break;
+  }
+  return out;
+}
+
+grid::Region intersect_rings(const grid::Grid& g,
+                             std::span<const RingConstraint> rings,
+                             const grid::Region* mask) {
+  grid::Region out(g);
+  if (mask) {
+    detail::require(mask->grid() == &g, "intersect_rings: mask grid mismatch");
+    out = *mask;
+  } else {
+    out.fill();
+  }
+  const double pad = conservative_pad_km(g);
+  for (const auto& r : rings) {
+    detail::require(r.min_km <= r.max_km,
+                    "intersect_rings: min_km must be <= max_km");
+    out &= grid::rasterize_ring(
+        g, geo::Ring{r.center, std::max(0.0, r.min_km - pad),
+                     r.max_km + pad});
+    if (out.empty()) break;
+  }
+  return out;
+}
+
+grid::Field fuse_gaussian_rings(const grid::Grid& g,
+                                std::span<const GaussianConstraint> rings,
+                                const grid::Region* mask) {
+  grid::Field field(g);
+  if (mask) field.apply_mask(*mask);
+  for (const auto& r : rings)
+    field.multiply_gaussian_ring(r.center, r.mu_km, r.sigma_km);
+  field.normalize();  // a zero-mass field stays unnormalised (empty)
+  return field;
+}
+
+SubsetResult largest_consistent_subset(const grid::Grid& g,
+                                       std::span<const DiskConstraint> disks,
+                                       const grid::Region* mask) {
+  detail::require(disks.size() <= 64,
+                  "largest_consistent_subset: at most 64 constraints");
+  if (mask)
+    detail::require(mask->grid() == &g,
+                    "largest_consistent_subset: mask grid mismatch");
+
+  SubsetResult result;
+  result.region = grid::Region(g);
+  result.used.assign(disks.size(), false);
+  if (disks.empty()) {
+    if (mask)
+      result.region = *mask;
+    else
+      result.region.fill();
+    return result;
+  }
+
+  // Per-cell coverage bitmask (conservatively padded, like
+  // intersect_disks).
+  const double pad = conservative_pad_km(g);
+  std::vector<std::uint64_t> cover(g.size(), 0);
+  for (std::size_t i = 0; i < disks.size(); ++i) {
+    grid::accumulate_cap_mask(
+        g, geo::Cap{disks[i].center, disks[i].max_km + pad}, cover,
+        static_cast<unsigned>(i));
+  }
+
+  // Pass 1: the maximum coverage cardinality among candidate cells.
+  std::size_t best = 0;
+  auto candidate = [&](std::size_t idx) {
+    return mask == nullptr || mask->test(idx);
+  };
+  for (std::size_t idx = 0; idx < cover.size(); ++idx) {
+    if (cover[idx] == 0 || !candidate(idx)) continue;
+    best = std::max(best,
+                    static_cast<std::size_t>(std::popcount(cover[idx])));
+  }
+  result.n_used = best;
+  if (best == 0) return result;
+
+  // Pass 2: distinct maximum-cardinality coverage sets.
+  std::vector<std::uint64_t> best_masks;
+  for (std::size_t idx = 0; idx < cover.size(); ++idx) {
+    if (!candidate(idx)) continue;
+    if (static_cast<std::size_t>(std::popcount(cover[idx])) != best) continue;
+    if (std::find(best_masks.begin(), best_masks.end(), cover[idx]) ==
+        best_masks.end())
+      best_masks.push_back(cover[idx]);
+  }
+
+  // Pass 3: the region is every candidate cell whose coverage contains
+  // some maximum subset; record which constraints participate.
+  for (std::size_t idx = 0; idx < cover.size(); ++idx) {
+    if (!candidate(idx)) continue;
+    for (std::uint64_t m : best_masks) {
+      if ((cover[idx] & m) == m) {
+        result.region.set(idx);
+        break;
+      }
+    }
+  }
+  for (std::uint64_t m : best_masks) {
+    for (std::size_t i = 0; i < disks.size(); ++i)
+      if (m & (1ULL << i)) result.used[i] = true;
+  }
+  return result;
+}
+
+}  // namespace ageo::mlat

@@ -1,0 +1,83 @@
+// Multilateration engines (paper Fig. 1, §3, §5.1).
+//
+// Each landmark measurement becomes a geometric constraint: a disk (CBG),
+// a ring (Quasi-Octant, Hybrid) or a Gaussian ring of probability
+// (Spotter). The engines combine constraints into a prediction region on
+// the analysis grid, optionally clipped by a plausibility mask.
+//
+// The CBG++ engine finds the LARGEST SUBSET of constraints whose
+// intersection is nonempty rather than demanding all of them hold — the
+// paper's fix for bestline underestimation (§5.1). On a grid this search
+// is exact and linear: a subset of disks has a common point iff some cell
+// is covered by all of them, so the maximum subset is read off per-cell
+// coverage masks (the paper's suffix-tree DFS optimises the same search).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geo/geodesy.hpp"
+#include "grid/field.hpp"
+#include "grid/region.hpp"
+
+namespace ageo::mlat {
+
+/// Outward padding applied to hard constraints when rasterizing, km:
+/// half a cell diagonal, so grid quantisation can only ever grow a
+/// prediction region, never exclude the true location.
+double conservative_pad_km(const grid::Grid& g) noexcept;
+
+struct DiskConstraint {
+  geo::LatLon center;
+  double max_km = 0.0;
+};
+
+struct RingConstraint {
+  geo::LatLon center;
+  double min_km = 0.0;
+  double max_km = 0.0;
+};
+
+struct GaussianConstraint {
+  geo::LatLon center;
+  double mu_km = 0.0;
+  double sigma_km = 1.0;
+};
+
+/// Intersection of all disks, clipped by `mask` when non-null. Empty
+/// region when the constraints are inconsistent.
+grid::Region intersect_disks(const grid::Grid& g,
+                             std::span<const DiskConstraint> disks,
+                             const grid::Region* mask = nullptr);
+
+/// Intersection of all rings, clipped by `mask` when non-null.
+grid::Region intersect_rings(const grid::Grid& g,
+                             std::span<const RingConstraint> rings,
+                             const grid::Region* mask = nullptr);
+
+/// Bayesian fusion of Gaussian rings (Spotter). The returned field is
+/// normalised unless the total mass is zero.
+grid::Field fuse_gaussian_rings(const grid::Grid& g,
+                                std::span<const GaussianConstraint> rings,
+                                const grid::Region* mask = nullptr);
+
+struct SubsetResult {
+  grid::Region region;
+  /// Constraints that participate in (at least one) maximum consistent
+  /// subset.
+  std::vector<bool> used;
+  /// Cardinality of the maximum consistent subset; 0 when no cell is
+  /// covered at all (empty region).
+  std::size_t n_used = 0;
+};
+
+/// Largest consistent subset of disks: the region is the union, over all
+/// maximum-cardinality subsets with nonempty intersection, of that
+/// subset's intersection. At most 64 constraints. `mask` clips candidate
+/// cells when non-null.
+SubsetResult largest_consistent_subset(const grid::Grid& g,
+                                       std::span<const DiskConstraint> disks,
+                                       const grid::Region* mask = nullptr);
+
+}  // namespace ageo::mlat

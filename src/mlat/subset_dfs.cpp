@@ -1,0 +1,107 @@
+#include "mlat/subset_dfs.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "grid/raster.hpp"
+
+namespace ageo::mlat {
+
+namespace {
+
+struct DfsState {
+  const grid::Grid* g;
+  std::vector<grid::Region> disk_regions;  // pre-rasterized, padded
+  std::vector<std::size_t> order;          // tightest first
+  // Best solution so far.
+  std::size_t best_count = 0;
+  std::vector<std::size_t> best_members;
+  grid::Region best_region;
+
+  void dfs(std::size_t next, const grid::Region& current,
+           std::vector<std::size_t>& chosen) {
+    const std::size_t remaining = order.size() - next;
+    // Branch-and-bound: even taking every remaining disk cannot beat
+    // the best.
+    if (chosen.size() + remaining <= best_count) return;
+    if (next == order.size()) {
+      if (chosen.size() > best_count) {
+        best_count = chosen.size();
+        best_members = chosen;
+        best_region = current;
+      }
+      return;
+    }
+    std::size_t disk = order[next];
+    // Branch 1: include the disk if the intersection stays nonempty.
+    if (current.intersects(disk_regions[disk])) {
+      grid::Region with = current;
+      with &= disk_regions[disk];
+      if (!with.empty()) {
+        chosen.push_back(disk);
+        dfs(next + 1, with, chosen);
+        chosen.pop_back();
+      }
+    }
+    // Branch 2: skip it.
+    dfs(next + 1, current, chosen);
+  }
+};
+
+}  // namespace
+
+SubsetResult largest_consistent_subset_dfs(
+    const grid::Grid& g, std::span<const DiskConstraint> disks,
+    const grid::Region* mask) {
+  if (mask)
+    detail::require(mask->grid() == &g,
+                    "largest_consistent_subset_dfs: mask grid mismatch");
+  SubsetResult result;
+  result.region = grid::Region(g);
+  result.used.assign(disks.size(), false);
+  if (disks.empty()) {
+    if (mask)
+      result.region = *mask;
+    else
+      result.region.fill();
+    return result;
+  }
+
+  DfsState state;
+  state.g = &g;
+  state.best_region = grid::Region(g);
+  const double pad = conservative_pad_km(g);
+  state.disk_regions.reserve(disks.size());
+  for (const auto& d : disks) {
+    grid::Region r = grid::rasterize_cap(g, geo::Cap{d.center, d.max_km + pad});
+    if (mask) r &= *mask;
+    state.disk_regions.push_back(std::move(r));
+  }
+  // Visit tight (small) disks first: they decide feasibility early,
+  // which makes the bound effective.
+  state.order.resize(disks.size());
+  std::iota(state.order.begin(), state.order.end(), std::size_t{0});
+  std::sort(state.order.begin(), state.order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return disks[a].max_km < disks[b].max_km;
+            });
+
+  grid::Region everything(g);
+  if (mask)
+    everything = *mask;
+  else
+    everything.fill();
+  std::vector<std::size_t> chosen;
+  state.dfs(0, everything, chosen);
+
+  result.n_used = state.best_count;
+  if (state.best_count > 0) {
+    result.region = std::move(state.best_region);
+    for (std::size_t i : state.best_members) result.used[i] = true;
+  }
+  return result;
+}
+
+}  // namespace ageo::mlat

@@ -1,0 +1,29 @@
+// The paper's literal largest-consistent-subset search (§5.1):
+// "These subsets can be found efficiently by depth-first search on the
+// powerset of the disks, organized into a suffix tree."
+//
+// This solver explores subsets by DFS with branch-and-bound pruning,
+// maintaining the running intersection region. It produces exactly the
+// same maximum-subset cardinality as the per-cell coverage method in
+// multilateration.hpp (a property test asserts this); the coverage
+// method is what production code uses because it is linear in grid
+// cells, but the DFS form matches the paper's description and has no
+// 64-constraint ceiling.
+#pragma once
+
+#include <span>
+
+#include "mlat/multilateration.hpp"
+
+namespace ageo::mlat {
+
+/// Exact DFS search for the maximum subset of disks with a nonempty
+/// common intersection on the grid (clipped by `mask` when non-null).
+/// The returned region is the intersection of ONE maximum subset (the
+/// first found in DFS order with lexicographically-greedy ordering by
+/// disk tightness); `used` marks that subset's members.
+SubsetResult largest_consistent_subset_dfs(
+    const grid::Grid& g, std::span<const DiskConstraint> disks,
+    const grid::Region* mask = nullptr);
+
+}  // namespace ageo::mlat

@@ -1,0 +1,36 @@
+#include "netsim/dns.hpp"
+
+#include "common/error.hpp"
+
+namespace ageo::netsim {
+
+void Dns::add_record(std::string hostname, HostId address) {
+  detail::require(!hostname.empty(), "Dns: empty hostname");
+  auto [it, inserted] = records_.try_emplace(std::move(hostname));
+  if (inserted) order_.push_back(it->first);
+  it->second.addresses.push_back(address);
+}
+
+void Dns::add_records(std::string hostname, std::vector<HostId> addresses) {
+  detail::require(!addresses.empty(), "Dns: empty record set");
+  for (HostId a : addresses) add_record(hostname, a);
+}
+
+std::optional<HostId> Dns::resolve(std::string_view hostname) {
+  auto it = records_.find(std::string(hostname));
+  if (it == records_.end()) return std::nullopt;
+  Entry& e = it->second;
+  HostId a = e.addresses[e.next % e.addresses.size()];
+  e.next = (e.next + 1) % e.addresses.size();
+  return a;
+}
+
+std::vector<HostId> Dns::resolve_all(std::string_view hostname) const {
+  auto it = records_.find(std::string(hostname));
+  if (it == records_.end()) return {};
+  return it->second.addresses;
+}
+
+std::vector<std::string> Dns::hostnames() const { return order_; }
+
+}  // namespace ageo::netsim

@@ -1,0 +1,50 @@
+// Round-robin DNS (paper §6).
+//
+// "All of the VPN providers we tested use round-robin DNS for load
+// balancing; to avoid the possibility of unstable measurements, we
+// looked up all of the server hostnames in advance ... and tested each
+// IP address separately." This module models that: hostnames map to
+// rotating sets of host ids, resolve() returns one address per query in
+// rotation, and resolve_all() returns the full record set the careful
+// methodology uses.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/network.hpp"
+
+namespace ageo::netsim {
+
+class Dns {
+ public:
+  /// Register (or extend) a hostname's A-record set.
+  void add_record(std::string hostname, HostId address);
+  void add_records(std::string hostname, std::vector<HostId> addresses);
+
+  /// One address per query, rotating round-robin; nullopt for unknown
+  /// names.
+  std::optional<HostId> resolve(std::string_view hostname);
+
+  /// The complete record set (stable order), empty for unknown names —
+  /// the paper's "look up everything in advance" approach.
+  std::vector<HostId> resolve_all(std::string_view hostname) const;
+
+  /// All registered hostnames (stable registration order).
+  std::vector<std::string> hostnames() const;
+
+  std::size_t size() const noexcept { return records_.size(); }
+
+ private:
+  struct Entry {
+    std::vector<HostId> addresses;
+    std::size_t next = 0;
+  };
+  std::unordered_map<std::string, Entry> records_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace ageo::netsim

@@ -1,0 +1,152 @@
+#include "netsim/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "geo/geodesy.hpp"
+
+namespace ageo::netsim {
+
+Network::Network(const world::HubGraph& hubs, std::uint64_t seed,
+                 LatencyParams params)
+    : hubs_(&hubs),
+      params_(params),
+      seed_(seed),
+      meas_rng_(seed, "netsim/measurements") {
+  detail::require(params_.fibre_speed_km_per_ms > 0.0,
+                  "Network: fibre speed must be positive");
+  detail::require(params_.local_inflation >= 1.0 &&
+                      params_.direct_inflation >= 1.0 &&
+                      params_.pair_inflation_max >= 1.0,
+                  "Network: inflation factors must be >= 1");
+}
+
+HostId Network::add_host(const HostProfile& profile) {
+  detail::require(geo::is_valid(profile.location),
+                  "Network::add_host: invalid location");
+  detail::require(profile.net_quality > 0.0 && profile.net_quality <= 1.0,
+                  "Network::add_host: net_quality must be in (0, 1]");
+  hosts_.push_back(profile);
+  nearest_hub_.push_back(hubs_->nearest_hub(profile.location));
+  return static_cast<HostId>(hosts_.size() - 1);
+}
+
+const HostProfile& Network::host(HostId id) const {
+  check_host(id);
+  return hosts_[id];
+}
+
+void Network::check_host(HostId id) const {
+  detail::require(id < hosts_.size(), "Network: unknown host id");
+}
+
+double Network::access_ms(HostId h) const {
+  return params_.access_base_ms +
+         params_.access_quality_ms * (1.0 - hosts_[h].net_quality);
+}
+
+double Network::pair_inflation(HostId a, HostId b) const {
+  // Persistent per-pair route detour, deterministic in (seed, a, b) and
+  // symmetric: routes don't change between measurements of one pair.
+  HostId lo = std::min(a, b), hi = std::max(a, b);
+  SplitMix64 sm(seed_ ^ (static_cast<std::uint64_t>(lo) << 32 | hi) ^
+                0x9d2c5680u);
+  double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  return 1.0 + u * (params_.pair_inflation_max - 1.0);
+}
+
+double Network::route_km(HostId a, HostId b) const {
+  check_host(a);
+  check_host(b);
+  if (a == b) return 0.0;
+  const auto& pa = hosts_[a];
+  const auto& pb = hosts_[b];
+  double gc = geo::distance_km(pa.location, pb.location);
+
+  std::size_t ha = nearest_hub_[a], hb = nearest_hub_[b];
+  double via_hubs =
+      geo::distance_km(pa.location, hubs_->hub(ha).location) *
+          params_.local_inflation +
+      hubs_->route_km(ha, hb) +
+      geo::distance_km(pb.location, hubs_->hub(hb).location) *
+          params_.local_inflation;
+
+  double best = via_hubs;
+  // Short-haul direct routes exist within a metro / national backbone.
+  if (gc <= params_.direct_threshold_km)
+    best = std::min(best, gc * params_.direct_inflation);
+  return best * pair_inflation(a, b);
+}
+
+int Network::path_hops(HostId a, HostId b) const {
+  if (a == b) return 0;
+  double gc = geo::distance_km(hosts_[a].location, hosts_[b].location);
+  if (gc <= params_.direct_threshold_km) {
+    // Direct routes still traverse a handful of routers.
+    return 3;
+  }
+  return 2 + hubs_->route_hops(nearest_hub_[a], nearest_hub_[b]);
+}
+
+double Network::path_congestion(HostId a, HostId b) const {
+  if (a == b) return 0.0;
+  double hub_part =
+      hubs_->route_congestion_ms(nearest_hub_[a], nearest_hub_[b]);
+  // Poor access networks queue at the last mile too.
+  double access_part = (1.0 - hosts_[a].net_quality) * 1.5 +
+                       (1.0 - hosts_[b].net_quality) * 1.5;
+  return hub_part + access_part;
+}
+
+double Network::base_rtt_ms(HostId a, HostId b) const {
+  check_host(a);
+  check_host(b);
+  if (a == b) return 0.05;  // loopback
+  double one_way = route_km(a, b) / params_.fibre_speed_km_per_ms +
+                   params_.per_hop_ms * path_hops(a, b);
+  return 2.0 * one_way + access_ms(a) + access_ms(b);
+}
+
+double Network::sample_rtt_ms(HostId a, HostId b) {
+  double rtt = base_rtt_ms(a, b);
+  if (a == b) return rtt;
+  double congestion_mean = params_.congestion_scale * path_congestion(a, b);
+  if (congestion_mean > 0.0) rtt += meas_rng_.exponential(congestion_mean);
+  if (meas_rng_.chance(params_.spike_probability))
+    rtt += meas_rng_.lognormal(params_.spike_mu, params_.spike_sigma);
+  rtt += std::abs(meas_rng_.normal(0.0, params_.jitter_ms));
+  return rtt;
+}
+
+std::optional<double> Network::icmp_ping_ms(HostId from, HostId to) {
+  check_host(from);
+  check_host(to);
+  if (!hosts_[to].icmp_responds) return std::nullopt;
+  return sample_rtt_ms(from, to);
+}
+
+ConnectResult Network::tcp_connect(HostId from, HostId to,
+                                   std::uint16_t port) {
+  check_host(from);
+  check_host(to);
+  const bool common = (port == 80 || port == 443);
+  if (!common && hosts_[to].filters_uncommon_ports)
+    return {ConnectOutcome::kTimeout, 0.0};
+  double rtt = sample_rtt_ms(from, to);
+  if (port == 80 && !hosts_[to].tcp_port80_open) {
+    // RST arrives after one round trip: connect() reports "refused" but
+    // the elapsed time is still one RTT (paper §4.2).
+    return {ConnectOutcome::kRefused, rtt};
+  }
+  return {ConnectOutcome::kAccepted, rtt};
+}
+
+std::optional<int> Network::traceroute_hops(HostId from, HostId to) {
+  check_host(from);
+  check_host(to);
+  if (!hosts_[to].sends_time_exceeded) return std::nullopt;
+  return path_hops(from, to);
+}
+
+}  // namespace ageo::netsim

@@ -1,0 +1,126 @@
+// The Internet simulator.
+//
+// Substitutes for the live Internet as the paper's measurement substrate.
+// Round-trip times decompose exactly the way the geolocation literature
+// models them (paper §2):
+//
+//   RTT(a,b) = 2 * (route_km / fibre_speed + per_hop * hops)   propagation
+//            + access(a) + access(b)                           last mile
+//            + Q                                               queueing
+//
+// where route_km comes from hub routing (host -> nearest hub -> shortest
+// hub-graph path -> host) with cable-slack inflation, and Q is sampled
+// per measurement from an exponential whose mean grows with the
+// congestion of every hub the path transits, plus rare heavy-tailed
+// spikes. Distance and delay therefore correlate, but with exactly the
+// circuitousness and congestion asymmetries that make world-scale
+// geolocation hard.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geo/latlon.hpp"
+#include "world/hubs.hpp"
+
+namespace ageo::netsim {
+
+using HostId = std::uint32_t;
+
+struct HostProfile {
+  geo::LatLon location;
+  /// Access-network quality in (0, 1]: 1 = data-center, 0.4 = poor DSL.
+  double net_quality = 1.0;
+  /// Host answers ICMP echo.
+  bool icmp_responds = true;
+  /// Host accepts TCP connections on port 80 (otherwise it refuses with
+  /// RST, which still reveals one round-trip, or blackholes if
+  /// `filters_tcp` below).
+  bool tcp_port80_open = true;
+  /// Host silently drops TCP SYNs on uncommon ports.
+  bool filters_uncommon_ports = false;
+  /// Routers near this host emit ICMP time-exceeded (traceroute works).
+  bool sends_time_exceeded = true;
+};
+
+struct LatencyParams {
+  double fibre_speed_km_per_ms = 200.0;
+  double local_inflation = 1.40;   // host <-> hub access circuit slack
+  double direct_inflation = 1.70;  // short-haul direct routes
+  double direct_threshold_km = 900.0;
+  double per_hop_ms = 0.15;        // switching/serialization per hub edge
+  double access_base_ms = 0.25;    // minimum last-mile delay, each side
+  double access_quality_ms = 2.5;  // extra last-mile delay at quality 0
+  double congestion_scale = 1.1;   // mean queueing per unit hub congestion
+  double spike_probability = 0.08; // heavy-tail congestion events
+  double spike_mu = 3.0;           // lognormal parameters of spikes (ms)
+  double spike_sigma = 0.9;
+  double jitter_ms = 0.12;         // gaussian measurement jitter (stddev)
+  double pair_inflation_max = 1.25;// persistent per-pair route detours
+};
+
+/// TCP connect outcomes (paper §4.2: "connection refused" still measures
+/// one round trip; other errors or timeouts are discarded).
+enum class ConnectOutcome : std::uint8_t {
+  kAccepted,   // three-way handshake completed: one RTT measured
+  kRefused,    // RST after one round trip: RTT still measured
+  kTimeout,    // filtered: no information
+};
+
+struct ConnectResult {
+  ConnectOutcome outcome = ConnectOutcome::kTimeout;
+  /// Time the connect() call took, ms; meaningful for kAccepted/kRefused.
+  double elapsed_ms = 0.0;
+};
+
+class Network {
+ public:
+  Network(const world::HubGraph& hubs, std::uint64_t seed,
+          LatencyParams params = {});
+
+  HostId add_host(const HostProfile& profile);
+  const HostProfile& host(HostId id) const;
+  std::size_t host_count() const noexcept { return hosts_.size(); }
+
+  /// Deterministic expected RTT: propagation + per-hop + access, without
+  /// queueing or jitter. The physical floor every measurement exceeds.
+  double base_rtt_ms(HostId a, HostId b) const;
+
+  /// One measured raw path RTT, ms (>= base, plus queueing and jitter).
+  double sample_rtt_ms(HostId a, HostId b);
+
+  /// ICMP echo; nullopt if the target ignores pings.
+  std::optional<double> icmp_ping_ms(HostId from, HostId to);
+
+  /// TCP connect to `port`. Port 80/443 always elicit a response unless
+  /// the host filters; uncommon ports may be silently dropped.
+  ConnectResult tcp_connect(HostId from, HostId to, std::uint16_t port);
+
+  /// Hop count a traceroute would see, or nullopt when intermediate
+  /// routers suppress time-exceeded messages.
+  std::optional<int> traceroute_hops(HostId from, HostId to);
+
+  /// The inflated route length used for the pair, km (exposed for tests
+  /// and ablation benches).
+  double route_km(HostId a, HostId b) const;
+
+  const LatencyParams& params() const noexcept { return params_; }
+
+ private:
+  const world::HubGraph* hubs_;
+  LatencyParams params_;
+  std::uint64_t seed_;
+  Rng meas_rng_;
+  std::vector<HostProfile> hosts_;
+  std::vector<std::size_t> nearest_hub_;
+
+  double access_ms(HostId h) const;
+  double pair_inflation(HostId a, HostId b) const;
+  double path_congestion(HostId a, HostId b) const;
+  int path_hops(HostId a, HostId b) const;
+  void check_host(HostId id) const;
+};
+
+}  // namespace ageo::netsim

@@ -1,0 +1,55 @@
+#include "netsim/proxy.hpp"
+
+namespace ageo::netsim {
+
+ProxySession::ProxySession(Network& net, HostId client, HostId proxy,
+                           ProxyBehavior behavior)
+    : net_(&net), client_(client), proxy_(proxy),
+      behavior_(std::move(behavior)) {
+  // Validate ids eagerly.
+  net_->host(client_);
+  net_->host(proxy_);
+}
+
+ConnectResult ProxySession::connect_via(HostId landmark,
+                                        std::uint16_t port) {
+  double leg1 = net_->sample_rtt_ms(client_, proxy_) +
+                behavior_.forwarding_overhead_ms;
+  if (behavior_.forge_synack_after_ms) {
+    // The proxy answers the SYN itself: the landmark is never contacted
+    // and the measurement reflects only the client-proxy leg.
+    return {ConnectOutcome::kAccepted,
+            leg1 + *behavior_.forge_synack_after_ms};
+  }
+  ConnectResult r = net_->tcp_connect(proxy_, landmark, port);
+  if (r.outcome == ConnectOutcome::kTimeout) return r;
+  double extra = behavior_.added_delay_ms;
+  if (behavior_.selective_delay) extra += behavior_.selective_delay(landmark);
+  r.elapsed_ms += leg1 + extra;
+  return r;
+}
+
+double ProxySession::self_ping_ms() {
+  // Echo request: client -> proxy -> client; reply: client -> proxy ->
+  // client. Two full tunnel round trips plus two encapsulation costs.
+  double rtt1 = net_->sample_rtt_ms(client_, proxy_);
+  double rtt2 = net_->sample_rtt_ms(client_, proxy_);
+  return rtt1 + rtt2 + 2.0 * behavior_.forwarding_overhead_ms +
+         2.0 * behavior_.added_delay_ms;
+}
+
+std::optional<double> ProxySession::direct_ping_ms() {
+  if (!behavior_.icmp_responds) return std::nullopt;
+  return net_->sample_rtt_ms(client_, proxy_);
+}
+
+std::optional<int> ProxySession::traceroute_hops_via(HostId landmark) {
+  if (behavior_.drops_time_exceeded) return std::nullopt;
+  auto tail = net_->traceroute_hops(proxy_, landmark);
+  if (!tail) return std::nullopt;
+  auto head = net_->traceroute_hops(client_, proxy_);
+  if (!head) return std::nullopt;
+  return *head + *tail;
+}
+
+}  // namespace ageo::netsim

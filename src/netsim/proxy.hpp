@@ -1,0 +1,75 @@
+// Proxy (VPN) forwarding semantics.
+//
+// Measurements of a proxied target never see the proxy-landmark path in
+// isolation: a TCP connect through the tunnel costs
+//   RTT(client, proxy) + RTT(proxy, landmark) + forwarding overhead,
+// and the client->proxy leg must be estimated by pinging the client's own
+// address through the tunnel (paper §5.3, after Castelluccia et al.).
+// Filtering behaviour (no ICMP, no traceroute) matches §4.2.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "netsim/network.hpp"
+
+namespace ageo::netsim {
+
+struct ProxyBehavior {
+  /// ~90% of commercial proxies ignore ICMP echo (paper §4.2).
+  bool icmp_responds = false;
+  /// The VPN default gateway answers pings / emits time-exceeded.
+  bool gateway_pingable = false;
+  /// Proxy discards ICMP time-exceeded, breaking traceroute through it.
+  bool drops_time_exceeded = true;
+  /// Tunnel encapsulation cost per tunnel crossing, ms.
+  double forwarding_overhead_ms = 0.4;
+
+  // --- adversarial knobs (paper §8 discussion) ---
+  /// Fixed extra delay injected on every forwarded packet, ms.
+  double added_delay_ms = 0.0;
+  /// If set, the proxy forges an early SYN-ACK for connections to the
+  /// landmark, replying itself after this many ms instead of forwarding
+  /// (it can do this without guessing sequence numbers because it sees
+  /// the SYN). The measured time then carries no information about the
+  /// proxy-landmark distance.
+  std::optional<double> forge_synack_after_ms;
+  /// Per-landmark selective delay, ms (paper: selective added delay can
+  /// displace the predicted region).
+  std::function<double(HostId landmark)> selective_delay;
+};
+
+/// A client's tunnel to one proxy. Lightweight; holds references into the
+/// Network, which must outlive it.
+class ProxySession {
+ public:
+  ProxySession(Network& net, HostId client, HostId proxy,
+               ProxyBehavior behavior);
+
+  HostId client() const noexcept { return client_; }
+  HostId proxy() const noexcept { return proxy_; }
+  const ProxyBehavior& behavior() const noexcept { return behavior_; }
+
+  /// TCP connect to `landmark`:`port` through the tunnel. Timeouts occur
+  /// when the landmark filters the port.
+  ConnectResult connect_via(HostId landmark, std::uint16_t port);
+
+  /// Ping the client's own public address through the tunnel: the packet
+  /// crosses the tunnel twice in each direction, so this measures
+  /// (almost exactly) twice the client-proxy RTT.
+  double self_ping_ms();
+
+  /// Direct ICMP ping of the proxy from the client; usually filtered.
+  std::optional<double> direct_ping_ms();
+
+  /// Traceroute through the tunnel; usually broken.
+  std::optional<int> traceroute_hops_via(HostId landmark);
+
+ private:
+  Network* net_;
+  HostId client_;
+  HostId proxy_;
+  ProxyBehavior behavior_;
+};
+
+}  // namespace ageo::netsim

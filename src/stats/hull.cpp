@@ -1,0 +1,153 @@
+#include "stats/hull.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ageo::stats {
+
+namespace {
+double cross(const Point2& o, const Point2& a, const Point2& b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+}  // namespace
+
+std::vector<Point2> convex_hull(std::span<const Point2> points) {
+  std::vector<Point2> pts(points.begin(), points.end());
+  std::sort(pts.begin(), pts.end(), [](const Point2& a, const Point2& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const std::size_t n = pts.size();
+  if (n < 3) return pts;
+
+  std::vector<Point2> hull(2 * n);
+  std::size_t k = 0;
+  // Lower chain.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (k >= 2 && cross(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  // Upper chain.
+  for (std::size_t i = n - 1, t = k + 1; i-- > 0;) {
+    while (k >= t && cross(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);  // last point equals the first
+  return hull;
+}
+
+PiecewiseLinear::PiecewiseLinear(std::vector<Point2> knots)
+    : knots_(std::move(knots)) {
+  for (std::size_t i = 1; i < knots_.size(); ++i)
+    detail::require(knots_[i].x > knots_[i - 1].x,
+                    "PiecewiseLinear: knots must be strictly increasing in x");
+}
+
+double PiecewiseLinear::operator()(double x) const noexcept {
+  if (knots_.empty()) return 0.0;
+  if (knots_.size() == 1) return knots_[0].y;
+  if (x <= knots_.front().x) {
+    const auto& a = knots_[0];
+    const auto& b = knots_[1];
+    double slope = (b.y - a.y) / (b.x - a.x);
+    return a.y + slope * (x - a.x);
+  }
+  if (x >= knots_.back().x) {
+    const auto& a = knots_[knots_.size() - 2];
+    const auto& b = knots_.back();
+    double slope = (b.y - a.y) / (b.x - a.x);
+    return b.y + slope * (x - b.x);
+  }
+  auto it = std::upper_bound(
+      knots_.begin(), knots_.end(), x,
+      [](double v, const Point2& p) { return v < p.x; });
+  const auto& b = *it;
+  const auto& a = *(it - 1);
+  double t = (x - a.x) / (b.x - a.x);
+  return a.y + t * (b.y - a.y);
+}
+
+namespace {
+/// Extract the chain of hull vertices along the top (want_upper) or
+/// bottom of the hull, left to right.
+std::vector<Point2> hull_chain(std::span<const Point2> points,
+                               bool want_upper) {
+  auto hull = convex_hull(points);
+  if (hull.size() <= 2) {
+    std::vector<Point2> chain(hull.begin(), hull.end());
+    std::sort(chain.begin(), chain.end(),
+              [](const Point2& a, const Point2& b) { return a.x < b.x; });
+    return chain;
+  }
+  // hull is CCW. Find the leftmost and rightmost vertices.
+  std::size_t left = 0, right = 0;
+  for (std::size_t i = 1; i < hull.size(); ++i) {
+    if (hull[i].x < hull[left].x ||
+        (hull[i].x == hull[left].x && hull[i].y < hull[left].y))
+      left = i;
+    if (hull[i].x > hull[right].x ||
+        (hull[i].x == hull[right].x && hull[i].y > hull[right].y))
+      right = i;
+  }
+  std::vector<Point2> chain;
+  if (want_upper) {
+    // CCW order walks right->left along the top; collect and reverse.
+    for (std::size_t i = right;; i = (i + 1) % hull.size()) {
+      chain.push_back(hull[i]);
+      if (i == left) break;
+    }
+    std::reverse(chain.begin(), chain.end());
+  } else {
+    // CCW order walks left->right along the bottom.
+    for (std::size_t i = left;; i = (i + 1) % hull.size()) {
+      chain.push_back(hull[i]);
+      if (i == right) break;
+    }
+  }
+  return chain;
+}
+
+std::vector<Point2> crop_and_monotonize(std::vector<Point2> chain,
+                                        double x_cutoff, bool upper) {
+  // Crop to x <= cutoff (keep at least two knots when possible).
+  std::vector<Point2> out;
+  for (const auto& p : chain) {
+    if (p.x <= x_cutoff || out.size() < 2) out.push_back(p);
+  }
+  // Enforce strictly increasing x.
+  std::vector<Point2> strict;
+  for (const auto& p : out) {
+    if (!strict.empty() && p.x <= strict.back().x) continue;
+    strict.push_back(p);
+  }
+  // Make y non-decreasing: a farther distance always needs at least as
+  // much delay, so envelope curves are clamped upward (upper) or forward
+  // (lower).
+  if (upper) {
+    for (std::size_t i = 1; i < strict.size(); ++i)
+      strict[i].y = std::max(strict[i].y, strict[i - 1].y);
+  } else {
+    for (std::size_t i = strict.size(); i-- > 1;)
+      strict[i - 1].y = std::min(strict[i - 1].y, strict[i].y);
+  }
+  return strict;
+}
+}  // namespace
+
+PiecewiseLinear upper_envelope(std::span<const Point2> points,
+                               double x_cutoff) {
+  detail::require(!points.empty(), "upper_envelope: empty input");
+  return PiecewiseLinear(
+      crop_and_monotonize(hull_chain(points, true), x_cutoff, true));
+}
+
+PiecewiseLinear lower_envelope(std::span<const Point2> points,
+                               double x_cutoff) {
+  detail::require(!points.empty(), "lower_envelope: empty input");
+  return PiecewiseLinear(
+      crop_and_monotonize(hull_chain(points, false), x_cutoff, false));
+}
+
+}  // namespace ageo::stats

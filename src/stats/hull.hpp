@@ -1,0 +1,58 @@
+// Convex hulls and monotone envelopes in the plane.
+//
+// Quasi-Octant's delay model is built from the convex hull of the
+// (delay, distance) calibration scatter: the upper-left chain bounds the
+// maximum distance reachable in a given delay, the lower-right chain the
+// minimum. This module provides the hull and increasing piecewise-linear
+// envelope evaluation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ageo::stats {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+  friend bool operator==(const Point2&, const Point2&) = default;
+};
+
+/// Convex hull (Andrew's monotone chain), counter-clockwise, no duplicate
+/// endpoints, collinear points dropped. Fewer than 3 distinct points
+/// return the distinct points themselves.
+std::vector<Point2> convex_hull(std::span<const Point2> points);
+
+/// A non-decreasing piecewise-linear function defined by knots sorted by
+/// x. Evaluation clamps outside the knot range by linear extension with
+/// the first/last segment's slope (callers can override with fixed
+/// speeds, as Quasi-Octant does beyond its percentile cutoffs).
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+  /// Knots must be sorted by strictly increasing x.
+  explicit PiecewiseLinear(std::vector<Point2> knots);
+
+  double operator()(double x) const noexcept;
+  bool empty() const noexcept { return knots_.empty(); }
+  std::span<const Point2> knots() const noexcept { return knots_; }
+
+ private:
+  std::vector<Point2> knots_;
+};
+
+/// Upper envelope of the scatter as a function of x: the chain of hull
+/// vertices from the point with minimal x to the point with maximal y
+/// along the top of the hull, restricted to x <= x_cutoff, made
+/// non-decreasing in y. This is Octant's "max distance per delay" curve.
+PiecewiseLinear upper_envelope(std::span<const Point2> points,
+                               double x_cutoff);
+
+/// Lower envelope: minimum y as a non-increasing... (Octant's minimum
+/// distance curve is non-decreasing in delay as well — farther targets
+/// need at least some delay). We return the chain along the bottom of the
+/// hull up to x_cutoff, made non-decreasing by clamping.
+PiecewiseLinear lower_envelope(std::span<const Point2> points,
+                               double x_cutoff);
+
+}  // namespace ageo::stats

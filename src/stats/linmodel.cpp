@@ -1,0 +1,121 @@
+#include "stats/linmodel.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "stats/special.hpp"
+
+namespace ageo::stats {
+
+DesignMatrix::DesignMatrix(std::size_t n_rows, std::size_t n_cols)
+    : n_(n_rows), p_(n_cols), x_(n_rows * n_cols, 0.0) {
+  detail::require(n_rows > 0 && n_cols > 0,
+                  "DesignMatrix: dimensions must be positive");
+}
+
+double LinearModelFit::predict(std::span<const double> row) const {
+  detail::require(row.size() == coefficients.size(),
+                  "LinearModelFit::predict: dimension mismatch");
+  double y = 0.0;
+  for (std::size_t i = 0; i < row.size(); ++i)
+    y += coefficients[i] * row[i];
+  return y;
+}
+
+std::vector<double> solve_spd(std::vector<double> a, std::vector<double> b,
+                              std::size_t p) {
+  detail::require(a.size() == p * p && b.size() == p,
+                  "solve_spd: dimension mismatch");
+  // Cholesky: A = L L^T (in-place, lower triangle).
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a[i * p + j];
+      for (std::size_t k = 0; k < j; ++k) sum -= a[i * p + k] * a[j * p + k];
+      if (i == j) {
+        detail::require(sum > 0.0, "solve_spd: matrix is not positive definite");
+        a[i * p + j] = std::sqrt(sum);
+      } else {
+        a[i * p + j] = sum / a[j * p + j];
+      }
+    }
+  }
+  // Forward substitution: L z = b.
+  for (std::size_t i = 0; i < p; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= a[i * p + k] * b[k];
+    b[i] = sum / a[i * p + i];
+  }
+  // Back substitution: L^T x = z.
+  for (std::size_t ii = p; ii-- > 0;) {
+    double sum = b[ii];
+    for (std::size_t k = ii + 1; k < p; ++k) sum -= a[k * p + ii] * b[k];
+    b[ii] = sum / a[ii * p + ii];
+  }
+  return b;
+}
+
+LinearModelFit fit_linear_model(const DesignMatrix& x,
+                                std::span<const double> y) {
+  const std::size_t n = x.rows(), p = x.cols();
+  detail::require(y.size() == n, "fit_linear_model: y length mismatch");
+  detail::require(n >= p, "fit_linear_model: need n >= p");
+
+  // Normal equations X^T X beta = X^T y with a small ridge.
+  std::vector<double> xtx(p * p, 0.0), xty(p, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    auto row = x.row(r);
+    for (std::size_t i = 0; i < p; ++i) {
+      xty[i] += row[i] * y[r];
+      for (std::size_t j = 0; j <= i; ++j) xtx[i * p + j] += row[i] * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = i + 1; j < p; ++j) xtx[i * p + j] = xtx[j * p + i];
+    xtx[i * p + i] += 1e-10 * (xtx[i * p + i] + 1.0);
+  }
+
+  LinearModelFit fit;
+  fit.coefficients = solve_spd(std::move(xtx), std::move(xty), p);
+  fit.n = n;
+  fit.p = p;
+
+  double my = 0.0;
+  for (double v : y) my += v;
+  my /= static_cast<double>(n);
+  double ss_tot = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    double e = y[r] - fit.predict(x.row(r));
+    fit.rss += e * e;
+    double d = y[r] - my;
+    ss_tot += d * d;
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - fit.rss / ss_tot
+                               : (fit.rss == 0.0 ? 1.0 : 0.0);
+  return fit;
+}
+
+AnovaResult anova_nested(const LinearModelFit& smaller,
+                         const LinearModelFit& larger) {
+  detail::require(smaller.n == larger.n,
+                  "anova_nested: models fit to different data");
+  detail::require(larger.p > smaller.p,
+                  "anova_nested: larger model must have more parameters");
+  detail::require(larger.n > larger.p,
+                  "anova_nested: larger model has no residual df");
+  AnovaResult r;
+  r.df_numerator = static_cast<double>(larger.p - smaller.p);
+  r.df_denominator = static_cast<double>(larger.n - larger.p);
+  double num = (smaller.rss - larger.rss) / r.df_numerator;
+  double den = larger.rss / r.df_denominator;
+  if (den <= 0.0) {
+    r.f_statistic = num > 0 ? std::numeric_limits<double>::infinity() : 0.0;
+  } else {
+    r.f_statistic = num / den;
+  }
+  r.p_value = f_distribution_sf(r.f_statistic, r.df_numerator,
+                                r.df_denominator);
+  return r;
+}
+
+}  // namespace ageo::stats

@@ -1,0 +1,75 @@
+// General linear models and nested-model ANOVA.
+//
+// The paper's tool-validation analysis (Section 4.3) fits linear models of
+// travel time against distance with categorical factors (tool, browser,
+// round-trip count, OS) and compares nested models with F tests. This
+// module provides exactly that: least-squares fits of y on an arbitrary
+// design matrix, and an F test for whether the extra columns of a larger
+// model significantly reduce residual variance.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ageo::stats {
+
+/// A dense design matrix: `n` rows (observations) by `p` columns
+/// (predictors, including the intercept column if desired).
+class DesignMatrix {
+ public:
+  DesignMatrix(std::size_t n_rows, std::size_t n_cols);
+
+  std::size_t rows() const noexcept { return n_; }
+  std::size_t cols() const noexcept { return p_; }
+
+  double& at(std::size_t r, std::size_t c) noexcept { return x_[r * p_ + c]; }
+  double at(std::size_t r, std::size_t c) const noexcept {
+    return x_[r * p_ + c];
+  }
+
+  std::span<const double> row(std::size_t r) const noexcept {
+    return {x_.data() + r * p_, p_};
+  }
+
+ private:
+  std::size_t n_, p_;
+  std::vector<double> x_;
+};
+
+struct LinearModelFit {
+  std::vector<double> coefficients;
+  double rss = 0.0;          // residual sum of squares
+  double r_squared = 0.0;    // against the mean of y
+  std::size_t n = 0;         // observations
+  std::size_t p = 0;         // fitted parameters (columns)
+
+  double predict(std::span<const double> row) const;
+};
+
+/// Least-squares fit of y on X via the normal equations with a ridge of
+/// 1e-10 for numerical safety. Throws if dimensions disagree or n < p.
+LinearModelFit fit_linear_model(const DesignMatrix& x,
+                                std::span<const double> y);
+
+struct AnovaResult {
+  double f_statistic = 0.0;
+  double p_value = 1.0;
+  double df_numerator = 0.0;   // extra parameters in the larger model
+  double df_denominator = 0.0; // residual df of the larger model
+};
+
+/// Nested-model F test: does `larger` (which must contain all of
+/// `smaller`'s predictive content and have more parameters) significantly
+/// improve on `smaller`? Both must be fits to the same response vector.
+AnovaResult anova_nested(const LinearModelFit& smaller,
+                         const LinearModelFit& larger);
+
+/// Solve the symmetric positive (semi-)definite system A x = b in place
+/// via Cholesky with a tiny ridge. A is row-major p x p. Exposed for the
+/// polynomial-fitting code. Throws InvalidArgument if A is not SPD even
+/// after the ridge.
+std::vector<double> solve_spd(std::vector<double> a, std::vector<double> b,
+                              std::size_t p);
+
+}  // namespace ageo::stats

@@ -1,0 +1,125 @@
+#include "stats/polyfit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/linmodel.hpp"
+
+namespace ageo::stats {
+
+double Polynomial::operator()(double x) const noexcept {
+  double y = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) y = y * x + coeffs[i];
+  return y;
+}
+
+double Polynomial::derivative(double x) const noexcept {
+  double y = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 1;)
+    y = y * x + coeffs[i] * static_cast<double>(i);
+  return y;
+}
+
+namespace {
+/// Build and solve the penalised normal equations:
+/// (X^T X + lambda * D^T D) c = X^T y, where D rows are derivative basis
+/// evaluations at the penalty points (only those with negative derivative
+/// get penalised each round, pushing the solution into the feasible set).
+Polynomial solve_penalized(std::span<const double> xs,
+                           std::span<const double> ys, int degree,
+                           std::span<const double> penalty_points,
+                           double lambda, const Polynomial* previous) {
+  const auto p = static_cast<std::size_t>(degree) + 1;
+  std::vector<double> xtx(p * p, 0.0), xty(p, 0.0);
+  std::vector<double> basis(p);
+  for (std::size_t r = 0; r < xs.size(); ++r) {
+    double v = 1.0;
+    for (std::size_t i = 0; i < p; ++i) {
+      basis[i] = v;
+      v *= xs[r];
+    }
+    for (std::size_t i = 0; i < p; ++i) {
+      xty[i] += basis[i] * ys[r];
+      for (std::size_t j = 0; j < p; ++j) xtx[i * p + j] += basis[i] * basis[j];
+    }
+  }
+  // Penalty on the derivative at points where the previous iterate was
+  // decreasing (or all points on the first, previous == nullptr, pass).
+  std::vector<double> dbasis(p);
+  for (double t : penalty_points) {
+    if (previous && previous->derivative(t) >= 0.0) continue;
+    dbasis[0] = 0.0;
+    double v = 1.0;
+    for (std::size_t i = 1; i < p; ++i) {
+      dbasis[i] = static_cast<double>(i) * v;
+      v *= t;
+    }
+    for (std::size_t i = 0; i < p; ++i)
+      for (std::size_t j = 0; j < p; ++j)
+        xtx[i * p + j] += lambda * dbasis[i] * dbasis[j];
+  }
+  for (std::size_t i = 0; i < p; ++i)
+    xtx[i * p + i] += 1e-9 * (xtx[i * p + i] + 1.0);
+  Polynomial out;
+  out.coeffs = solve_spd(std::move(xtx), std::move(xty), p);
+  return out;
+}
+}  // namespace
+
+Polynomial polyfit(std::span<const double> xs, std::span<const double> ys,
+                   int degree) {
+  detail::require(degree >= 0, "polyfit: degree must be >= 0");
+  detail::require(xs.size() == ys.size(), "polyfit: length mismatch");
+  detail::require(xs.size() >= static_cast<std::size_t>(degree) + 1,
+                  "polyfit: need at least degree+1 points");
+  return solve_penalized(xs, ys, degree, {}, 0.0, nullptr);
+}
+
+bool is_non_decreasing(const Polynomial& p, double lo, double hi, double tol) {
+  if (!(hi > lo)) return true;
+  constexpr int kChecks = 256;
+  for (int i = 0; i <= kChecks; ++i) {
+    double t = lo + (hi - lo) * static_cast<double>(i) / kChecks;
+    if (p.derivative(t) < -tol) return false;
+  }
+  return true;
+}
+
+Polynomial polyfit_monotone(std::span<const double> xs,
+                            std::span<const double> ys, int degree) {
+  detail::require(degree >= 1, "polyfit_monotone: degree must be >= 1");
+  Polynomial fit = polyfit(xs, ys, degree);
+  auto [lo_it, hi_it] = std::minmax_element(xs.begin(), xs.end());
+  double lo = *lo_it, hi = *hi_it;
+  if (is_non_decreasing(fit, lo, hi)) return fit;
+
+  // Penalty points spread over the data range.
+  constexpr int kPenaltyPoints = 64;
+  std::vector<double> pts(kPenaltyPoints);
+  for (int i = 0; i < kPenaltyPoints; ++i)
+    pts[static_cast<std::size_t>(i)] =
+        lo + (hi - lo) * static_cast<double>(i) / (kPenaltyPoints - 1);
+
+  double lambda = 1.0;
+  for (int round = 0; round < 40; ++round) {
+    Polynomial candidate =
+        solve_penalized(xs, ys, degree, pts, lambda, &fit);
+    fit = candidate;
+    if (is_non_decreasing(fit, lo, hi)) return fit;
+    lambda *= 4.0;
+  }
+  // Fall back to the least-squares line, forced flat if decreasing:
+  // a constant-or-rising line is always feasible.
+  Polynomial line = polyfit(xs, ys, 1);
+  if (line.coeffs[1] < 0.0) {
+    double mean = 0.0;
+    for (double y : ys) mean += y;
+    mean /= static_cast<double>(ys.size());
+    line.coeffs = {mean, 0.0};
+  }
+  line.coeffs.resize(static_cast<std::size_t>(degree) + 1, 0.0);
+  return line;
+}
+
+}  // namespace ageo::stats

@@ -1,0 +1,41 @@
+// Polynomial least squares, optionally constrained to be non-decreasing.
+//
+// Spotter fits cubic polynomials to the mean and standard deviation of
+// distance as a function of delay. The paper notes that unconstrained
+// flexible fits overfit badly, and constrains each curve to be increasing
+// everywhere; we reproduce that with an iterative penalty method.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ageo::stats {
+
+/// A polynomial c0 + c1 x + c2 x^2 + ...
+struct Polynomial {
+  std::vector<double> coeffs;
+
+  double operator()(double x) const noexcept;
+  /// First derivative at x.
+  double derivative(double x) const noexcept;
+  int degree() const noexcept { return static_cast<int>(coeffs.size()) - 1; }
+};
+
+/// Unconstrained least-squares polynomial of the given degree.
+/// Requires degree >= 0 and at least degree+1 points.
+Polynomial polyfit(std::span<const double> xs, std::span<const double> ys,
+                   int degree);
+
+/// Least-squares polynomial constrained to be non-decreasing on
+/// [min(xs), max(xs)]. Implemented by adding quadratic penalties on
+/// negative derivatives at a dense set of check points and re-solving
+/// until the constraint holds (or falling back to the best linear fit,
+/// which is monotone by construction when its slope is >= 0).
+Polynomial polyfit_monotone(std::span<const double> xs,
+                            std::span<const double> ys, int degree);
+
+/// True if p' >= -tol on [lo, hi] (checked on a dense sample).
+bool is_non_decreasing(const Polynomial& p, double lo, double hi,
+                       double tol = 1e-9);
+
+}  // namespace ageo::stats

@@ -1,0 +1,24 @@
+// Special functions needed for hypothesis testing.
+//
+// Self-contained implementations (log-gamma, regularized incomplete beta)
+// so the ANOVA code can compute F-distribution p-values without external
+// dependencies. Accuracy ~1e-10, far beyond what the tests need.
+#pragma once
+
+namespace ageo::stats {
+
+/// Natural log of the gamma function (Lanczos approximation), x > 0.
+double log_gamma(double x);
+
+/// Regularized incomplete beta function I_x(a, b), x in [0, 1], a, b > 0.
+double incomplete_beta(double a, double b, double x);
+
+/// Survival function of the F distribution: P(F_{d1,d2} > f).
+/// f < 0 is treated as 0 (returns 1).
+double f_distribution_sf(double f, double d1, double d2);
+
+/// Survival function of Student's t distribution: P(T_nu > t), two-sided
+/// helper available via 2*sf(|t|).
+double t_distribution_sf(double t, double nu);
+
+}  // namespace ageo::stats

@@ -1,0 +1,117 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace ageo::stats {
+
+Summary summarize(std::span<const double> xs) noexcept {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  s.min = s.max = xs[0];
+  // Welford's algorithm: single pass, numerically stable.
+  double mean = 0.0, m2 = 0.0;
+  std::size_t k = 0;
+  for (double x : xs) {
+    ++k;
+    double d = x - mean;
+    mean += d / static_cast<double>(k);
+    m2 += d * (x - mean);
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = mean;
+  s.variance = s.n >= 2 ? m2 / static_cast<double>(s.n - 1) : 0.0;
+  s.stddev = std::sqrt(s.variance);
+  return s;
+}
+
+double quantile(std::span<const double> xs, double q) {
+  detail::require(!xs.empty(), "quantile: empty sample");
+  detail::require(q >= 0.0 && q <= 1.0, "quantile: q must be in [0, 1]");
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v[0];
+  double h = q * static_cast<double>(v.size() - 1);
+  auto lo = static_cast<std::size_t>(std::floor(h));
+  auto hi = std::min(lo + 1, v.size() - 1);
+  double frac = h - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys) {
+  detail::require(xs.size() == ys.size(),
+                  "pearson_correlation: length mismatch");
+  detail::require(xs.size() >= 2, "pearson_correlation: need n >= 2");
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= static_cast<double>(xs.size());
+  my /= static_cast<double>(ys.size());
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double dx = xs[i] - mx, dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+std::vector<double> average_ranks(std::span<const double> xs) {
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(xs.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && xs[order[j + 1]] == xs[order[i]]) ++j;
+    double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+}  // namespace
+
+double spearman_correlation(std::span<const double> xs,
+                            std::span<const double> ys) {
+  detail::require(xs.size() == ys.size(),
+                  "spearman_correlation: length mismatch");
+  detail::require(xs.size() >= 2, "spearman_correlation: need n >= 2");
+  auto rx = average_ranks(xs);
+  auto ry = average_ranks(ys);
+  return pearson_correlation(rx, ry);
+}
+
+Ecdf::Ecdf(std::span<const double> xs) : sorted_(xs.begin(), xs.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::inverse(double p) const {
+  detail::require(!sorted_.empty(), "Ecdf::inverse: empty sample");
+  detail::require(p > 0.0 && p <= 1.0, "Ecdf::inverse: p must be in (0, 1]");
+  auto idx = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted_.size())) - 1);
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+}  // namespace ageo::stats

@@ -1,0 +1,53 @@
+// Descriptive statistics: moments, quantiles, empirical CDFs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ageo::stats {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // sample variance (n-1 denominator); 0 when n < 2
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Summary statistics of a sample. Empty input yields an all-zero Summary.
+Summary summarize(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated quantile (type 7, the R/NumPy default).
+/// q in [0, 1]; throws InvalidArgument on empty input or q out of range.
+double quantile(std::span<const double> xs, double q);
+
+/// Pearson correlation coefficient of two equal-length samples; 0 when
+/// either sample is constant. Throws on length mismatch or n < 2.
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys);
+
+/// Spearman rank correlation (ties get average ranks).
+double spearman_correlation(std::span<const double> xs,
+                            std::span<const double> ys);
+
+/// Empirical CDF: sorted copy of the sample plus evaluation.
+class Ecdf {
+ public:
+  explicit Ecdf(std::span<const double> xs);
+
+  /// Fraction of the sample <= x. Empty sample yields 0.
+  double operator()(double x) const noexcept;
+
+  /// Inverse: smallest sample value v with F(v) >= p, p in (0, 1].
+  double inverse(double p) const;
+
+  std::size_t size() const noexcept { return sorted_.size(); }
+  const std::vector<double>& sorted() const noexcept { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace ageo::stats

@@ -1,0 +1,95 @@
+#include "world/constellation.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+#include "world/placement.hpp"
+
+namespace ageo::world {
+
+namespace {
+
+/// Continental shares of the constellation (paper Fig. 3: Europe dominates,
+/// then North America; Asia/South America thin; Africa a few).
+struct ContinentShare {
+  Continent continent;
+  double anchor_share;
+  double probe_share;
+};
+
+constexpr std::array<ContinentShare, 8> kShares = {{
+    {Continent::kEurope, 0.55, 0.50},
+    {Continent::kNorthAmerica, 0.22, 0.25},
+    {Continent::kAsia, 0.10, 0.10},
+    {Continent::kSouthAmerica, 0.04, 0.05},
+    {Continent::kAfrica, 0.03, 0.04},
+    {Continent::kOceania, 0.02, 0.02},
+    {Continent::kAustralia, 0.03, 0.03},
+    {Continent::kCentralAmerica, 0.01, 0.01},
+}};
+
+/// Pick a country on `continent` weighted by hosting score (well-hosted
+/// countries have more measurement infrastructure too).
+CountryId pick_country(const WorldModel& w, Continent continent, Rng& rng) {
+  double total = 0.0;
+  for (CountryId i = 0; i < w.country_count(); ++i) {
+    const Country& c = w.country(i);
+    if (c.continent == continent) total += 0.05 + c.hosting_score;
+  }
+  double r = rng.uniform(0.0, total);
+  for (CountryId i = 0; i < w.country_count(); ++i) {
+    const Country& c = w.country(i);
+    if (c.continent != continent) continue;
+    r -= 0.05 + c.hosting_score;
+    if (r <= 0.0) return i;
+  }
+  // Numerically unreachable fallback: first country of the continent.
+  for (CountryId i = 0; i < w.country_count(); ++i)
+    if (w.country(i).continent == continent) return i;
+  throw InvalidArgument("constellation: continent has no countries");
+}
+
+}  // namespace
+
+std::vector<Landmark> generate_constellation(const WorldModel& w,
+                                             const ConstellationConfig& cfg) {
+  detail::require(cfg.n_anchors > 0 && cfg.n_probes >= 0,
+                  "generate_constellation: invalid counts");
+  Rng rng(cfg.seed, "constellation");
+  std::vector<Landmark> out;
+  out.reserve(static_cast<std::size_t>(cfg.n_anchors + cfg.n_probes));
+
+  auto place = [&](bool is_anchor, const ContinentShare& share, int count) {
+    for (int i = 0; i < count; ++i) {
+      Landmark lm;
+      lm.is_anchor = is_anchor;
+      lm.continent = share.continent;
+      lm.country = pick_country(w, share.continent, rng);
+      lm.location = random_point_in_country(w, lm.country, rng);
+      lm.listens_port80 = rng.chance(0.5);
+      // Anchors sit in data centers; probes are often on home networks.
+      lm.net_quality = is_anchor ? rng.uniform(0.85, 1.0)
+                                 : rng.uniform(0.4, 0.95);
+      out.push_back(lm);
+    }
+  };
+
+  // Largest-remainder apportionment keeps the counts exact.
+  for (bool is_anchor : {true, false}) {
+    int total = is_anchor ? cfg.n_anchors : cfg.n_probes;
+    int assigned = 0;
+    for (std::size_t s = 0; s < kShares.size(); ++s) {
+      double share = is_anchor ? kShares[s].anchor_share
+                               : kShares[s].probe_share;
+      int count = (s + 1 == kShares.size())
+                      ? total - assigned
+                      : static_cast<int>(share * total);
+      count = std::max(0, count);
+      assigned += count;
+      place(is_anchor, kShares[s], count);
+    }
+  }
+  return out;
+}
+
+}  // namespace ageo::world

@@ -1,0 +1,43 @@
+// The landmark constellation: synthetic RIPE Atlas.
+//
+// Anchors are well-connected, reliably located hosts; probes are more
+// numerous but noisier. Continental densities mirror the paper's Figure 3:
+// most landmarks are in Europe, then North America, with thin coverage of
+// Asia, South America and Africa.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geo/latlon.hpp"
+#include "world/world_model.hpp"
+
+namespace ageo::world {
+
+struct Landmark {
+  geo::LatLon location;
+  CountryId country = kNoCountry;
+  Continent continent = Continent::kEurope;
+  bool is_anchor = false;
+  /// Whether the host accepts TCP connections on port 80; determines
+  /// whether the web measurement tool sees one or two round trips
+  /// (paper §4.2, Fig. 7).
+  bool listens_port80 = false;
+  /// Access-network quality in (0, 1]: anchors ~1, probes lower. Scales
+  /// the landmark's own access delay and congestion noise.
+  double net_quality = 1.0;
+};
+
+struct ConstellationConfig {
+  int n_anchors = 250;
+  int n_probes = 800;
+  std::uint64_t seed = 1;
+};
+
+/// Generate the constellation. Anchors first, probes after; order stable
+/// for a fixed config.
+std::vector<Landmark> generate_constellation(const WorldModel& w,
+                                             const ConstellationConfig& cfg);
+
+}  // namespace ageo::world

@@ -1,0 +1,39 @@
+// Continent taxonomy.
+//
+// Matches the paper's Appendix A boundaries: Mexico goes with Central
+// America, Turkey and Russia with Europe, the Middle East with Africa,
+// Malaysia and New Zealand with Oceania, and Australia is its own
+// category — giving the eight rows/columns of the paper's Figure 22
+// continent confusion matrix.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace ageo::world {
+
+enum class Continent : std::uint8_t {
+  kEurope = 0,
+  kAfrica,
+  kAsia,
+  kOceania,
+  kNorthAmerica,
+  kCentralAmerica,
+  kSouthAmerica,
+  kAustralia,
+};
+
+inline constexpr std::size_t kContinentCount = 8;
+
+inline constexpr std::array<std::string_view, kContinentCount>
+    kContinentNames = {
+        "Europe",        "Africa",          "Asia",          "Oceania",
+        "North America", "Central America", "South America", "Australia",
+};
+
+constexpr std::string_view to_string(Continent c) noexcept {
+  return kContinentNames[static_cast<std::size_t>(c)];
+}
+
+}  // namespace ageo::world

@@ -1,0 +1,137 @@
+#include "world/country.hpp"
+
+namespace ageo::world {
+
+namespace {
+using C = Continent;
+
+// Coarse bounding boxes of real countries. hosting_score encodes how easy
+// and attractive it is to lease servers there (paper §1/§6: proxies
+// concentrate in countries where hosting is cheap and reliable).
+// clang-format off
+const std::vector<CountrySpec> kSpecs = {
+    // -------- Europe --------
+    {"de", "Germany",        C::kEurope, 47.30,   5.90, 55.10,  15.00, 52.50,  13.40, 0.95},
+    {"nl", "Netherlands",    C::kEurope, 50.80,   3.40, 53.50,   7.20, 52.37,   4.90, 0.95},
+    {"gb", "United Kingdom", C::kEurope, 49.90,  -8.20, 58.70,   1.80, 51.50,  -0.13, 0.92},
+    {"fr", "France",         C::kEurope, 42.30,  -4.80, 51.10,   8.20, 48.85,   2.35, 0.85},
+    {"cz", "Czechia",        C::kEurope, 48.55,  12.10, 51.06,  18.87, 50.08,  14.44, 0.90},
+    {"pl", "Poland",         C::kEurope, 49.00,  14.12, 54.84,  24.15, 52.23,  21.01, 0.60},
+    {"be", "Belgium",        C::kEurope, 49.50,   2.55, 51.50,   6.40, 50.85,   4.35, 0.60},
+    {"lu", "Luxembourg",     C::kEurope, 49.45,   5.70, 50.18,   6.53, 49.60,   6.13, 0.50},
+    {"at", "Austria",        C::kEurope, 46.37,   9.53, 49.02,  17.16, 48.21,  16.37, 0.55},
+    {"ch", "Switzerland",    C::kEurope, 45.82,   5.96, 47.81,  10.49, 47.38,   8.54, 0.80},
+    {"it", "Italy",          C::kEurope, 36.65,   6.62, 47.10,  18.52, 45.46,   9.19, 0.55},
+    {"va", "Vatican",        C::kEurope, 41.890, 12.440, 41.910, 12.460, 41.90, 12.45, 0.00},
+    {"es", "Spain",          C::kEurope, 36.90,  -9.30, 43.79,   3.32, 40.42,  -3.70, 0.55},
+    {"pt", "Portugal",       C::kEurope, 36.95,  -9.50, 42.15,  -6.19, 38.72,  -9.14, 0.40},
+    {"se", "Sweden",         C::kEurope, 55.34,  11.10, 69.06,  24.17, 59.33,  18.07, 0.75},
+    {"no", "Norway",         C::kEurope, 57.98,   4.65, 71.19,  31.08, 59.91,  10.75, 0.50},
+    {"fi", "Finland",        C::kEurope, 59.81,  20.55, 70.09,  31.59, 60.17,  24.94, 0.50},
+    {"dk", "Denmark",        C::kEurope, 54.56,   8.07, 57.75,  12.69, 55.68,  12.57, 0.50},
+    {"ie", "Ireland",        C::kEurope, 51.42, -10.48, 55.39,  -5.99, 53.35,  -6.26, 0.60},
+    {"ro", "Romania",        C::kEurope, 43.62,  20.26, 48.27,  29.70, 44.43,  26.10, 0.55},
+    {"bg", "Bulgaria",       C::kEurope, 41.23,  22.36, 44.22,  28.61, 42.70,  23.32, 0.45},
+    {"gr", "Greece",         C::kEurope, 34.80,  19.37, 41.75,  28.25, 37.98,  23.73, 0.35},
+    {"hu", "Hungary",        C::kEurope, 45.74,  16.45, 48.59,  22.90, 47.50,  19.04, 0.45},
+    {"sk", "Slovakia",       C::kEurope, 47.73,  16.83, 49.61,  22.57, 48.15,  17.11, 0.35},
+    {"ua", "Ukraine",        C::kEurope, 44.30,  22.14, 52.38,  40.23, 50.45,  30.52, 0.35},
+    {"ru", "Russia",         C::kEurope, 41.20,  27.30, 77.00, 179.00, 55.75,  37.62, 0.50},
+    {"lv", "Latvia",         C::kEurope, 55.67,  20.97, 58.08,  28.24, 56.95,  24.10, 0.50},
+    {"lt", "Lithuania",      C::kEurope, 53.90,  20.94, 56.45,  26.84, 54.69,  25.28, 0.40},
+    {"ee", "Estonia",        C::kEurope, 57.51,  21.84, 59.68,  28.21, 59.44,  24.75, 0.45},
+    {"rs", "Serbia",         C::kEurope, 42.23,  18.83, 46.19,  23.01, 44.79,  20.45, 0.35},
+    {"hr", "Croatia",        C::kEurope, 42.38,  13.50, 46.55,  19.45, 45.81,  15.98, 0.30},
+    {"si", "Slovenia",       C::kEurope, 45.42,  13.38, 46.88,  15.70, 46.06,  14.51, 0.30},
+    {"tr", "Turkey",         C::kEurope, 35.82,  26.04, 42.14,  44.79, 41.01,  28.98, 0.40},
+    {"is", "Iceland",        C::kEurope, 63.30, -24.55, 66.57, -13.50, 64.15, -21.94, 0.35},
+    {"md", "Moldova",        C::kEurope, 45.47,  26.62, 48.49,  30.16, 47.01,  28.86, 0.25},
+    // -------- Africa (incl. Middle East, per paper Appendix A) --------
+    {"za", "South Africa",   C::kAfrica, -34.84, 16.45, -22.13, 32.89, -26.20,  28.05, 0.50},
+    {"eg", "Egypt",          C::kAfrica,  21.99, 24.70,  31.67, 36.89,  30.04,  31.24, 0.30},
+    {"ng", "Nigeria",        C::kAfrica,   4.27,  2.67,  13.89, 14.68,   6.52,   3.38, 0.25},
+    {"ke", "Kenya",          C::kAfrica,  -4.68, 33.91,   5.51, 41.91,  -1.29,  36.82, 0.30},
+    {"ma", "Morocco",        C::kAfrica,  27.66,-13.17,  35.92, -0.99,  33.57,  -7.59, 0.20},
+    {"dz", "Algeria",        C::kAfrica,  18.97, -8.67,  37.09, 12.00,  36.75,   3.06, 0.15},
+    {"tn", "Tunisia",        C::kAfrica,  30.23,  7.52,  37.35, 11.60,  36.80,  10.18, 0.15},
+    {"gh", "Ghana",          C::kAfrica,   4.71, -3.26,  11.17,  1.20,   5.60,  -0.19, 0.15},
+    {"sn", "Senegal",        C::kAfrica,  12.31,-17.53,  16.69,-11.36,  14.72, -17.47, 0.10},
+    {"il", "Israel",         C::kAfrica,  29.50, 34.27,  33.28, 35.90,  32.07,  34.78, 0.50},
+    {"ae", "UAE",            C::kAfrica,  22.63, 51.58,  26.08, 56.38,  25.20,  55.27, 0.45},
+    {"sa", "Saudi Arabia",   C::kAfrica,  16.35, 34.50,  32.16, 55.67,  24.71,  46.68, 0.20},
+    {"et", "Ethiopia",       C::kAfrica,   3.40, 33.00,  14.90, 48.00,   9.03,  38.74, 0.10},
+    {"tz", "Tanzania",       C::kAfrica, -11.70, 29.30,  -0.95, 40.40,  -6.79,  39.21, 0.10},
+    {"mu", "Mauritius",      C::kAfrica, -20.50, 57.30, -19.90, 57.80, -20.16,  57.50, 0.20},
+    {"mg", "Madagascar",     C::kAfrica, -25.60, 43.20, -11.90, 50.50, -18.88,  47.51, 0.05},
+    // -------- Asia --------
+    {"cn", "China",          C::kAsia,  18.16,  73.50, 53.56, 134.77, 31.23, 121.47, 0.35},
+    {"jp", "Japan",          C::kAsia,  30.97, 129.40, 45.55, 145.82, 35.68, 139.69, 0.80},
+    {"kr", "South Korea",    C::kAsia,  33.11, 125.89, 38.61, 129.58, 37.57, 126.98, 0.60},
+    {"kp", "North Korea",    C::kAsia,  37.67, 124.32, 43.01, 130.69, 39.03, 125.75, 0.00},
+    {"in", "India",          C::kAsia,   6.75,  68.16, 35.50,  97.40, 19.08,  72.88, 0.50},
+    {"sg", "Singapore",      C::kAsia,   1.16, 103.60,  1.47, 104.09,  1.35, 103.82, 0.90},
+    {"hk", "Hong Kong",      C::kAsia,  22.15, 113.84, 22.56, 114.44, 22.32, 114.17, 0.85},
+    {"tw", "Taiwan",         C::kAsia,  21.90, 120.03, 25.30, 122.00, 25.03, 121.56, 0.45},
+    {"th", "Thailand",       C::kAsia,   5.61,  97.34, 20.46, 105.64, 13.76, 100.50, 0.40},
+    {"vn", "Vietnam",        C::kAsia,   8.56, 102.14, 23.39, 109.47, 21.03, 105.85, 0.30},
+    {"id", "Indonesia",      C::kAsia, -10.96,  95.00,  5.90, 141.02, -6.21, 106.85, 0.35},
+    {"ph", "Philippines",    C::kAsia,   4.64, 116.93, 21.12, 126.60, 14.60, 120.98, 0.30},
+    {"kz", "Kazakhstan",     C::kAsia,  40.57,  46.49, 55.44,  87.31, 43.22,  76.85, 0.15},
+    {"pk", "Pakistan",       C::kAsia,  23.69,  60.87, 37.08,  77.84, 24.86,  67.00, 0.15},
+    {"bd", "Bangladesh",     C::kAsia,  20.74,  88.08, 26.63,  92.67, 23.81,  90.41, 0.10},
+    {"ir", "Iran",           C::kAsia,  25.06,  44.04, 39.78,  63.32, 35.69,  51.39, 0.10},
+    {"mn", "Mongolia",       C::kAsia,  41.60,  87.75, 52.15, 119.77, 47.89, 106.91, 0.05},
+    {"lk", "Sri Lanka",      C::kAsia,   5.92,  79.70,  9.83,  81.88,  6.93,  79.85, 0.10},
+    // -------- Oceania (incl. Malaysia and New Zealand, per paper) --------
+    {"my", "Malaysia",       C::kOceania,   0.85,  99.64,  7.36, 119.27,  3.14, 101.69, 0.45},
+    {"nz", "New Zealand",    C::kOceania, -47.29, 166.43,-34.39, 178.58,-36.85, 174.76, 0.50},
+    {"fj", "Fiji",           C::kOceania, -19.20, 177.00,-16.10, 180.00,-18.14, 178.44, 0.05},
+    {"pg", "Papua N.G.",     C::kOceania, -10.70, 140.80, -1.30, 155.90, -9.44, 147.18, 0.02},
+    {"gu", "Guam",           C::kOceania,  13.20, 144.60, 13.70, 145.00, 13.47, 144.75, 0.10},
+    {"pn", "Pitcairn",       C::kOceania, -25.10,-130.80,-23.90,-124.80,-25.07,-130.10, 0.00},
+    // -------- Australia --------
+    {"au", "Australia",      C::kAustralia, -43.64, 113.16, -10.67, 153.61, -33.87, 151.21, 0.70},
+    // -------- North America --------
+    {"us", "United States",  C::kNorthAmerica, 24.54, -124.77, 49.38, -66.95, 39.04, -77.49, 1.00},
+    {"ca", "Canada",         C::kNorthAmerica, 41.68, -141.00, 69.60, -52.62, 49.90, -97.14, 0.80},
+    {"gl", "Greenland",      C::kNorthAmerica, 59.80,  -73.30, 83.60, -11.30, 64.18, -51.72, 0.00},
+    // -------- Central America (incl. Mexico and Caribbean) --------
+    {"mx", "Mexico",         C::kCentralAmerica, 14.53, -117.13, 32.72, -86.74, 19.43, -99.13, 0.40},
+    {"pa", "Panama",         C::kCentralAmerica,  7.20,  -83.05,  9.65, -77.17,  8.98, -79.52, 0.25},
+    {"cr", "Costa Rica",     C::kCentralAmerica,  8.02,  -85.95, 11.22, -82.55,  9.93, -84.08, 0.20},
+    {"cu", "Cuba",           C::kCentralAmerica, 19.83,  -84.95, 23.19, -74.13, 23.11, -82.37, 0.05},
+    {"do", "Dominican Rep.", C::kCentralAmerica, 17.54,  -71.95, 19.93, -68.32, 18.47, -69.89, 0.10},
+    {"gt", "Guatemala",      C::kCentralAmerica, 13.74,  -92.23, 17.82, -88.22, 14.63, -90.51, 0.10},
+    {"jm", "Jamaica",        C::kCentralAmerica, 17.70,  -78.37, 18.53, -76.19, 18.00, -76.79, 0.10},
+    {"bs", "Bahamas",        C::kCentralAmerica, 22.85,  -78.99, 26.92, -74.42, 25.06, -77.35, 0.10},
+    {"pr", "Puerto Rico",    C::kCentralAmerica, 17.93,  -67.24, 18.52, -65.59, 18.47, -66.11, 0.20},
+    {"vg", "Br. Virgin Is.", C::kCentralAmerica, 18.30,  -64.85, 18.75, -64.27, 18.43, -64.62, 0.05},
+    // -------- South America --------
+    {"br", "Brazil",         C::kSouthAmerica, -33.75, -73.99,   5.27, -34.79, -23.55, -46.63, 0.55},
+    {"ar", "Argentina",      C::kSouthAmerica, -55.06, -73.58, -21.78, -53.64, -34.60, -58.38, 0.35},
+    {"cl", "Chile",          C::kSouthAmerica, -55.92, -75.64, -17.51, -66.96, -33.45, -70.67, 0.35},
+    {"co", "Colombia",       C::kSouthAmerica,  -4.23, -79.00,  12.46, -66.87,   4.71, -74.07, 0.30},
+    {"pe", "Peru",           C::kSouthAmerica, -18.35, -81.33,  -0.04, -68.67, -12.05, -77.04, 0.20},
+    {"ve", "Venezuela",      C::kSouthAmerica,   0.65, -73.38,  12.20, -59.80,  10.48, -66.90, 0.10},
+    {"ec", "Ecuador",        C::kSouthAmerica,  -5.00, -81.08,   1.44, -75.19,  -0.18, -78.47, 0.15},
+    {"uy", "Uruguay",        C::kSouthAmerica, -34.98, -58.10, -30.08, -53.07, -34.90, -56.16, 0.20},
+    {"bo", "Bolivia",        C::kSouthAmerica, -22.90, -69.65,  -9.67, -57.45, -16.49, -68.13, 0.05},
+    {"py", "Paraguay",       C::kSouthAmerica, -27.60, -62.65, -19.29, -54.26, -25.26, -57.58, 0.05},
+};
+// clang-format on
+}  // namespace
+
+const std::vector<CountrySpec>& builtin_country_specs() { return kSpecs; }
+
+Country make_country(const CountrySpec& spec) {
+  Country c;
+  c.code = spec.code;
+  c.name = spec.name;
+  c.continent = spec.continent;
+  c.shape = geo::box_polygon(spec.south, spec.west, spec.north, spec.east);
+  c.capital = geo::make_latlon(spec.capital_lat, spec.capital_lon);
+  c.hosting_score = spec.hosting_score;
+  return c;
+}
+
+}  // namespace ageo::world

@@ -1,0 +1,53 @@
+// Countries of the synthetic world model.
+//
+// Each country is approximated by one axis-aligned latitude/longitude box
+// (adequate for country-level claim checking; the paper itself evaluates
+// only country-level claims, §6). Coordinates are coarse versions of real
+// geography so that the confusion structure — which neighbours get mixed
+// up — matches the paper's Figures 22/23.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/latlon.hpp"
+#include "geo/polygon.hpp"
+#include "world/continent.hpp"
+
+namespace ageo::world {
+
+/// Index into WorldModel's country table.
+using CountryId = std::uint16_t;
+inline constexpr CountryId kNoCountry = 0xffff;
+
+struct Country {
+  std::string code;      // ISO-3166-ish two-letter code
+  std::string name;
+  Continent continent = Continent::kEurope;
+  geo::Polygon shape;
+  geo::LatLon capital;   // representative city; servers cluster here
+  /// Hosting attractiveness in [0, 1]: probability weight that a proxy
+  /// provider actually places hardware here. ~0 for implausible locations
+  /// (North Korea, Vatican, Pitcairn), high for US/DE/NL/GB/CZ etc.
+  double hosting_score = 0.0;
+};
+
+/// Raw static row used to build the table.
+struct CountrySpec {
+  std::string_view code;
+  std::string_view name;
+  Continent continent;
+  double south, west, north, east;  // bounding box, degrees
+  double capital_lat, capital_lon;
+  double hosting_score;
+};
+
+/// The built-in country table (~80 countries). Stable order across runs.
+const std::vector<CountrySpec>& builtin_country_specs();
+
+/// Materialise a Country from its spec.
+Country make_country(const CountrySpec& spec);
+
+}  // namespace ageo::world

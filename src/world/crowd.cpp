@@ -1,0 +1,95 @@
+#include "world/crowd.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "world/placement.hpp"
+
+namespace ageo::world {
+
+namespace {
+struct Share {
+  Continent continent;
+  double share;
+};
+// Fig. 8: majority Europe/North America, "enough contributors elsewhere
+// for statistics".
+constexpr std::array<Share, 8> kCrowdShares = {{
+    {Continent::kEurope, 0.34},
+    {Continent::kNorthAmerica, 0.30},
+    {Continent::kAsia, 0.14},
+    {Continent::kSouthAmerica, 0.08},
+    {Continent::kAfrica, 0.05},
+    {Continent::kOceania, 0.03},
+    {Continent::kAustralia, 0.04},
+    {Continent::kCentralAmerica, 0.02},
+}};
+
+CountryId pick_country_weighted(const WorldModel& w, Continent continent,
+                                Rng& rng) {
+  // Crowd workers live where people live; weight by a population proxy
+  // (hosting score is correlated enough for this purpose, floored so
+  // poorer countries still appear).
+  double total = 0.0;
+  for (CountryId i = 0; i < w.country_count(); ++i)
+    if (w.country(i).continent == continent)
+      total += 0.15 + w.country(i).hosting_score;
+  double r = rng.uniform(0.0, total);
+  for (CountryId i = 0; i < w.country_count(); ++i) {
+    if (w.country(i).continent != continent) continue;
+    r -= 0.15 + w.country(i).hosting_score;
+    if (r <= 0.0) return i;
+  }
+  for (CountryId i = 0; i < w.country_count(); ++i)
+    if (w.country(i).continent == continent) return i;
+  throw InvalidArgument("generate_crowd: empty continent");
+}
+
+double round2(double v) { return std::round(v * 100.0) / 100.0; }
+}  // namespace
+
+std::vector<CrowdHost> generate_crowd(const WorldModel& w,
+                                      const CrowdConfig& cfg) {
+  detail::require(cfg.n_volunteers >= 0 && cfg.n_turkers >= 0,
+                  "generate_crowd: negative counts");
+  Rng rng(cfg.seed, "crowd");
+  std::vector<CrowdHost> out;
+  int total = cfg.n_volunteers + cfg.n_turkers;
+  out.reserve(static_cast<std::size_t>(total));
+
+  int made = 0;
+  for (std::size_t s = 0; s < kCrowdShares.size(); ++s) {
+    int count = (s + 1 == kCrowdShares.size())
+                    ? total - made
+                    : static_cast<int>(kCrowdShares[s].share * total);
+    for (int i = 0; i < count; ++i) {
+      CrowdHost h;
+      h.continent = kCrowdShares[s].continent;
+      h.country = pick_country_weighted(w, h.continent, rng);
+      h.true_location = random_point_in_country(w, h.country, rng);
+      h.reported_location =
+          geo::LatLon{round2(h.true_location.lat_deg),
+                      round2(h.true_location.lon_deg)};
+      h.is_volunteer = made < cfg.n_volunteers;
+      // "Most of our crowdsourced contributors used the web application
+      // under Windows" (§5).
+      h.os = rng.chance(0.78) ? ClientOs::kWindows : ClientOs::kLinux;
+      if (h.os == ClientOs::kWindows) {
+        double b = rng.uniform();
+        h.browser = b < 0.55   ? Browser::kChrome
+                    : b < 0.85 ? Browser::kFirefox
+                               : Browser::kEdge;
+      } else {
+        h.browser = rng.chance(0.6) ? Browser::kChrome : Browser::kFirefox;
+      }
+      h.net_quality = rng.uniform(0.35, 0.85);
+      out.push_back(h);
+      ++made;
+    }
+  }
+  return out;
+}
+
+}  // namespace ageo::world

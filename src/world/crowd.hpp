@@ -1,0 +1,46 @@
+// Crowdsourced validation hosts (paper §5, Fig. 8).
+//
+// 40 volunteers plus 150 Mechanical Turk workers in known locations,
+// measuring with the web tool. Most run Windows; their self-reported
+// positions are rounded to two decimal places (~10 km of uncertainty),
+// which we reproduce.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/latlon.hpp"
+#include "world/world_model.hpp"
+
+namespace ageo::world {
+
+enum class ClientOs : std::uint8_t { kLinux, kWindows };
+enum class Browser : std::uint8_t {
+  kCli,        // the command-line tool, not a browser
+  kChrome,
+  kFirefox,
+  kEdge,
+};
+
+struct CrowdHost {
+  geo::LatLon true_location;
+  geo::LatLon reported_location;  // rounded to 2 decimals
+  CountryId country = kNoCountry;
+  Continent continent = Continent::kEurope;
+  bool is_volunteer = false;      // else Mechanical Turk worker
+  ClientOs os = ClientOs::kWindows;
+  Browser browser = Browser::kChrome;
+  double net_quality = 0.6;       // residential networks
+};
+
+struct CrowdConfig {
+  int n_volunteers = 40;
+  int n_turkers = 150;
+  std::uint64_t seed = 7;
+};
+
+std::vector<CrowdHost> generate_crowd(const WorldModel& w,
+                                      const CrowdConfig& cfg);
+
+}  // namespace ageo::world

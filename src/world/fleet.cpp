@@ -1,0 +1,238 @@
+#include "world/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "geo/geodesy.hpp"
+#include "world/placement.hpp"
+
+namespace ageo::world {
+
+std::vector<ProviderSpec> default_provider_specs() {
+  // Claimed-country counts scale the paper's 222-territory universe down
+  // to this model's ~95 countries; honesty ordering follows §8
+  // ("Provider A is especially misleading").
+  return {
+      {"A", 90, 0.42, 360, 10},
+      {"B", 75, 0.55, 300, 8},
+      {"C", 60, 0.75, 300, 10},
+      {"D", 45, 0.80, 270, 9},
+      {"E", 35, 0.55, 280, 7},
+      {"F", 20, 0.80, 280, 6},
+      {"G", 12, 0.90, 180, 5},
+  };
+}
+
+namespace {
+
+/// Countries ordered by claim attractiveness for one provider: hosting
+/// score with a little per-provider jitter, so all providers claim
+/// roughly the same popular countries first (paper Fig. 14: "providers
+/// who claim only a few locations tend to claim more or less the same
+/// locations").
+std::vector<CountryId> claim_order(const WorldModel& w, Rng& rng) {
+  std::vector<CountryId> ids(w.country_count());
+  std::iota(ids.begin(), ids.end(), CountryId{0});
+  std::vector<double> score(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    score[i] = w.country(ids[i]).hosting_score + rng.uniform(0.0, 0.15);
+  std::sort(ids.begin(), ids.end(), [&](CountryId a, CountryId b) {
+    return score[a] > score[b];
+  });
+  return ids;
+}
+
+/// A point in `id`'s capital metro (within max_km of the capital) that
+/// still maps back to `id` — capitals near borders need the check.
+geo::LatLon metro_point(const WorldModel& w, CountryId id, Rng& rng,
+                        double max_km) {
+  const geo::LatLon capital = w.country(id).capital;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    geo::LatLon p = geo::destination(capital, rng.uniform(0.0, 360.0),
+                                     rng.uniform(0.0, max_km));
+    if (w.country_at(p) == id) return p;
+  }
+  return capital;
+}
+
+/// Pick a real hosting site country: heavily weighted toward the cheap,
+/// reliable hosting countries (hosting_score cubed).
+CountryId pick_hosting_country(const WorldModel& w, Rng& rng) {
+  double total = 0.0;
+  for (CountryId i = 0; i < w.country_count(); ++i) {
+    double h = w.country(i).hosting_score;
+    total += h * h * h;
+  }
+  double r = rng.uniform(0.0, total);
+  for (CountryId i = 0; i < w.country_count(); ++i) {
+    double h = w.country(i).hosting_score;
+    r -= h * h * h;
+    if (r <= 0.0) return i;
+  }
+  return static_cast<CountryId>(w.country_count() - 1);
+}
+
+}  // namespace
+
+Fleet generate_fleet(const WorldModel& w,
+                     std::span<const ProviderSpec> specs,
+                     std::uint64_t seed) {
+  Fleet fleet;
+  std::uint32_t next_asn = 63000;
+  std::uint32_t next_prefix = 1;
+
+  for (const auto& spec : specs) {
+    detail::require(spec.n_claimed_countries > 0 &&
+                        spec.n_claimed_countries <=
+                            static_cast<int>(w.country_count()),
+                    "generate_fleet: claimed countries out of range");
+    detail::require(spec.honesty >= 0.0 && spec.honesty <= 1.0,
+                    "generate_fleet: honesty must be in [0, 1]");
+    Rng rng(seed, "fleet/" + spec.name);
+
+    // The provider's real hosting footprint: a handful of sites in cheap
+    // hosting countries (consolidation is the paper's core hypothesis).
+    std::vector<int> site_indices;
+    for (int s = 0; s < spec.n_real_sites; ++s) {
+      ProviderSite site;
+      site.provider = spec.name;
+      site.country = pick_hosting_country(w, rng);
+      // Consolidated sites are in the hosting country's capital metro.
+      site.location = metro_point(w, site.country, rng, 40.0);
+      site.asn = next_asn++;
+      site_indices.push_back(static_cast<int>(fleet.sites.size()));
+      fleet.sites.push_back(site);
+    }
+
+    auto order = claim_order(w, rng);
+    std::vector<CountryId> claimed(
+        order.begin(),
+        order.begin() + static_cast<std::ptrdiff_t>(spec.n_claimed_countries));
+
+    // Server count per claimed country: popular countries host many
+    // servers, the long tail one or two. Apportion by hosting weight.
+    std::vector<double> weight(claimed.size());
+    double wtot = 0.0;
+    for (std::size_t i = 0; i < claimed.size(); ++i) {
+      weight[i] = 0.4 + 3.0 * w.country(claimed[i]).hosting_score;
+      wtot += weight[i];
+    }
+
+    int server_id = 0;
+    for (std::size_t i = 0; i < claimed.size(); ++i) {
+      int n_here = std::max(
+          1, static_cast<int>(std::round(weight[i] / wtot *
+                                         spec.target_servers)));
+      const Country& cc = w.country(claimed[i]);
+      // Per-(provider, country) honesty decision: providers either host
+      // in a country or they don't — all servers claimed there share the
+      // outcome (matches the per-country pattern of Fig. 19).
+      // Honesty rises steeply with hosting attractiveness: providers
+      // almost always really host in the US/DE/NL tier (where hosting
+      // is cheapest anyway) and almost never in the long tail — the
+      // paper's Fig. 17/18: top-10 countries hold 84% of the credible
+      // cases but only 11% of the false ones.
+      double h = cc.hosting_score;
+      double p_honest =
+          std::pow(spec.honesty, 1.6 - h) * (0.3 + 0.7 * h);
+      if (h < 0.05) p_honest = 0.0;
+      const bool honest_country = rng.chance(p_honest);
+
+      // Honest hosting uses a dedicated in-country site in the capital
+      // metro — real servers live in data centers, not random fields.
+      int honest_site = -1;
+      if (honest_country) {
+        ProviderSite site;
+        site.provider = spec.name;
+        site.country = claimed[i];
+        site.location = metro_point(w, claimed[i], rng, 25.0);
+        site.asn = next_asn++;
+        honest_site = static_cast<int>(fleet.sites.size());
+        fleet.sites.push_back(site);
+      }
+
+      // Dishonest servers of this country all live at one consolidated
+      // site (same AS, same /24 — the Fig. 16 signature).
+      int false_site =
+          site_indices[rng.uniform_index(site_indices.size())];
+
+      std::uint32_t prefix = next_prefix++;
+      for (int s = 0; s < n_here; ++s) {
+        ProxyHost h;
+        h.provider = spec.name;
+        h.server_id = server_id++;
+        h.claimed_country = claimed[i];
+        int site_idx = honest_country ? honest_site : false_site;
+        const ProviderSite& site =
+            fleet.sites[static_cast<std::size_t>(site_idx)];
+        h.true_country = site.country;
+        // Servers sit within the site's data-center metro (few km
+        // apart), never crossing a border.
+        h.true_location = site.location;
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          geo::LatLon p = geo::destination(
+              site.location, rng.uniform(0.0, 360.0), rng.uniform(0.0, 15.0));
+          if (w.country_at(p) == site.country) {
+            h.true_location = p;
+            break;
+          }
+        }
+        h.true_site = site_idx;
+        h.asn = site.asn;
+        h.prefix24 = prefix;
+        h.pingable = rng.chance(0.10);
+        h.gateway_pingable = rng.chance(0.10);
+        h.drops_time_exceeded = rng.chance(0.33);
+        fleet.hosts.push_back(std::move(h));
+      }
+    }
+  }
+  return fleet;
+}
+
+std::vector<Fleet> longitudinal_fleets(const WorldModel& w,
+                                       std::span<const ProviderSpec> specs,
+                                       const EvolutionConfig& cfg,
+                                       std::uint64_t seed) {
+  detail::require(cfg.n_epochs > 0, "longitudinal_fleets: need >= 1 epoch");
+  detail::require(cfg.honesty_drift >= 0.0,
+                  "longitudinal_fleets: drift must be >= 0");
+  std::vector<Fleet> out;
+  out.reserve(static_cast<std::size_t>(cfg.n_epochs));
+  // Per-provider drift direction, fixed for the whole study.
+  Rng dir_rng(seed, "fleet/evolution");
+  std::vector<double> direction(specs.size());
+  for (auto& d : direction) d = dir_rng.chance(0.5) ? 1.0 : -1.0;
+
+  for (int e = 0; e < cfg.n_epochs; ++e) {
+    std::vector<ProviderSpec> epoch_specs(specs.begin(), specs.end());
+    for (std::size_t p = 0; p < epoch_specs.size(); ++p) {
+      epoch_specs[p].honesty =
+          std::clamp(epoch_specs[p].honesty +
+                         direction[p] * cfg.honesty_drift * e,
+                     0.02, 0.98);
+    }
+    out.push_back(generate_fleet(w, epoch_specs,
+                                 seed + static_cast<std::uint64_t>(e)));
+  }
+  return out;
+}
+
+std::vector<int> competitor_claim_counts(int n_providers,
+                                         std::uint64_t seed) {
+  detail::require(n_providers > 0, "competitor_claim_counts: need > 0");
+  Rng rng(seed, "competitors");
+  std::vector<int> counts(static_cast<std::size_t>(n_providers));
+  for (auto& c : counts) {
+    // Log-normal-ish: most providers claim a handful of countries, a few
+    // claim nearly everywhere.
+    double v = rng.lognormal(2.3, 0.9);
+    c = std::clamp(static_cast<int>(std::round(v)), 1, 95);
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  return counts;
+}
+
+}  // namespace ageo::world

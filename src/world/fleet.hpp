@@ -1,0 +1,95 @@
+// VPN provider fleets: claimed vs. true server locations.
+//
+// Substitutes for the seven commercial VPN services of the paper's §6.
+// The generator knows the ground truth (where each server really is);
+// the measurement and assessment pipeline never reads the `true_*`
+// fields — they exist so experiments can score themselves.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geo/latlon.hpp"
+#include "world/world_model.hpp"
+
+namespace ageo::world {
+
+struct ProxyHost {
+  std::string provider;       // "A" .. "G"
+  int server_id = 0;          // unique within provider
+  CountryId claimed_country = kNoCountry;
+
+  // Ground truth (simulator-only; hidden from the pipeline).
+  CountryId true_country = kNoCountry;
+  geo::LatLon true_location;
+  int true_site = -1;         // index into Fleet::sites, -1 if standalone
+
+  // Network metadata the pipeline may use (paper §6, Fig. 16).
+  std::uint32_t asn = 0;
+  std::uint32_t prefix24 = 0; // opaque /24 identifier
+
+  // Filtering behaviour (paper §4.2): most proxies ignore pings and
+  // break traceroute; TCP connects on common ports always work.
+  bool pingable = false;
+  bool gateway_pingable = false;
+  bool drops_time_exceeded = true;
+};
+
+/// A physical hosting site a provider actually uses.
+struct ProviderSite {
+  std::string provider;
+  CountryId country = kNoCountry;
+  geo::LatLon location;
+  std::uint32_t asn = 0;
+};
+
+struct ProviderSpec {
+  std::string name;
+  int n_claimed_countries = 20;
+  /// Base probability that a claim is honest (scaled down further for
+  /// countries where hosting is implausible).
+  double honesty = 0.5;
+  /// Approximate number of servers to generate.
+  int target_servers = 280;
+  /// How many real hosting sites the provider operates.
+  int n_real_sites = 8;
+};
+
+/// The seven providers of the study, A (broadest, least honest) through
+/// G (modest claims). Claimed-country counts follow Fig. 14's ranking.
+std::vector<ProviderSpec> default_provider_specs();
+
+struct Fleet {
+  std::vector<ProxyHost> hosts;
+  std::vector<ProviderSite> sites;
+};
+
+Fleet generate_fleet(const WorldModel& w,
+                     std::span<const ProviderSpec> specs, std::uint64_t seed);
+
+/// Claimed-country counts for ~150 competitor providers (Fig. 14's grey
+/// background distribution): most providers claim few, common countries;
+/// a few claim the whole world.
+std::vector<int> competitor_claim_counts(int n_providers, std::uint64_t seed);
+
+/// Longitudinal fleet evolution (paper §8.1 future work: "repeat the
+/// measurements over time, and report on whether providers become more
+/// or less honest as the wider ecosystem changes").
+struct EvolutionConfig {
+  int n_epochs = 6;
+  /// Per-epoch honesty change magnitude; each provider drifts up or
+  /// down (deterministically per seed) as market pressure moves it.
+  double honesty_drift = 0.06;
+};
+
+/// One fleet per epoch. Epoch 0 is generate_fleet(specs); later epochs
+/// regenerate with drifted honesty (server churn is implicit in the
+/// regeneration — real providers renumber their fleets constantly).
+std::vector<Fleet> longitudinal_fleets(const WorldModel& w,
+                                       std::span<const ProviderSpec> specs,
+                                       const EvolutionConfig& cfg,
+                                       std::uint64_t seed);
+
+}  // namespace ageo::world

@@ -1,0 +1,70 @@
+#include "world/geojson.hpp"
+
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace ageo::world {
+
+namespace {
+void write_coord(std::ostream& os, const geo::LatLon& p) {
+  // GeoJSON is [lon, lat].
+  os << "[" << p.lon_deg << "," << p.lat_deg << "]";
+}
+}  // namespace
+
+void write_countries_geojson(std::ostream& os, const WorldModel& w) {
+  os << "{\"type\":\"FeatureCollection\",\"features\":[\n";
+  for (std::size_t i = 0; i < w.country_count(); ++i) {
+    const Country& c = w.country(static_cast<CountryId>(i));
+    os << "{\"type\":\"Feature\",\"properties\":{\"code\":\"" << c.code
+       << "\",\"name\":\"" << c.name << "\",\"continent\":\""
+       << to_string(c.continent) << "\",\"hosting_score\":"
+       << c.hosting_score << "},\"geometry\":{\"type\":\"Polygon\","
+       << "\"coordinates\":[[";
+    auto vs = c.shape.vertices();
+    for (std::size_t v = 0; v < vs.size(); ++v) {
+      if (v) os << ",";
+      write_coord(os, vs[v]);
+    }
+    os << ",";
+    write_coord(os, vs[0]);  // close the ring
+    os << "]]}}";
+    if (i + 1 < w.country_count()) os << ",";
+    os << "\n";
+  }
+  os << "]}\n";
+}
+
+void write_data_centers_geojson(std::ostream& os, const WorldModel& w) {
+  os << "{\"type\":\"FeatureCollection\",\"features\":[\n";
+  auto dcs = w.data_centers();
+  for (std::size_t i = 0; i < dcs.size(); ++i) {
+    const DataCenter& dc = dcs[i];
+    os << "{\"type\":\"Feature\",\"properties\":{\"name\":\"" << dc.name
+       << "\",\"country\":\"" << w.country(dc.country).code
+       << "\"},\"geometry\":{\"type\":\"Point\",\"coordinates\":";
+    write_coord(os, dc.location);
+    os << "}}";
+    if (i + 1 < dcs.size()) os << ",";
+    os << "\n";
+  }
+  os << "]}\n";
+}
+
+void write_region_geojson(std::ostream& os, const grid::Region& region,
+                          std::string_view properties_json) {
+  detail::require(region.grid() != nullptr,
+                  "write_region_geojson: detached region");
+  os << "{\"type\":\"Feature\",\"properties\":" << properties_json
+     << ",\"geometry\":{\"type\":\"MultiPoint\",\"coordinates\":[";
+  bool first = true;
+  region.for_each_cell([&](std::size_t idx) {
+    if (!first) os << ",";
+    first = false;
+    write_coord(os, region.grid()->center(idx));
+  });
+  os << "]}}\n";
+}
+
+}  // namespace ageo::world

@@ -1,0 +1,29 @@
+// GeoJSON export of world geometry and prediction regions.
+//
+// Lets downstream users inspect countries, data centers, and prediction
+// regions in standard GIS tooling (geojson.io, QGIS, kepler.gl). Regions
+// export as MultiPoint clouds of covered cell centers — compact, honest
+// about the raster representation, and renderable everywhere.
+#pragma once
+
+#include <iosfwd>
+
+#include "grid/region.hpp"
+#include "world/world_model.hpp"
+
+namespace ageo::world {
+
+/// All countries as a FeatureCollection of Polygon features with
+/// properties {code, name, continent, hosting_score}.
+void write_countries_geojson(std::ostream& os, const WorldModel& w);
+
+/// Data centers as a FeatureCollection of Point features.
+void write_data_centers_geojson(std::ostream& os, const WorldModel& w);
+
+/// One prediction region as a Feature (MultiPoint of cell centers) with
+/// the given properties blob (raw JSON object text, e.g. R"({"id":3})";
+/// pass "{}" for none).
+void write_region_geojson(std::ostream& os, const grid::Region& region,
+                          std::string_view properties_json = "{}");
+
+}  // namespace ageo::world

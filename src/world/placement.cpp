@@ -1,0 +1,40 @@
+#include "world/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/geodesy.hpp"
+
+namespace ageo::world {
+
+double country_radius_km(const WorldModel& w, CountryId id) {
+  const Country& c = w.country(id);
+  double dlat_km = (c.shape.max_lat() - c.shape.min_lat()) * 111.2 / 2.0;
+  // Estimate the east-west half extent at the capital's latitude from the
+  // vertex span.
+  auto vs = c.shape.vertices();
+  double min_l = vs[0].lon_deg, max_l = vs[0].lon_deg;
+  for (const auto& v : vs) {
+    double d = std::remainder(v.lon_deg - vs[0].lon_deg, 360.0);
+    min_l = std::min(min_l, vs[0].lon_deg + d);
+    max_l = std::max(max_l, vs[0].lon_deg + d);
+  }
+  double dlon_km = (max_l - min_l) * 111.2 *
+                   std::cos(geo::deg_to_rad(c.capital.lat_deg)) / 2.0;
+  return std::max(10.0, std::hypot(dlat_km, dlon_km));
+}
+
+geo::LatLon random_point_in_country(const WorldModel& w, CountryId id,
+                                    Rng& rng) {
+  const Country& c = w.country(id);
+  const double spread = country_radius_km(w, id) * 0.45;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    double bearing = rng.uniform(0.0, 360.0);
+    double dist = std::abs(rng.normal(0.0, spread));
+    geo::LatLon p = geo::destination(c.capital, bearing, dist);
+    if (w.country_at(p) == id) return p;
+  }
+  return c.capital;
+}
+
+}  // namespace ageo::world

@@ -1,0 +1,20 @@
+// Random placement of hosts inside countries.
+#pragma once
+
+#include "common/rng.hpp"
+#include "geo/latlon.hpp"
+#include "world/world_model.hpp"
+
+namespace ageo::world {
+
+/// A random point that country_at() maps back to `id`. Points cluster
+/// around the capital (where population and infrastructure are) with a
+/// spread proportional to the country's size. Falls back to the capital
+/// itself if rejection sampling fails (tiny countries on coarse shapes).
+geo::LatLon random_point_in_country(const WorldModel& w, CountryId id,
+                                    Rng& rng);
+
+/// Rough radius of a country, km: half the diagonal of its bounding box.
+double country_radius_km(const WorldModel& w, CountryId id);
+
+}  // namespace ageo::world

@@ -1,0 +1,187 @@
+#include "world/world_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "geo/geodesy.hpp"
+#include "geo/units.hpp"
+#include "grid/raster.hpp"
+
+namespace ageo::world {
+
+namespace {
+/// Rough relative size of a country's box, for overlap resolution.
+double shape_extent(const Country& c) {
+  double dlat = c.shape.max_lat() - c.shape.min_lat();
+  // Approximate longitudinal extent from vertices.
+  auto vs = c.shape.vertices();
+  double min_lon = vs[0].lon_deg, max_lon = vs[0].lon_deg;
+  // Vertices were produced by box_polygon, so their longitudes only span
+  // < 360 degrees; unwrap relative to the first.
+  for (const auto& v : vs) {
+    double d = std::remainder(v.lon_deg - vs[0].lon_deg, 360.0);
+    min_lon = std::min(min_lon, vs[0].lon_deg + d);
+    max_lon = std::max(max_lon, vs[0].lon_deg + d);
+  }
+  double mid_lat = (c.shape.max_lat() + c.shape.min_lat()) / 2.0;
+  return dlat * (max_lon - min_lon) * std::cos(geo::deg_to_rad(mid_lat));
+}
+}  // namespace
+
+CountryRaster::CountryRaster(const grid::Grid& g,
+                             std::vector<CountryId> cells)
+    : grid_(&g), cells_(std::move(cells)) {
+  detail::require(cells_.size() == g.size(),
+                  "CountryRaster: cell count mismatch");
+}
+
+std::vector<CountryId> CountryRaster::countries_in(
+    const grid::Region& region) const {
+  detail::require(region.grid() == grid_,
+                  "CountryRaster: region grid mismatch");
+  std::vector<bool> seen;
+  std::vector<CountryId> out;
+  region.for_each_cell([&](std::size_t idx) {
+    CountryId c = cells_[idx];
+    if (c == kNoCountry) return;
+    if (c >= seen.size()) seen.resize(c + 1, false);
+    if (!seen[c]) {
+      seen[c] = true;
+      out.push_back(c);
+    }
+  });
+  return out;
+}
+
+bool CountryRaster::region_touches(const grid::Region& region,
+                                   CountryId country) const {
+  detail::require(region.grid() == grid_,
+                  "CountryRaster: region grid mismatch");
+  bool found = false;
+  region.for_each_cell([&](std::size_t idx) {
+    if (cells_[idx] == country) found = true;
+  });
+  return found;
+}
+
+WorldModel::WorldModel() {
+  countries_.reserve(builtin_country_specs().size());
+  for (const auto& spec : builtin_country_specs())
+    countries_.push_back(make_country(spec));
+  build_indexes();
+}
+
+WorldModel::WorldModel(std::vector<Country> countries)
+    : countries_(std::move(countries)) {
+  detail::require(!countries_.empty(), "WorldModel: need at least 1 country");
+  build_indexes();
+}
+
+void WorldModel::build_indexes() {
+  by_area_.resize(countries_.size());
+  for (std::size_t i = 0; i < countries_.size(); ++i) by_area_[i] = i;
+  std::sort(by_area_.begin(), by_area_.end(),
+            [&](std::size_t a, std::size_t b) {
+              return shape_extent(countries_[a]) < shape_extent(countries_[b]);
+            });
+
+  // Data centers: capitals of countries where hosting is plausible,
+  // plus secondary sites in the cheapest-hosting countries (mirrors how
+  // real facilities cluster in the US/EU).
+  data_centers_.clear();
+  for (std::size_t i = 0; i < countries_.size(); ++i) {
+    const Country& c = countries_[i];
+    if (c.hosting_score < 0.15) continue;
+    data_centers_.push_back(
+        DataCenter{c.name + " DC1", c.capital, static_cast<CountryId>(i)});
+    if (c.hosting_score >= 0.75) {
+      // A second facility displaced a few hundred km from the capital.
+      geo::LatLon second = geo::destination(c.capital, 135.0, 350.0);
+      if (country_at(second) == static_cast<CountryId>(i)) {
+        data_centers_.push_back(DataCenter{c.name + " DC2", second,
+                                           static_cast<CountryId>(i)});
+      }
+    }
+  }
+}
+
+const Country& WorldModel::country(CountryId id) const {
+  detail::require(id < countries_.size(), "WorldModel: bad country id");
+  return countries_[id];
+}
+
+std::optional<CountryId> WorldModel::find_country(
+    std::string_view code) const noexcept {
+  for (std::size_t i = 0; i < countries_.size(); ++i)
+    if (countries_[i].code == code) return static_cast<CountryId>(i);
+  return std::nullopt;
+}
+
+CountryId WorldModel::country_at(const geo::LatLon& p) const noexcept {
+  for (std::size_t i : by_area_) {
+    if (countries_[i].shape.contains(p)) return static_cast<CountryId>(i);
+  }
+  return kNoCountry;
+}
+
+Continent WorldModel::continent_of(CountryId id) const {
+  return country(id).continent;
+}
+
+grid::Region WorldModel::land_mask(const grid::Grid& g) const {
+  grid::Region out(g);
+  for (const auto& c : countries_) out |= grid::rasterize_polygon(g, c.shape);
+  // Tiny countries can fall between cell centers on coarse grids; make
+  // sure every country contributes at least its capital's cell, so "on
+  // land" never excludes a claimable country outright (the paper keeps
+  // even the smallest islands, §3).
+  for (const auto& c : countries_) out.set(g.cell_at(c.capital));
+  return out;
+}
+
+grid::Region WorldModel::plausibility_mask(const grid::Grid& g) const {
+  grid::Region band = grid::rasterize_lat_band(g, geo::kMinPlausibleLatDeg,
+                                               geo::kMaxPlausibleLatDeg);
+  grid::Region land = land_mask(g);
+  land &= band;
+  return land;
+}
+
+grid::Region WorldModel::country_region(const grid::Grid& g,
+                                        CountryId id) const {
+  grid::Region r = grid::rasterize_polygon(g, country(id).shape);
+  // Remove cells that a smaller overlapping country owns.
+  CountryRaster raster = country_raster(g);
+  grid::Region out(g);
+  r.for_each_cell([&](std::size_t idx) {
+    if (raster.at(idx) == id) out.set(idx);
+  });
+  out.set(g.cell_at(country(id).capital));
+  return out;
+}
+
+CountryRaster WorldModel::country_raster(const grid::Grid& g) const {
+  std::vector<CountryId> cells(g.size(), kNoCountry);
+  // Paint from largest to smallest so small countries overwrite big ones.
+  for (auto it = by_area_.rbegin(); it != by_area_.rend(); ++it) {
+    std::size_t i = *it;
+    grid::Region r = grid::rasterize_polygon(g, countries_[i].shape);
+    r.for_each_cell(
+        [&](std::size_t idx) { cells[idx] = static_cast<CountryId>(i); });
+  }
+  // Guarantee every capital's cell maps to its own country.
+  for (std::size_t i = 0; i < countries_.size(); ++i)
+    cells[g.cell_at(countries_[i].capital)] = static_cast<CountryId>(i);
+  return CountryRaster(g, std::move(cells));
+}
+
+std::vector<const DataCenter*> WorldModel::data_centers_in(
+    const grid::Region& region) const {
+  std::vector<const DataCenter*> out;
+  for (const auto& dc : data_centers_)
+    if (region.contains(dc.location)) out.push_back(&dc);
+  return out;
+}
+
+}  // namespace ageo::world

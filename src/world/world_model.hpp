@@ -1,0 +1,102 @@
+// The synthetic world: countries, continents, land mask, data centers.
+//
+// Substitutes for the paper's Natural Earth map (land/ocean and country
+// outlines), its 85N/60S plausibility clip, and the University of
+// Wisconsin data-center list. See DESIGN.md, "Substitutions".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/latlon.hpp"
+#include "grid/grid.hpp"
+#include "grid/region.hpp"
+#include "world/country.hpp"
+
+namespace ageo::world {
+
+/// A known server-hosting facility. The claim-disambiguation step
+/// (paper §6, Fig. 15) intersects prediction regions with these.
+struct DataCenter {
+  std::string name;
+  geo::LatLon location;
+  CountryId country = kNoCountry;
+};
+
+/// Per-cell country assignment for one grid; smallest country wins where
+/// coarse boxes overlap (so enclaves like Vatican-in-Italy resolve
+/// correctly).
+class CountryRaster {
+ public:
+  CountryRaster(const grid::Grid& g, std::vector<CountryId> cells);
+
+  const grid::Grid* grid() const noexcept { return grid_; }
+  CountryId at(std::size_t cell) const noexcept { return cells_[cell]; }
+
+  /// All countries having at least one cell inside `region`, unsorted
+  /// unique list.
+  std::vector<CountryId> countries_in(const grid::Region& region) const;
+
+  /// True if any cell of `region` belongs to `country`.
+  bool region_touches(const grid::Region& region, CountryId country) const;
+
+ private:
+  const grid::Grid* grid_;
+  std::vector<CountryId> cells_;
+};
+
+class WorldModel {
+ public:
+  /// World with the built-in ~95-country table.
+  WorldModel();
+  explicit WorldModel(std::vector<Country> countries);
+
+  std::span<const Country> countries() const noexcept { return countries_; }
+  const Country& country(CountryId id) const;
+  std::size_t country_count() const noexcept { return countries_.size(); }
+
+  /// Lookup by two-letter code; returns nullopt when unknown.
+  std::optional<CountryId> find_country(std::string_view code) const noexcept;
+
+  /// Country containing a point (smallest containing shape), or kNoCountry
+  /// for ocean / unmodelled land.
+  CountryId country_at(const geo::LatLon& p) const noexcept;
+
+  Continent continent_of(CountryId id) const;
+
+  /// Cells belonging to any country: the "land" of this world.
+  grid::Region land_mask(const grid::Grid& g) const;
+
+  /// Land restricted to the plausible latitude band [60 S, 85 N]
+  /// (paper §3: Eriksson-style physical plausibility prior).
+  grid::Region plausibility_mask(const grid::Grid& g) const;
+
+  /// Cells of one country.
+  grid::Region country_region(const grid::Grid& g, CountryId id) const;
+
+  /// Rasterise the whole country table onto a grid.
+  CountryRaster country_raster(const grid::Grid& g) const;
+
+  /// Hosting facilities: one per country with hosting_score >= 0.15, at
+  /// the capital, plus secondary sites in the top hosting countries.
+  std::span<const DataCenter> data_centers() const noexcept {
+    return data_centers_;
+  }
+
+  /// Data centers located inside `region`.
+  std::vector<const DataCenter*> data_centers_in(
+      const grid::Region& region) const;
+
+ private:
+  std::vector<Country> countries_;
+  std::vector<std::size_t> by_area_;  // country indices, ascending box area
+  std::vector<DataCenter> data_centers_;
+
+  void build_indexes();
+};
+
+}  // namespace ageo::world

@@ -1,0 +1,145 @@
+// Coverage for configuration branches: audits with disambiguation
+// stages disabled, custom hub graphs, network parameter validation, and
+// aggregation helpers.
+#include <gtest/gtest.h>
+
+#include "assess/audit.hpp"
+#include "common/error.hpp"
+#include "measure/testbed.hpp"
+#include "netsim/network.hpp"
+#include "world/hubs.hpp"
+
+namespace ageo {
+namespace {
+
+class ConfigTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    measure::TestbedConfig cfg;
+    cfg.seed = 1001;
+    cfg.constellation.n_anchors = 100;
+    cfg.constellation.n_probes = 150;
+    bed_ = new measure::Testbed(cfg);
+  }
+  static void TearDownTestSuite() {
+    delete bed_;
+    bed_ = nullptr;
+  }
+  static measure::Testbed* bed_;
+
+  world::Fleet small_fleet() {
+    auto specs = world::default_provider_specs();
+    specs.resize(2);
+    for (auto& s : specs) s.target_servers = 25;
+    return world::generate_fleet(bed_->world(), specs, 3);
+  }
+};
+
+measure::Testbed* ConfigTest::bed_ = nullptr;
+
+TEST_F(ConfigTest, DisambiguationStagesCanBeDisabled) {
+  auto fleet = small_fleet();
+
+  assess::AuditConfig all_on;
+  assess::AuditConfig no_dc = all_on;
+  no_dc.use_data_centers = false;
+  assess::AuditConfig no_as = all_on;
+  no_as.use_as_grouping = false;
+
+  auto r_on = assess::Auditor(*bed_, all_on).run(fleet);
+  auto r_no_dc = assess::Auditor(*bed_, no_dc).run(fleet);
+  auto r_no_as = assess::Auditor(*bed_, no_as).run(fleet);
+
+  ASSERT_EQ(r_on.rows.size(), r_no_dc.rows.size());
+  // Without the DC stage, verdict_dc always equals verdict_raw.
+  for (const auto& row : r_no_dc.rows)
+    EXPECT_EQ(row.verdict_dc, row.verdict_raw);
+  // Without AS grouping, verdict_final always equals verdict_dc.
+  for (const auto& row : r_no_as.rows)
+    EXPECT_EQ(row.verdict_final, row.verdict_dc);
+  // With everything on, disambiguation must resolve at least one
+  // uncertain verdict on a 50-proxy fleet.
+  std::size_t resolved = 0;
+  for (const auto& row : r_on.rows)
+    if (row.verdict_raw == assess::Verdict::kUncertain &&
+        row.verdict_final != assess::Verdict::kUncertain)
+      ++resolved;
+  EXPECT_GT(resolved, 0u);
+}
+
+TEST_F(ConfigTest, BreakdownPartitionsRows) {
+  auto fleet = small_fleet();
+  auto report = assess::Auditor(*bed_, {}).run(fleet);
+  for (bool disamb : {false, true}) {
+    auto b = assess::breakdown(report.rows, disamb);
+    EXPECT_EQ(b.total(), report.rows.size());
+  }
+  auto h_raw = assess::honesty_by_provider(report.rows, false);
+  auto h_fin = assess::honesty_by_provider(report.rows, true);
+  ASSERT_EQ(h_raw.size(), h_fin.size());
+  std::size_t n_raw = 0, n_fin = 0;
+  for (std::size_t i = 0; i < h_raw.size(); ++i) {
+    n_raw += h_raw[i].n;
+    n_fin += h_fin[i].n;
+    EXPECT_EQ(h_raw[i].credible + h_raw[i].uncertain + h_raw[i].false_,
+              h_raw[i].n);
+  }
+  EXPECT_EQ(n_raw, report.rows.size());
+  EXPECT_EQ(n_fin, report.rows.size());
+}
+
+TEST(HubGraphCustom, ConstructionAndValidation) {
+  std::vector<world::Hub> hubs{
+      {"A", {0.0, 0.0}, world::Continent::kEurope, 1.0},
+      {"B", {0.0, 10.0}, world::Continent::kEurope, 1.0},
+      {"C", {0.0, 20.0}, world::Continent::kEurope, 1.0},
+  };
+  // A-B and B-C connected; A-C must route via B.
+  world::HubGraph g(hubs, {{0, 1, 1.2}, {1, 2, 1.2}});
+  EXPECT_EQ(g.route_hops(0, 2), 2);
+  EXPECT_NEAR(g.route_km(0, 2), g.route_km(0, 1) + g.route_km(1, 2), 1e-9);
+  // Congestion accumulates along the path (all three hubs).
+  EXPECT_NEAR(g.route_congestion_ms(0, 2), 3.0, 1e-9);
+
+  EXPECT_THROW(world::HubGraph(hubs, {{0, 3, 1.2}}), InvalidArgument);
+  EXPECT_THROW(world::HubGraph(hubs, {{0, 0, 1.2}}), InvalidArgument);
+  EXPECT_THROW(world::HubGraph(hubs, {{0, 1, 0.9}}), InvalidArgument);
+  EXPECT_THROW(world::HubGraph({}, {}), InvalidArgument);
+}
+
+TEST(HubGraphCustom, DisconnectedPairsAreInfinite) {
+  std::vector<world::Hub> hubs{
+      {"A", {0.0, 0.0}, world::Continent::kEurope, 1.0},
+      {"B", {0.0, 10.0}, world::Continent::kEurope, 1.0},
+  };
+  world::HubGraph g(hubs, {});
+  EXPECT_TRUE(std::isinf(g.route_km(0, 1)));
+  EXPECT_EQ(g.route_km(0, 0), 0.0);
+}
+
+TEST(NetworkParams, Validation) {
+  netsim::LatencyParams bad;
+  bad.fibre_speed_km_per_ms = 0.0;
+  EXPECT_THROW(netsim::Network(world::HubGraph::builtin(), 1, bad),
+               InvalidArgument);
+  netsim::LatencyParams bad2;
+  bad2.local_inflation = 0.5;
+  EXPECT_THROW(netsim::Network(world::HubGraph::builtin(), 1, bad2),
+               InvalidArgument);
+}
+
+TEST(NetworkParams, CustomSpeedChangesRtt) {
+  netsim::LatencyParams slow;
+  slow.fibre_speed_km_per_ms = 100.0;
+  netsim::Network fast_net(world::HubGraph::builtin(), 1);
+  netsim::Network slow_net(world::HubGraph::builtin(), 1, slow);
+  netsim::HostProfile a, b;
+  a.location = {40.0, -74.0};
+  b.location = {34.0, -118.0};
+  auto fa = fast_net.add_host(a), fb = fast_net.add_host(b);
+  auto sa = slow_net.add_host(a), sb = slow_net.add_host(b);
+  EXPECT_GT(slow_net.base_rtt_ms(sa, sb), fast_net.base_rtt_ms(fa, fb));
+}
+
+}  // namespace
+}  // namespace ageo

@@ -1,0 +1,402 @@
+// Tests for the extension components: shortest-ping baseline, full
+// Octant (height factor), the DFS subset solver, ASCII maps, report
+// writers, and round-robin DNS.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "algos/octant_full.hpp"
+#include "algos/quasi_octant.hpp"
+#include "algos/shortest_ping.hpp"
+#include "assess/report.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "geo/geodesy.hpp"
+#include "grid/ascii_map.hpp"
+#include "grid/raster.hpp"
+#include "measure/testbed.hpp"
+#include "mlat/subset_dfs.hpp"
+#include "ipdb/ip_database.hpp"
+#include "netsim/dns.hpp"
+#include "world/fleet.hpp"
+
+namespace ageo {
+namespace {
+
+// ---------- shortest ping ----------
+
+class ShortestPingTest : public ::testing::Test {
+ protected:
+  grid::Grid g{1.0};
+  calib::CalibrationStore store;
+  std::vector<geo::LatLon> landmarks{{48.85, 2.35}, {52.5, 13.4},
+                                     {41.9, 12.5}};
+
+  void SetUp() override {
+    Rng rng(1);
+    for (std::size_t i = 0; i < landmarks.size(); ++i) {
+      calib::CalibData d;
+      for (int k = 0; k < 50; ++k) {
+        double dist = rng.uniform(100.0, 8000.0);
+        d.push_back({dist, dist / 100.0 + 2.0 + rng.exponential(4.0)});
+      }
+      store.add_landmark(std::move(d));
+    }
+    store.fit_all();
+  }
+};
+
+TEST_F(ShortestPingTest, PicksFastestLandmark) {
+  std::vector<algos::Observation> obs{
+      {0, landmarks[0], 20.0}, {1, landmarks[1], 3.0},
+      {2, landmarks[2], 30.0}};
+  EXPECT_EQ(algos::ShortestPingGeolocator::fastest_landmark(obs), 1u);
+  algos::ShortestPingGeolocator sp(150.0);
+  auto est = sp.locate(g, store, obs);
+  ASSERT_FALSE(est.empty());
+  EXPECT_TRUE(est.region.contains(landmarks[1]));
+  EXPECT_FALSE(est.region.contains(landmarks[0]));
+  // Region is small (a 150 km cap).
+  EXPECT_LT(est.area_km2(), 4.0e5);
+}
+
+TEST_F(ShortestPingTest, ZeroRadiusSingleCell) {
+  std::vector<algos::Observation> obs{{0, landmarks[0], 5.0}};
+  algos::ShortestPingGeolocator sp(0.0);
+  auto est = sp.locate(g, store, obs);
+  EXPECT_EQ(est.region.count(), 1u);
+  EXPECT_TRUE(est.region.contains(landmarks[0]));
+}
+
+TEST_F(ShortestPingTest, MaskKeepsWinningCell) {
+  grid::Region mask(g);  // empty mask: everything masked out
+  std::vector<algos::Observation> obs{{0, landmarks[0], 5.0}};
+  algos::ShortestPingGeolocator sp(300.0);
+  auto est = sp.locate(g, store, obs, &mask);
+  // The guess survives even a hostile mask.
+  EXPECT_TRUE(est.region.contains(landmarks[0]));
+  EXPECT_THROW(algos::ShortestPingGeolocator(-1.0), InvalidArgument);
+}
+
+// ---------- full Octant (height factor) ----------
+
+TEST(OctantHeight, EstimatedFromCalibration) {
+  calib::CalibrationStore store;
+  calib::CalibData d;
+  Rng rng(2);
+  // Every measurement carries a constant 3 ms landmark-side overhead.
+  for (int k = 0; k < 200; ++k) {
+    double dist = rng.uniform(100.0, 8000.0);
+    d.push_back({dist, dist / 200.0 + 3.0 + rng.exponential(4.0)});
+  }
+  store.add_landmark(std::move(d));
+  store.add_landmark({});
+  store.fit_all();
+  double h = algos::octant_height_ms(store, 0);
+  EXPECT_GT(h, 1.5);
+  EXPECT_LT(h, 4.5);
+  EXPECT_EQ(algos::octant_height_ms(store, 1), 0.0);
+}
+
+TEST(OctantHeight, FullOctantAtLeastAsTight) {
+  Rng rng(3);
+  grid::Grid g(1.0);
+  calib::CalibrationStore store;
+  std::vector<geo::LatLon> lms{{48.85, 2.35}, {52.5, 13.4}, {41.9, 12.5},
+                               {50.1, 20.0},  {59.3, 18.0}};
+  for (std::size_t i = 0; i < lms.size(); ++i) {
+    calib::CalibData d;
+    for (int k = 0; k < 300; ++k) {
+      double dist = rng.uniform(100.0, 10000.0);
+      d.push_back({dist, dist / 100.0 + 2.5 + rng.exponential(5.0)});
+    }
+    store.add_landmark(std::move(d));
+  }
+  store.fit_all();
+  geo::LatLon truth{47.0, 11.0};
+  std::vector<algos::Observation> obs;
+  for (std::size_t i = 0; i < lms.size(); ++i) {
+    double dist = geo::distance_km(lms[i], truth);
+    obs.push_back({i, lms[i], dist / 100.0 + 2.5 + rng.exponential(3.0)});
+  }
+  algos::QuasiOctantGeolocator quasi;
+  algos::FullOctantGeolocator full;
+  auto est_q = quasi.locate(g, store, obs);
+  auto est_f = full.locate(g, store, obs);
+  // Height subtraction shrinks max-distance bounds, so the full-Octant
+  // region is no larger (it may be empty; both may be).
+  EXPECT_LE(est_f.area_km2(), est_q.area_km2() + 1e-6);
+  EXPECT_EQ(full.name(), "Octant");
+}
+
+// ---------- DFS subset solver equivalence ----------
+
+class SubsetDfsEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SubsetDfsEquivalence, MatchesCoverageMethod) {
+  grid::Grid g(2.0);
+  Rng rng(GetParam());
+  std::vector<mlat::DiskConstraint> disks;
+  int n = 3 + static_cast<int>(rng.uniform_index(9));
+  for (int i = 0; i < n; ++i) {
+    disks.push_back({{rng.uniform(-60.0, 60.0), rng.uniform(-180.0, 180.0)},
+                     rng.uniform(300.0, 5000.0)});
+  }
+  auto cover = mlat::largest_consistent_subset(g, disks);
+  auto dfs = mlat::largest_consistent_subset_dfs(g, disks);
+  // Identical maximum-subset cardinality (the central invariant).
+  EXPECT_EQ(dfs.n_used, cover.n_used);
+  // The DFS region (one maximum subset's intersection) is contained in
+  // the coverage region (union over all maximum subsets).
+  if (dfs.n_used > 0) {
+    EXPECT_FALSE(dfs.region.empty());
+    EXPECT_TRUE(dfs.region.subset_of(cover.region));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubsetDfsEquivalence,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u, 11u, 12u));
+
+TEST(SubsetDfs, EmptyAndDegenerate) {
+  grid::Grid g(4.0);
+  auto res = mlat::largest_consistent_subset_dfs(g, {});
+  EXPECT_EQ(res.region.count(), g.size());
+  // A radius so negative that conservative padding cannot rescue it.
+  std::vector<mlat::DiskConstraint> bad{{{0.0, 0.0}, -1000.0}};
+  auto res2 = mlat::largest_consistent_subset_dfs(g, bad);
+  EXPECT_EQ(res2.n_used, 0u);
+  EXPECT_EQ(mlat::largest_consistent_subset(g, bad).n_used, 0u);
+}
+
+// ---------- ASCII map ----------
+
+TEST(AsciiMapTest, LayersAndMarkers) {
+  grid::Grid g(2.0);
+  grid::AsciiMap map(80);
+  grid::Region land = grid::rasterize_cap(g, geo::Cap{{50.0, 10.0}, 2000.0});
+  map.add_layer(land, '.');
+  map.add_marker({50.0, 10.0}, 'X');
+  auto rows = map.render();
+  ASSERT_EQ(rows.size(), 20u);  // 80/4 rows
+  // The marker overwrote a layer cell somewhere.
+  std::size_t dots = 0, xs = 0;
+  for (const auto& row : rows) {
+    for (char c : row) {
+      if (c == '.') ++dots;
+      if (c == 'X') ++xs;
+    }
+  }
+  EXPECT_EQ(xs, 1u);
+  EXPECT_GT(dots, 10u);
+  // Cropping shrinks the row count.
+  map.crop_latitude(30.0, 70.0);
+  EXPECT_LT(map.render().size(), rows.size());
+  EXPECT_FALSE(map.to_string().empty());
+}
+
+TEST(AsciiMapTest, Validation) {
+  EXPECT_THROW(grid::AsciiMap(10), InvalidArgument);
+  EXPECT_THROW(grid::AsciiMap(500), InvalidArgument);
+  grid::AsciiMap map(40);
+  EXPECT_THROW(map.crop_latitude(50.0, 50.0), InvalidArgument);
+  EXPECT_THROW(map.add_marker({99.0, 0.0}, 'X'), InvalidArgument);
+}
+
+// ---------- report writers ----------
+
+TEST(ReportTest, JsonEscape) {
+  EXPECT_EQ(assess::json_escape("plain"), "plain");
+  EXPECT_EQ(assess::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(assess::json_escape("a\\b\nc"), "a\\\\b\\nc");
+}
+
+TEST(ReportTest, JsonAndTextOutput) {
+  measure::TestbedConfig cfg;
+  cfg.seed = 5;
+  cfg.constellation.n_anchors = 60;
+  cfg.constellation.n_probes = 60;
+  measure::Testbed bed(cfg);
+  const auto& w = bed.world();
+  world::Fleet fleet;
+  world::ProviderSite site{"X", w.find_country("de").value(),
+                           {50.12, 8.7}, 64500};
+  fleet.sites.push_back(site);
+  world::ProxyHost h;
+  h.provider = "X";
+  h.claimed_country = w.find_country("kp").value();
+  h.true_country = site.country;
+  h.true_location = site.location;
+  h.true_site = 0;
+  h.asn = 64500;
+  h.prefix24 = 1;
+  fleet.hosts.push_back(h);
+
+  assess::Auditor auditor(bed, {});
+  auto report = auditor.run(fleet);
+
+  std::ostringstream json;
+  assess::ReportOptions opt;
+  opt.include_ground_truth = true;
+  assess::write_json(json, report, w, opt);
+  std::string out = json.str();
+  EXPECT_NE(out.find("\"provider\":\"X\""), std::string::npos);
+  EXPECT_NE(out.find("\"claimed\":\"kp\""), std::string::npos);
+  EXPECT_NE(out.find("\"true_country\":\"de\""), std::string::npos);
+  EXPECT_NE(out.find("\"eta\""), std::string::npos);
+  // Balanced braces/brackets as a cheap well-formedness check.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+  EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+            std::count(out.begin(), out.end(), ']'));
+
+  std::ostringstream text;
+  assess::write_text_summary(text, report, w);
+  EXPECT_NE(text.str().find("provider"), std::string::npos);
+  EXPECT_NE(text.str().find("X"), std::string::npos);
+}
+
+// ---------- DNS ----------
+
+TEST(DnsTest, RoundRobinRotation) {
+  netsim::Dns dns;
+  dns.add_records("vpn.example", {10, 11, 12});
+  EXPECT_EQ(dns.resolve("vpn.example"), 10u);
+  EXPECT_EQ(dns.resolve("vpn.example"), 11u);
+  EXPECT_EQ(dns.resolve("vpn.example"), 12u);
+  EXPECT_EQ(dns.resolve("vpn.example"), 10u);  // wraps
+  EXPECT_FALSE(dns.resolve("unknown.example").has_value());
+}
+
+TEST(DnsTest, ResolveAllStable) {
+  netsim::Dns dns;
+  dns.add_record("a.example", 1);
+  dns.add_record("a.example", 2);
+  dns.add_record("b.example", 3);
+  auto all = dns.resolve_all("a.example");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], 1u);
+  EXPECT_EQ(all[1], 2u);
+  EXPECT_TRUE(dns.resolve_all("zzz").empty());
+  auto names = dns.hostnames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a.example");
+  EXPECT_EQ(dns.size(), 2u);
+  EXPECT_THROW(dns.add_record("", 5), InvalidArgument);
+  EXPECT_THROW(dns.add_records("x", {}), InvalidArgument);
+}
+
+// ---------- Vincenty geodesic ----------
+
+TEST(VincentyTest, MatchesKnownValues) {
+  // Paris - London geodesic ~ 343.9 km.
+  EXPECT_NEAR(geo::vincenty_distance_km({48.8566, 2.3522},
+                                        {51.5074, -0.1278}),
+              343.9, 1.0);
+  // Flinders Peak - Buninyong (Vincenty's own test case): 54.972271 km.
+  EXPECT_NEAR(geo::vincenty_distance_km({-37.951033, 144.424868},
+                                        {-37.652821, 143.926496}),
+              54.972271, 0.01);
+  EXPECT_EQ(geo::vincenty_distance_km({10, 20}, {10, 20}), 0.0);
+}
+
+TEST(VincentyTest, CloseToSphereEverywhere) {
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    geo::LatLon a{rng.uniform(-80.0, 80.0), rng.uniform(-180.0, 180.0)};
+    geo::LatLon b{rng.uniform(-80.0, 80.0), rng.uniform(-180.0, 180.0)};
+    double s = geo::distance_km(a, b);
+    double v = geo::vincenty_distance_km(a, b);
+    if (s < 1.0) continue;
+    // The sphere is within ~0.6% of the ellipsoid.
+    EXPECT_NEAR(v / s, 1.0, 0.006) << i;
+  }
+}
+
+// ---------- database influence lag ----------
+
+TEST(IpdbLag, FreshEntriesAreRegistryBased) {
+  world::WorldModel w;
+  auto fleet = world::generate_fleet(w, world::default_provider_specs(), 9);
+  ipdb::IpDbSpec spec{"Lagged", 1.0, 0.0};  // steady state: all claims
+  ipdb::IpLocationDb db(spec, fleet, 3);
+  std::size_t flipped = 0;
+  for (std::size_t i = 0; i < fleet.hosts.size(); ++i) {
+    // Day zero: registry (true) location.
+    EXPECT_EQ(db.lookup_at(i, 0.0), fleet.hosts[i].true_country);
+    // Long after the lag: the influenced (claimed) entry.
+    EXPECT_EQ(db.lookup_at(i, 10000.0), fleet.hosts[i].claimed_country);
+    EXPECT_GT(db.influence_lag_days(i), 0.0);
+    if (db.lookup_at(i, 45.0) == fleet.hosts[i].claimed_country) ++flipped;
+  }
+  // Median lag ~30 days: a fair share flipped by day 45.
+  EXPECT_GT(flipped, fleet.hosts.size() / 4);
+  EXPECT_LT(flipped, fleet.hosts.size());
+  EXPECT_THROW(db.lookup_at(0, -1.0), InvalidArgument);
+}
+
+TEST(IpdbLag, AgreementRisesWithAge) {
+  world::WorldModel w;
+  auto fleet = world::generate_fleet(w, world::default_provider_specs(), 9);
+  auto dbs = ipdb::make_default_databases(fleet, 11);
+  for (const auto& db : dbs) {
+    double young = db.agreement_with_claims(fleet, "A", 0.0);
+    double old_age = db.agreement_with_claims(fleet, "A", 365.0);
+    double steady = db.agreement_with_claims(fleet, "A");
+    EXPECT_LE(young, old_age + 1e-9);
+    EXPECT_NEAR(old_age, steady, 0.05);
+  }
+}
+
+// ---------- longitudinal fleets ----------
+
+TEST(LongitudinalTest, EpochsDriftHonesty) {
+  world::WorldModel w;
+  auto specs = world::default_provider_specs();
+  for (auto& s : specs) s.target_servers = 60;
+  world::EvolutionConfig cfg;
+  cfg.n_epochs = 4;
+  cfg.honesty_drift = 0.1;
+  auto fleets = world::longitudinal_fleets(w, specs, cfg, 7);
+  ASSERT_EQ(fleets.size(), 4u);
+  // Ground-truth honesty rate per epoch for one provider must change
+  // across epochs (drift is 10 points/epoch).
+  auto honesty_rate = [&](const world::Fleet& f, const char* provider) {
+    std::size_t n = 0, honest = 0;
+    for (const auto& h : f.hosts) {
+      if (h.provider != provider) continue;
+      ++n;
+      if (h.true_country == h.claimed_country) ++honest;
+    }
+    return n ? static_cast<double>(honest) / n : 0.0;
+  };
+  double max_move = 0.0;
+  for (const char* p : {"A", "B", "C", "D", "E", "F", "G"}) {
+    max_move = std::max(max_move, std::abs(honesty_rate(fleets[3], p) -
+                                           honesty_rate(fleets[0], p)));
+  }
+  EXPECT_GT(max_move, 0.1);
+  EXPECT_THROW(
+      world::longitudinal_fleets(w, specs, {0, 0.1}, 7),
+      InvalidArgument);
+}
+
+TEST(LongitudinalTest, Deterministic) {
+  world::WorldModel w;
+  auto specs = world::default_provider_specs();
+  for (auto& s : specs) s.target_servers = 20;
+  world::EvolutionConfig cfg;
+  cfg.n_epochs = 2;
+  auto a = world::longitudinal_fleets(w, specs, cfg, 5);
+  auto b = world::longitudinal_fleets(w, specs, cfg, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t e = 0; e < a.size(); ++e) {
+    ASSERT_EQ(a[e].hosts.size(), b[e].hosts.size());
+    for (std::size_t i = 0; i < a[e].hosts.size(); ++i)
+      EXPECT_EQ(a[e].hosts[i].true_country, b[e].hosts[i].true_country);
+  }
+}
+
+}  // namespace
+}  // namespace ageo

@@ -1,0 +1,185 @@
+// Failure injection: the pipeline under degraded and hostile conditions.
+//
+// The paper's robustness concerns (§4.2 filtering, §5.1 congestion,
+// §8 adversaries) translated into executable guarantees: measurements
+// that fail are skipped, congestion only grows regions, uniform
+// adversarial delay is cancelled by the eta correction, and hostile
+// inputs never crash the pipeline.
+#include <gtest/gtest.h>
+
+#include "algos/cbg_pp.hpp"
+#include "assess/audit.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "measure/proxy_measure.hpp"
+#include "measure/testbed.hpp"
+#include "measure/tools.hpp"
+#include "measure/two_phase.hpp"
+
+namespace ageo {
+namespace {
+
+class FailureTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    measure::TestbedConfig cfg;
+    cfg.seed = 606;
+    cfg.constellation.n_anchors = 120;
+    cfg.constellation.n_probes = 200;
+    bed_ = new measure::Testbed(cfg);
+  }
+  static void TearDownTestSuite() {
+    delete bed_;
+    bed_ = nullptr;
+  }
+  static measure::Testbed* bed_;
+};
+
+measure::Testbed* FailureTest::bed_ = nullptr;
+
+TEST_F(FailureTest, LandmarkOutagesAreSkipped) {
+  // Half the landmarks time out; the campaign degrades gracefully.
+  netsim::HostProfile p;
+  p.location = {48.8, 2.3};
+  netsim::HostId target = bed_->add_host(p);
+  Rng rng(1);
+  Rng outage(2);
+  std::vector<bool> dead(bed_->landmarks().size());
+  for (auto&& d : dead) d = outage.chance(0.5);
+  measure::ProbeFn probe = [&](std::size_t lm) -> std::optional<double> {
+    if (dead[lm]) return std::nullopt;
+    return measure::CliTool::measure_ms(bed_->net(), target,
+                                        bed_->landmark_host(lm));
+  };
+  auto tp = measure::two_phase_measure(*bed_, probe, rng);
+  EXPECT_GT(tp.observations.size(), 5u);
+  EXPECT_LT(tp.observations.size(), 26u);
+  for (const auto& ob : tp.observations)
+    EXPECT_FALSE(dead[ob.landmark_id]);
+  grid::Grid g(1.0);
+  algos::CbgPlusPlusGeolocator locator;
+  auto est = locator.locate(g, bed_->store(), tp.observations);
+  EXPECT_FALSE(est.empty());
+}
+
+TEST_F(FailureTest, CongestionStormOnlyGrowsRegions) {
+  // Build a separate, heavily congested network; the same target's
+  // region grows relative to the calm baseline but still covers it.
+  geo::LatLon truth{52.5, 13.4};
+  auto run = [&](double congestion_scale, double spike_prob) {
+    measure::TestbedConfig cfg;
+    cfg.seed = 606;
+    cfg.constellation.n_anchors = 120;
+    cfg.constellation.n_probes = 200;
+    cfg.latency.congestion_scale = congestion_scale;
+    cfg.latency.spike_probability = spike_prob;
+    measure::Testbed stormy(cfg);
+    netsim::HostProfile p;
+    p.location = truth;
+    netsim::HostId target = stormy.add_host(p);
+    Rng rng(3);
+    measure::ProbeFn probe = [&](std::size_t lm) {
+      return measure::CliTool::measure_ms(stormy.net(), target,
+                                          stormy.landmark_host(lm));
+    };
+    auto tp = measure::two_phase_measure(stormy, probe, rng);
+    grid::Grid g(1.0);
+    algos::CbgPlusPlusGeolocator locator;
+    auto est = locator.locate(g, stormy.store(), tp.observations);
+    return std::make_pair(est.area_km2(), est.region.contains(truth));
+  };
+  auto [calm_area, calm_covers] = run(1.1, 0.08);
+  auto [storm_area, storm_covers] = run(5.0, 0.5);
+  EXPECT_TRUE(calm_covers);
+  EXPECT_TRUE(storm_covers);  // congestion inflates delays: safe direction
+  EXPECT_GT(storm_area, calm_area);
+}
+
+TEST_F(FailureTest, UniformAdversarialDelayIsCancelled) {
+  // The eta correction subtracts the tunnel estimate, which the
+  // adversary's uniform delay inflates equally — net effect ~zero.
+  netsim::HostProfile cp;
+  cp.location = {50.1, 8.7};
+  netsim::HostId client = bed_->add_host(cp);
+  geo::LatLon truth{47.4, 8.5};
+  netsim::HostProfile pp;
+  pp.location = truth;
+  netsim::HostId proxy = bed_->add_host(pp);
+
+  auto measure_with = [&](double added_delay) {
+    netsim::ProxyBehavior b;
+    b.added_delay_ms = added_delay;
+    netsim::ProxySession session(bed_->net(), client, proxy, b);
+    measure::ProxyProber prober(*bed_, session, 0.5);
+    Rng rng(4);
+    auto probe = prober.as_probe_fn();
+    auto tp = measure::two_phase_measure(*bed_, probe, rng);
+    grid::Grid g(1.0);
+    algos::CbgPlusPlusGeolocator locator;
+    return locator.locate(g, bed_->store(), tp.observations);
+  };
+  auto honest = measure_with(0.0);
+  auto delayed = measure_with(40.0);
+  ASSERT_FALSE(honest.empty());
+  ASSERT_FALSE(delayed.empty());
+  EXPECT_TRUE(delayed.region.contains(truth));
+  // Within a factor of ~2 of the honest area, not inflated by
+  // 40 ms * 100 km/ms of slack.
+  EXPECT_LT(delayed.area_km2(), honest.area_km2() * 3.0 + 1e5);
+}
+
+TEST_F(FailureTest, AuditSurvivesHostileFleet) {
+  // A fleet of pathological entries: all servers in one spot, claims
+  // across the world, nothing pingable, everything filtering.
+  const auto& w = bed_->world();
+  world::Fleet fleet;
+  world::ProviderSite site{"H", w.find_country("nl").value(),
+                           {52.37, 4.9}, 64999};
+  fleet.sites.push_back(site);
+  const char* claims[] = {"kp", "va", "pn", "us", "nl", "au"};
+  int id = 0;
+  for (const char* c : claims) {
+    world::ProxyHost h;
+    h.provider = "H";
+    h.server_id = id++;
+    h.claimed_country = w.find_country(c).value();
+    h.true_country = site.country;
+    h.true_location = site.location;
+    h.true_site = 0;
+    h.asn = site.asn;
+    h.prefix24 = 1;  // all one /24
+    h.pingable = false;
+    h.drops_time_exceeded = true;
+    fleet.hosts.push_back(h);
+  }
+  assess::Auditor auditor(*bed_, {});
+  auto report = auditor.run(fleet);
+  ASSERT_EQ(report.rows.size(), 6u);
+  // Nothing pingable: eta falls back to the 0.5 default.
+  EXPECT_EQ(report.eta.n_proxies, 0u);
+  EXPECT_DOUBLE_EQ(report.eta.eta, 0.5);
+  // Far-fetched claims disproved; the honest one survives.
+  for (const auto& r : report.rows) {
+    if (w.country(r.claimed).code == "nl") {
+      EXPECT_NE(r.verdict_final, assess::Verdict::kFalse);
+    }
+    if (w.country(r.claimed).code == "kp" ||
+        w.country(r.claimed).code == "pn") {
+      EXPECT_EQ(r.verdict_final, assess::Verdict::kFalse);
+    }
+  }
+}
+
+TEST_F(FailureTest, AllProbesFailYieldsEmptyNotCrash) {
+  Rng rng(5);
+  measure::ProbeFn dead = [](std::size_t) { return std::nullopt; };
+  auto tp = measure::two_phase_measure(*bed_, dead, rng);
+  EXPECT_TRUE(tp.observations.empty());
+  grid::Grid g(2.0);
+  algos::CbgPlusPlusGeolocator locator;
+  EXPECT_THROW(locator.locate(g, bed_->store(), tp.observations),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ageo

@@ -1,0 +1,207 @@
+// Unit tests for the geodesy module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "geo/geodesy.hpp"
+#include "geo/latlon.hpp"
+#include "geo/polygon.hpp"
+#include "geo/units.hpp"
+#include "geo/vec3.hpp"
+
+namespace ageo::geo {
+namespace {
+
+constexpr double kTolKm = 1.0;
+
+TEST(LatLon, WrapLongitude) {
+  EXPECT_DOUBLE_EQ(wrap_longitude(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(wrap_longitude(180.0), -180.0);
+  EXPECT_DOUBLE_EQ(wrap_longitude(-180.0), -180.0);
+  EXPECT_DOUBLE_EQ(wrap_longitude(190.0), -170.0);
+  EXPECT_DOUBLE_EQ(wrap_longitude(-190.0), 170.0);
+  EXPECT_DOUBLE_EQ(wrap_longitude(540.0), -180.0);
+  EXPECT_DOUBLE_EQ(wrap_longitude(359.0), -1.0);
+}
+
+TEST(LatLon, MakeValidates) {
+  EXPECT_NO_THROW(make_latlon(0, 0));
+  EXPECT_NO_THROW(make_latlon(90, 180));
+  EXPECT_NO_THROW(make_latlon(-90, -180));
+  EXPECT_THROW(make_latlon(90.01, 0), InvalidArgument);
+  EXPECT_THROW(make_latlon(-91, 0), InvalidArgument);
+  EXPECT_THROW(make_latlon(std::nan(""), 0), InvalidArgument);
+  EXPECT_THROW(make_latlon(0, std::numeric_limits<double>::infinity()),
+               InvalidArgument);
+}
+
+TEST(LatLon, IsValid) {
+  EXPECT_TRUE(is_valid({45.0, 120.0}));
+  EXPECT_FALSE(is_valid({95.0, 0.0}));
+  EXPECT_FALSE(is_valid({std::nan(""), 0.0}));
+}
+
+TEST(Vec3, RoundTrip) {
+  for (double lat : {-89.0, -45.0, 0.0, 30.0, 89.0}) {
+    for (double lon : {-179.0, -90.0, 0.0, 45.0, 179.0}) {
+      LatLon p{lat, lon};
+      LatLon q = to_latlon(to_vec3(p));
+      EXPECT_NEAR(p.lat_deg, q.lat_deg, 1e-9);
+      EXPECT_NEAR(p.lon_deg, q.lon_deg, 1e-9);
+    }
+  }
+}
+
+TEST(Vec3, UnitNorm) {
+  EXPECT_NEAR(to_vec3({12.3, 45.6}).norm(), 1.0, 1e-12);
+  EXPECT_NEAR(to_vec3({-90.0, 0.0}).norm(), 1.0, 1e-12);
+}
+
+TEST(Distance, KnownPairs) {
+  // London - Paris ~ 344 km.
+  LatLon london{51.5074, -0.1278}, paris{48.8566, 2.3522};
+  EXPECT_NEAR(distance_km(london, paris), 344.0, 5.0);
+  // New York - Los Angeles ~ 3936 km.
+  LatLon nyc{40.7128, -74.006}, la{34.0522, -118.2437};
+  EXPECT_NEAR(distance_km(nyc, la), 3936.0, 20.0);
+  // Equatorial quarter turn: pi/2 * R.
+  EXPECT_NEAR(distance_km({0, 0}, {0, 90}),
+              kEarthRadiusKm * std::numbers::pi / 2.0, 1e-6);
+}
+
+TEST(Distance, Identities) {
+  LatLon a{10, 20}, b{-30, 140};
+  EXPECT_DOUBLE_EQ(distance_km(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(distance_km(a, b), distance_km(b, a));
+  EXPECT_LE(distance_km(a, b), kEarthRadiusKm * std::numbers::pi + 1e-9);
+}
+
+TEST(Distance, Antipodal) {
+  // acos-based formulas lose precision here; atan2 must not.
+  EXPECT_NEAR(distance_km({0, 0}, {0, 180}),
+              kEarthRadiusKm * std::numbers::pi, kTolKm);
+  EXPECT_NEAR(distance_km({45, 10}, {-45, -170}),
+              kEarthRadiusKm * std::numbers::pi, kTolKm);
+}
+
+TEST(Bearing, Cardinal) {
+  EXPECT_NEAR(initial_bearing_deg({0, 0}, {10, 0}), 0.0, 1e-9);
+  EXPECT_NEAR(initial_bearing_deg({0, 0}, {0, 10}), 90.0, 1e-9);
+  EXPECT_NEAR(initial_bearing_deg({0, 0}, {-10, 0}), 180.0, 1e-9);
+  EXPECT_NEAR(initial_bearing_deg({0, 0}, {0, -10}), 270.0, 1e-9);
+}
+
+TEST(Destination, RoundTrip) {
+  LatLon start{48.0, 11.0};
+  for (double bearing : {0.0, 37.0, 90.0, 123.0, 270.0, 359.0}) {
+    for (double dist : {1.0, 100.0, 1234.5, 8000.0}) {
+      LatLon end = destination(start, bearing, dist);
+      EXPECT_NEAR(distance_km(start, end), dist, 1e-6)
+          << "bearing=" << bearing << " dist=" << dist;
+    }
+  }
+}
+
+TEST(Destination, ZeroDistance) {
+  LatLon p{12.0, 34.0};
+  LatLon q = destination(p, 45.0, 0.0);
+  EXPECT_NEAR(q.lat_deg, p.lat_deg, 1e-12);
+  EXPECT_NEAR(q.lon_deg, p.lon_deg, 1e-12);
+}
+
+TEST(Midpoint, Equidistant) {
+  LatLon a{10, 20}, b{50, 80};
+  LatLon m = midpoint(a, b);
+  EXPECT_NEAR(distance_km(a, m), distance_km(b, m), 1e-6);
+  EXPECT_NEAR(distance_km(a, m) + distance_km(m, b), distance_km(a, b),
+              1e-6);
+}
+
+TEST(Cap, Contains) {
+  Cap c{{50.0, 8.0}, 500.0};
+  EXPECT_TRUE(c.contains({50.0, 8.0}));
+  EXPECT_TRUE(c.contains(destination(c.center, 90.0, 499.0)));
+  EXPECT_FALSE(c.contains(destination(c.center, 90.0, 501.0)));
+}
+
+TEST(Ring, Contains) {
+  Ring r{{0.0, 0.0}, 100.0, 200.0};
+  EXPECT_FALSE(r.contains({0.0, 0.0}));
+  EXPECT_TRUE(r.contains(destination(r.center, 0.0, 150.0)));
+  EXPECT_FALSE(r.contains(destination(r.center, 0.0, 250.0)));
+  EXPECT_TRUE(r.contains(destination(r.center, 0.0, 100.0)));
+}
+
+TEST(Area, CapAndEarth) {
+  // Hemisphere = half the sphere.
+  EXPECT_NEAR(cap_area_km2(kEarthRadiusKm * std::numbers::pi / 2.0),
+              earth_area_km2() / 2.0, 1.0);
+  // Whole sphere cap.
+  EXPECT_NEAR(cap_area_km2(kEarthRadiusKm * std::numbers::pi),
+              earth_area_km2(), 1.0);
+  // Small cap ~ flat disk.
+  EXPECT_NEAR(cap_area_km2(10.0), std::numbers::pi * 100.0, 0.1);
+}
+
+TEST(Polygon, Box) {
+  Polygon box = box_polygon(40.0, 10.0, 50.0, 20.0);
+  EXPECT_TRUE(box.contains({45.0, 15.0}));
+  EXPECT_FALSE(box.contains({39.0, 15.0}));
+  EXPECT_FALSE(box.contains({45.0, 25.0}));
+  EXPECT_FALSE(box.contains({55.0, 15.0}));
+  EXPECT_EQ(box.min_lat(), 40.0);
+  EXPECT_EQ(box.max_lat(), 50.0);
+}
+
+TEST(Polygon, AntimeridianBox) {
+  // Fiji-style box straddling the antimeridian.
+  Polygon box = box_polygon(-20.0, 177.0, -16.0, -178.0);
+  EXPECT_TRUE(box.contains({-18.0, 179.0}));
+  EXPECT_TRUE(box.contains({-18.0, -179.0}));
+  EXPECT_TRUE(box.contains({-18.0, 178.0}));
+  EXPECT_FALSE(box.contains({-18.0, 170.0}));
+  EXPECT_FALSE(box.contains({-18.0, -170.0}));
+  EXPECT_FALSE(box.contains({-25.0, 179.0}));
+}
+
+TEST(Polygon, Triangle) {
+  Polygon tri({{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}});
+  EXPECT_TRUE(tri.contains({2.0, 2.0}));
+  EXPECT_FALSE(tri.contains({6.0, 6.0}));
+  EXPECT_FALSE(tri.contains({-1.0, 5.0}));
+}
+
+TEST(Polygon, Validation) {
+  EXPECT_THROW(Polygon({{0, 0}, {1, 1}}), InvalidArgument);
+  EXPECT_THROW(box_polygon(50, 0, 40, 10), InvalidArgument);
+}
+
+TEST(Polygon, Centroid) {
+  Polygon box = box_polygon(40.0, 10.0, 50.0, 20.0);
+  LatLon c = box.centroid();
+  EXPECT_NEAR(c.lat_deg, 45.0, 0.5);
+  EXPECT_NEAR(c.lon_deg, 15.0, 0.5);
+}
+
+// Property sweep: destination distances are recovered for many bearings.
+class DestinationSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DestinationSweep, DistanceRecovered) {
+  auto [lat, bearing] = GetParam();
+  LatLon start{lat, -60.0};
+  for (double dist = 50.0; dist < 15000.0; dist *= 2.7) {
+    LatLon end = destination(start, bearing, dist);
+    EXPECT_NEAR(distance_km(start, end), dist, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bearings, DestinationSweep,
+    ::testing::Combine(::testing::Values(-75.0, -30.0, 0.0, 30.0, 75.0),
+                       ::testing::Values(0.0, 45.0, 90.0, 135.0, 180.0,
+                                         225.0, 315.0)));
+
+}  // namespace
+}  // namespace ageo::geo

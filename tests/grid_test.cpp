@@ -1,0 +1,346 @@
+// Unit tests for the grid module: raster, regions, fields.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "geo/geodesy.hpp"
+#include "geo/units.hpp"
+#include "grid/field.hpp"
+#include "grid/grid.hpp"
+#include "grid/raster.hpp"
+#include "grid/region.hpp"
+
+namespace ageo::grid {
+namespace {
+
+TEST(Grid, Construction) {
+  Grid g(1.0);
+  EXPECT_EQ(g.rows(), 180u);
+  EXPECT_EQ(g.cols(), 360u);
+  EXPECT_EQ(g.size(), 64800u);
+  EXPECT_THROW(Grid(0.0), InvalidArgument);
+  EXPECT_THROW(Grid(-1.0), InvalidArgument);
+  EXPECT_THROW(Grid(7.0), InvalidArgument);   // does not divide 180
+  EXPECT_THROW(Grid(31.0), InvalidArgument);  // too coarse
+  EXPECT_NO_THROW(Grid(0.5));
+  EXPECT_NO_THROW(Grid(2.0));
+}
+
+TEST(Grid, TotalAreaMatchesSphere) {
+  for (double cell : {4.0, 2.0, 1.0}) {
+    Grid g(cell);
+    double total = 0.0;
+    for (std::size_t i = 0; i < g.size(); ++i) total += g.cell_area_km2(i);
+    EXPECT_NEAR(total / geo::earth_area_km2(), 1.0, 1e-9) << cell;
+  }
+}
+
+TEST(Grid, CellAtCenterRoundTrip) {
+  Grid g(1.0);
+  for (std::size_t idx : {0u, 100u, 5000u, 64799u}) {
+    geo::LatLon c = g.center(idx);
+    EXPECT_EQ(g.cell_at(c), idx);
+  }
+}
+
+TEST(Grid, CellAtEdges) {
+  Grid g(1.0);
+  // Poles and antimeridian map into valid cells.
+  EXPECT_LT(g.cell_at({90.0, 0.0}), g.size());
+  EXPECT_LT(g.cell_at({-90.0, 0.0}), g.size());
+  EXPECT_LT(g.cell_at({0.0, -180.0}), g.size());
+  EXPECT_LT(g.cell_at({0.0, 180.0}), g.size());
+  // North pole is in the top row.
+  EXPECT_EQ(g.row_of(g.cell_at({90.0, 0.0})), g.rows() - 1);
+}
+
+TEST(Grid, RowsInLatBand) {
+  Grid g(1.0);
+  auto [a, b] = g.rows_in_lat_band(-90.0, 90.0);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 180u);
+  auto [c, d] = g.rows_in_lat_band(0.0, 1.0);
+  EXPECT_EQ(c, 90u);
+  EXPECT_EQ(d, 91u);
+  auto [e, f] = g.rows_in_lat_band(50.0, 40.0);  // inverted -> empty
+  EXPECT_EQ(e, f);
+}
+
+TEST(Grid, PolarRowsAreSmall) {
+  Grid g(1.0);
+  // Polar cells are much smaller than equatorial ones.
+  double polar = g.cell_area_km2(g.cell_at({89.5, 0.0}));
+  double equatorial = g.cell_area_km2(g.cell_at({0.5, 0.0}));
+  EXPECT_LT(polar, equatorial / 50.0);
+}
+
+TEST(Region, BasicOps) {
+  Grid g(2.0);
+  Region r(g);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.count(), 0u);
+  r.set(5);
+  r.set(100);
+  EXPECT_EQ(r.count(), 2u);
+  EXPECT_TRUE(r.test(5));
+  EXPECT_FALSE(r.test(6));
+  r.reset(5);
+  EXPECT_EQ(r.count(), 1u);
+  r.fill();
+  EXPECT_EQ(r.count(), g.size());
+  r.clear();
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Region, SetAlgebra) {
+  Grid g(2.0);
+  Region a(g), b(g);
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(3);
+  Region i = a & b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(2));
+  Region u = a | b;
+  EXPECT_EQ(u.count(), 3u);
+  Region d = a;
+  d.subtract(b);
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_TRUE(d.test(1));
+  EXPECT_TRUE(i.subset_of(u));
+  EXPECT_FALSE(u.subset_of(i));
+  EXPECT_TRUE(a.intersects(b));
+  Region e(g);
+  EXPECT_FALSE(a.intersects(e));
+}
+
+TEST(Region, GridMismatchThrows) {
+  Grid g1(2.0), g2(1.0);
+  Region a(g1), b(g2);
+  EXPECT_THROW(a &= b, InvalidArgument);
+  EXPECT_THROW(a.intersects(b), InvalidArgument);
+}
+
+TEST(Region, AreaAndCentroid) {
+  Grid g(1.0);
+  Region r = rasterize_cap(g, geo::Cap{{10.0, 20.0}, 500.0});
+  EXPECT_FALSE(r.empty());
+  // Area close to the analytic cap area.
+  EXPECT_NEAR(r.area_km2(), geo::cap_area_km2(500.0),
+              geo::cap_area_km2(500.0) * 0.15);
+  auto c = r.centroid();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(c->lat_deg, 10.0, 1.0);
+  EXPECT_NEAR(c->lon_deg, 20.0, 1.0);
+}
+
+TEST(Region, EmptyCentroidAndDistance) {
+  Grid g(2.0);
+  Region r(g);
+  EXPECT_FALSE(r.centroid().has_value());
+  EXPECT_TRUE(std::isinf(r.distance_from_km({0, 0})));
+}
+
+TEST(Region, DistanceFrom) {
+  Grid g(1.0);
+  Region r = rasterize_cap(g, geo::Cap{{0.0, 0.0}, 300.0});
+  EXPECT_DOUBLE_EQ(r.distance_from_km({0.0, 0.0}), 0.0);
+  double d = r.distance_from_km({0.0, 10.0});  // ~1113 km from center
+  EXPECT_GT(d, 600.0);
+  EXPECT_LT(d, 1000.0);
+}
+
+TEST(Raster, CapCoversCenter) {
+  Grid g(1.0);
+  for (double lat : {-60.0, 0.0, 45.0, 80.0}) {
+    Region r = rasterize_cap(g, geo::Cap{{lat, 100.0}, 250.0});
+    EXPECT_TRUE(r.contains({lat, 100.0})) << lat;
+  }
+}
+
+TEST(Raster, CapRespectRadius) {
+  Grid g(1.0);
+  geo::LatLon center{30.0, -40.0};
+  Region r = rasterize_cap(g, geo::Cap{center, 1000.0});
+  r.for_each_cell([&](std::size_t idx) {
+    EXPECT_LE(geo::distance_km(center, g.center(idx)), 1000.0 + 1e-6);
+  });
+}
+
+TEST(Raster, WholeEarthCap) {
+  Grid g(4.0);
+  Region r = rasterize_cap(
+      g, geo::Cap{{0.0, 0.0}, geo::kEarthRadiusKm * std::numbers::pi});
+  EXPECT_EQ(r.count(), g.size());
+}
+
+TEST(Raster, Ring) {
+  Grid g(1.0);
+  geo::LatLon center{0.0, 0.0};
+  Region r = rasterize_ring(g, geo::Ring{center, 500.0, 1500.0});
+  EXPECT_FALSE(r.contains(center));
+  EXPECT_TRUE(r.contains(geo::destination(center, 90.0, 1000.0)));
+  r.for_each_cell([&](std::size_t idx) {
+    double d = geo::distance_km(center, g.center(idx));
+    EXPECT_GE(d, 500.0 - 1e-6);
+    EXPECT_LE(d, 1500.0 + 1e-6);
+  });
+}
+
+TEST(Raster, DegenerateRing) {
+  Grid g(2.0);
+  // max < min: empty.
+  Region r = rasterize_ring(g, geo::Ring{{0, 0}, 1000.0, 500.0});
+  EXPECT_TRUE(r.empty());
+  // Negative radius: empty.
+  Region r2 = rasterize_cap(g, geo::Cap{{0, 0}, -5.0});
+  EXPECT_TRUE(r2.empty());
+}
+
+TEST(Raster, Polygon) {
+  Grid g(1.0);
+  geo::Polygon box = geo::box_polygon(40.0, 10.0, 50.0, 20.0);
+  Region r = rasterize_polygon(g, box);
+  EXPECT_TRUE(r.contains({45.0, 15.0}));
+  EXPECT_FALSE(r.contains({45.0, 25.0}));
+  // 10x10 degree box at ~45N: about 100 cells * cos(45).
+  EXPECT_NEAR(static_cast<double>(r.count()), 100.0, 30.0);
+}
+
+TEST(Raster, LatBand) {
+  Grid g(1.0);
+  Region r = rasterize_lat_band(g, -60.0, 85.0);
+  EXPECT_TRUE(r.contains({0.0, 0.0}));
+  EXPECT_TRUE(r.contains({84.0, 10.0}));
+  EXPECT_FALSE(r.contains({87.0, 10.0}));
+  EXPECT_FALSE(r.contains({-70.0, 10.0}));
+}
+
+TEST(Raster, AccumulateMask) {
+  Grid g(2.0);
+  std::vector<std::uint64_t> masks(g.size(), 0);
+  accumulate_cap_mask(g, geo::Cap{{0.0, 0.0}, 400.0}, masks, 0);
+  accumulate_cap_mask(g, geo::Cap{{0.0, 2.0}, 400.0}, masks, 1);
+  std::size_t center_cell = g.cell_at({0.0, 1.0});
+  EXPECT_EQ(masks[center_cell], 0b11u);
+  EXPECT_THROW(accumulate_cap_mask(g, geo::Cap{{0, 0}, 10.0}, masks, 64),
+               InvalidArgument);
+  std::vector<std::uint64_t> wrong(3, 0);
+  EXPECT_THROW(accumulate_cap_mask(g, geo::Cap{{0, 0}, 10.0}, wrong, 0),
+               InvalidArgument);
+}
+
+TEST(Field, UniformNormalize) {
+  Grid g(4.0);
+  Field f(g);
+  EXPECT_TRUE(f.normalize());
+  EXPECT_NEAR(f.total_mass(), 1.0, 1e-9);
+}
+
+TEST(Field, GaussianRingPeaksAtMu) {
+  Grid g(1.0);
+  Field f(g);
+  geo::LatLon center{0.0, 0.0};
+  f.multiply_gaussian_ring(center, 1000.0, 100.0);
+  // Density at 1000 km should far exceed density at 0 or 3000 km.
+  double at_mu = f.at(g.cell_at(geo::destination(center, 90.0, 1000.0)));
+  double at_center = f.at(g.cell_at(center));
+  double far = f.at(g.cell_at(geo::destination(center, 90.0, 3000.0)));
+  EXPECT_GT(at_mu, at_center * 100.0);
+  EXPECT_GT(at_mu, far * 100.0);
+}
+
+TEST(Field, TwoRingsIntersect) {
+  Grid g(1.0);
+  Field f(g);
+  geo::LatLon a{0.0, 0.0}, b{0.0, 18.0};  // ~2000 km apart
+  double d = geo::distance_km(a, b);
+  f.multiply_gaussian_ring(a, d / 2.0, 150.0);
+  f.multiply_gaussian_ring(b, d / 2.0, 150.0);
+  ASSERT_TRUE(f.normalize());
+  auto mode = f.mode();
+  ASSERT_TRUE(mode.has_value());
+  // The mode should be near the midpoint.
+  geo::LatLon mid = geo::midpoint(a, b);
+  EXPECT_LT(geo::distance_km(g.center(*mode), mid), 400.0);
+}
+
+TEST(Field, CredibleRegionMass) {
+  Grid g(2.0);
+  Field f(g);
+  f.multiply_gaussian_ring({20.0, 30.0}, 500.0, 200.0);
+  ASSERT_TRUE(f.normalize());
+  Region r50 = f.credible_region(0.5);
+  Region r95 = f.credible_region(0.95);
+  EXPECT_GT(r95.count(), r50.count());
+  EXPECT_TRUE(r50.subset_of(r95));
+  // Accumulated mass of the 95% region is at least 0.95.
+  double mass = 0.0;
+  r95.for_each_cell(
+      [&](std::size_t i) { mass += f.at(i) * g.cell_area_km2(i); });
+  EXPECT_GE(mass, 0.95 - 1e-9);
+}
+
+TEST(Field, ApplyMaskZeroes) {
+  Grid g(2.0);
+  Field f(g);
+  Region mask(g);
+  mask.set(10);
+  f.apply_mask(mask);
+  EXPECT_GT(f.at(10), 0.0);
+  EXPECT_EQ(f.at(11), 0.0);
+  EXPECT_TRUE(f.normalize());
+  Region cr = f.credible_region(1.0);
+  EXPECT_EQ(cr.count(), 1u);
+}
+
+TEST(Field, ZeroMassDoesNotNormalize) {
+  Grid g(2.0);
+  Field f(g);
+  Region empty_mask(g);
+  f.apply_mask(empty_mask);
+  EXPECT_FALSE(f.normalize());
+  EXPECT_TRUE(f.credible_region(0.95).empty());
+  EXPECT_FALSE(f.mode().has_value());
+}
+
+TEST(Field, Validation) {
+  Grid g(2.0);
+  Field f(g);
+  EXPECT_THROW(f.multiply_gaussian_ring({0, 0}, 100.0, 0.0),
+               InvalidArgument);
+  EXPECT_THROW(f.credible_region(0.0), InvalidArgument);
+  EXPECT_THROW(f.credible_region(1.5), InvalidArgument);
+}
+
+// Parameterized: cap rasterization is conservative across sizes and
+// latitudes — every point strictly inside by half a diagonal is covered.
+class CapSweep : public ::testing::TestWithParam<std::tuple<double, double>> {
+};
+
+TEST_P(CapSweep, CoversInterior) {
+  auto [lat, radius] = GetParam();
+  Grid g(1.0);
+  geo::LatLon center{lat, 13.0};
+  Region r = rasterize_cap(g, geo::Cap{center, radius});
+  // Points well inside the cap are covered.
+  for (double frac : {0.0, 0.3, 0.6}) {
+    for (double bearing : {0.0, 90.0, 180.0, 270.0}) {
+      geo::LatLon p = geo::destination(center, bearing, radius * frac);
+      EXPECT_TRUE(r.contains(p) ||
+                  geo::distance_km(p, g.center(g.cell_at(p))) >
+                      radius * (1.0 - frac))
+          << "lat=" << lat << " r=" << radius << " b=" << bearing;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CapSweep,
+    ::testing::Combine(::testing::Values(-50.0, 0.0, 40.0, 70.0),
+                       ::testing::Values(300.0, 1000.0, 4000.0)));
+
+}  // namespace
+}  // namespace ageo::grid

@@ -1,0 +1,185 @@
+// Integration tests: end-to-end pipelines across modules.
+#include <gtest/gtest.h>
+
+#include "algos/cbg_pp.hpp"
+#include "algos/geolocator.hpp"
+#include "assess/audit.hpp"
+#include "ipdb/ip_database.hpp"
+#include "measure/proxy_measure.hpp"
+#include "measure/testbed.hpp"
+#include "measure/tools.hpp"
+#include "measure/two_phase.hpp"
+#include "world/placement.hpp"
+
+namespace ageo {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    measure::TestbedConfig cfg;
+    cfg.seed = 2018;
+    cfg.constellation.n_anchors = 150;
+    cfg.constellation.n_probes = 300;
+    bed_ = new measure::Testbed(cfg);
+  }
+  static void TearDownTestSuite() {
+    delete bed_;
+    bed_ = nullptr;
+  }
+  static measure::Testbed* bed_;
+};
+
+measure::Testbed* IntegrationTest::bed_ = nullptr;
+
+// The quickstart path: direct measurement of a host in a known country,
+// CBG++ prediction covers it.
+TEST_F(IntegrationTest, DirectTargetRecovered) {
+  grid::Grid g(1.0);
+  grid::Region mask = bed_->world().plausibility_mask(g);
+  algos::CbgPlusPlusGeolocator locator;
+  Rng rng(1);
+  int covered = 0, total = 0;
+  for (const char* code : {"de", "fr", "us", "jp", "br", "za"}) {
+    auto country = bed_->world().find_country(code).value();
+    geo::LatLon truth =
+        world::random_point_in_country(bed_->world(), country, rng);
+    netsim::HostProfile p;
+    p.location = truth;
+    netsim::HostId target = bed_->add_host(p);
+    measure::ProbeFn probe = [&](std::size_t lm) {
+      return measure::CliTool::measure_ms(bed_->net(), target,
+                                          bed_->landmark_host(lm));
+    };
+    auto tp = measure::two_phase_measure(*bed_, probe, rng);
+    if (tp.observations.empty()) continue;
+    auto est = locator.locate(g, bed_->store(), tp.observations, &mask);
+    ++total;
+    if (est.region.contains(truth)) ++covered;
+  }
+  // CBG++'s design goal: cover the truth (grid quantisation and tunnel
+  // noise allow rare misses at this scale; direct measurement should be
+  // near-perfect).
+  EXPECT_GE(covered, total - 1);
+}
+
+// Proxied measurement: the full §5.3 pipeline locates a proxy.
+TEST_F(IntegrationTest, ProxiedTargetRecovered) {
+  grid::Grid g(1.0);
+  grid::Region mask = bed_->world().plausibility_mask(g);
+  algos::CbgPlusPlusGeolocator locator;
+  Rng rng(2);
+  netsim::HostProfile cp;
+  cp.location = {50.11, 8.68};
+  netsim::HostId client = bed_->add_host(cp);
+  geo::LatLon truth{52.37, 4.90};  // Amsterdam
+  netsim::HostProfile pp;
+  pp.location = truth;
+  netsim::HostId proxy = bed_->add_host(pp);
+  netsim::ProxySession session(bed_->net(), client, proxy, {});
+  measure::ProxyProber prober(*bed_, session, 0.5);
+  auto probe = prober.as_probe_fn();
+  auto tp = measure::two_phase_measure(*bed_, probe, rng);
+  ASSERT_FALSE(tp.observations.empty());
+  EXPECT_EQ(tp.continent, world::Continent::kEurope);
+  auto est = locator.locate(g, bed_->store(), tp.observations, &mask);
+  ASSERT_FALSE(est.empty());
+  EXPECT_TRUE(est.region.contains(truth));
+  // The region is informative: well under a continent.
+  EXPECT_LT(est.area_km2(), 5.0e6);
+}
+
+// All five estimators run on the same observations without error and
+// produce plausible output ordering (CBG region biggest among the hard
+// constraints, paper Fig. 9C).
+TEST_F(IntegrationTest, AllAlgorithmsProduceRegions) {
+  grid::Grid g(1.0);
+  grid::Region mask = bed_->world().plausibility_mask(g);
+  Rng rng(3);
+  netsim::HostProfile p;
+  p.location = {48.2, 16.37};  // Vienna
+  netsim::HostId target = bed_->add_host(p);
+  measure::ProbeFn probe = [&](std::size_t lm) {
+    return measure::CliTool::measure_ms(bed_->net(), target,
+                                        bed_->landmark_host(lm));
+  };
+  auto tp = measure::two_phase_measure(*bed_, probe, rng);
+  ASSERT_GE(tp.observations.size(), 10u);
+  for (const auto& locator : algos::make_all_geolocators()) {
+    auto est = locator->locate(g, bed_->store(), tp.observations, &mask);
+    // Estimators may fail (empty) — that is measured behaviour — but
+    // they must not crash, and non-empty regions must be on the mask.
+    if (!est.empty()) {
+      EXPECT_TRUE(est.region.subset_of(mask)) << locator->name();
+    }
+  }
+}
+
+// The audit pipeline respects ground truth statistically: a fleet whose
+// honesty is known produces verdicts with few false "false"s.
+TEST_F(IntegrationTest, AuditSeparatesHonestFromDishonest) {
+  auto specs = world::default_provider_specs();
+  for (auto& s : specs) s.target_servers = 30;
+  auto fleet = world::generate_fleet(bed_->world(), specs, 11);
+  assess::Auditor auditor(*bed_, {});
+  auto report = auditor.run(fleet);
+
+  std::size_t honest_n = 0, honest_false = 0;
+  std::size_t liar_n = 0, liar_false = 0;
+  for (const auto& r : report.rows) {
+    if (r.true_country == r.claimed) {
+      ++honest_n;
+      if (r.verdict_final == assess::Verdict::kFalse) ++honest_false;
+    } else {
+      ++liar_n;
+      if (r.verdict_final == assess::Verdict::kFalse) ++liar_false;
+    }
+  }
+  ASSERT_GT(honest_n, 20u);
+  ASSERT_GT(liar_n, 20u);
+  // <15% honest servers wrongly disproved; >75% of liars caught.
+  EXPECT_LT(honest_false * 100, honest_n * 15);
+  EXPECT_GT(liar_false * 100, liar_n * 75);
+  // Eta matches the paper's 0.49.
+  EXPECT_NEAR(report.eta.eta, 0.5, 0.05);
+}
+
+// ICLab is stricter than CBG++ generous but close to CBG++ strict
+// (paper §6.2: "usually within 10%").
+TEST_F(IntegrationTest, IclabVsCbgPlusPlus) {
+  auto specs = world::default_provider_specs();
+  for (auto& s : specs) s.target_servers = 40;
+  auto fleet = world::generate_fleet(bed_->world(), specs, 13);
+  assess::Auditor auditor(*bed_, {});
+  auto report = auditor.run(fleet);
+  std::size_t n = report.rows.size();
+  std::size_t iclab_ok = 0, generous_ok = 0;
+  for (const auto& r : report.rows) {
+    if (r.iclab_accepted) ++iclab_ok;
+    if (r.verdict_final != assess::Verdict::kFalse) ++generous_ok;
+  }
+  EXPECT_LE(iclab_ok, generous_ok + n / 20);
+}
+
+// IP databases agree with claims far more than active geolocation does
+// (the paper's Fig. 21 headline).
+TEST_F(IntegrationTest, DatabasesAgreeMoreThanGeolocation) {
+  auto specs = world::default_provider_specs();
+  for (auto& s : specs) s.target_servers = 40;
+  auto fleet = world::generate_fleet(bed_->world(), specs, 17);
+  assess::Auditor auditor(*bed_, {});
+  auto report = auditor.run(fleet);
+  auto dbs = ipdb::make_default_databases(fleet, 19);
+
+  auto honesty = assess::honesty_by_provider(report.rows, true);
+  for (const auto& h : honesty) {
+    double db_mean = 0.0;
+    for (const auto& db : dbs)
+      db_mean += db.agreement_with_claims(fleet, h.provider);
+    db_mean /= static_cast<double>(dbs.size());
+    EXPECT_GT(db_mean, h.strict()) << h.provider;
+  }
+}
+
+}  // namespace
+}  // namespace ageo

@@ -1,0 +1,169 @@
+// Tests for the one-call investigation API, region serialization, and
+// the eta bootstrap confidence interval.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "assess/investigate.hpp"
+#include "common/error.hpp"
+#include "grid/raster.hpp"
+#include "grid/serialize.hpp"
+#include "world/geojson.hpp"
+#include "measure/proxy_measure.hpp"
+#include "measure/testbed.hpp"
+
+namespace ageo {
+namespace {
+
+class InvestigateTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    measure::TestbedConfig cfg;
+    cfg.seed = 808;
+    cfg.constellation.n_anchors = 120;
+    cfg.constellation.n_probes = 200;
+    bed_ = new measure::Testbed(cfg);
+  }
+  static void TearDownTestSuite() {
+    delete bed_;
+    bed_ = nullptr;
+  }
+  static measure::Testbed* bed_;
+};
+
+measure::Testbed* InvestigateTest::bed_ = nullptr;
+
+TEST_F(InvestigateTest, ProxyLiarCaught) {
+  const auto& w = bed_->world();
+  netsim::HostProfile cp;
+  cp.location = {48.2, 16.4};
+  netsim::HostId client = bed_->add_host(cp);
+  netsim::HostProfile pp;
+  pp.location = {52.37, 4.9};  // really Amsterdam
+  netsim::HostId proxy = bed_->add_host(pp);
+  netsim::ProxySession session(bed_->net(), client, proxy, {});
+
+  auto inv = assess::investigate_proxy(*bed_, session,
+                                       w.find_country("kp").value());
+  EXPECT_FALSE(inv.measurement_failed);
+  EXPECT_EQ(inv.continent, world::Continent::kEurope);
+  EXPECT_GT(inv.tunnel_rtt_ms, 0.0);
+  EXPECT_EQ(inv.verdict, assess::Verdict::kFalse);
+  EXPECT_EQ(inv.continent_verdict, assess::Verdict::kFalse);
+  EXPECT_FALSE(inv.iclab_accepted);
+  EXPECT_GT(inv.area_km2, 0.0);
+  ASSERT_TRUE(inv.centroid.has_value());
+  EXPECT_LT(geo::distance_km(*inv.centroid, pp.location), 2500.0);
+}
+
+TEST_F(InvestigateTest, HonestHostAccepted) {
+  const auto& w = bed_->world();
+  netsim::HostProfile p;
+  p.location = {50.08, 14.44};  // Prague
+  netsim::HostId target = bed_->add_host(p);
+  auto inv = assess::investigate_host(*bed_, target,
+                                      w.find_country("cz").value());
+  EXPECT_FALSE(inv.measurement_failed);
+  EXPECT_NE(inv.verdict, assess::Verdict::kFalse);
+  EXPECT_TRUE(inv.iclab_accepted);
+  EXPECT_EQ(inv.tunnel_rtt_ms, 0.0);  // direct: no tunnel
+  EXPECT_FALSE(inv.covered_countries.empty());
+}
+
+TEST_F(InvestigateTest, EtaBootstrapCi) {
+  netsim::HostProfile cp;
+  cp.location = {50.1, 8.7};
+  netsim::HostId client = bed_->add_host(cp);
+  std::vector<netsim::ProxySession> sessions;
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    netsim::HostProfile pp;
+    pp.location = {rng.uniform(-40.0, 60.0), rng.uniform(-100.0, 100.0)};
+    netsim::HostId proxy = bed_->add_host(pp);
+    netsim::ProxyBehavior b;
+    b.icmp_responds = true;
+    sessions.emplace_back(bed_->net(), client, proxy, b);
+  }
+  auto eta = measure::estimate_eta(sessions);
+  EXPECT_LE(eta.eta_ci_low, eta.eta);
+  EXPECT_GE(eta.eta_ci_high, eta.eta);
+  // The CI is tight (the relationship is nearly exact) and brackets 0.5.
+  EXPECT_LT(eta.eta_ci_high - eta.eta_ci_low, 0.2);
+  EXPECT_LE(eta.eta_ci_low, 0.55);
+  EXPECT_GE(eta.eta_ci_high, 0.45);
+}
+
+TEST(RegionSerialize, RoundTrip) {
+  grid::Grid g(2.0);
+  grid::Region r = grid::rasterize_cap(g, geo::Cap{{40.0, 20.0}, 1500.0});
+  r.set(0);
+  r.set(g.size() - 1);
+  std::string s = grid::region_to_string(r);
+  grid::Region back = grid::region_from_string(g, s);
+  EXPECT_TRUE(back == r);
+}
+
+TEST(RegionSerialize, EmptyAndFull) {
+  grid::Grid g(4.0);
+  grid::Region empty(g);
+  EXPECT_TRUE(grid::region_from_string(
+                  g, grid::region_to_string(empty)) == empty);
+  grid::Region full(g);
+  full.fill();
+  EXPECT_TRUE(grid::region_from_string(g, grid::region_to_string(full)) ==
+              full);
+}
+
+TEST(RegionSerialize, Validation) {
+  grid::Grid g2(2.0), g4(4.0);
+  grid::Region r(g2);
+  r.set(5);
+  std::string s = grid::region_to_string(r);
+  // Wrong grid.
+  EXPECT_THROW(grid::region_from_string(g4, s), InvalidArgument);
+  // Malformed inputs.
+  EXPECT_THROW(grid::region_from_string(g2, "nocolon"), InvalidArgument);
+  EXPECT_THROW(grid::region_from_string(g2, "2:1,2,x"), InvalidArgument);
+  EXPECT_THROW(grid::region_from_string(g2, "2:999999999"),
+               InvalidArgument);
+  EXPECT_THROW(grid::region_from_string(g2, "2:1,"), InvalidArgument);
+}
+
+TEST(GeoJson, CountriesAndDataCenters) {
+  world::WorldModel w;
+  std::ostringstream countries;
+  world::write_countries_geojson(countries, w);
+  std::string s = countries.str();
+  EXPECT_NE(s.find("\"FeatureCollection\""), std::string::npos);
+  EXPECT_NE(s.find("\"code\":\"de\""), std::string::npos);
+  EXPECT_NE(s.find("\"Polygon\""), std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
+            std::count(s.begin(), s.end(), '}'));
+  EXPECT_EQ(std::count(s.begin(), s.end(), '['),
+            std::count(s.begin(), s.end(), ']'));
+
+  std::ostringstream dcs;
+  world::write_data_centers_geojson(dcs, w);
+  std::string d = dcs.str();
+  EXPECT_NE(d.find("\"Point\""), std::string::npos);
+  EXPECT_EQ(std::count(d.begin(), d.end(), '{'),
+            std::count(d.begin(), d.end(), '}'));
+}
+
+TEST(GeoJson, Region) {
+  grid::Grid g(4.0);
+  grid::Region r = grid::rasterize_cap(g, geo::Cap{{10.0, 10.0}, 1000.0});
+  std::ostringstream os;
+  world::write_region_geojson(os, r, R"({"id":7})");
+  std::string s = os.str();
+  EXPECT_NE(s.find("\"MultiPoint\""), std::string::npos);
+  EXPECT_NE(s.find("\"id\":7"), std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '['),
+            std::count(s.begin(), s.end(), ']'));
+  grid::Region detached;
+  EXPECT_THROW(world::write_region_geojson(os, detached), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ageo

@@ -1,0 +1,108 @@
+// Tests for the landmark service (§4.1 daily refresh and churn).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algos/cbg_pp.hpp"
+#include "common/error.hpp"
+#include "measure/landmark_service.hpp"
+#include "measure/tools.hpp"
+
+namespace ageo::measure {
+namespace {
+
+LandmarkServiceConfig small_config() {
+  LandmarkServiceConfig cfg;
+  cfg.testbed.seed = 909;
+  cfg.testbed.constellation.n_anchors = 60;
+  cfg.testbed.constellation.n_probes = 80;
+  cfg.anchor_decommission_rate = 0.05;
+  cfg.anchor_addition_rate = 0.10;
+  return cfg;
+}
+
+TEST(LandmarkService, InitialStateRespectsBaseCounts) {
+  LandmarkService svc(small_config());
+  // The reserve anchors are not active initially.
+  std::size_t active_anchors = 0;
+  for (std::size_t id : svc.active_landmarks())
+    if (svc.testbed().landmarks()[id].is_anchor) ++active_anchors;
+  EXPECT_EQ(active_anchors, 60u);
+  EXPECT_EQ(svc.epoch(), 0);
+}
+
+TEST(LandmarkService, RefreshChurnsAnchors) {
+  LandmarkService svc(small_config());
+  std::set<std::size_t> before(svc.active_landmarks().begin(),
+                               svc.active_landmarks().end());
+  int total_out = 0, total_in = 0;
+  for (int e = 0; e < 6; ++e) {
+    auto stats = svc.refresh();
+    total_out += stats.anchors_decommissioned;
+    total_in += stats.anchors_added;
+    EXPECT_GT(stats.active_landmarks, 0u);
+  }
+  EXPECT_EQ(svc.epoch(), 6);
+  // Churn happened in both directions over 6 epochs.
+  EXPECT_GT(total_out, 0);
+  EXPECT_GT(total_in, 0);
+  std::set<std::size_t> after(svc.active_landmarks().begin(),
+                              svc.active_landmarks().end());
+  EXPECT_NE(before, after);
+  // Calibration stays fitted after every refresh.
+  EXPECT_TRUE(svc.testbed().store().fitted());
+}
+
+TEST(LandmarkService, GateRefusesInactiveLandmarks) {
+  LandmarkService svc(small_config());
+  svc.refresh();
+  // Find one inactive landmark (a reserve anchor is guaranteed).
+  std::size_t inactive = svc.testbed().landmarks().size();
+  for (std::size_t i = 0; i < svc.testbed().landmarks().size(); ++i) {
+    if (!svc.is_active(i)) {
+      inactive = i;
+      break;
+    }
+  }
+  ASSERT_LT(inactive, svc.testbed().landmarks().size());
+  ProbeFn always = [](std::size_t) { return std::make_optional(1.0); };
+  ProbeFn gated = svc.gate(always);
+  EXPECT_FALSE(gated(inactive).has_value());
+  EXPECT_TRUE(gated(svc.active_landmarks().front()).has_value());
+  EXPECT_THROW(svc.is_active(99999), InvalidArgument);
+}
+
+TEST(LandmarkService, AuditsAcrossEpochsStillWork) {
+  LandmarkService svc(small_config());
+  auto& bed = svc.testbed();
+  netsim::HostProfile p;
+  p.location = {50.1, 8.7};
+  netsim::HostId target = bed.add_host(p);
+  grid::Grid g(1.0);
+  algos::CbgPlusPlusGeolocator locator;
+  for (int e = 0; e < 3; ++e) {
+    ProbeFn probe = svc.gate([&](std::size_t lm) {
+      return CliTool::measure_ms(bed.net(), target, bed.landmark_host(lm));
+    });
+    Rng rng(static_cast<std::uint64_t>(e) + 1);
+    auto tp = two_phase_measure(bed, probe, rng);
+    ASSERT_GT(tp.observations.size(), 5u) << "epoch " << e;
+    auto est = locator.locate(g, bed.store(), tp.observations);
+    EXPECT_FALSE(est.empty()) << "epoch " << e;
+    EXPECT_LT(est.region.distance_from_km(p.location), 500.0)
+        << "epoch " << e;
+    svc.refresh();
+  }
+}
+
+TEST(LandmarkService, ConfigValidation) {
+  LandmarkServiceConfig bad = small_config();
+  bad.anchor_decommission_rate = 1.0;
+  EXPECT_THROW(LandmarkService{bad}, InvalidArgument);
+  bad = small_config();
+  bad.probe_instability = -0.1;
+  EXPECT_THROW(LandmarkService{bad}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ageo::measure

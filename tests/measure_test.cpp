@@ -1,0 +1,281 @@
+// Unit tests for the measurement module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algos/cbg_pp.hpp"
+#include "common/error.hpp"
+#include "geo/geodesy.hpp"
+#include "measure/proxy_measure.hpp"
+#include "measure/refine.hpp"
+#include "measure/testbed.hpp"
+#include "measure/tools.hpp"
+#include "measure/two_phase.hpp"
+#include "world/placement.hpp"
+
+namespace ageo::measure {
+namespace {
+
+/// A small shared testbed so the suite stays fast; SetUpTestSuite builds
+/// it once.
+class MeasureTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TestbedConfig cfg;
+    cfg.seed = 404;
+    cfg.constellation.n_anchors = 120;
+    cfg.constellation.n_probes = 200;
+    bed_ = new Testbed(cfg);
+  }
+  static void TearDownTestSuite() {
+    delete bed_;
+    bed_ = nullptr;
+  }
+  static Testbed* bed_;
+};
+
+Testbed* MeasureTest::bed_ = nullptr;
+
+TEST_F(MeasureTest, TestbedWiring) {
+  EXPECT_EQ(bed_->landmarks().size(), 320u);
+  EXPECT_EQ(bed_->anchor_ids().size(), 120u);
+  EXPECT_EQ(bed_->store().size(), bed_->landmarks().size());
+  EXPECT_TRUE(bed_->store().fitted());
+  EXPECT_EQ(bed_->net().host_count(), 320u);
+}
+
+TEST_F(MeasureTest, CalibrationIsPlausible) {
+  // Every anchor's bestline speed sits between the slowline and the
+  // physical limit (paper Fig. 2: e.g. 93.5 km/ms).
+  int calibrated = 0;
+  for (std::size_t a : bed_->anchor_ids()) {
+    const auto& m = bed_->store().cbg_slowline(a);
+    if (!m.calibrated()) continue;
+    ++calibrated;
+    EXPECT_GE(m.speed_km_per_ms(), 84.5 - 1e-9);
+    EXPECT_LE(m.speed_km_per_ms(), 200.0 + 1e-9);
+  }
+  EXPECT_GT(calibrated, 100);
+}
+
+TEST_F(MeasureTest, CliToolMeasuresOneRtt) {
+  netsim::HostProfile p;
+  p.location = {50.0, 9.0};
+  netsim::HostId me = bed_->add_host(p);
+  auto lm = bed_->landmark_host(0);
+  auto m = CliTool::measure_ms(bed_->net(), me, lm);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_GE(*m, bed_->net().base_rtt_ms(me, lm) - 1e-9);
+}
+
+TEST_F(MeasureTest, WebToolRoundTrips) {
+  WebTool web;
+  Rng rng(5);
+  netsim::HostProfile p;
+  p.location = {48.0, 11.0};
+  netsim::HostId me = bed_->add_host(p);
+  auto lm = bed_->landmark_host(3);
+  auto open = web.measure(bed_->net(), me, lm, true, world::ClientOs::kLinux,
+                          world::Browser::kFirefox, rng);
+  auto closed = web.measure(bed_->net(), me, lm, false,
+                            world::ClientOs::kLinux,
+                            world::Browser::kFirefox, rng);
+  EXPECT_EQ(open.round_trips, 2);
+  EXPECT_EQ(closed.round_trips, 1);
+  // Two round trips take roughly twice as long.
+  EXPECT_GT(open.elapsed_ms, closed.elapsed_ms * 1.2);
+}
+
+TEST_F(MeasureTest, WebToolWindowsNoisier) {
+  WebTool web;
+  Rng rng(6);
+  netsim::HostProfile p;
+  p.location = {48.0, 11.0};
+  netsim::HostId me = bed_->add_host(p);
+  auto lm = bed_->landmark_host(7);
+  double linux_sum = 0, win_sum = 0;
+  int outliers = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    linux_sum += web.measure(bed_->net(), me, lm, false,
+                             world::ClientOs::kLinux,
+                             world::Browser::kChrome, rng)
+                     .elapsed_ms;
+    auto w = web.measure(bed_->net(), me, lm, false,
+                         world::ClientOs::kWindows, world::Browser::kChrome,
+                         rng);
+    win_sum += w.elapsed_ms;
+    if (w.is_outlier) ++outliers;
+  }
+  EXPECT_GT(win_sum, linux_sum * 1.5);
+  EXPECT_GT(outliers, 2);
+  EXPECT_LT(outliers, n / 3);
+}
+
+TEST_F(MeasureTest, TwoPhaseFindsContinent) {
+  Rng rng(7);
+  // A target squarely in Europe.
+  netsim::HostProfile p;
+  p.location = {50.1, 14.4};  // Prague
+  netsim::HostId target = bed_->add_host(p);
+  ProbeFn probe = [&](std::size_t lm) {
+    return CliTool::measure_ms(bed_->net(), target, bed_->landmark_host(lm));
+  };
+  auto r = two_phase_measure(*bed_, probe, rng);
+  EXPECT_EQ(r.continent, world::Continent::kEurope);
+  EXPECT_LE(r.observations.size(), 25u);
+  EXPECT_GE(r.observations.size(), 15u);
+  // All phase-2 landmarks are on the chosen continent.
+  for (std::size_t id : r.landmark_ids)
+    EXPECT_EQ(bed_->landmarks()[id].continent, r.continent);
+  // Observations are one-way delays: positive, finite.
+  for (const auto& ob : r.observations) {
+    EXPECT_GT(ob.one_way_delay_ms, 0.0);
+    EXPECT_TRUE(std::isfinite(ob.one_way_delay_ms));
+  }
+}
+
+TEST_F(MeasureTest, TwoPhaseOtherContinents) {
+  Rng rng(8);
+  struct Case {
+    double lat, lon;
+    world::Continent want;
+  };
+  Case cases[] = {
+      {40.7, -74.0, world::Continent::kNorthAmerica},
+      {35.68, 139.69, world::Continent::kAsia},
+      {-33.87, 151.21, world::Continent::kAustralia},
+  };
+  for (const auto& c : cases) {
+    netsim::HostProfile p;
+    p.location = {c.lat, c.lon};
+    netsim::HostId target = bed_->add_host(p);
+    ProbeFn probe = [&](std::size_t lm) {
+      return CliTool::measure_ms(bed_->net(), target,
+                                 bed_->landmark_host(lm));
+    };
+    auto r = two_phase_measure(*bed_, probe, rng);
+    EXPECT_EQ(r.continent, c.want) << c.lat << "," << c.lon;
+  }
+}
+
+TEST_F(MeasureTest, FullScanUsesAllAnchors) {
+  netsim::HostProfile p;
+  p.location = {52.0, 5.0};
+  netsim::HostId target = bed_->add_host(p);
+  ProbeFn probe = [&](std::size_t lm) {
+    return CliTool::measure_ms(bed_->net(), target, bed_->landmark_host(lm));
+  };
+  auto obs = full_scan_measure(*bed_, probe);
+  EXPECT_EQ(obs.size(), bed_->anchor_ids().size());
+}
+
+TEST_F(MeasureTest, EtaRecovery) {
+  // Pingable proxies at various distances: the regression slope of
+  // direct on indirect must come out ~0.5 (paper Fig. 13: 0.49).
+  netsim::HostProfile cp;
+  cp.location = {50.11, 8.68};
+  netsim::HostId client = bed_->add_host(cp);
+  std::vector<netsim::ProxySession> sessions;
+  Rng rng(9);
+  for (int i = 0; i < 12; ++i) {
+    netsim::HostProfile pp;
+    pp.location = {rng.uniform(35.0, 60.0), rng.uniform(-100.0, 120.0)};
+    netsim::HostId proxy = bed_->add_host(pp);
+    netsim::ProxyBehavior b;
+    b.icmp_responds = true;
+    sessions.emplace_back(bed_->net(), client, proxy, b);
+  }
+  auto eta = estimate_eta(sessions);
+  EXPECT_EQ(eta.n_proxies, 12u);
+  EXPECT_NEAR(eta.eta, 0.5, 0.05);
+  EXPECT_GT(eta.r_squared, 0.98);
+}
+
+TEST_F(MeasureTest, EtaDefaultsWithFewPingable) {
+  netsim::HostProfile cp;
+  cp.location = {50.11, 8.68};
+  netsim::HostId client = bed_->add_host(cp);
+  netsim::HostProfile pp;
+  pp.location = {45.0, 5.0};
+  netsim::HostId proxy = bed_->add_host(pp);
+  std::vector<netsim::ProxySession> sessions;
+  sessions.emplace_back(bed_->net(), client, proxy,
+                        netsim::ProxyBehavior{});  // not pingable
+  auto eta = estimate_eta(sessions);
+  EXPECT_EQ(eta.n_proxies, 0u);
+  EXPECT_DOUBLE_EQ(eta.eta, 0.5);
+}
+
+TEST_F(MeasureTest, ProxyProberCorrection) {
+  netsim::HostProfile cp;
+  cp.location = {50.11, 8.68};
+  netsim::HostId client = bed_->add_host(cp);
+  netsim::HostProfile pp;
+  pp.location = {45.76, 4.84};  // Lyon
+  netsim::HostId proxy = bed_->add_host(pp);
+  netsim::ProxySession session(bed_->net(), client, proxy, {});
+  ProxyProber prober(*bed_, session, 0.5);
+  EXPECT_GT(prober.tunnel_rtt_ms(), 0.0);
+  // Corrected values approximate the proxy-landmark RTT, not the full
+  // tunnel path.
+  std::size_t lm_id = bed_->anchor_ids()[0];
+  // Minimum of several probes, as the two-phase procedure does —
+  // individual samples carry queueing noise.
+  double best = 1e18;
+  for (int i = 0; i < 10; ++i) {
+    auto corrected = prober(lm_id);
+    ASSERT_TRUE(corrected.has_value());
+    best = std::min(best, *corrected);
+  }
+  double true_leg =
+      bed_->net().base_rtt_ms(proxy, bed_->landmark_host(lm_id));
+  double full_path =
+      true_leg + bed_->net().base_rtt_ms(client, proxy);
+  EXPECT_LT(std::abs(best - true_leg), std::abs(best - full_path));
+  EXPECT_THROW(ProxyProber(*bed_, session, 0.0), InvalidArgument);
+  EXPECT_THROW(ProxyProber(*bed_, session, 1.5), InvalidArgument);
+}
+
+TEST_F(MeasureTest, RefineDoesNotGrowRegion) {
+  Rng rng(11);
+  auto cz = bed_->world().find_country("cz").value();
+  geo::LatLon truth =
+      world::random_point_in_country(bed_->world(), cz, rng);
+  netsim::HostProfile p;
+  p.location = truth;
+  netsim::HostId target = bed_->add_host(p);
+  ProbeFn probe = [&](std::size_t lm) {
+    return CliTool::measure_ms(bed_->net(), target, bed_->landmark_host(lm));
+  };
+  auto tp = two_phase_measure(*bed_, probe, rng);
+  grid::Grid g(1.0);
+  algos::CbgPlusPlusGeolocator locator;
+  auto base = locator.locate(g, bed_->store(), tp.observations);
+  auto refined = refine_region(*bed_, g, locator, probe, tp);
+  EXPECT_LE(refined.estimate.area_km2(), base.area_km2() + 1e-6);
+  EXPECT_GE(refined.observations.size(), tp.observations.size());
+  // Refinement must not lose the target.
+  EXPECT_TRUE(refined.estimate.region.contains(truth));
+}
+
+TEST_F(MeasureTest, ConfigValidation) {
+  Rng rng(12);
+  ProbeFn probe = [](std::size_t) { return std::nullopt; };
+  TwoPhaseConfig bad;
+  bad.attempts = 0;
+  EXPECT_THROW(two_phase_measure(*bed_, probe, rng, bad), InvalidArgument);
+  EXPECT_THROW(full_scan_measure(*bed_, probe, 0), InvalidArgument);
+}
+
+TEST_F(MeasureTest, UnreachableLandmarksSkipped) {
+  Rng rng(13);
+  // A probe that always fails: no observations, but no crash.
+  ProbeFn dead = [](std::size_t) { return std::nullopt; };
+  auto r = two_phase_measure(*bed_, dead, rng);
+  EXPECT_TRUE(r.observations.empty());
+  EXPECT_TRUE(r.phase1.empty());
+}
+
+}  // namespace
+}  // namespace ageo::measure

@@ -1,0 +1,283 @@
+// Unit tests for the network simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "geo/geodesy.hpp"
+#include "geo/units.hpp"
+#include "netsim/network.hpp"
+#include "netsim/proxy.hpp"
+#include "world/hubs.hpp"
+
+namespace ageo::netsim {
+namespace {
+
+class NetsimTest : public ::testing::Test {
+ protected:
+  Network net{world::HubGraph::builtin(), 7};
+
+  HostId host_at(double lat, double lon, double quality = 1.0) {
+    HostProfile p;
+    p.location = {lat, lon};
+    p.net_quality = quality;
+    return net.add_host(p);
+  }
+};
+
+TEST_F(NetsimTest, AddHostValidates) {
+  HostProfile bad;
+  bad.location = {99.0, 0.0};
+  EXPECT_THROW(net.add_host(bad), InvalidArgument);
+  HostProfile zero_q;
+  zero_q.location = {0.0, 0.0};
+  zero_q.net_quality = 0.0;
+  EXPECT_THROW(net.add_host(zero_q), InvalidArgument);
+}
+
+TEST_F(NetsimTest, BaseRttSymmetricAndPhysical) {
+  HostId a = host_at(52.5, 13.4);   // Berlin
+  HostId b = host_at(48.85, 2.35);  // Paris
+  double rtt = net.base_rtt_ms(a, b);
+  EXPECT_DOUBLE_EQ(rtt, net.base_rtt_ms(b, a));
+  // Physical floor: 2 * distance / c_fibre.
+  double gc = geo::distance_km(net.host(a).location, net.host(b).location);
+  EXPECT_GE(rtt, 2.0 * gc / geo::kFibreSpeedKmPerMs);
+  // And not absurdly slow for a dense region (Paris-Berlin < 60 ms).
+  EXPECT_LT(rtt, 60.0);
+}
+
+TEST_F(NetsimTest, SampleAtLeastBase) {
+  HostId a = host_at(40.7, -74.0), b = host_at(34.05, -118.24);
+  double base = net.base_rtt_ms(a, b);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_GE(net.sample_rtt_ms(a, b), base - 1e-9);
+}
+
+TEST_F(NetsimTest, RouteAtLeastGreatCircle) {
+  HostId a = host_at(-26.2, 28.05);  // Johannesburg
+  HostId b = host_at(35.68, 139.69); // Tokyo
+  double gc = geo::distance_km(net.host(a).location, net.host(b).location);
+  EXPECT_GE(net.route_km(a, b), gc);
+  // Sparse-region pairs are strongly circuitous (via hubs).
+  EXPECT_GT(net.route_km(a, b), gc * 1.2);
+}
+
+TEST_F(NetsimTest, ShortHaulDirect) {
+  HostId a = host_at(52.52, 13.40), b = host_at(52.51, 13.45);
+  // A metro pair must not detour through distant hubs.
+  EXPECT_LT(net.route_km(a, b), 50.0);
+  EXPECT_LT(net.base_rtt_ms(a, b), 5.0);
+}
+
+TEST_F(NetsimTest, LoopbackIsFast) {
+  HostId a = host_at(0.0, 0.0);
+  EXPECT_LT(net.base_rtt_ms(a, a), 0.2);
+}
+
+TEST_F(NetsimTest, IcmpRespectsFlag) {
+  HostProfile silent;
+  silent.location = {10.0, 10.0};
+  silent.icmp_responds = false;
+  HostId s = net.add_host(silent);
+  HostId a = host_at(11.0, 11.0);
+  EXPECT_FALSE(net.icmp_ping_ms(a, s).has_value());
+  EXPECT_TRUE(net.icmp_ping_ms(s, a).has_value());
+}
+
+TEST_F(NetsimTest, TcpRefusedStillMeasures) {
+  HostProfile closed;
+  closed.location = {20.0, 20.0};
+  closed.tcp_port80_open = false;
+  HostId c = net.add_host(closed);
+  HostId a = host_at(21.0, 21.0);
+  auto r = net.tcp_connect(a, c, 80);
+  EXPECT_EQ(r.outcome, ConnectOutcome::kRefused);
+  EXPECT_GT(r.elapsed_ms, 0.0);  // one RTT measured anyway (paper §4.2)
+}
+
+TEST_F(NetsimTest, UncommonPortFiltered) {
+  HostProfile fw;
+  fw.location = {30.0, 30.0};
+  fw.filters_uncommon_ports = true;
+  HostId f = net.add_host(fw);
+  HostId a = host_at(31.0, 31.0);
+  EXPECT_EQ(net.tcp_connect(a, f, 12345).outcome, ConnectOutcome::kTimeout);
+  EXPECT_EQ(net.tcp_connect(a, f, 80).outcome, ConnectOutcome::kAccepted);
+  EXPECT_EQ(net.tcp_connect(a, f, 443).outcome, ConnectOutcome::kAccepted);
+}
+
+TEST_F(NetsimTest, TracerouteRespectsFlag) {
+  HostProfile mute;
+  mute.location = {40.0, 40.0};
+  mute.sends_time_exceeded = false;
+  HostId m = net.add_host(mute);
+  HostId a = host_at(41.0, 41.0);
+  EXPECT_FALSE(net.traceroute_hops(a, m).has_value());
+  auto hops = net.traceroute_hops(m, a);
+  ASSERT_TRUE(hops.has_value());
+  EXPECT_GE(*hops, 1);
+}
+
+TEST_F(NetsimTest, UnknownHostThrows) {
+  HostId a = host_at(0.0, 0.0);
+  EXPECT_THROW(net.base_rtt_ms(a, 999), InvalidArgument);
+  EXPECT_THROW(net.host(999), InvalidArgument);
+}
+
+TEST_F(NetsimTest, PairInflationDeterministic) {
+  HostId a = host_at(50.0, 8.0), b = host_at(37.0, -122.0);
+  double r1 = net.route_km(a, b);
+  double r2 = net.route_km(a, b);
+  EXPECT_DOUBLE_EQ(r1, r2);
+  EXPECT_DOUBLE_EQ(net.route_km(b, a), r1);  // symmetric detours
+}
+
+TEST_F(NetsimTest, QualityAffectsAccessDelay) {
+  HostId good = host_at(10.0, 50.0, 1.0);
+  HostId poor = host_at(10.0, 50.3, 0.4);
+  HostId peer = host_at(20.0, 60.0, 1.0);
+  EXPECT_GT(net.base_rtt_ms(poor, peer), net.base_rtt_ms(good, peer));
+}
+
+// ---- proxy sessions ----
+
+class ProxyTest : public NetsimTest {
+ protected:
+  HostId client = host_at(50.11, 8.68);   // Frankfurt
+  HostId proxy = host_at(45.76, 4.84);    // Lyon
+  HostId landmark = host_at(53.48, -2.24);  // Manchester
+};
+
+TEST_F(ProxyTest, ConnectViaSumsLegs) {
+  ProxySession s(net, client, proxy, {});
+  double base_legs =
+      net.base_rtt_ms(client, proxy) + net.base_rtt_ms(proxy, landmark);
+  for (int i = 0; i < 20; ++i) {
+    auto r = s.connect_via(landmark, 80);
+    ASSERT_EQ(r.outcome, ConnectOutcome::kAccepted);
+    EXPECT_GE(r.elapsed_ms, base_legs);  // never faster than both legs
+  }
+}
+
+TEST_F(ProxyTest, SelfPingTwiceTheTunnel) {
+  ProxySession s(net, client, proxy, {});
+  double base = net.base_rtt_ms(client, proxy);
+  for (int i = 0; i < 20; ++i) {
+    double sp = s.self_ping_ms();
+    EXPECT_GE(sp, 2.0 * base);
+    EXPECT_LT(sp, 2.0 * base + 80.0);  // bounded queueing in this sim
+  }
+}
+
+TEST_F(ProxyTest, DirectPingFiltered) {
+  ProxyBehavior quiet;
+  quiet.icmp_responds = false;
+  ProxySession s(net, client, proxy, quiet);
+  EXPECT_FALSE(s.direct_ping_ms().has_value());
+  ProxyBehavior loud;
+  loud.icmp_responds = true;
+  ProxySession s2(net, client, proxy, loud);
+  EXPECT_TRUE(s2.direct_ping_ms().has_value());
+}
+
+TEST_F(ProxyTest, TracerouteUsuallyBroken) {
+  ProxySession s(net, client, proxy, {});  // drops_time_exceeded = true
+  EXPECT_FALSE(s.traceroute_hops_via(landmark).has_value());
+  ProxyBehavior open;
+  open.drops_time_exceeded = false;
+  ProxySession s2(net, client, proxy, open);
+  EXPECT_TRUE(s2.traceroute_hops_via(landmark).has_value());
+}
+
+TEST_F(ProxyTest, AddedDelayShiftsMeasurements) {
+  ProxyBehavior slow;
+  slow.added_delay_ms = 50.0;
+  ProxySession s(net, client, proxy, slow);
+  ProxySession fast(net, client, proxy, {});
+  double slow_min = 1e18, fast_min = 1e18;
+  for (int i = 0; i < 20; ++i) {
+    slow_min = std::min(slow_min, s.connect_via(landmark, 80).elapsed_ms);
+    fast_min = std::min(fast_min, fast.connect_via(landmark, 80).elapsed_ms);
+  }
+  EXPECT_GT(slow_min, fast_min + 40.0);
+}
+
+TEST_F(ProxyTest, ForgedSynAckHidesLandmark) {
+  ProxyBehavior forge;
+  forge.forge_synack_after_ms = 0.1;
+  ProxySession s(net, client, proxy, forge);
+  // The measurement reflects only the client-proxy leg: far smaller than
+  // an honest measurement of a distant landmark.
+  HostId far_lm = host_at(-33.87, 151.21);  // Sydney
+  double forged = s.connect_via(far_lm, 80).elapsed_ms;
+  EXPECT_LT(forged, net.base_rtt_ms(proxy, far_lm));
+}
+
+TEST_F(ProxyTest, SelectiveDelayPerLandmark) {
+  HostId victim = landmark;
+  ProxyBehavior selective;
+  selective.selective_delay = [victim](HostId lm) {
+    return lm == victim ? 100.0 : 0.0;
+  };
+  ProxySession s(net, client, proxy, selective);
+  HostId other = host_at(48.2, 16.37);  // Vienna
+  double v_min = 1e18, o_min = 1e18;
+  for (int i = 0; i < 10; ++i) {
+    v_min = std::min(v_min, s.connect_via(victim, 80).elapsed_ms);
+    o_min = std::min(o_min, s.connect_via(other, 80).elapsed_ms);
+  }
+  EXPECT_GT(v_min, 100.0);
+  EXPECT_LT(o_min, 100.0);
+}
+
+// Distance-delay correlation: the core property geolocation depends on.
+TEST(NetsimStat, DelayGrowsWithDistance) {
+  Network net(world::HubGraph::builtin(), 11);
+  HostProfile p;
+  p.location = {50.11, 8.68};
+  HostId frankfurt = net.add_host(p);
+  struct Probe {
+    double lat, lon;
+  };
+  // Increasing distance from Frankfurt.
+  Probe probes[] = {{50.0, 9.0},   {48.85, 2.35}, {40.42, -3.7},
+                    {40.7, -74.0}, {35.68, 139.69}};
+  double prev = 0.0;
+  for (const auto& pr : probes) {
+    HostProfile q;
+    q.location = {pr.lat, pr.lon};
+    HostId h = net.add_host(q);
+    double rtt = net.base_rtt_ms(frankfurt, h);
+    EXPECT_GT(rtt, prev);
+    prev = rtt;
+  }
+}
+
+// Effective speeds land in the empirically observed band: below the
+// physical limit, above the slowline, for well-connected pairs.
+TEST(NetsimStat, EffectiveSpeedBand) {
+  Network net(world::HubGraph::builtin(), 13);
+  Rng rng(17);
+  HostProfile c;
+  c.location = {50.11, 8.68};
+  HostId frankfurt = net.add_host(c);
+  int in_band = 0, total = 0;
+  for (int i = 0; i < 60; ++i) {
+    HostProfile p;
+    p.location = {rng.uniform(35.0, 60.0), rng.uniform(-10.0, 30.0)};
+    HostId h = net.add_host(p);
+    double gc = geo::distance_km(c.location, p.location);
+    if (gc < 500.0) continue;
+    double one_way = net.base_rtt_ms(frankfurt, h) / 2.0;
+    double speed = gc / one_way;
+    ++total;
+    EXPECT_LT(speed, geo::kFibreSpeedKmPerMs);
+    if (speed > 60.0) ++in_band;
+  }
+  // Most intra-Europe pairs travel at a respectable effective speed.
+  EXPECT_GT(in_band, total * 2 / 3);
+}
+
+}  // namespace
+}  // namespace ageo::netsim

@@ -1,0 +1,331 @@
+// Unit tests for the world model: countries, hubs, generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "geo/geodesy.hpp"
+#include "grid/grid.hpp"
+#include "world/constellation.hpp"
+#include "world/crowd.hpp"
+#include "world/fleet.hpp"
+#include "world/hubs.hpp"
+#include "world/placement.hpp"
+#include "world/world_model.hpp"
+
+namespace ageo::world {
+namespace {
+
+class WorldTest : public ::testing::Test {
+ protected:
+  WorldModel w;
+};
+
+TEST_F(WorldTest, BuiltinTableIsSane) {
+  EXPECT_GE(w.country_count(), 80u);
+  std::set<std::string> codes;
+  for (const auto& c : w.countries()) {
+    EXPECT_FALSE(c.code.empty());
+    EXPECT_FALSE(c.name.empty());
+    EXPECT_TRUE(codes.insert(c.code).second) << "duplicate " << c.code;
+    EXPECT_GE(c.hosting_score, 0.0);
+    EXPECT_LE(c.hosting_score, 1.0);
+    EXPECT_TRUE(geo::is_valid(c.capital));
+    // The capital is inside the country's own shape.
+    EXPECT_TRUE(c.shape.contains(c.capital)) << c.code;
+  }
+}
+
+TEST_F(WorldTest, FindCountry) {
+  EXPECT_TRUE(w.find_country("de").has_value());
+  EXPECT_TRUE(w.find_country("us").has_value());
+  EXPECT_TRUE(w.find_country("kp").has_value());
+  EXPECT_FALSE(w.find_country("zz").has_value());
+  EXPECT_EQ(w.country(*w.find_country("nl")).name, "Netherlands");
+}
+
+TEST_F(WorldTest, CountryAtCapitals) {
+  // Every capital maps back to its own country (enclaves resolved by the
+  // smallest-shape rule).
+  for (CountryId i = 0; i < w.country_count(); ++i) {
+    EXPECT_EQ(w.country_at(w.country(i).capital), i)
+        << w.country(i).code << " capital maps to "
+        << (w.country_at(w.country(i).capital) == kNoCountry
+                ? "ocean"
+                : w.country(w.country_at(w.country(i).capital)).code);
+  }
+}
+
+TEST_F(WorldTest, VaticanInsideItaly) {
+  auto va = *w.find_country("va");
+  auto it = *w.find_country("it");
+  // Vatican wins inside its tiny box; Rome-at-large is Italy.
+  EXPECT_EQ(w.country_at({41.9, 12.45}), va);
+  EXPECT_EQ(w.country_at({43.0, 12.0}), it);
+}
+
+TEST_F(WorldTest, OceanIsNoCountry) {
+  EXPECT_EQ(w.country_at({0.0, -30.0}), kNoCountry);   // mid Atlantic
+  EXPECT_EQ(w.country_at({-40.0, -120.0}), kNoCountry); // south Pacific
+}
+
+TEST_F(WorldTest, ContinentsPerPaperAppendix) {
+  EXPECT_EQ(w.continent_of(*w.find_country("mx")),
+            Continent::kCentralAmerica);
+  EXPECT_EQ(w.continent_of(*w.find_country("tr")), Continent::kEurope);
+  EXPECT_EQ(w.continent_of(*w.find_country("ru")), Continent::kEurope);
+  EXPECT_EQ(w.continent_of(*w.find_country("il")), Continent::kAfrica);
+  EXPECT_EQ(w.continent_of(*w.find_country("ae")), Continent::kAfrica);
+  EXPECT_EQ(w.continent_of(*w.find_country("my")), Continent::kOceania);
+  EXPECT_EQ(w.continent_of(*w.find_country("nz")), Continent::kOceania);
+  EXPECT_EQ(w.continent_of(*w.find_country("au")), Continent::kAustralia);
+}
+
+TEST_F(WorldTest, LandMask) {
+  grid::Grid g(1.0);
+  grid::Region land = w.land_mask(g);
+  EXPECT_TRUE(land.contains({50.0, 10.0}));    // Germany
+  EXPECT_FALSE(land.contains({0.0, -30.0}));   // Atlantic
+  // Tiny island countries are kept (paper: don't exclude islands).
+  EXPECT_TRUE(land.contains(w.country(*w.find_country("pn")).capital));
+  EXPECT_TRUE(land.contains(w.country(*w.find_country("mu")).capital));
+}
+
+TEST_F(WorldTest, PlausibilityMaskClipsLatitudes) {
+  grid::Grid g(1.0);
+  grid::Region mask = w.plausibility_mask(g);
+  EXPECT_TRUE(mask.contains({50.0, 10.0}));
+  // Northern Greenland above 85 N would be excluded even if land.
+  EXPECT_FALSE(mask.contains({86.0, -40.0}));
+  // Antarctica latitudes are excluded.
+  EXPECT_FALSE(mask.contains({-75.0, 0.0}));
+}
+
+TEST_F(WorldTest, CountryRaster) {
+  grid::Grid g(1.0);
+  auto raster = w.country_raster(g);
+  auto de = *w.find_country("de");
+  EXPECT_EQ(raster.at(g.cell_at({51.0, 10.0})), de);
+  grid::Region r(g);
+  r.set(g.cell_at({51.0, 10.0}));
+  r.set(g.cell_at({48.9, 2.3}));  // Paris
+  auto countries = raster.countries_in(r);
+  EXPECT_EQ(countries.size(), 2u);
+  EXPECT_TRUE(raster.region_touches(r, de));
+  EXPECT_FALSE(raster.region_touches(r, *w.find_country("us")));
+}
+
+TEST_F(WorldTest, CountryRegion) {
+  grid::Grid g(1.0);
+  auto cz = *w.find_country("cz");
+  grid::Region r = w.country_region(g, cz);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(r.contains(w.country(cz).capital));
+  // Czech region should not include Berlin.
+  EXPECT_FALSE(r.contains({52.5, 13.4}));
+}
+
+TEST_F(WorldTest, DataCenters) {
+  EXPECT_GT(w.data_centers().size(), 30u);
+  for (const auto& dc : w.data_centers()) {
+    ASSERT_NE(dc.country, kNoCountry);
+    // DCs only exist where hosting is plausible.
+    EXPECT_GE(w.country(dc.country).hosting_score, 0.15);
+  }
+  // No data center in North Korea, Vatican, or Pitcairn.
+  for (const auto& dc : w.data_centers()) {
+    EXPECT_NE(w.country(dc.country).code, "kp");
+    EXPECT_NE(w.country(dc.country).code, "va");
+    EXPECT_NE(w.country(dc.country).code, "pn");
+  }
+}
+
+TEST(HubGraph, Builtin) {
+  const auto& h = HubGraph::builtin();
+  EXPECT_GE(h.size(), 40u);
+  // Connected: every pair has a finite route.
+  for (std::size_t i = 0; i < h.size(); ++i)
+    for (std::size_t j = 0; j < h.size(); ++j)
+      EXPECT_TRUE(std::isfinite(h.route_km(i, j))) << i << "," << j;
+}
+
+TEST(HubGraph, RouteProperties) {
+  const auto& h = HubGraph::builtin();
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_EQ(h.route_km(i, i), 0.0);
+    EXPECT_EQ(h.route_hops(i, i), 0);
+    for (std::size_t j = i + 1; j < h.size(); ++j) {
+      // Symmetric.
+      EXPECT_DOUBLE_EQ(h.route_km(i, j), h.route_km(j, i));
+      // At least the great-circle distance (inflation >= 1).
+      EXPECT_GE(h.route_km(i, j) + 1e-6,
+                geo::distance_km(h.hub(i).location, h.hub(j).location));
+      EXPECT_GE(h.route_hops(i, j), 1);
+    }
+  }
+}
+
+TEST(HubGraph, TriangleInequality) {
+  const auto& h = HubGraph::builtin();
+  // Shortest paths satisfy the triangle inequality by construction.
+  for (std::size_t i = 0; i < h.size(); i += 3)
+    for (std::size_t j = 0; j < h.size(); j += 3)
+      for (std::size_t k = 0; k < h.size(); k += 3)
+        EXPECT_LE(h.route_km(i, j),
+                  h.route_km(i, k) + h.route_km(k, j) + 1e-6);
+}
+
+TEST(HubGraph, NearestHub) {
+  const auto& h = HubGraph::builtin();
+  // A point in Berlin should map to a European hub.
+  std::size_t hub = h.nearest_hub({52.5, 13.4});
+  EXPECT_EQ(h.hub(hub).continent, Continent::kEurope);
+  // Johannesburg suburb -> Johannesburg hub.
+  std::size_t jb = h.nearest_hub({-26.1, 28.0});
+  EXPECT_EQ(h.hub(jb).name, "Johannesburg");
+}
+
+TEST(HubGraph, AfricaAsiaRoutesViaHubs) {
+  // The paper's explanation for southern-Africa/Asia confusion: routes
+  // transit a developed hub. Johannesburg -> Tokyo must be much longer
+  // than the great circle.
+  const auto& h = HubGraph::builtin();
+  std::size_t jb = h.nearest_hub({-26.2, 28.05});
+  std::size_t tyo = h.nearest_hub({35.68, 139.69});
+  double gc = geo::distance_km(h.hub(jb).location, h.hub(tyo).location);
+  EXPECT_GT(h.route_km(jb, tyo), gc * 1.25);
+}
+
+TEST(Placement, PointLandsInCountry) {
+  WorldModel w;
+  Rng rng(5);
+  for (const char* code : {"de", "us", "sg", "cl", "au", "pn"}) {
+    CountryId id = *w.find_country(code);
+    for (int i = 0; i < 20; ++i) {
+      geo::LatLon p = random_point_in_country(w, id, rng);
+      EXPECT_EQ(w.country_at(p), id) << code;
+    }
+  }
+}
+
+TEST(Constellation, CountsAndDistribution) {
+  WorldModel w;
+  ConstellationConfig cfg;
+  cfg.n_anchors = 250;
+  cfg.n_probes = 800;
+  auto lms = generate_constellation(w, cfg);
+  EXPECT_EQ(lms.size(), 1050u);
+  std::size_t anchors = 0, europe = 0;
+  for (const auto& lm : lms) {
+    if (lm.is_anchor) ++anchors;
+    if (lm.continent == Continent::kEurope) ++europe;
+    EXPECT_NE(lm.country, kNoCountry);
+    EXPECT_EQ(w.country_at(lm.location), lm.country);
+    EXPECT_GT(lm.net_quality, 0.0);
+    EXPECT_LE(lm.net_quality, 1.0);
+  }
+  EXPECT_EQ(anchors, 250u);
+  // Europe majority (paper Fig. 3).
+  EXPECT_GT(europe, lms.size() / 3);
+}
+
+TEST(Constellation, Deterministic) {
+  WorldModel w;
+  ConstellationConfig cfg;
+  cfg.n_anchors = 50;
+  cfg.n_probes = 50;
+  auto a = generate_constellation(w, cfg);
+  auto b = generate_constellation(w, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].location, b[i].location);
+    EXPECT_EQ(a[i].country, b[i].country);
+  }
+}
+
+TEST(Fleet, GeneratorBasics) {
+  WorldModel w;
+  auto specs = default_provider_specs();
+  auto fleet = generate_fleet(w, specs, 1);
+  EXPECT_GT(fleet.hosts.size(), 1500u);
+  EXPECT_LT(fleet.hosts.size(), 4000u);
+  std::set<std::string> providers;
+  for (const auto& h : fleet.hosts) {
+    providers.insert(h.provider);
+    EXPECT_NE(h.claimed_country, kNoCountry);
+    EXPECT_NE(h.true_country, kNoCountry);
+    EXPECT_EQ(w.country_at(h.true_location), h.true_country);
+    ASSERT_GE(h.true_site, 0);
+    ASSERT_LT(static_cast<std::size_t>(h.true_site), fleet.sites.size());
+    EXPECT_EQ(fleet.sites[static_cast<std::size_t>(h.true_site)].asn,
+              h.asn);
+  }
+  EXPECT_EQ(providers.size(), 7u);
+}
+
+TEST(Fleet, ImplausibleClaimsAreAlwaysFalse) {
+  WorldModel w;
+  auto fleet = generate_fleet(w, default_provider_specs(), 1);
+  for (const auto& h : fleet.hosts) {
+    if (w.country(h.claimed_country).hosting_score < 0.05) {
+      EXPECT_NE(h.true_country, h.claimed_country)
+          << w.country(h.claimed_country).code;
+    }
+  }
+}
+
+TEST(Fleet, DishonestServersConsolidated) {
+  WorldModel w;
+  auto fleet = generate_fleet(w, default_provider_specs(), 1);
+  // Dishonest servers live in good hosting countries.
+  for (const auto& h : fleet.hosts) {
+    if (h.true_country != h.claimed_country) {
+      EXPECT_GE(w.country(h.true_country).hosting_score, 0.3);
+    }
+  }
+}
+
+TEST(Fleet, PingableMinority) {
+  WorldModel w;
+  auto fleet = generate_fleet(w, default_provider_specs(), 1);
+  std::size_t pingable = 0;
+  for (const auto& h : fleet.hosts)
+    if (h.pingable) ++pingable;
+  double frac = static_cast<double>(pingable) / fleet.hosts.size();
+  // ~10% (paper 4.2: "roughly 90% ignore ICMP").
+  EXPECT_GT(frac, 0.05);
+  EXPECT_LT(frac, 0.18);
+}
+
+TEST(Fleet, CompetitorClaims) {
+  auto counts = competitor_claim_counts(150, 3);
+  EXPECT_EQ(counts.size(), 150u);
+  // Sorted descending, most providers claim few countries.
+  EXPECT_GE(counts.front(), counts.back());
+  std::size_t small = 0;
+  for (int c : counts)
+    if (c <= 20) ++small;
+  EXPECT_GT(small, 75u);
+}
+
+TEST(Crowd, GeneratorBasics) {
+  WorldModel w;
+  CrowdConfig cfg;
+  auto crowd = generate_crowd(w, cfg);
+  EXPECT_EQ(crowd.size(), 190u);
+  std::size_t volunteers = 0, windows = 0;
+  for (const auto& h : crowd) {
+    if (h.is_volunteer) ++volunteers;
+    if (h.os == ClientOs::kWindows) ++windows;
+    EXPECT_EQ(w.country_at(h.true_location), h.country);
+    // Reported location rounded to 2 decimals: within ~1.6 km of truth.
+    EXPECT_LT(geo::distance_km(h.true_location, h.reported_location), 2.0);
+  }
+  EXPECT_EQ(volunteers, 40u);
+  // "Most used Windows" (paper §5).
+  EXPECT_GT(windows, crowd.size() / 2);
+}
+
+}  // namespace
+}  // namespace ageo::world
