@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ageo_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/ageo_bench_util.dir/bench_util.cpp.o.d"
+  "libageo_bench_util.a"
+  "libageo_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ageo_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libageo_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cbgpp.dir/bench_ablation_cbgpp.cpp.o"
+  "CMakeFiles/bench_ablation_cbgpp.dir/bench_ablation_cbgpp.cpp.o.d"
+  "bench_ablation_cbgpp"
+  "bench_ablation_cbgpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cbgpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_two_phase.dir/bench_ablation_two_phase.cpp.o"
+  "CMakeFiles/bench_ablation_two_phase.dir/bench_ablation_two_phase.cpp.o.d"
+  "bench_ablation_two_phase"
+  "bench_ablation_two_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_two_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

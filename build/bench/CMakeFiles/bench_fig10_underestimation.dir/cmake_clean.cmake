@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_underestimation.dir/bench_fig10_underestimation.cpp.o"
+  "CMakeFiles/bench_fig10_underestimation.dir/bench_fig10_underestimation.cpp.o.d"
+  "bench_fig10_underestimation"
+  "bench_fig10_underestimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_underestimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

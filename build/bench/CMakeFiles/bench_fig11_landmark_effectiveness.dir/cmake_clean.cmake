@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_landmark_effectiveness.dir/bench_fig11_landmark_effectiveness.cpp.o"
+  "CMakeFiles/bench_fig11_landmark_effectiveness.dir/bench_fig11_landmark_effectiveness.cpp.o.d"
+  "bench_fig11_landmark_effectiveness"
+  "bench_fig11_landmark_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_landmark_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

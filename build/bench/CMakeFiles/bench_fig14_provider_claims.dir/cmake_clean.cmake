@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_provider_claims.dir/bench_fig14_provider_claims.cpp.o"
+  "CMakeFiles/bench_fig14_provider_claims.dir/bench_fig14_provider_claims.cpp.o.d"
+  "bench_fig14_provider_claims"
+  "bench_fig14_provider_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_provider_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

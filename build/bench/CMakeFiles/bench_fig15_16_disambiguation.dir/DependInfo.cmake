@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig15_16_disambiguation.cpp" "bench/CMakeFiles/bench_fig15_16_disambiguation.dir/bench_fig15_16_disambiguation.cpp.o" "gcc" "bench/CMakeFiles/bench_fig15_16_disambiguation.dir/bench_fig15_16_disambiguation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ageo_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/assess/CMakeFiles/ageo_assess.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/ageo_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ageo_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/ageo_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/ageo_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/ageo_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ageo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlat/CMakeFiles/ageo_mlat.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ageo_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ageo_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ageo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_16_disambiguation.dir/bench_fig15_16_disambiguation.cpp.o"
+  "CMakeFiles/bench_fig15_16_disambiguation.dir/bench_fig15_16_disambiguation.cpp.o.d"
+  "bench_fig15_16_disambiguation"
+  "bench_fig15_16_disambiguation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_16_disambiguation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

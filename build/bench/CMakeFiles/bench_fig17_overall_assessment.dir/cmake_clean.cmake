@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_overall_assessment.dir/bench_fig17_overall_assessment.cpp.o"
+  "CMakeFiles/bench_fig17_overall_assessment.dir/bench_fig17_overall_assessment.cpp.o.d"
+  "bench_fig17_overall_assessment"
+  "bench_fig17_overall_assessment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_overall_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

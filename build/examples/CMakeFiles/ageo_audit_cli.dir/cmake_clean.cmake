@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ageo_audit_cli.dir/ageo_audit_cli.cpp.o"
+  "CMakeFiles/ageo_audit_cli.dir/ageo_audit_cli.cpp.o.d"
+  "ageo_audit_cli"
+  "ageo_audit_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ageo_audit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

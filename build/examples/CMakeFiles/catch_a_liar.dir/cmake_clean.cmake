@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catch_a_liar.dir/catch_a_liar.cpp.o"
+  "CMakeFiles/catch_a_liar.dir/catch_a_liar.cpp.o.d"
+  "catch_a_liar"
+  "catch_a_liar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catch_a_liar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for catch_a_liar.
+# This may be replaced when dependencies are built.

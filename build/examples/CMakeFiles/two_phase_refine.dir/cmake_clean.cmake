@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_phase_refine.dir/two_phase_refine.cpp.o"
+  "CMakeFiles/two_phase_refine.dir/two_phase_refine.cpp.o.d"
+  "two_phase_refine"
+  "two_phase_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_phase_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

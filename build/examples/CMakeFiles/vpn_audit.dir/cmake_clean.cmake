@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpn_audit.dir/vpn_audit.cpp.o"
+  "CMakeFiles/vpn_audit.dir/vpn_audit.cpp.o.d"
+  "vpn_audit"
+  "vpn_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpn_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

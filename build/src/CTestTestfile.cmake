@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("geo")
+subdirs("grid")
+subdirs("stats")
+subdirs("world")
+subdirs("netsim")
+subdirs("calib")
+subdirs("mlat")
+subdirs("algos")
+subdirs("measure")
+subdirs("assess")
+subdirs("ipdb")

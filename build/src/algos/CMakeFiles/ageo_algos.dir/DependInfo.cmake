@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/cbg.cpp" "src/algos/CMakeFiles/ageo_algos.dir/cbg.cpp.o" "gcc" "src/algos/CMakeFiles/ageo_algos.dir/cbg.cpp.o.d"
+  "/root/repo/src/algos/cbg_pp.cpp" "src/algos/CMakeFiles/ageo_algos.dir/cbg_pp.cpp.o" "gcc" "src/algos/CMakeFiles/ageo_algos.dir/cbg_pp.cpp.o.d"
+  "/root/repo/src/algos/geolocator.cpp" "src/algos/CMakeFiles/ageo_algos.dir/geolocator.cpp.o" "gcc" "src/algos/CMakeFiles/ageo_algos.dir/geolocator.cpp.o.d"
+  "/root/repo/src/algos/hybrid.cpp" "src/algos/CMakeFiles/ageo_algos.dir/hybrid.cpp.o" "gcc" "src/algos/CMakeFiles/ageo_algos.dir/hybrid.cpp.o.d"
+  "/root/repo/src/algos/iclab.cpp" "src/algos/CMakeFiles/ageo_algos.dir/iclab.cpp.o" "gcc" "src/algos/CMakeFiles/ageo_algos.dir/iclab.cpp.o.d"
+  "/root/repo/src/algos/octant_full.cpp" "src/algos/CMakeFiles/ageo_algos.dir/octant_full.cpp.o" "gcc" "src/algos/CMakeFiles/ageo_algos.dir/octant_full.cpp.o.d"
+  "/root/repo/src/algos/quasi_octant.cpp" "src/algos/CMakeFiles/ageo_algos.dir/quasi_octant.cpp.o" "gcc" "src/algos/CMakeFiles/ageo_algos.dir/quasi_octant.cpp.o.d"
+  "/root/repo/src/algos/shortest_ping.cpp" "src/algos/CMakeFiles/ageo_algos.dir/shortest_ping.cpp.o" "gcc" "src/algos/CMakeFiles/ageo_algos.dir/shortest_ping.cpp.o.d"
+  "/root/repo/src/algos/spotter.cpp" "src/algos/CMakeFiles/ageo_algos.dir/spotter.cpp.o" "gcc" "src/algos/CMakeFiles/ageo_algos.dir/spotter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/calib/CMakeFiles/ageo_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlat/CMakeFiles/ageo_mlat.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ageo_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ageo_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ageo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ageo_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ageo_algos.dir/cbg.cpp.o"
+  "CMakeFiles/ageo_algos.dir/cbg.cpp.o.d"
+  "CMakeFiles/ageo_algos.dir/cbg_pp.cpp.o"
+  "CMakeFiles/ageo_algos.dir/cbg_pp.cpp.o.d"
+  "CMakeFiles/ageo_algos.dir/geolocator.cpp.o"
+  "CMakeFiles/ageo_algos.dir/geolocator.cpp.o.d"
+  "CMakeFiles/ageo_algos.dir/hybrid.cpp.o"
+  "CMakeFiles/ageo_algos.dir/hybrid.cpp.o.d"
+  "CMakeFiles/ageo_algos.dir/iclab.cpp.o"
+  "CMakeFiles/ageo_algos.dir/iclab.cpp.o.d"
+  "CMakeFiles/ageo_algos.dir/octant_full.cpp.o"
+  "CMakeFiles/ageo_algos.dir/octant_full.cpp.o.d"
+  "CMakeFiles/ageo_algos.dir/quasi_octant.cpp.o"
+  "CMakeFiles/ageo_algos.dir/quasi_octant.cpp.o.d"
+  "CMakeFiles/ageo_algos.dir/shortest_ping.cpp.o"
+  "CMakeFiles/ageo_algos.dir/shortest_ping.cpp.o.d"
+  "CMakeFiles/ageo_algos.dir/spotter.cpp.o"
+  "CMakeFiles/ageo_algos.dir/spotter.cpp.o.d"
+  "libageo_algos.a"
+  "libageo_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ageo_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

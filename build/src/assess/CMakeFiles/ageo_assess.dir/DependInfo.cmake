@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assess/audit.cpp" "src/assess/CMakeFiles/ageo_assess.dir/audit.cpp.o" "gcc" "src/assess/CMakeFiles/ageo_assess.dir/audit.cpp.o.d"
+  "/root/repo/src/assess/claim.cpp" "src/assess/CMakeFiles/ageo_assess.dir/claim.cpp.o" "gcc" "src/assess/CMakeFiles/ageo_assess.dir/claim.cpp.o.d"
+  "/root/repo/src/assess/colocation.cpp" "src/assess/CMakeFiles/ageo_assess.dir/colocation.cpp.o" "gcc" "src/assess/CMakeFiles/ageo_assess.dir/colocation.cpp.o.d"
+  "/root/repo/src/assess/confusion.cpp" "src/assess/CMakeFiles/ageo_assess.dir/confusion.cpp.o" "gcc" "src/assess/CMakeFiles/ageo_assess.dir/confusion.cpp.o.d"
+  "/root/repo/src/assess/investigate.cpp" "src/assess/CMakeFiles/ageo_assess.dir/investigate.cpp.o" "gcc" "src/assess/CMakeFiles/ageo_assess.dir/investigate.cpp.o.d"
+  "/root/repo/src/assess/report.cpp" "src/assess/CMakeFiles/ageo_assess.dir/report.cpp.o" "gcc" "src/assess/CMakeFiles/ageo_assess.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/measure/CMakeFiles/ageo_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/ageo_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/ageo_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ageo_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ageo_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ageo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlat/CMakeFiles/ageo_mlat.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/ageo_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ageo_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ageo_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ageo_assess.dir/audit.cpp.o"
+  "CMakeFiles/ageo_assess.dir/audit.cpp.o.d"
+  "CMakeFiles/ageo_assess.dir/claim.cpp.o"
+  "CMakeFiles/ageo_assess.dir/claim.cpp.o.d"
+  "CMakeFiles/ageo_assess.dir/colocation.cpp.o"
+  "CMakeFiles/ageo_assess.dir/colocation.cpp.o.d"
+  "CMakeFiles/ageo_assess.dir/confusion.cpp.o"
+  "CMakeFiles/ageo_assess.dir/confusion.cpp.o.d"
+  "CMakeFiles/ageo_assess.dir/investigate.cpp.o"
+  "CMakeFiles/ageo_assess.dir/investigate.cpp.o.d"
+  "CMakeFiles/ageo_assess.dir/report.cpp.o"
+  "CMakeFiles/ageo_assess.dir/report.cpp.o.d"
+  "libageo_assess.a"
+  "libageo_assess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ageo_assess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/calib/cbg_model.cpp" "src/calib/CMakeFiles/ageo_calib.dir/cbg_model.cpp.o" "gcc" "src/calib/CMakeFiles/ageo_calib.dir/cbg_model.cpp.o.d"
+  "/root/repo/src/calib/octant_model.cpp" "src/calib/CMakeFiles/ageo_calib.dir/octant_model.cpp.o" "gcc" "src/calib/CMakeFiles/ageo_calib.dir/octant_model.cpp.o.d"
+  "/root/repo/src/calib/spotter_model.cpp" "src/calib/CMakeFiles/ageo_calib.dir/spotter_model.cpp.o" "gcc" "src/calib/CMakeFiles/ageo_calib.dir/spotter_model.cpp.o.d"
+  "/root/repo/src/calib/store.cpp" "src/calib/CMakeFiles/ageo_calib.dir/store.cpp.o" "gcc" "src/calib/CMakeFiles/ageo_calib.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/ageo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ageo_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ageo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

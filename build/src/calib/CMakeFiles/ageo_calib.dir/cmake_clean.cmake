@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ageo_calib.dir/cbg_model.cpp.o"
+  "CMakeFiles/ageo_calib.dir/cbg_model.cpp.o.d"
+  "CMakeFiles/ageo_calib.dir/octant_model.cpp.o"
+  "CMakeFiles/ageo_calib.dir/octant_model.cpp.o.d"
+  "CMakeFiles/ageo_calib.dir/spotter_model.cpp.o"
+  "CMakeFiles/ageo_calib.dir/spotter_model.cpp.o.d"
+  "CMakeFiles/ageo_calib.dir/store.cpp.o"
+  "CMakeFiles/ageo_calib.dir/store.cpp.o.d"
+  "libageo_calib.a"
+  "libageo_calib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ageo_calib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

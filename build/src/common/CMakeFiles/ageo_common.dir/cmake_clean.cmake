@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ageo_common.dir/rng.cpp.o"
+  "CMakeFiles/ageo_common.dir/rng.cpp.o.d"
+  "libageo_common.a"
+  "libageo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ageo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

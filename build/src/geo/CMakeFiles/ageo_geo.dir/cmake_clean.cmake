@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ageo_geo.dir/geodesy.cpp.o"
+  "CMakeFiles/ageo_geo.dir/geodesy.cpp.o.d"
+  "CMakeFiles/ageo_geo.dir/latlon.cpp.o"
+  "CMakeFiles/ageo_geo.dir/latlon.cpp.o.d"
+  "CMakeFiles/ageo_geo.dir/polygon.cpp.o"
+  "CMakeFiles/ageo_geo.dir/polygon.cpp.o.d"
+  "libageo_geo.a"
+  "libageo_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ageo_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

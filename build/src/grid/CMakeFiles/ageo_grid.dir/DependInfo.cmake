@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/ascii_map.cpp" "src/grid/CMakeFiles/ageo_grid.dir/ascii_map.cpp.o" "gcc" "src/grid/CMakeFiles/ageo_grid.dir/ascii_map.cpp.o.d"
+  "/root/repo/src/grid/field.cpp" "src/grid/CMakeFiles/ageo_grid.dir/field.cpp.o" "gcc" "src/grid/CMakeFiles/ageo_grid.dir/field.cpp.o.d"
+  "/root/repo/src/grid/grid.cpp" "src/grid/CMakeFiles/ageo_grid.dir/grid.cpp.o" "gcc" "src/grid/CMakeFiles/ageo_grid.dir/grid.cpp.o.d"
+  "/root/repo/src/grid/raster.cpp" "src/grid/CMakeFiles/ageo_grid.dir/raster.cpp.o" "gcc" "src/grid/CMakeFiles/ageo_grid.dir/raster.cpp.o.d"
+  "/root/repo/src/grid/region.cpp" "src/grid/CMakeFiles/ageo_grid.dir/region.cpp.o" "gcc" "src/grid/CMakeFiles/ageo_grid.dir/region.cpp.o.d"
+  "/root/repo/src/grid/serialize.cpp" "src/grid/CMakeFiles/ageo_grid.dir/serialize.cpp.o" "gcc" "src/grid/CMakeFiles/ageo_grid.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/ageo_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ageo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

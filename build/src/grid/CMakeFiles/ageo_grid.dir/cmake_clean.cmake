@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ageo_grid.dir/ascii_map.cpp.o"
+  "CMakeFiles/ageo_grid.dir/ascii_map.cpp.o.d"
+  "CMakeFiles/ageo_grid.dir/field.cpp.o"
+  "CMakeFiles/ageo_grid.dir/field.cpp.o.d"
+  "CMakeFiles/ageo_grid.dir/grid.cpp.o"
+  "CMakeFiles/ageo_grid.dir/grid.cpp.o.d"
+  "CMakeFiles/ageo_grid.dir/raster.cpp.o"
+  "CMakeFiles/ageo_grid.dir/raster.cpp.o.d"
+  "CMakeFiles/ageo_grid.dir/region.cpp.o"
+  "CMakeFiles/ageo_grid.dir/region.cpp.o.d"
+  "CMakeFiles/ageo_grid.dir/serialize.cpp.o"
+  "CMakeFiles/ageo_grid.dir/serialize.cpp.o.d"
+  "libageo_grid.a"
+  "libageo_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ageo_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ageo_ipdb.dir/ip_database.cpp.o"
+  "CMakeFiles/ageo_ipdb.dir/ip_database.cpp.o.d"
+  "libageo_ipdb.a"
+  "libageo_ipdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ageo_ipdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

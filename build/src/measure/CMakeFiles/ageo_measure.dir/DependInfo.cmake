@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/landmark_service.cpp" "src/measure/CMakeFiles/ageo_measure.dir/landmark_service.cpp.o" "gcc" "src/measure/CMakeFiles/ageo_measure.dir/landmark_service.cpp.o.d"
+  "/root/repo/src/measure/proxy_measure.cpp" "src/measure/CMakeFiles/ageo_measure.dir/proxy_measure.cpp.o" "gcc" "src/measure/CMakeFiles/ageo_measure.dir/proxy_measure.cpp.o.d"
+  "/root/repo/src/measure/refine.cpp" "src/measure/CMakeFiles/ageo_measure.dir/refine.cpp.o" "gcc" "src/measure/CMakeFiles/ageo_measure.dir/refine.cpp.o.d"
+  "/root/repo/src/measure/testbed.cpp" "src/measure/CMakeFiles/ageo_measure.dir/testbed.cpp.o" "gcc" "src/measure/CMakeFiles/ageo_measure.dir/testbed.cpp.o.d"
+  "/root/repo/src/measure/tools.cpp" "src/measure/CMakeFiles/ageo_measure.dir/tools.cpp.o" "gcc" "src/measure/CMakeFiles/ageo_measure.dir/tools.cpp.o.d"
+  "/root/repo/src/measure/two_phase.cpp" "src/measure/CMakeFiles/ageo_measure.dir/two_phase.cpp.o" "gcc" "src/measure/CMakeFiles/ageo_measure.dir/two_phase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algos/CMakeFiles/ageo_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ageo_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/ageo_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/ageo_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ageo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ageo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlat/CMakeFiles/ageo_mlat.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ageo_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ageo_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

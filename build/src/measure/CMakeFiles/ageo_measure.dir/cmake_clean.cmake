@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ageo_measure.dir/landmark_service.cpp.o"
+  "CMakeFiles/ageo_measure.dir/landmark_service.cpp.o.d"
+  "CMakeFiles/ageo_measure.dir/proxy_measure.cpp.o"
+  "CMakeFiles/ageo_measure.dir/proxy_measure.cpp.o.d"
+  "CMakeFiles/ageo_measure.dir/refine.cpp.o"
+  "CMakeFiles/ageo_measure.dir/refine.cpp.o.d"
+  "CMakeFiles/ageo_measure.dir/testbed.cpp.o"
+  "CMakeFiles/ageo_measure.dir/testbed.cpp.o.d"
+  "CMakeFiles/ageo_measure.dir/tools.cpp.o"
+  "CMakeFiles/ageo_measure.dir/tools.cpp.o.d"
+  "CMakeFiles/ageo_measure.dir/two_phase.cpp.o"
+  "CMakeFiles/ageo_measure.dir/two_phase.cpp.o.d"
+  "libageo_measure.a"
+  "libageo_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ageo_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

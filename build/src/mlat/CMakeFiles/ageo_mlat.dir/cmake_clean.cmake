@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ageo_mlat.dir/multilateration.cpp.o"
+  "CMakeFiles/ageo_mlat.dir/multilateration.cpp.o.d"
+  "CMakeFiles/ageo_mlat.dir/subset_dfs.cpp.o"
+  "CMakeFiles/ageo_mlat.dir/subset_dfs.cpp.o.d"
+  "libageo_mlat.a"
+  "libageo_mlat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ageo_mlat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

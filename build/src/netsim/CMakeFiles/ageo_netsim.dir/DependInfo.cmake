@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/dns.cpp" "src/netsim/CMakeFiles/ageo_netsim.dir/dns.cpp.o" "gcc" "src/netsim/CMakeFiles/ageo_netsim.dir/dns.cpp.o.d"
+  "/root/repo/src/netsim/network.cpp" "src/netsim/CMakeFiles/ageo_netsim.dir/network.cpp.o" "gcc" "src/netsim/CMakeFiles/ageo_netsim.dir/network.cpp.o.d"
+  "/root/repo/src/netsim/proxy.cpp" "src/netsim/CMakeFiles/ageo_netsim.dir/proxy.cpp.o" "gcc" "src/netsim/CMakeFiles/ageo_netsim.dir/proxy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/world/CMakeFiles/ageo_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ageo_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ageo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ageo_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ageo_netsim.dir/dns.cpp.o"
+  "CMakeFiles/ageo_netsim.dir/dns.cpp.o.d"
+  "CMakeFiles/ageo_netsim.dir/network.cpp.o"
+  "CMakeFiles/ageo_netsim.dir/network.cpp.o.d"
+  "CMakeFiles/ageo_netsim.dir/proxy.cpp.o"
+  "CMakeFiles/ageo_netsim.dir/proxy.cpp.o.d"
+  "libageo_netsim.a"
+  "libageo_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ageo_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

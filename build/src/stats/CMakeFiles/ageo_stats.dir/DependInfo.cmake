@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/hull.cpp" "src/stats/CMakeFiles/ageo_stats.dir/hull.cpp.o" "gcc" "src/stats/CMakeFiles/ageo_stats.dir/hull.cpp.o.d"
+  "/root/repo/src/stats/linmodel.cpp" "src/stats/CMakeFiles/ageo_stats.dir/linmodel.cpp.o" "gcc" "src/stats/CMakeFiles/ageo_stats.dir/linmodel.cpp.o.d"
+  "/root/repo/src/stats/polyfit.cpp" "src/stats/CMakeFiles/ageo_stats.dir/polyfit.cpp.o" "gcc" "src/stats/CMakeFiles/ageo_stats.dir/polyfit.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/ageo_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/ageo_stats.dir/regression.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/ageo_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/ageo_stats.dir/special.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/ageo_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/ageo_stats.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ageo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ageo_stats.dir/hull.cpp.o"
+  "CMakeFiles/ageo_stats.dir/hull.cpp.o.d"
+  "CMakeFiles/ageo_stats.dir/linmodel.cpp.o"
+  "CMakeFiles/ageo_stats.dir/linmodel.cpp.o.d"
+  "CMakeFiles/ageo_stats.dir/polyfit.cpp.o"
+  "CMakeFiles/ageo_stats.dir/polyfit.cpp.o.d"
+  "CMakeFiles/ageo_stats.dir/regression.cpp.o"
+  "CMakeFiles/ageo_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/ageo_stats.dir/special.cpp.o"
+  "CMakeFiles/ageo_stats.dir/special.cpp.o.d"
+  "CMakeFiles/ageo_stats.dir/summary.cpp.o"
+  "CMakeFiles/ageo_stats.dir/summary.cpp.o.d"
+  "libageo_stats.a"
+  "libageo_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ageo_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/world/constellation.cpp" "src/world/CMakeFiles/ageo_world.dir/constellation.cpp.o" "gcc" "src/world/CMakeFiles/ageo_world.dir/constellation.cpp.o.d"
+  "/root/repo/src/world/country.cpp" "src/world/CMakeFiles/ageo_world.dir/country.cpp.o" "gcc" "src/world/CMakeFiles/ageo_world.dir/country.cpp.o.d"
+  "/root/repo/src/world/crowd.cpp" "src/world/CMakeFiles/ageo_world.dir/crowd.cpp.o" "gcc" "src/world/CMakeFiles/ageo_world.dir/crowd.cpp.o.d"
+  "/root/repo/src/world/fleet.cpp" "src/world/CMakeFiles/ageo_world.dir/fleet.cpp.o" "gcc" "src/world/CMakeFiles/ageo_world.dir/fleet.cpp.o.d"
+  "/root/repo/src/world/geojson.cpp" "src/world/CMakeFiles/ageo_world.dir/geojson.cpp.o" "gcc" "src/world/CMakeFiles/ageo_world.dir/geojson.cpp.o.d"
+  "/root/repo/src/world/hubs.cpp" "src/world/CMakeFiles/ageo_world.dir/hubs.cpp.o" "gcc" "src/world/CMakeFiles/ageo_world.dir/hubs.cpp.o.d"
+  "/root/repo/src/world/placement.cpp" "src/world/CMakeFiles/ageo_world.dir/placement.cpp.o" "gcc" "src/world/CMakeFiles/ageo_world.dir/placement.cpp.o.d"
+  "/root/repo/src/world/world_model.cpp" "src/world/CMakeFiles/ageo_world.dir/world_model.cpp.o" "gcc" "src/world/CMakeFiles/ageo_world.dir/world_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/ageo_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ageo_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ageo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ageo_world.dir/constellation.cpp.o"
+  "CMakeFiles/ageo_world.dir/constellation.cpp.o.d"
+  "CMakeFiles/ageo_world.dir/country.cpp.o"
+  "CMakeFiles/ageo_world.dir/country.cpp.o.d"
+  "CMakeFiles/ageo_world.dir/crowd.cpp.o"
+  "CMakeFiles/ageo_world.dir/crowd.cpp.o.d"
+  "CMakeFiles/ageo_world.dir/fleet.cpp.o"
+  "CMakeFiles/ageo_world.dir/fleet.cpp.o.d"
+  "CMakeFiles/ageo_world.dir/geojson.cpp.o"
+  "CMakeFiles/ageo_world.dir/geojson.cpp.o.d"
+  "CMakeFiles/ageo_world.dir/hubs.cpp.o"
+  "CMakeFiles/ageo_world.dir/hubs.cpp.o.d"
+  "CMakeFiles/ageo_world.dir/placement.cpp.o"
+  "CMakeFiles/ageo_world.dir/placement.cpp.o.d"
+  "CMakeFiles/ageo_world.dir/world_model.cpp.o"
+  "CMakeFiles/ageo_world.dir/world_model.cpp.o.d"
+  "libageo_world.a"
+  "libageo_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ageo_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

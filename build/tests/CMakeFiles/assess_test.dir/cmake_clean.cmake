@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assess_test.dir/assess_test.cpp.o"
+  "CMakeFiles/assess_test.dir/assess_test.cpp.o.d"
+  "assess_test"
+  "assess_test.pdb"
+  "assess_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assess_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/investigate_test.dir/investigate_test.cpp.o"
+  "CMakeFiles/investigate_test.dir/investigate_test.cpp.o.d"
+  "investigate_test"
+  "investigate_test.pdb"
+  "investigate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/investigate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

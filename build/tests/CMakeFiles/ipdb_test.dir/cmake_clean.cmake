@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipdb_test.dir/ipdb_test.cpp.o"
+  "CMakeFiles/ipdb_test.dir/ipdb_test.cpp.o.d"
+  "ipdb_test"
+  "ipdb_test.pdb"
+  "ipdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landmark_service_test.dir/landmark_service_test.cpp.o"
+  "CMakeFiles/landmark_service_test.dir/landmark_service_test.cpp.o.d"
+  "landmark_service_test"
+  "landmark_service_test.pdb"
+  "landmark_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landmark_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

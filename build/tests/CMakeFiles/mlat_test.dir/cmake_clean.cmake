@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlat_test.dir/mlat_test.cpp.o"
+  "CMakeFiles/mlat_test.dir/mlat_test.cpp.o.d"
+  "mlat_test"
+  "mlat_test.pdb"
+  "mlat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/geo_test[1]_include.cmake")
+include("/root/repo/build/tests/grid_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/world_test[1]_include.cmake")
+include("/root/repo/build/tests/netsim_test[1]_include.cmake")
+include("/root/repo/build/tests/calib_test[1]_include.cmake")
+include("/root/repo/build/tests/mlat_test[1]_include.cmake")
+include("/root/repo/build/tests/algos_test[1]_include.cmake")
+include("/root/repo/build/tests/measure_test[1]_include.cmake")
+include("/root/repo/build/tests/assess_test[1]_include.cmake")
+include("/root/repo/build/tests/ipdb_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/investigate_test[1]_include.cmake")
+include("/root/repo/build/tests/landmark_service_test[1]_include.cmake")
+include("/root/repo/build/tests/config_paths_test[1]_include.cmake")
+include("/root/repo/build/tests/regression_pins_test[1]_include.cmake")
