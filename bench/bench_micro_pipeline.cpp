@@ -2,6 +2,7 @@
 #include <benchmark/benchmark.h>
 
 #include "algos/cbg_pp.hpp"
+#include "measure/campaign.hpp"
 #include "measure/testbed.hpp"
 #include "measure/tools.hpp"
 #include "measure/two_phase.hpp"
@@ -45,6 +46,27 @@ static void BM_TwoPhaseMeasurement(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TwoPhaseMeasurement);
+
+// The resilient engine on a healthy testbed: same measurement plan as
+// BM_TwoPhaseMeasurement, so the delta between the two is the pure
+// bookkeeping overhead of the fault machinery (target: < 10%).
+static void BM_TwoPhaseResilientNoFaults(benchmark::State& state) {
+  auto& bed = shared_bed();
+  netsim::HostProfile p;
+  p.location = {48.2, 16.4};
+  netsim::HostId target = bed.add_host(p);
+  measure::ProbeFn probe = [&](std::size_t lm) {
+    return measure::CliTool::measure_ms(bed.net(), target,
+                                        bed.landmark_host(lm));
+  };
+  Rng rng(9);
+  for (auto _ : state) {
+    measure::CampaignEngine engine(probe);
+    auto r = measure::two_phase_measure(bed, engine, rng);
+    benchmark::DoNotOptimize(r.stats.probes_sent);
+  }
+}
+BENCHMARK(BM_TwoPhaseResilientNoFaults);
 
 static void BM_FullLocate(benchmark::State& state) {
   auto& bed = shared_bed();

@@ -65,6 +65,10 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
 
   Rng rng(config_.seed, "audit");
   report.rows.reserve(fleet.hosts.size());
+  // One breaker board for the whole run: a landmark that went dark
+  // during one proxy's campaign is not hammered again for the next
+  // until its cooldown elapses.
+  measure::BreakerBoard board(config_.campaign.breaker);
   for (std::size_t i = 0; i < fleet.hosts.size(); ++i) {
     const auto& host = fleet.hosts[i];
     ProxyAuditRow row;
@@ -76,10 +80,16 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
 
     measure::ProxyProber prober(*bed_, sessions[i], report.eta.eta,
                                 config_.self_ping_samples);
-    auto probe = prober.as_probe_fn();
-    auto tp = measure::two_phase_measure(*bed_, probe, rng,
+    measure::CampaignEngine engine(prober.as_rich_probe_fn(),
+                                   config_.campaign, &board);
+    engine.set_round_hook([this] { bed_->net().advance_round(); });
+    engine.attach_tunnel(prober);
+    auto tp = measure::two_phase_measure(*bed_, engine, rng,
                                          config_.two_phase);
     row.observations = tp.observations;
+    row.campaign = tp.stats;
+    row.tunnel_flagged = engine.tunnel_flagged();
+    report.campaign_totals.merge(tp.stats);
 
     if (row.observations.empty()) {
       row.empty_prediction = true;

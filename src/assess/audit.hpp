@@ -15,6 +15,7 @@
 #include "algos/cbg_pp.hpp"
 #include "algos/iclab.hpp"
 #include "assess/claim.hpp"
+#include "measure/campaign.hpp"
 #include "measure/proxy_measure.hpp"
 #include "measure/testbed.hpp"
 #include "measure/two_phase.hpp"
@@ -27,6 +28,9 @@ struct AuditConfig {
   /// Measurement client location (the paper used one host in Frankfurt).
   geo::LatLon client_location{50.11, 8.68};
   measure::TwoPhaseConfig two_phase;
+  /// Fault policies for the per-proxy measurement campaigns. Breaker
+  /// state persists across every proxy of one run.
+  measure::CampaignConfig campaign;
   int self_ping_samples = 5;
   int eta_samples = 5;
   bool use_data_centers = true;
@@ -58,12 +62,19 @@ struct ProxyAuditRow {
   std::optional<geo::LatLon> centroid;
   double nearest_landmark_km = 0.0;
   bool iclab_accepted = false;
+  /// Fault telemetry of this proxy's campaign.
+  measure::CampaignStats campaign;
+  /// Tunnel RTT drifted past tolerance after a mid-campaign reconnect;
+  /// the eta correction may be stale for this row.
+  bool tunnel_flagged = false;
 };
 
 struct AuditReport {
   std::shared_ptr<const grid::Grid> grid;
   std::vector<ProxyAuditRow> rows;
   measure::EtaEstimate eta;
+  /// Per-run fault totals across every proxy campaign.
+  measure::CampaignStats campaign_totals;
 };
 
 class Auditor {

@@ -35,6 +35,14 @@ class NetRefused : public Error {
   explicit NetRefused(const std::string& what) : Error(what) {}
 };
 
+/// A measurement campaign exhausted its retry budget while configured
+/// to abort loudly rather than degrade silently
+/// (RetryPolicy::abort_on_budget_exhausted).
+class CampaignAborted : public Error {
+ public:
+  explicit CampaignAborted(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 /// Throw InvalidArgument when `cond` is false. Used to validate wide
 /// contracts at public API boundaries.

@@ -101,6 +101,10 @@ LandmarkService::RefreshStats LandmarkService::refresh() {
   return stats;
 }
 
+std::function<bool(std::size_t)> LandmarkService::active_filter() const {
+  return [this](std::size_t landmark_id) { return is_active(landmark_id); };
+}
+
 ProbeFn LandmarkService::gate(ProbeFn inner) const {
   return [this, inner = std::move(inner)](
              std::size_t landmark_id) -> std::optional<double> {

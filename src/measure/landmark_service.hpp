@@ -65,6 +65,13 @@ class LandmarkService {
   /// campaigns automatically skip dead infrastructure.
   ProbeFn gate(ProbeFn inner) const;
 
+  /// An is-active predicate bound to this service's live epoch state —
+  /// wire into CampaignEngine::set_active_filter (and its
+  /// prune_breakers) so a campaign spanning refresh() calls never
+  /// records an observation from a decommissioned anchor and drops
+  /// breaker state for removed landmarks.
+  std::function<bool(std::size_t)> active_filter() const;
+
  private:
   LandmarkServiceConfig config_;
   std::unique_ptr<Testbed> bed_;

@@ -65,6 +65,10 @@ EtaEstimate estimate_eta(std::span<netsim::ProxySession> sessions,
       e.eta_ci_high = slopes[slopes.size() * 975 / 1000];
     }
   }
+  // With few proxies the bootstrap degenerates (or is skipped outright);
+  // whatever happened, the interval must bracket the point estimate.
+  e.eta_ci_low = std::min(e.eta_ci_low, e.eta);
+  e.eta_ci_high = std::max(e.eta_ci_high, e.eta);
   return e;
 }
 
@@ -82,15 +86,43 @@ ProxyProber::ProxyProber(const Testbed& bed, netsim::ProxySession& session,
 }
 
 std::optional<double> ProxyProber::operator()(std::size_t landmark_id) {
+  auto r = rich_probe(landmark_id);
+  if (!r.measured()) return std::nullopt;
+  return r.rtt_ms;
+}
+
+ProbeReply ProxyProber::rich_probe(std::size_t landmark_id) {
   netsim::HostId lm = bed_->landmark_host(landmark_id);
-  auto m = CliTool::measure_via_ms(*session_, lm);
-  if (!m) return std::nullopt;
-  constexpr double kFloorMs = 0.05;
-  return std::max(kFloorMs, *m - tunnel_rtt_ms_);
+  auto r = session_->connect_via(lm, 80);
+  if (r.outcome == netsim::ConnectOutcome::kTimeout)
+    return {ProbeOutcome::kTimeout, 0.0};
+  double corrected = std::max(kCorrectionFloorMs,
+                              r.elapsed_ms - tunnel_rtt_ms_);
+  return {r.outcome == netsim::ConnectOutcome::kRefused
+              ? ProbeOutcome::kRefusedMeasured
+              : ProbeOutcome::kOk,
+          corrected};
 }
 
 ProbeFn ProxyProber::as_probe_fn() {
   return [this](std::size_t id) { return (*this)(id); };
+}
+
+RichProbeFn ProxyProber::as_rich_probe_fn() {
+  return [this](std::size_t id) { return rich_probe(id); };
+}
+
+std::optional<double> ProxyProber::retake_self_ping(int samples) {
+  detail::require(samples > 0,
+                  "ProxyProber::retake_self_ping: need at least one ping");
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < samples; ++i) {
+    auto p = session_->try_self_ping_ms();
+    if (!p) return std::nullopt;
+    best = std::min(best, *p);
+  }
+  tunnel_rtt_ms_ = eta_ * best;
+  return tunnel_rtt_ms_;
 }
 
 }  // namespace ageo::measure

@@ -40,6 +40,9 @@ EtaEstimate estimate_eta(std::span<netsim::ProxySession> sessions,
 /// estimated client-proxy RTT.
 class ProxyProber {
  public:
+  /// Corrections that come out negative are clamped to this floor, ms.
+  static constexpr double kCorrectionFloorMs = 0.05;
+
   /// Takes `self_ping_samples` tunnel self-pings up front; their minimum
   /// times eta estimates the client-proxy RTT.
   ProxyProber(const Testbed& bed, netsim::ProxySession& session, double eta,
@@ -47,15 +50,29 @@ class ProxyProber {
 
   /// Corrected RTT(proxy, landmark), ms; nullopt when the landmark
   /// filtered the connection. Corrections that come out negative are
-  /// clamped to a small positive floor (they mean the tunnel estimate
+  /// clamped to kCorrectionFloorMs (they mean the tunnel estimate
   /// ate the whole measurement — keep the observation maximally
   /// uninformative rather than impossible).
   std::optional<double> operator()(std::size_t landmark_id);
 
+  /// Like operator(), but distinguishes accepted / refused-but-measured
+  /// / timed-out connects for campaign telemetry.
+  ProbeReply rich_probe(std::size_t landmark_id);
+
   /// A ProbeFn view of this prober.
   ProbeFn as_probe_fn();
+  /// A RichProbeFn view of this prober.
+  RichProbeFn as_rich_probe_fn();
 
   double tunnel_rtt_ms() const noexcept { return tunnel_rtt_ms_; }
+
+  netsim::ProxySession& session() noexcept { return *session_; }
+  const netsim::ProxySession& session() const noexcept { return *session_; }
+
+  /// Re-take the tunnel self-ping (after a reconnect) and replace the
+  /// client-proxy RTT estimate. Returns the new estimate, or nullopt —
+  /// leaving the old estimate in place — when the tunnel is down.
+  std::optional<double> retake_self_ping(int samples = 5);
 
  private:
   const Testbed* bed_;

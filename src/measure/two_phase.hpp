@@ -13,16 +13,11 @@
 
 #include "algos/geolocator.hpp"
 #include "common/rng.hpp"
+#include "measure/probe_policy.hpp"
 #include "measure/testbed.hpp"
 #include "world/continent.hpp"
 
 namespace ageo::measure {
-
-/// One probe of one landmark: returns the measured (possibly
-/// proxy-corrected) round-trip time in ms, or nullopt when the
-/// measurement failed and must be discarded.
-using ProbeFn =
-    std::function<std::optional<double>(std::size_t landmark_id)>;
 
 struct TwoPhaseConfig {
   int anchors_per_continent = 3;
@@ -39,6 +34,9 @@ struct TwoPhaseResult {
   std::vector<algos::Observation> phase1;
   /// Landmark ids used in phase 2 (diagnostics / refinement).
   std::vector<std::size_t> landmark_ids;
+  /// Fault telemetry; populated only by the campaign-engine overload
+  /// (measure/campaign.hpp) — all-zero under the bare ProbeFn path.
+  CampaignStats stats;
 };
 
 /// Run the two-phase procedure. The returned observations may be fewer

@@ -27,9 +27,72 @@ HostId Network::add_host(const HostProfile& profile) {
                   "Network::add_host: invalid location");
   detail::require(profile.net_quality > 0.0 && profile.net_quality <= 1.0,
                   "Network::add_host: net_quality must be in (0, 1]");
+  check_fault_model(profile);
   hosts_.push_back(profile);
   nearest_hub_.push_back(hubs_->nearest_hub(profile.location));
+  probes_this_round_.push_back(0);
+  outage_window_.emplace_back(0, 0);
   return static_cast<HostId>(hosts_.size() - 1);
+}
+
+void Network::check_fault_model(const HostProfile& p) const {
+  detail::require(p.flap_probability >= 0.0 && p.flap_probability < 1.0,
+                  "Network: flap_probability must be in [0, 1)");
+  detail::require(p.flap_duration_rounds >= 0,
+                  "Network: flap_duration_rounds must be >= 0");
+  detail::require(p.rate_limit_per_round >= 0,
+                  "Network: rate_limit_per_round must be >= 0");
+}
+
+void Network::advance_round(int n) {
+  detail::require(n >= 0, "Network::advance_round: n must be >= 0");
+  if (n == 0) return;
+  round_ += static_cast<std::uint64_t>(n);
+  std::fill(probes_this_round_.begin(), probes_this_round_.end(), 0u);
+}
+
+bool Network::host_up(HostId id) const {
+  check_host(id);
+  const auto& [from, to] = outage_window_[id];
+  if (from != to && round_ >= from && round_ < to) return false;
+  const auto& h = hosts_[id];
+  if (h.flap_probability <= 0.0 || h.flap_duration_rounds <= 0) return true;
+  // Outage decided per block of flap_duration_rounds, deterministic in
+  // (seed, host, block): the host comes back when the block elapses.
+  std::uint64_t block =
+      round_ / static_cast<std::uint64_t>(h.flap_duration_rounds);
+  SplitMix64 sm(seed_ ^ (static_cast<std::uint64_t>(id) + 1) *
+                            0x9e3779b97f4a7c15ULL ^
+                (block + 1) * 0xbf58476d1ce4e5b9ULL);
+  sm.next();  // decorrelate from the seed arithmetic
+  double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  return u >= h.flap_probability;
+}
+
+void Network::set_flap(HostId id, double probability, int duration_rounds) {
+  check_host(id);
+  hosts_[id].flap_probability = probability;
+  hosts_[id].flap_duration_rounds = duration_rounds;
+  check_fault_model(hosts_[id]);
+}
+
+void Network::set_outage_window(HostId id, std::uint64_t from,
+                                std::uint64_t to) {
+  check_host(id);
+  detail::require(from <= to, "Network::set_outage_window: from > to");
+  outage_window_[id] = {from, to};
+}
+
+void Network::set_rate_limit(HostId id, int per_round) {
+  check_host(id);
+  hosts_[id].rate_limit_per_round = per_round;
+  check_fault_model(hosts_[id]);
+}
+
+bool Network::rate_limited(HostId to) {
+  int limit = hosts_[to].rate_limit_per_round;
+  if (limit <= 0) return false;
+  return ++probes_this_round_[to] > static_cast<std::uint32_t>(limit);
 }
 
 const HostProfile& Network::host(HostId id) const {
@@ -123,6 +186,7 @@ std::optional<double> Network::icmp_ping_ms(HostId from, HostId to) {
   check_host(from);
   check_host(to);
   if (!hosts_[to].icmp_responds) return std::nullopt;
+  if (!host_up(to) || rate_limited(to)) return std::nullopt;
   return sample_rtt_ms(from, to);
 }
 
@@ -132,6 +196,8 @@ ConnectResult Network::tcp_connect(HostId from, HostId to,
   check_host(to);
   const bool common = (port == 80 || port == 443);
   if (!common && hosts_[to].filters_uncommon_ports)
+    return {ConnectOutcome::kTimeout, 0.0};
+  if (!host_up(to) || rate_limited(to))
     return {ConnectOutcome::kTimeout, 0.0};
   double rtt = sample_rtt_ms(from, to);
   if (port == 80 && !hosts_[to].tcp_port80_open) {
@@ -146,6 +212,7 @@ std::optional<int> Network::traceroute_hops(HostId from, HostId to) {
   check_host(from);
   check_host(to);
   if (!hosts_[to].sends_time_exceeded) return std::nullopt;
+  if (!host_up(to)) return std::nullopt;
   return path_hops(from, to);
 }
 

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -43,6 +44,19 @@ struct HostProfile {
   bool filters_uncommon_ports = false;
   /// Routers near this host emit ICMP time-exceeded (traceroute works).
   bool sends_time_exceeded = true;
+
+  // --- transient-fault model (campaign robustness, paper §4.1-§4.2) ---
+  /// Probability that any given block of `flap_duration_rounds` probe
+  /// rounds is a full outage for this host (probes time out). The
+  /// schedule is deterministic in (network seed, host, block), so a
+  /// flapping host goes down and comes back at reproducible rounds.
+  double flap_probability = 0.0;
+  /// Length of one outage block, in probe rounds; 0 disables flapping.
+  int flap_duration_rounds = 0;
+  /// Probes (ICMP echo / TCP connect) this host answers per probe round
+  /// before treating the rest as a probe storm and timing them out.
+  /// 0 = unlimited.
+  int rate_limit_per_round = 0;
 };
 
 struct LatencyParams {
@@ -106,6 +120,25 @@ class Network {
   /// and ablation benches).
   double route_km(HostId a, HostId b) const;
 
+  // --- probe rounds & transient faults ---
+  /// Advance the probe-round clock by `n`. A "round" is one volley of a
+  /// measurement campaign; outage blocks and rate limits are expressed
+  /// in rounds. Per-round rate-limit counters reset here.
+  void advance_round(int n = 1);
+  std::uint64_t round() const noexcept { return round_; }
+
+  /// Whether the host answers probes this round (flap schedule and any
+  /// explicit outage window). Deterministic in (seed, host, round).
+  bool host_up(HostId id) const;
+
+  /// Reconfigure a host's flap model after creation (tests, fault
+  /// injection into an existing constellation).
+  void set_flap(HostId id, double probability, int duration_rounds);
+  /// Explicit outage: the host is down for rounds in [from, to).
+  void set_outage_window(HostId id, std::uint64_t from, std::uint64_t to);
+  /// Reconfigure a host's per-round probe budget (0 = unlimited).
+  void set_rate_limit(HostId id, int per_round);
+
   const LatencyParams& params() const noexcept { return params_; }
 
  private:
@@ -115,7 +148,16 @@ class Network {
   Rng meas_rng_;
   std::vector<HostProfile> hosts_;
   std::vector<std::size_t> nearest_hub_;
+  std::uint64_t round_ = 0;
+  /// Probes answered by each host this round (rate limiting).
+  std::vector<std::uint32_t> probes_this_round_;
+  /// Explicit outage windows [from, to) per host; (0, 0) = none.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> outage_window_;
 
+  /// Counts the probe against the target's per-round budget; true when
+  /// the budget is exceeded and the probe must time out.
+  bool rate_limited(HostId to);
+  void check_fault_model(const HostProfile& p) const;
   double access_ms(HostId h) const;
   double pair_inflation(HostId a, HostId b) const;
   double path_congestion(HostId a, HostId b) const;

@@ -13,6 +13,7 @@ ProxySession::ProxySession(Network& net, HostId client, HostId proxy,
 
 ConnectResult ProxySession::connect_via(HostId landmark,
                                         std::uint16_t port) {
+  if (!alive()) return {ConnectOutcome::kTimeout, 0.0};
   double leg1 = net_->sample_rtt_ms(client_, proxy_) +
                 behavior_.forwarding_overhead_ms;
   if (behavior_.forge_synack_after_ms) {
@@ -36,6 +37,18 @@ double ProxySession::self_ping_ms() {
   double rtt2 = net_->sample_rtt_ms(client_, proxy_);
   return rtt1 + rtt2 + 2.0 * behavior_.forwarding_overhead_ms +
          2.0 * behavior_.added_delay_ms;
+}
+
+std::optional<double> ProxySession::try_self_ping_ms() {
+  if (!alive()) return std::nullopt;
+  return self_ping_ms();
+}
+
+bool ProxySession::alive() const { return net_->host_up(proxy_); }
+
+bool ProxySession::reconnect() {
+  ++reconnect_attempts_;
+  return alive();
 }
 
 std::optional<double> ProxySession::direct_ping_ms() {

@@ -50,14 +50,37 @@ class ProxySession {
   HostId proxy() const noexcept { return proxy_; }
   const ProxyBehavior& behavior() const noexcept { return behavior_; }
 
+  /// Change the per-packet added delay mid-session (a re-routed tunnel
+  /// after reconnect, or an adversary switching tactics, paper §8).
+  void set_added_delay_ms(double ms) noexcept {
+    behavior_.added_delay_ms = ms;
+  }
+
   /// TCP connect to `landmark`:`port` through the tunnel. Timeouts occur
   /// when the landmark filters the port.
   ConnectResult connect_via(HostId landmark, std::uint16_t port);
 
   /// Ping the client's own public address through the tunnel: the packet
   /// crosses the tunnel twice in each direction, so this measures
-  /// (almost exactly) twice the client-proxy RTT.
+  /// (almost exactly) twice the client-proxy RTT. Assumes the tunnel is
+  /// up; see try_self_ping_ms for the fallible variant.
   double self_ping_ms();
+
+  /// self_ping_ms, or nullopt when the tunnel is down (the proxy host is
+  /// in an outage this round).
+  std::optional<double> try_self_ping_ms();
+
+  /// Whether the tunnel currently forwards at all (the proxy host is up
+  /// this round). Dropped tunnels time every connect_via out.
+  bool alive() const;
+
+  /// Attempt to re-establish a dropped tunnel. In the simulator the
+  /// handshake succeeds exactly when the proxy host is back up; the
+  /// session counts attempts for campaign telemetry.
+  bool reconnect();
+
+  /// Reconnect attempts made over the session's lifetime.
+  int reconnect_attempts() const noexcept { return reconnect_attempts_; }
 
   /// Direct ICMP ping of the proxy from the client; usually filtered.
   std::optional<double> direct_ping_ms();
@@ -70,6 +93,7 @@ class ProxySession {
   HostId client_;
   HostId proxy_;
   ProxyBehavior behavior_;
+  int reconnect_attempts_ = 0;
 };
 
 }  // namespace ageo::netsim

@@ -11,6 +11,7 @@
 #include "assess/audit.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "measure/campaign.hpp"
 #include "measure/proxy_measure.hpp"
 #include "measure/testbed.hpp"
 #include "measure/tools.hpp"
@@ -106,6 +107,9 @@ TEST_F(FailureTest, UniformAdversarialDelayIsCancelled) {
   pp.location = truth;
   netsim::HostId proxy = bed_->add_host(pp);
 
+  // The grid must outlive the returned estimates: a Region references
+  // the Grid it was built on.
+  grid::Grid g(1.0);
   auto measure_with = [&](double added_delay) {
     netsim::ProxyBehavior b;
     b.added_delay_ms = added_delay;
@@ -114,7 +118,6 @@ TEST_F(FailureTest, UniformAdversarialDelayIsCancelled) {
     Rng rng(4);
     auto probe = prober.as_probe_fn();
     auto tp = measure::two_phase_measure(*bed_, probe, rng);
-    grid::Grid g(1.0);
     algos::CbgPlusPlusGeolocator locator;
     return locator.locate(g, bed_->store(), tp.observations);
   };
@@ -168,6 +171,112 @@ TEST_F(FailureTest, AuditSurvivesHostileFleet) {
       EXPECT_EQ(r.verdict_final, assess::Verdict::kFalse);
     }
   }
+}
+
+// The headline robustness guarantee: with 30% of landmarks flapping and
+// the proxy tunnel dropping mid-campaign, the resilient engine still
+// returns (nearly) the requested observation count, its telemetry shows
+// the machinery working, and the whole ordeal reproduces exactly from
+// the seeds.
+TEST(ResilientCampaign, SurvivesFlapsAndTunnelDrop) {
+  struct Run {
+    measure::TwoPhaseResult tp;
+    bool flagged = false;
+  };
+  auto run_campaign = [] {
+    measure::TestbedConfig cfg;
+    cfg.seed = 606;
+    cfg.constellation.n_anchors = 120;
+    cfg.constellation.n_probes = 200;
+    measure::Testbed bed(cfg);
+    // 30% of landmarks flap: down for whole 6-round blocks with
+    // probability 0.5 per block, on a schedule fixed by the network seed.
+    Rng flaprng(42);
+    for (std::size_t i = 0; i < bed.landmarks().size(); ++i)
+      if (flaprng.chance(0.3))
+        bed.net().set_flap(bed.landmark_host(i), 0.5, 6);
+
+    netsim::HostProfile cp;
+    cp.location = {50.11, 8.68};
+    netsim::HostId client = bed.add_host(cp);
+    netsim::HostProfile pp;
+    pp.location = {47.4, 8.5};
+    netsim::HostId proxy = bed.add_host(pp);
+    // The tunnel drops mid-campaign (phase 2) and comes back 14 rounds
+    // later, within the engine's bounded reconnect loop.
+    bed.net().set_outage_window(proxy, 30, 44);
+
+    netsim::ProxySession session(bed.net(), client, proxy, {});
+    measure::ProxyProber prober(bed, session, 0.5);
+    measure::CampaignEngine engine(prober.as_rich_probe_fn(), {});
+    engine.set_round_hook([&bed] { bed.net().advance_round(); });
+    engine.attach_tunnel(prober);
+    Rng rng(77);
+    Run r;
+    r.tp = measure::two_phase_measure(bed, engine, rng);
+    r.flagged = engine.tunnel_flagged();
+    return r;
+  };
+
+  Run first = run_campaign();
+  const auto& s = first.tp.stats;
+  // >= 20 of the 25 requested observations despite the mayhem.
+  EXPECT_GE(first.tp.observations.size(), 20u);
+  EXPECT_LE(first.tp.observations.size(), 25u);
+  // Every layer of the fault machinery fired.
+  EXPECT_GT(s.retries, 0u);
+  EXPECT_GT(s.timeouts, 0u);
+  EXPECT_GT(s.breaker_trips, 0u);
+  EXPECT_GT(s.replacements, 0u);
+  EXPECT_GE(s.tunnel_drops, 1u);
+  EXPECT_GE(s.tunnel_reconnects, 1u);
+  EXPECT_GT(s.rounds, 40u);
+
+  // Bit-exact reproducibility from the seeds: same stats, same
+  // landmarks, same measurements.
+  Run second = run_campaign();
+  EXPECT_EQ(second.tp.stats, first.tp.stats);
+  EXPECT_EQ(second.tp.landmark_ids, first.tp.landmark_ids);
+  EXPECT_EQ(second.flagged, first.flagged);
+  ASSERT_EQ(second.tp.observations.size(), first.tp.observations.size());
+  for (std::size_t i = 0; i < first.tp.observations.size(); ++i)
+    EXPECT_DOUBLE_EQ(second.tp.observations[i].one_way_delay_ms,
+                     first.tp.observations[i].one_way_delay_ms);
+}
+
+TEST_F(FailureTest, AuditReportExposesCampaignTotals) {
+  const auto& w = bed_->world();
+  world::Fleet fleet;
+  world::ProviderSite site{"T", w.find_country("de").value(),
+                           {52.52, 13.4}, 65001};
+  fleet.sites.push_back(site);
+  for (int i = 0; i < 2; ++i) {
+    world::ProxyHost h;
+    h.provider = "T";
+    h.server_id = i;
+    h.claimed_country = site.country;
+    h.true_country = site.country;
+    h.true_location = site.location;
+    h.true_site = 0;
+    h.asn = site.asn;
+    h.prefix24 = static_cast<std::uint32_t>(i);
+    h.pingable = false;
+    h.drops_time_exceeded = true;
+    fleet.hosts.push_back(h);
+  }
+  assess::Auditor auditor(*bed_, {});
+  auto report = auditor.run(fleet);
+  ASSERT_EQ(report.rows.size(), 2u);
+  // Per-row telemetry populated, and the report totals are their sum.
+  measure::CampaignStats sum;
+  for (const auto& r : report.rows) {
+    EXPECT_GT(r.campaign.probes_sent, 0u);
+    EXPECT_FALSE(r.tunnel_flagged);  // no faults in the default testbed
+    sum.merge(r.campaign);
+  }
+  EXPECT_EQ(sum, report.campaign_totals);
+  EXPECT_GT(report.campaign_totals.measured(), 0u);
+  EXPECT_EQ(report.campaign_totals.tunnel_drops, 0u);
 }
 
 TEST_F(FailureTest, AllProbesFailYieldsEmptyNotCrash) {

@@ -5,6 +5,7 @@
 
 #include "algos/cbg_pp.hpp"
 #include "common/error.hpp"
+#include "measure/campaign.hpp"
 #include "measure/landmark_service.hpp"
 #include "measure/tools.hpp"
 
@@ -92,6 +93,74 @@ TEST(LandmarkService, AuditsAcrossEpochsStillWork) {
     EXPECT_LT(est.region.distance_from_km(p.location), 500.0)
         << "epoch " << e;
     svc.refresh();
+  }
+}
+
+TEST(LandmarkService, CampaignSpanningRefreshNeverProbesInactive) {
+  // A refresh() fires in the middle of an engine-managed campaign; the
+  // engine's active filter must keep every probe — and therefore every
+  // observation — on landmarks active at measurement time.
+  LandmarkServiceConfig cfg = small_config();
+  cfg.anchor_decommission_rate = 0.3;  // heavy churn mid-campaign
+  cfg.probe_instability = 0.5;
+  LandmarkService svc(cfg);
+  auto& bed = svc.testbed();
+  netsim::HostProfile p;
+  p.location = {50.1, 8.7};
+  netsim::HostId target = bed.add_host(p);
+
+  int calls = 0;
+  bool refreshed = false;
+  bool probed_inactive = false;
+  ProbeFn inner = [&](std::size_t lm) {
+    if (!svc.is_active(lm)) probed_inactive = true;
+    if (++calls == 30 && !refreshed) {
+      refreshed = true;
+      svc.refresh();  // the daily update lands mid-campaign
+    }
+    return CliTool::measure_ms(bed.net(), target, bed.landmark_host(lm));
+  };
+  CampaignEngine engine(inner);
+  engine.set_active_filter(svc.active_filter());
+  Rng rng(5);
+  auto tp = two_phase_measure(bed, engine, rng);
+
+  EXPECT_TRUE(refreshed);
+  EXPECT_FALSE(probed_inactive);  // the gate held across the epoch change
+  EXPECT_GT(engine.stats().gated_skips, 0u);
+  EXPECT_GT(tp.observations.size(), 5u);
+  // Gated phase-2 picks were substituted from the remaining pool.
+  EXPECT_GT(tp.stats.replacements, 0u);
+}
+
+TEST(LandmarkService, PruneDropsBreakerStateForRemovedLandmarks) {
+  LandmarkService svc(small_config());
+  ProbeFn dead = [](std::size_t) { return std::nullopt; };
+  CampaignConfig ccfg;
+  ccfg.retry.max_attempts = 1;
+  CampaignEngine engine(dead, ccfg);
+  engine.set_active_filter(svc.active_filter());
+  // One failed probe of every active landmark: all become tracked.
+  std::set<std::size_t> before(svc.active_landmarks().begin(),
+                               svc.active_landmarks().end());
+  for (std::size_t id : before) (void)engine.probe(id);
+  for (std::size_t id : before) EXPECT_TRUE(engine.board().tracked(id));
+
+  svc.refresh();
+  std::set<std::size_t> after(svc.active_landmarks().begin(),
+                              svc.active_landmarks().end());
+  std::set<std::size_t> removed;
+  for (std::size_t id : before)
+    if (!after.count(id)) removed.insert(id);
+  ASSERT_FALSE(removed.empty());  // churn removed something
+
+  std::size_t dropped = engine.prune_breakers(svc.active_filter());
+  EXPECT_EQ(dropped, removed.size());
+  for (std::size_t id : removed)
+    EXPECT_FALSE(engine.board().tracked(id));
+  for (std::size_t id : before) {
+    if (!after.count(id)) continue;  // surviving landmarks stay tracked
+    EXPECT_TRUE(engine.board().tracked(id));
   }
 }
 

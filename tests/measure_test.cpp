@@ -207,6 +207,82 @@ TEST_F(MeasureTest, EtaDefaultsWithFewPingable) {
   EXPECT_DOUBLE_EQ(eta.eta, 0.5);
 }
 
+TEST_F(MeasureTest, EtaDefaultPathPinnedBelowThree) {
+  // Exactly two pingable proxies: below the n >= 3 regression floor, the
+  // estimate must be the documented default in every field.
+  netsim::HostProfile cp;
+  cp.location = {50.11, 8.68};
+  netsim::HostId client = bed_->add_host(cp);
+  std::vector<netsim::ProxySession> sessions;
+  netsim::ProxyBehavior pingable;
+  pingable.icmp_responds = true;
+  for (int i = 0; i < 2; ++i) {
+    netsim::HostProfile pp;
+    pp.location = {45.0 + i, 5.0 + i};
+    sessions.emplace_back(bed_->net(), client, bed_->add_host(pp), pingable);
+  }
+  auto eta = estimate_eta(sessions);
+  EXPECT_EQ(eta.n_proxies, 2u);
+  EXPECT_DOUBLE_EQ(eta.eta, 0.5);
+  EXPECT_DOUBLE_EQ(eta.eta_ci_low, 0.5);
+  EXPECT_DOUBLE_EQ(eta.eta_ci_high, 0.5);
+  EXPECT_DOUBLE_EQ(eta.r_squared, 0.0);
+}
+
+TEST_F(MeasureTest, EtaCiBracketsPointEstimate) {
+  // Between 3 and 4 proxies the bootstrap is skipped; at 5+ it can
+  // degenerate. In every regime the CI must bracket the point estimate.
+  netsim::HostProfile cp;
+  cp.location = {50.11, 8.68};
+  netsim::HostId client = bed_->add_host(cp);
+  netsim::ProxyBehavior pingable;
+  pingable.icmp_responds = true;
+  Rng rng(14);
+  for (std::size_t n : {3u, 5u, 8u}) {
+    std::vector<netsim::ProxySession> sessions;
+    for (std::size_t i = 0; i < n; ++i) {
+      netsim::HostProfile pp;
+      pp.location = {rng.uniform(36.0, 58.0), rng.uniform(-90.0, 110.0)};
+      sessions.emplace_back(bed_->net(), client, bed_->add_host(pp),
+                            pingable);
+    }
+    auto eta = estimate_eta(sessions);
+    EXPECT_EQ(eta.n_proxies, n);
+    EXPECT_LE(eta.eta_ci_low, eta.eta) << n << " proxies";
+    EXPECT_GE(eta.eta_ci_high, eta.eta) << n << " proxies";
+    if (n < 5) {
+      // Bootstrap skipped: the interval collapses onto the estimate.
+      EXPECT_DOUBLE_EQ(eta.eta_ci_low, eta.eta);
+      EXPECT_DOUBLE_EQ(eta.eta_ci_high, eta.eta);
+    }
+  }
+}
+
+TEST_F(MeasureTest, ProxyProberClampsNegativeCorrection) {
+  // An adversarial proxy adding huge uniform delay inflates the tunnel
+  // estimate past the whole measurement; the correction must clamp to
+  // the positive floor, never go negative.
+  netsim::HostProfile cp;
+  cp.location = {50.11, 8.68};
+  netsim::HostId client = bed_->add_host(cp);
+  netsim::HostProfile pp;
+  pp.location = {45.76, 4.84};
+  netsim::HostId proxy = bed_->add_host(pp);
+  netsim::ProxyBehavior slow;
+  slow.added_delay_ms = 1000.0;  // self-ping counts it twice
+  netsim::ProxySession session(bed_->net(), client, proxy, slow);
+  ProxyProber prober(*bed_, session, 0.9);
+  std::size_t lm_id = bed_->anchor_ids()[0];
+  for (int i = 0; i < 5; ++i) {
+    auto r = prober.rich_probe(lm_id);
+    ASSERT_TRUE(r.measured());
+    EXPECT_DOUBLE_EQ(r.rtt_ms, ProxyProber::kCorrectionFloorMs);
+    auto plain = prober(lm_id);
+    ASSERT_TRUE(plain.has_value());
+    EXPECT_GT(*plain, 0.0);
+  }
+}
+
 TEST_F(MeasureTest, ProxyProberCorrection) {
   netsim::HostProfile cp;
   cp.location = {50.11, 8.68};

@@ -231,6 +231,107 @@ TEST_F(ProxyTest, SelectiveDelayPerLandmark) {
   EXPECT_LT(o_min, 100.0);
 }
 
+// ---- probe rounds & transient faults ----
+
+TEST_F(NetsimTest, FlapScheduleDeterministicPerBlock) {
+  HostId h = host_at(10.0, 10.0);
+  net.set_flap(h, 0.5, 4);
+  // The schedule is a function of (seed, host, block): constant within
+  // each 4-round block, and identical on a rebuilt network.
+  Network twin(world::HubGraph::builtin(), 7);
+  HostProfile p;
+  p.location = {10.0, 10.0};
+  HostId th = twin.add_host(p);
+  twin.set_flap(th, 0.5, 4);
+  bool saw_up = false, saw_down = false;
+  bool block_state = net.host_up(h);
+  for (int r = 0; r < 100; ++r) {
+    if (r % 4 == 0) block_state = net.host_up(h);
+    EXPECT_EQ(net.host_up(h), block_state) << "round " << r;
+    EXPECT_EQ(twin.host_up(th), net.host_up(h)) << "round " << r;
+    (net.host_up(h) ? saw_up : saw_down) = true;
+    net.advance_round();
+    twin.advance_round();
+  }
+  EXPECT_TRUE(saw_up);    // flapping, not dead:
+  EXPECT_TRUE(saw_down);  // both states occur over 25 blocks
+}
+
+TEST_F(NetsimTest, FlappingHostTimesOutWhileDown) {
+  HostId a = host_at(0.0, 0.0);
+  HostId h = host_at(10.0, 10.0);
+  net.set_flap(h, 0.5, 3);
+  int answered = 0, dropped = 0;
+  for (int r = 0; r < 60; ++r) {
+    auto ping = net.icmp_ping_ms(a, h);
+    auto conn = net.tcp_connect(a, h, 80);
+    EXPECT_EQ(ping.has_value(), net.host_up(h));
+    EXPECT_EQ(conn.outcome == ConnectOutcome::kAccepted, net.host_up(h));
+    (ping ? answered : dropped) += 1;
+    net.advance_round();
+  }
+  EXPECT_GT(answered, 0);
+  EXPECT_GT(dropped, 0);
+}
+
+TEST_F(NetsimTest, OutageWindowDownThenRecovers) {
+  HostId a = host_at(0.0, 0.0);
+  HostId h = host_at(10.0, 10.0);
+  net.set_outage_window(h, 2, 5);
+  for (int r = 0; r < 8; ++r) {
+    bool expect_up = r < 2 || r >= 5;
+    EXPECT_EQ(net.host_up(h), expect_up) << "round " << r;
+    EXPECT_EQ(net.icmp_ping_ms(a, h).has_value(), expect_up);
+    net.advance_round();
+  }
+}
+
+TEST_F(NetsimTest, RateLimiterCapsPerRoundAndResets) {
+  HostId a = host_at(0.0, 0.0);
+  HostId h = host_at(10.0, 10.0);
+  net.set_rate_limit(h, 3);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_TRUE(net.icmp_ping_ms(a, h).has_value());
+  // The 4th probe of the round is a storm: timed out.
+  EXPECT_FALSE(net.icmp_ping_ms(a, h).has_value());
+  EXPECT_EQ(net.tcp_connect(a, h, 80).outcome, ConnectOutcome::kTimeout);
+  net.advance_round();
+  EXPECT_TRUE(net.icmp_ping_ms(a, h).has_value());  // budget reset
+}
+
+TEST_F(NetsimTest, FaultModelValidates) {
+  HostProfile bad;
+  bad.location = {0.0, 0.0};
+  bad.flap_probability = 1.0;  // certain outage = dead host, rejected
+  EXPECT_THROW(net.add_host(bad), InvalidArgument);
+  bad.flap_probability = 0.0;
+  bad.flap_duration_rounds = -1;
+  EXPECT_THROW(net.add_host(bad), InvalidArgument);
+  HostId h = host_at(10.0, 10.0);
+  EXPECT_THROW(net.set_flap(h, -0.1, 4), InvalidArgument);
+  EXPECT_THROW(net.set_outage_window(h, 5, 2), InvalidArgument);
+  EXPECT_THROW(net.set_rate_limit(h, -1), InvalidArgument);
+  EXPECT_THROW(net.advance_round(-1), InvalidArgument);
+  EXPECT_THROW(net.host_up(999), InvalidArgument);
+}
+
+TEST_F(ProxyTest, TunnelAliveReconnectAndSelfPing) {
+  ProxySession s(net, client, proxy, {});
+  EXPECT_TRUE(s.alive());
+  ASSERT_TRUE(s.try_self_ping_ms().has_value());
+  net.set_outage_window(proxy, 1, 3);
+  net.advance_round();
+  EXPECT_FALSE(s.alive());
+  EXPECT_FALSE(s.try_self_ping_ms().has_value());
+  EXPECT_EQ(s.connect_via(landmark, 80).outcome, ConnectOutcome::kTimeout);
+  EXPECT_FALSE(s.reconnect());  // still inside the outage
+  net.advance_round(2);
+  EXPECT_TRUE(s.reconnect());
+  EXPECT_TRUE(s.alive());
+  EXPECT_EQ(s.reconnect_attempts(), 2);
+  EXPECT_TRUE(s.try_self_ping_ms().has_value());
+}
+
 // Distance-delay correlation: the core property geolocation depends on.
 TEST(NetsimStat, DelayGrowsWithDistance) {
   Network net(world::HubGraph::builtin(), 11);
