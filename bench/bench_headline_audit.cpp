@@ -15,6 +15,10 @@ using namespace ageo;
 int main() {
   auto bundle = bench::run_standard_audit(bench::scale_from_env());
   const auto& rows = bundle.report.rows;
+  std::printf("setup (testbed+calibration): %.0f ms, audit: %.0f ms "
+              "(%.2f ms/proxy)\n\n",
+              bundle.setup_ms, bundle.audit_ms,
+              rows.empty() ? 0.0 : bundle.audit_ms / rows.size());
 
   std::set<world::CountryId> claimed_countries;
   for (const auto& r : rows) claimed_countries.insert(r.claimed);

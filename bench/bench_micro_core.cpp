@@ -5,6 +5,7 @@
 #include "calib/cbg_model.hpp"
 #include "common/rng.hpp"
 #include "geo/geodesy.hpp"
+#include "grid/cap_cache.hpp"
 #include "grid/field.hpp"
 #include "grid/raster.hpp"
 #include "mlat/multilateration.hpp"
@@ -30,11 +31,107 @@ static void BM_RasterizeCap(benchmark::State& state) {
   geo::Cap cap{{48.0, 11.0}, 2000.0};
   for (auto _ : state) {
     auto r = grid::rasterize_cap(g, cap);
-    benchmark::DoNotOptimize(r.count());
+    benchmark::DoNotOptimize(r.words().data());
   }
   state.SetLabel("cell_deg=" + std::to_string(state.range(0) / 100.0));
 }
-BENCHMARK(BM_RasterizeCap)->Arg(200)->Arg(100)->Arg(50);
+BENCHMARK(BM_RasterizeCap)->Arg(200)->Arg(100)->Arg(50)->Arg(25);
+
+static void BM_RasterizeCapNaive(benchmark::State& state) {
+  // The naive per-cell reference scan: the "before" of the pruned
+  // rasterizer, kept runnable so the speedup stays measurable in place.
+  grid::Grid g(static_cast<double>(state.range(0)) / 100.0);
+  geo::Cap cap{{48.0, 11.0}, 2000.0};
+  for (auto _ : state) {
+    auto r = grid::reference::rasterize_cap(g, cap);
+    benchmark::DoNotOptimize(r.words().data());
+  }
+  state.SetLabel("cell_deg=" + std::to_string(state.range(0) / 100.0));
+}
+BENCHMARK(BM_RasterizeCapNaive)->Arg(200)->Arg(100)->Arg(50)->Arg(25);
+
+static void BM_RasterizeCapSmall(benchmark::State& state) {
+  // Small-radius disks at fine resolution: the shape of the paper's
+  // per-landmark constraint in the phase-2 inner loop.
+  grid::Grid g(static_cast<double>(state.range(0)) / 100.0);
+  geo::Cap cap{{48.0, 11.0}, 300.0};
+  for (auto _ : state) {
+    auto r = grid::rasterize_cap(g, cap);
+    benchmark::DoNotOptimize(r.words().data());
+  }
+  state.SetLabel("cell_deg=" + std::to_string(state.range(0) / 100.0));
+}
+BENCHMARK(BM_RasterizeCapSmall)->Arg(100)->Arg(25);
+
+static void BM_RasterizeCapSmallNaive(benchmark::State& state) {
+  grid::Grid g(static_cast<double>(state.range(0)) / 100.0);
+  geo::Cap cap{{48.0, 11.0}, 300.0};
+  for (auto _ : state) {
+    auto r = grid::reference::rasterize_cap(g, cap);
+    benchmark::DoNotOptimize(r.words().data());
+  }
+  state.SetLabel("cell_deg=" + std::to_string(state.range(0) / 100.0));
+}
+BENCHMARK(BM_RasterizeCapSmallNaive)->Arg(100)->Arg(25);
+
+static void BM_RasterizeRing(benchmark::State& state) {
+  grid::Grid g(static_cast<double>(state.range(0)) / 100.0);
+  geo::Ring ring{{48.0, 11.0}, 800.0, 2400.0};
+  for (auto _ : state) {
+    auto r = grid::rasterize_ring(g, ring);
+    benchmark::DoNotOptimize(r.words().data());
+  }
+  state.SetLabel("cell_deg=" + std::to_string(state.range(0) / 100.0));
+}
+BENCHMARK(BM_RasterizeRing)->Arg(100)->Arg(25);
+
+static void BM_RasterizeRingNaive(benchmark::State& state) {
+  grid::Grid g(static_cast<double>(state.range(0)) / 100.0);
+  geo::Ring ring{{48.0, 11.0}, 800.0, 2400.0};
+  for (auto _ : state) {
+    auto r = grid::reference::rasterize_ring(g, ring);
+    benchmark::DoNotOptimize(r.words().data());
+  }
+  state.SetLabel("cell_deg=" + std::to_string(state.range(0) / 100.0));
+}
+BENCHMARK(BM_RasterizeRingNaive)->Arg(100)->Arg(25);
+
+static void BM_CapPlanRasterize(benchmark::State& state) {
+  // Re-rasterizing around a cached landmark at a fresh radius each time:
+  // the per-proxy hot path once the plan cache is warm.
+  grid::Grid g(static_cast<double>(state.range(0)) / 100.0);
+  grid::CapScanPlan plan(g, {48.0, 11.0});
+  grid::Region out(g);
+  double radius = 200.0;
+  for (auto _ : state) {
+    out.clear();
+    radius = radius >= 2400.0 ? 200.0 : radius + 37.0;
+    plan.rasterize_annulus(0.0, radius, out);
+    benchmark::DoNotOptimize(out.words().data());
+  }
+  state.SetLabel("cell_deg=" + std::to_string(state.range(0) / 100.0));
+}
+BENCHMARK(BM_CapPlanRasterize)->Arg(100)->Arg(25);
+
+static void BM_AccumulateCapMask(benchmark::State& state) {
+  // 25 landmarks' coverage masks on one grid: the inner loop of
+  // largest_consistent_subset.
+  grid::Grid g(static_cast<double>(state.range(0)) / 100.0);
+  Rng rng(7);
+  std::vector<geo::Cap> caps;
+  for (int i = 0; i < 25; ++i)
+    caps.push_back({{rng.uniform(35.0, 60.0), rng.uniform(-10.0, 30.0)},
+                    rng.uniform(400.0, 2500.0)});
+  std::vector<std::uint64_t> masks(g.size());
+  for (auto _ : state) {
+    std::fill(masks.begin(), masks.end(), 0);
+    for (unsigned i = 0; i < caps.size(); ++i)
+      grid::accumulate_cap_mask(g, caps[i], masks, i);
+    benchmark::DoNotOptimize(masks.data());
+  }
+  state.SetLabel("cell_deg=" + std::to_string(state.range(0) / 100.0));
+}
+BENCHMARK(BM_AccumulateCapMask)->Arg(100)->Arg(50);
 
 static void BM_RegionIntersect(benchmark::State& state) {
   grid::Grid g(1.0);
@@ -85,6 +182,26 @@ static void BM_SubsetSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SubsetSolve)->Arg(8)->Arg(25)->Arg(60);
+
+static void BM_SubsetSolveManyMasks(benchmark::State& state) {
+  // Adversarial dedup load: 60 near-concentric disks produce many
+  // distinct maximum-cardinality coverage masks, which stressed the
+  // linear std::find dedup in pass 2 of largest_consistent_subset.
+  grid::Grid g(0.5);
+  Rng rng(9);
+  std::vector<mlat::DiskConstraint> disks;
+  geo::LatLon truth{47.0, 12.0};
+  for (int i = 0; i < 60; ++i) {
+    geo::LatLon lm{rng.uniform(44.0, 50.0), rng.uniform(8.0, 16.0)};
+    disks.push_back(
+        {lm, geo::distance_km(lm, truth) + rng.uniform(10.0, 120.0)});
+  }
+  for (auto _ : state) {
+    auto res = mlat::largest_consistent_subset(g, disks);
+    benchmark::DoNotOptimize(res.region.count());
+  }
+}
+BENCHMARK(BM_SubsetSolveManyMasks);
 
 static void BM_GaussianFusion(benchmark::State& state) {
   grid::Grid g(1.0);

@@ -1,6 +1,7 @@
 #include "bench_util.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -32,12 +33,23 @@ world::Fleet standard_fleet(const world::WorldModel& w, double scale) {
   return world::generate_fleet(w, specs, 2018);
 }
 
-AuditBundle run_standard_audit(double scale) {
+AuditBundle run_standard_audit(double scale, int threads) {
+  if (const char* t = std::getenv("AGEO_THREADS")) {
+    int v = std::atoi(t);
+    if (v >= 0) threads = v;
+  }
   AuditBundle bundle;
+  auto t0 = std::chrono::steady_clock::now();
   bundle.bed = standard_testbed(scale);
   bundle.fleet = standard_fleet(bundle.bed->world(), scale);
-  assess::Auditor auditor(*bundle.bed, {});
+  auto t1 = std::chrono::steady_clock::now();
+  assess::AuditConfig cfg;
+  cfg.threads = threads;
+  assess::Auditor auditor(*bundle.bed, cfg);
   bundle.report = auditor.run(bundle.fleet);
+  auto t2 = std::chrono::steady_clock::now();
+  bundle.setup_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  bundle.audit_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
   return bundle;
 }
 

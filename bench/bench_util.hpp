@@ -32,10 +32,16 @@ struct AuditBundle {
   std::unique_ptr<measure::Testbed> bed;
   world::Fleet fleet;
   assess::AuditReport report;
+  /// Wall-clock of testbed construction (calibration) and of the audit
+  /// proper, ms.
+  double setup_ms = 0.0;
+  double audit_ms = 0.0;
 };
 
 /// Full §6 audit: testbed + fleet + CBG++ pipeline over every proxy.
-AuditBundle run_standard_audit(double scale = 1.0);
+/// `threads` is forwarded to AuditConfig::threads (0 = hardware
+/// concurrency, 1 = serial); AGEO_THREADS in the environment overrides.
+AuditBundle run_standard_audit(double scale = 1.0, int threads = 1);
 
 /// Per-crowd-host measurement result for the §5 validation experiments.
 struct CrowdMeasurement {

@@ -41,7 +41,8 @@ CbgPlusPlusGeolocator::Detail CbgPlusPlusGeolocator::locate_detailed(
   }
 
   if (!options_.use_subset_filter) {
-    detail.estimate = GeoEstimate{mlat::intersect_disks(g, bestline, mask)};
+    detail.estimate =
+        GeoEstimate{mlat::intersect_disks(g, bestline, mask, plan_cache_)};
     detail.bestline_subset_size = observations.size();
     detail.baseline_subset_size = observations.size();
     return detail;
@@ -72,7 +73,7 @@ CbgPlusPlusGeolocator::Detail CbgPlusPlusGeolocator::locate_detailed(
 
   // Stage 1: baseline region — largest consistent subset of the
   // physics-only disks.
-  auto base = mlat::largest_consistent_subset(g, baseline, mask);
+  auto base = mlat::largest_consistent_subset(g, baseline, mask, plan_cache_);
   detail.baseline_subset_size = base.n_used;
 
   // Stage 2: drop bestline disks that do not overlap the baseline region.
@@ -88,15 +89,22 @@ CbgPlusPlusGeolocator::Detail CbgPlusPlusGeolocator::locate_detailed(
   }
 
   // Stage 3: bestline region — largest consistent subset of the rest.
-  auto bestr = mlat::largest_consistent_subset(g, retained, mask);
+  auto bestr = mlat::largest_consistent_subset(g, retained, mask, plan_cache_);
   detail.bestline_subset_size = bestr.n_used;
 
   // Fold in the spare (loose) disks; skip any that would empty the
   // region.
   for (const auto& d : spare) {
+    const geo::Cap cap{d.center, d.max_km + mlat::conservative_pad_km(g)};
     grid::Region clipped = bestr.region;
-    clipped &= grid::rasterize_cap(
-        g, geo::Cap{d.center, d.max_km + mlat::conservative_pad_km(g)});
+    if (plan_cache_) {
+      grid::Region disk(g);
+      plan_cache_->plan(g, cap.center)
+          ->rasterize_annulus(0.0, cap.radius_km, disk);
+      clipped &= disk;
+    } else {
+      clipped &= grid::rasterize_cap(g, cap);
+    }
     if (!clipped.empty()) bestr.region = std::move(clipped);
   }
   detail.estimate = GeoEstimate{std::move(bestr.region)};

@@ -16,6 +16,7 @@
 #pragma once
 
 #include "algos/geolocator.hpp"
+#include "grid/cap_cache.hpp"
 
 namespace ageo::algos {
 
@@ -50,8 +51,18 @@ class CbgPlusPlusGeolocator final : public Geolocator {
                          std::span<const Observation> observations,
                          const grid::Region* mask = nullptr) const;
 
+  /// Reuse per-landmark rasterization plans from `cache` (not owned; may
+  /// be null to disable). The audit points every proxy's locate at one
+  /// cache since the landmark set repeats. Results are identical with or
+  /// without a cache; CapPlanCache is internally synchronized, so a
+  /// shared locator stays usable from several threads.
+  void set_plan_cache(grid::CapPlanCache* cache) noexcept {
+    plan_cache_ = cache;
+  }
+
  private:
   CbgPlusPlusOptions options_;
+  grid::CapPlanCache* plan_cache_ = nullptr;
 };
 
 }  // namespace ageo::algos

@@ -5,9 +5,23 @@
 #include <map>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "geo/geodesy.hpp"
 
 namespace ageo::assess {
+
+namespace {
+
+/// Independent per-proxy seed: the audit seed xor a mixed host index.
+/// The golden-ratio multiply spreads the index across all 64 bits; a
+/// bare xor would only flip low bits, leaving neighbouring proxies'
+/// streams (and the network's own seed-derived streams) correlated.
+std::uint64_t proxy_seed(std::uint64_t seed, std::size_t host_index) {
+  return seed ^ ((static_cast<std::uint64_t>(host_index) + 1) *
+                 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace
 
 Auditor::Auditor(measure::Testbed& bed, AuditConfig config)
     : bed_(&bed),
@@ -16,8 +30,11 @@ Auditor::Auditor(measure::Testbed& bed, AuditConfig config)
       mask_(bed.world().plausibility_mask(*grid_)),
       raster_(bed.world().country_raster(*grid_)),
       country_regions_(bed.world().country_count()),
+      run_board_(config.campaign.breaker),
       locator_(config.cbg_pp),
-      iclab_(config.iclab) {}
+      iclab_(config.iclab) {
+  locator_.set_plan_cache(&plan_cache_);
+}
 
 const grid::Region& Auditor::country_region(world::CountryId id) {
   detail::require(id < country_regions_.size(),
@@ -60,16 +77,30 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
     sessions.emplace_back(bed_->net(), client, id, behavior);
   }
 
-  // Fleet-wide eta from the pingable minority (paper Fig. 13).
+  // Fleet-wide eta from the pingable minority (paper Fig. 13). Serial,
+  // on the network's default lane, before any fan-out.
   report.eta = measure::estimate_eta(sessions, config_.eta_samples);
 
-  Rng rng(config_.seed, "audit");
-  report.rows.reserve(fleet.hosts.size());
-  // One breaker board for the whole run: a landmark that went dark
-  // during one proxy's campaign is not hammered again for the next
-  // until its cooldown elapses.
-  measure::BreakerBoard board(config_.campaign.breaker);
-  for (std::size_t i = 0; i < fleet.hosts.size(); ++i) {
+  // Warm the lazily-cached country regions while still single-threaded;
+  // the workers below only read them.
+  for (const auto& h : fleet.hosts) country_region(h.claimed_country);
+
+  // Per-proxy fan-out. Every campaign is self-contained: its own RNG
+  // streams and network lane (both derived from seed xor host index),
+  // its own breaker board. A proxy's row therefore depends only on its
+  // host index, never on scheduling — threads=1 and threads=N produce
+  // bit-identical reports, and the serial path IS the parallel path run
+  // on one worker.
+  const std::size_t n = fleet.hosts.size();
+  std::vector<ProxyAuditRow> rows(n);
+  std::vector<measure::BreakerBoard> boards(
+      n, measure::BreakerBoard(config_.campaign.breaker));
+  std::vector<netsim::Lane> lanes;
+  lanes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    lanes.push_back(bed_->net().make_lane(proxy_seed(config_.seed, i)));
+
+  parallel_for(n, config_.threads, [&](std::size_t i) {
     const auto& host = fleet.hosts[i];
     ProxyAuditRow row;
     row.host_index = i;
@@ -78,18 +109,20 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
     row.claimed_continent = bed_->world().continent_of(host.claimed_country);
     row.true_country = host.true_country;
 
+    sessions[i].set_lane(&lanes[i]);
     measure::ProxyProber prober(*bed_, sessions[i], report.eta.eta,
                                 config_.self_ping_samples);
     measure::CampaignEngine engine(prober.as_rich_probe_fn(),
-                                   config_.campaign, &board);
-    engine.set_round_hook([this] { bed_->net().advance_round(); });
+                                   config_.campaign, &boards[i]);
+    engine.set_round_hook(
+        [this, lane = &lanes[i]] { bed_->net().advance_round(1, lane); });
     engine.attach_tunnel(prober);
+    Rng rng(proxy_seed(config_.seed, i), "audit");
     auto tp = measure::two_phase_measure(*bed_, engine, rng,
                                          config_.two_phase);
     row.observations = tp.observations;
     row.campaign = tp.stats;
     row.tunnel_flagged = engine.tunnel_flagged();
-    report.campaign_totals.merge(tp.stats);
 
     if (row.observations.empty()) {
       row.empty_prediction = true;
@@ -130,8 +163,19 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
         !row.observations.empty() &&
         iclab_.accepts(country_region(row.claimed), row.observations);
 
-    report.rows.push_back(std::move(row));
+    rows[i] = std::move(row);
+  });
+
+  // Deterministic joins: fold per-proxy stats and breaker boards in
+  // host-index order, regardless of which worker ran what.
+  measure::BreakerBoard merged(config_.campaign.breaker);
+  for (std::size_t i = 0; i < n; ++i) {
+    report.campaign_totals.merge(rows[i].campaign);
+    merged.merge(boards[i]);
+    sessions[i].set_lane(nullptr);  // lanes die with this scope
   }
+  run_board_ = std::move(merged);
+  report.rows = std::move(rows);
 
   if (config_.use_as_grouping) apply_as_grouping(report.rows, fleet);
   return report;

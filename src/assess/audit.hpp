@@ -28,8 +28,10 @@ struct AuditConfig {
   /// Measurement client location (the paper used one host in Frankfurt).
   geo::LatLon client_location{50.11, 8.68};
   measure::TwoPhaseConfig two_phase;
-  /// Fault policies for the per-proxy measurement campaigns. Breaker
-  /// state persists across every proxy of one run.
+  /// Fault policies for the per-proxy measurement campaigns. Each proxy
+  /// campaign runs against its own breaker board (so campaigns stay
+  /// independent under the parallel fan-out); the per-proxy boards are
+  /// folded into one run board at the end (Auditor::run_board).
   measure::CampaignConfig campaign;
   int self_ping_samples = 5;
   int eta_samples = 5;
@@ -38,6 +40,11 @@ struct AuditConfig {
   algos::CbgPlusPlusOptions cbg_pp;
   algos::IclabOptions iclab;
   std::uint64_t seed = 99;
+  /// Worker threads for the per-proxy fan-out of run(). 1 = serial in
+  /// the calling thread; 0 = one per hardware thread. Any value yields
+  /// bit-identical reports: every proxy's campaign draws from its own
+  /// (seed xor host-index)-derived RNG streams and network lane.
+  int threads = 1;
 };
 
 struct ProxyAuditRow {
@@ -87,8 +94,16 @@ class Auditor {
   const grid::Grid& grid() const noexcept { return *grid_; }
   const grid::Region& plausibility_mask() const noexcept { return mask_; }
 
-  /// Region of one country on the audit grid (cached).
+  /// Region of one country on the audit grid (cached lazily; run()
+  /// pre-warms every claimed country before fanning out, after which
+  /// worker threads only read the cache).
   const grid::Region& country_region(world::CountryId id);
+
+  /// Merged breaker state of the last run(): every proxy's per-campaign
+  /// board folded in host-index order (see BreakerBoard::merge).
+  const measure::BreakerBoard& run_board() const noexcept {
+    return run_board_;
+  }
 
  private:
   measure::Testbed* bed_;
@@ -97,6 +112,10 @@ class Auditor {
   grid::Region mask_;
   world::CountryRaster raster_;
   std::vector<std::optional<grid::Region>> country_regions_;
+  /// Per-landmark rasterization plans shared by every proxy's locate();
+  /// internally synchronized, persists across runs.
+  grid::CapPlanCache plan_cache_;
+  measure::BreakerBoard run_board_;
   algos::CbgPlusPlusGeolocator locator_;
   algos::IclabChecker iclab_;
 

@@ -1,0 +1,73 @@
+// A minimal fork-join parallel_for over an index range.
+//
+// The audit fan-out needs exactly one primitive: run f(0..n-1) across a
+// bounded set of workers, join, and rethrow the first failure. Workers
+// claim indices from a shared atomic counter (work stealing by
+// construction), so an expensive proxy campaign does not leave a whole
+// stripe of the fleet pinned behind it. Determinism is the caller's
+// problem: f(i) must depend only on i, never on which worker ran it or
+// in what order — see DESIGN.md, "Parallel audit determinism".
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ageo {
+
+/// Number of workers a `threads` request resolves to: 0 = one per
+/// hardware thread, otherwise the request itself (floored at 1), never
+/// more than `n` items.
+inline int resolve_threads(int threads, std::size_t n) noexcept {
+  int want = threads == 0
+                 ? static_cast<int>(std::thread::hardware_concurrency())
+                 : threads;
+  if (want < 1) want = 1;
+  if (n < static_cast<std::size_t>(want)) want = static_cast<int>(n);
+  return want;
+}
+
+/// Invoke f(i) for every i in [0, n), on up to `threads` workers
+/// (resolve_threads above). With one worker everything runs in the
+/// calling thread — no pool, no atomics. Exceptions: the first one
+/// thrown (by any worker) is rethrown here after all workers drain;
+/// remaining indices are abandoned, not silently skipped-and-ignored.
+template <typename F>
+void parallel_for(std::size_t n, int threads, F&& f) {
+  const int workers = resolve_threads(threads, n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  auto work = [&]() noexcept {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        f(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(static_cast<std::size_t>(workers) - 1);
+    for (int t = 1; t < workers; ++t) pool.emplace_back(work);
+    work();
+  }  // jthreads join on scope exit
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace ageo

@@ -1,0 +1,175 @@
+// Internal machinery of the pruned annulus rasterizer.
+//
+// Shared by raster.cpp (one-shot scans) and cap_cache.cpp (per-landmark
+// plans). Both reduce one grid row to four concentric zones around the
+// column nearest the annulus center, measured as integer column offsets:
+//
+//   |offset|  <  core : guaranteed inside the inner exclusion — skipped
+//   ...      in hole  : near the inner boundary — tested cell by cell
+//   ...      in fill  : guaranteed inside the annulus — set via word fills
+//   ...      in cand  : near the outer boundary — tested cell by cell
+//   |offset| out cand : guaranteed outside — never visited
+//
+// "Guaranteed" is backed by a safety margin of kDotMargin in dot-product
+// space plus one cell of slack in column space, both of which dwarf every
+// floating-point error in the zone computation; tested cells evaluate the
+// exact same clamped-dot expression as the naive scan, so the pruned scan
+// is bit-for-bit identical to it (pinned by raster_equivalence_test).
+#pragma once
+
+#include <algorithm>
+#include <climits>
+#include <cmath>
+#include <cstddef>
+#include <numbers>
+#include <tuple>
+
+#include "geo/units.hpp"
+#include "geo/vec3.hpp"
+#include "grid/grid.hpp"
+
+namespace ageo::grid::detail {
+
+/// Shared setup of an annulus scan: distance bounds converted to
+/// dot-product bounds, plus the latitude band the annulus can touch.
+/// d <= r  <=>  angle <= r/R  <=>  dot >= cos(r/R), for r/R in [0, pi].
+/// Every scan flavor (naive, pruned, plan-cached) builds thresholds from
+/// this one struct so their pass/fail tests are the same expressions.
+struct AnnulusScan {
+  bool empty = true;
+  std::size_t r0 = 0, r1 = 0;
+  geo::Vec3 v;
+  double cos_outer = 1.0, cos_inner = 1.0;
+  double inner_clamped = 0.0;
+
+  AnnulusScan(const Grid& g, const geo::LatLon& center, double inner_km,
+              double outer_km) {
+    if (outer_km < 0 || outer_km < inner_km) return;
+    empty = false;
+    const double outer_capped =
+        std::min(outer_km, geo::kEarthRadiusKm * std::numbers::pi);
+    const double dlat = geo::rad_to_deg(outer_capped / geo::kEarthRadiusKm);
+    // Half a cell of slack so cell centers right at the band edge are kept.
+    std::tie(r0, r1) = g.rows_in_lat_band(center.lat_deg - dlat - g.cell_deg(),
+                                          center.lat_deg + dlat + g.cell_deg());
+    v = geo::to_vec3(center);
+    cos_outer = std::cos(outer_capped / geo::kEarthRadiusKm);
+    inner_clamped =
+        std::clamp(inner_km, 0.0, geo::kEarthRadiusKm * std::numbers::pi);
+    cos_inner = std::cos(inner_clamped / geo::kEarthRadiusKm);
+  }
+};
+
+/// Safety margin in dot-product space between "guaranteed" zone boundaries
+/// and the exact thresholds. Rounding differences between the analytic
+/// per-row expression P + Q*cos(dlon) and the naive dot product are a few
+/// ulps (~1e-15); 1e-9 leaves six orders of magnitude of headroom.
+inline constexpr double kDotMargin = 1e-9;
+
+/// Rows where Q = cos(center_lat)*cos(row_lat) falls below this fall back
+/// to the naive per-cell scan: dividing by a tiny Q makes the longitude
+/// window ill-conditioned. Only hits polar rows and pole-centered caps,
+/// both of which are short or rare.
+inline constexpr double kMinQ = 1e-3;
+
+/// Sentinel start for an empty interval: lo > hi for every reachable
+/// offset, and `lo - 1` cannot overflow.
+inline constexpr long kEmptyLo = LONG_MAX / 2;
+
+/// One row's zones, as inclusive ranges of column offsets relative to the
+/// column nearest the annulus center. Empty ranges have lo > hi.
+struct RowZones {
+  long cand_lo, cand_hi;  ///< candidates; width <= cols, everything else fails
+  long fill_lo, fill_hi;  ///< guaranteed pass (modulo the hole)
+  long hole_lo, hole_hi;  ///< inner-boundary band inside fill; re-test
+  long core_lo, core_hi;  ///< guaranteed fail inside the hole; skip
+};
+
+/// Radial zone half-widths in units of columns; negative means absent.
+/// Invariants the caller must provide: core <= hole and fill <= cand
+/// whenever both sides of each pair are present.
+struct RadialBounds {
+  double core = -1.0;
+  double hole = -1.0;
+  double fill = -1.0;
+  double cand = -1.0;
+};
+
+/// Turn radial half-widths into integer offset ranges. `frac` is the
+/// fractional position of the annulus center between column centers, in
+/// [-0.5, 0.5]; `ncols` bounds the candidate range so a wrapped scan
+/// visits every column exactly once.
+inline RowZones zones_from_radii(double frac, const RadialBounds& b,
+                                 long ncols) {
+  RowZones z;
+  z.cand_lo = static_cast<long>(std::ceil(frac - b.cand));
+  z.cand_hi = static_cast<long>(std::floor(frac + b.cand));
+  if (z.cand_hi - z.cand_lo + 1 > ncols) {  // annulus wraps the whole row
+    z.cand_lo = -(ncols / 2);
+    z.cand_hi = z.cand_lo + ncols - 1;
+  }
+  if (b.fill >= 0.0) {
+    z.fill_lo = std::max(z.cand_lo, static_cast<long>(std::ceil(frac - b.fill)));
+    z.fill_hi =
+        std::min(z.cand_hi, static_cast<long>(std::floor(frac + b.fill)));
+  } else {
+    z.fill_lo = kEmptyLo;
+    z.fill_hi = kEmptyLo - 1;
+  }
+  if (b.hole > 0.0) {  // strict interior: cells at exactly `hole` are outside
+    z.hole_lo = static_cast<long>(std::floor(frac - b.hole)) + 1;
+    z.hole_hi = static_cast<long>(std::ceil(frac + b.hole)) - 1;
+  } else {
+    z.hole_lo = kEmptyLo;
+    z.hole_hi = kEmptyLo - 1;
+  }
+  if (b.core > 0.0) {
+    z.core_lo = static_cast<long>(std::floor(frac - b.core)) + 1;
+    z.core_hi = static_cast<long>(std::ceil(frac + b.core)) - 1;
+  } else {
+    z.core_lo = kEmptyLo;
+    z.core_hi = kEmptyLo - 1;
+  }
+  return z;
+}
+
+/// Walk one row's zones in ascending offset order. `test(o)` is called for
+/// every boundary-band offset (caller evaluates the exact dot product);
+/// `fill(o_lo, o_hi)` for every maximal run of guaranteed-pass offsets.
+template <typename TestO, typename FillO>
+inline void emit_zones(const RowZones& z, TestO&& test, FillO&& fill) {
+  for (long o = z.cand_lo; o <= z.cand_hi;) {
+    if (o >= z.core_lo && o <= z.core_hi) {
+      o = z.core_hi + 1;
+      continue;
+    }
+    const bool in_hole = o >= z.hole_lo && o <= z.hole_hi;
+    if (!in_hole && o >= z.fill_lo && o <= z.fill_hi) {
+      long end = z.fill_hi;
+      if (o < z.hole_lo) end = std::min(end, z.hole_lo - 1);
+      fill(o, end);
+      o = end + 1;
+      continue;
+    }
+    test(o);
+    ++o;
+  }
+}
+
+/// Map an inclusive offset run to at most two ascending half-open column
+/// ranges [begin, end) — two when the run crosses the antimeridian.
+template <typename SpanF>
+inline void for_col_spans(long c_round, long o_lo, long o_hi, long ncols,
+                          SpanF&& fn) {
+  long c0 = (c_round + o_lo) % ncols;
+  if (c0 < 0) c0 += ncols;
+  const long len = o_hi - o_lo + 1;
+  if (c0 + len <= ncols) {
+    fn(c0, c0 + len);
+  } else {
+    fn(c0, ncols);
+    fn(long{0}, c0 + len - ncols);
+  }
+}
+
+}  // namespace ageo::grid::detail

@@ -1,0 +1,203 @@
+#include "grid/cap_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <functional>
+
+#include "common/error.hpp"
+#include "geo/units.hpp"
+#include "grid/annulus_scan.hpp"
+
+namespace ageo::grid {
+
+CapScanPlan::CapScanPlan(const Grid& g, const geo::LatLon& center)
+    : g_(&g), center_(center), v_(geo::to_vec3(center)) {
+  ageo::detail::require(geo::is_valid(center), "CapScanPlan: invalid center");
+  const double cell = g.cell_deg();
+  const double lat0 = geo::deg_to_rad(center.lat_deg);
+  const double sin0 = std::sin(lat0), cos0 = std::cos(lat0);
+  row_p_.resize(g.rows());
+  row_q_.resize(g.rows());
+  for (std::size_t r = 0; r < g.rows(); ++r) {
+    const double latc = geo::deg_to_rad(g.row_lat_south(r) + cell / 2.0);
+    row_p_[r] = sin0 * std::sin(latc);
+    row_q_[r] = cos0 * std::cos(latc);
+  }
+  const double t0 =
+      (geo::wrap_longitude(center.lon_deg) + 180.0) / cell - 0.5;
+  c_round_ = static_cast<long>(std::llround(t0));
+  frac_ = t0 - static_cast<double>(c_round_);
+  const long half = static_cast<long>(g.cols()) / 2;
+  const double cell_rad = geo::deg_to_rad(cell);
+  cos_right_.resize(static_cast<std::size_t>(half) + 1);
+  cos_left_.resize(static_cast<std::size_t>(half) + 1);
+  for (long j = 0; j <= half; ++j) {
+    // cos is even and 2pi-periodic, so these are the true cosines of the
+    // wrapped longitude offsets even past the antipode, and both arrays
+    // are monotone nonincreasing in j (|j -/+ frac| grows with j).
+    cos_right_[j] = std::cos((static_cast<double>(j) - frac_) * cell_rad);
+    cos_left_[j] = std::cos((static_cast<double>(j) + frac_) * cell_rad);
+  }
+}
+
+namespace {
+
+/// Leading elements of a nonincreasing array that are >= u / > u.
+long count_ge(const std::vector<double>& a, double u) {
+  return std::upper_bound(a.begin(), a.end(), u, std::greater<double>()) -
+         a.begin();
+}
+long count_gt(const std::vector<double>& a, double u) {
+  return std::lower_bound(a.begin(), a.end(), u, std::greater<double>()) -
+         a.begin();
+}
+
+}  // namespace
+
+template <typename CellF, typename SpanF>
+void CapScanPlan::scan(double inner_km, double outer_km, CellF&& f,
+                       SpanF&& fs) const {
+  const Grid& g = *g_;
+  const detail::AnnulusScan s(g, center_, inner_km, outer_km);
+  if (s.empty) return;
+  const long ncols = static_cast<long>(g.cols());
+  const bool inner_vacuous = s.inner_clamped == 0.0;
+  const auto exact_test = [&](std::size_t idx) {
+    double d = std::clamp(s.v.dot(g.center_vec(idx)), -1.0, 1.0);
+    if (d >= s.cos_outer && d <= s.cos_inner) f(idx);
+  };
+
+  for (std::size_t r = s.r0; r < s.r1; ++r) {
+    const std::size_t base = g.index(r, 0);
+    const double P = row_p_[r], Q = row_q_[r];
+    if (Q < detail::kMinQ) {  // ill-conditioned window: scan the whole row
+      for (std::size_t c = 0; c < g.cols(); ++c) exact_test(base + c);
+      continue;
+    }
+    const double u_out_wide = (s.cos_outer - detail::kDotMargin - P) / Q;
+    const long cand_r = count_ge(cos_right_, u_out_wide);
+    if (cand_r == 0) continue;  // row beyond the outer radius
+    const long cand_l = count_ge(cos_left_, u_out_wide);
+
+    detail::RowZones z;
+    z.cand_lo = -(cand_l - 1);
+    z.cand_hi = cand_r - 1;
+    if (z.cand_hi - z.cand_lo + 1 > ncols) {  // annulus wraps the whole row
+      z.cand_lo = -(ncols / 2);
+      z.cand_hi = z.cand_lo + ncols - 1;
+    }
+    const double u_out_safe = (s.cos_outer + detail::kDotMargin - P) / Q;
+    const long fill_r = count_ge(cos_right_, u_out_safe);
+    if (fill_r == 0) {
+      z.fill_lo = detail::kEmptyLo;
+      z.fill_hi = detail::kEmptyLo - 1;
+    } else {
+      z.fill_lo = std::max(z.cand_lo, -(count_ge(cos_left_, u_out_safe) - 1));
+      z.fill_hi = std::min(z.cand_hi, fill_r - 1);
+    }
+    z.hole_lo = z.core_lo = detail::kEmptyLo;
+    z.hole_hi = z.core_hi = detail::kEmptyLo - 1;
+    if (!inner_vacuous) {
+      const double u_in_safe = (s.cos_inner - detail::kDotMargin - P) / Q;
+      const long hole_r = count_gt(cos_right_, u_in_safe);
+      if (hole_r > 0) {
+        z.hole_lo = -(count_gt(cos_left_, u_in_safe) - 1);
+        z.hole_hi = hole_r - 1;
+        const double u_in_wide = (s.cos_inner + detail::kDotMargin - P) / Q;
+        const long core_r = count_gt(cos_right_, u_in_wide);
+        if (core_r > 0) {
+          z.core_lo = -(count_gt(cos_left_, u_in_wide) - 1);
+          z.core_hi = core_r - 1;
+        }
+      }
+    }
+    detail::emit_zones(
+        z,
+        [&](long o) {
+          long c = (c_round_ + o) % ncols;
+          if (c < 0) c += ncols;
+          exact_test(base + static_cast<std::size_t>(c));
+        },
+        [&](long o_lo, long o_hi) {
+          detail::for_col_spans(c_round_, o_lo, o_hi, ncols,
+                                [&](long b0, long b1) {
+                                  fs(base + static_cast<std::size_t>(b0),
+                                     base + static_cast<std::size_t>(b1));
+                                });
+        });
+  }
+}
+
+void CapScanPlan::rasterize_annulus(double inner_km, double outer_km,
+                                    Region& out) const {
+  ageo::detail::require(out.grid() == g_, "CapScanPlan: region on a different grid");
+  scan(
+      inner_km, outer_km, [&](std::size_t idx) { out.set(idx); },
+      [&](std::size_t b, std::size_t e) { out.set_span(b, e); });
+}
+
+void CapScanPlan::accumulate_annulus(double inner_km, double outer_km,
+                                     std::vector<std::uint64_t>& masks,
+                                     unsigned bit) const {
+  ageo::detail::require(masks.size() == g_->size(),
+                  "CapScanPlan: mask size mismatch");
+  ageo::detail::require(bit < 64, "CapScanPlan: bit must be < 64");
+  const std::uint64_t m = 1ULL << bit;
+  scan(
+      inner_km, outer_km, [&](std::size_t idx) { masks[idx] |= m; },
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) masks[i] |= m;
+      });
+}
+
+// ---- CapPlanCache ----
+
+CapPlanCache::CapPlanCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::size_t CapPlanCache::KeyHash::operator()(const Key& k) const noexcept {
+  auto mix = [](std::size_t h, std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  };
+  std::size_t h = std::hash<const void*>{}(k.grid);
+  h = mix(h, std::bit_cast<std::uint64_t>(k.lat));
+  h = mix(h, std::bit_cast<std::uint64_t>(k.lon));
+  return h;
+}
+
+std::shared_ptr<const CapScanPlan> CapPlanCache::plan(
+    const Grid& g, const geo::LatLon& center) {
+  const Key key{&g, center.lat_deg, center.lon_deg};
+  std::lock_guard lock(mu_);
+  if (auto it = map_.find(key); it != map_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  ++stats_.misses;
+  // Building while holding the lock keeps concurrent lookups of the same
+  // landmark from duplicating the (microseconds of) construction work.
+  auto built = std::make_shared<const CapScanPlan>(g, center);
+  lru_.emplace_front(key, built);
+  map_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    ++stats_.evictions;
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  return built;
+}
+
+CapPlanCache::Stats CapPlanCache::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::size_t CapPlanCache::size() const {
+  std::lock_guard lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace ageo::grid

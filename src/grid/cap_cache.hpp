@@ -1,0 +1,103 @@
+// Per-landmark rasterization plans.
+//
+// The audit rasterizes disks around the same few hundred landmarks once
+// per proxy, at radii that change with every measurement. A CapScanPlan
+// front-loads all the trigonometry that depends only on (grid, center):
+// per-row dot-product components P = sin(lat0)sin(lat_r) and
+// Q = cos(lat0)cos(lat_r), and the cosine of the longitude offset of
+// every column relative to the center. Rasterizing at a given radius is
+// then threshold comparisons and binary searches over those cached
+// cosines — no trig at all — and stays bit-for-bit identical to the
+// one-shot rasterizers in raster.hpp (pinned by raster_equivalence_test).
+//
+// CapPlanCache is a small thread-safe LRU of plans keyed by
+// (grid, center), sized for one audit's landmark set; an Auditor owns one
+// for its lifetime and shares it across its worker threads.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "geo/geodesy.hpp"
+#include "grid/region.hpp"
+
+namespace ageo::grid {
+
+/// Precomputed scan geometry for annuli centered at one point on one
+/// grid. Immutable after construction; safe to share across threads.
+class CapScanPlan {
+ public:
+  CapScanPlan(const Grid& g, const geo::LatLon& center);
+
+  const Grid& grid() const noexcept { return *g_; }
+  const geo::LatLon& center() const noexcept { return center_; }
+
+  /// Set every cell within [inner_km, outer_km] of the center into `out`
+  /// (bitwise-or). Bit-identical to rasterize_ring / rasterize_cap on the
+  /// same annulus. `out` must be attached to this plan's grid.
+  void rasterize_annulus(double inner_km, double outer_km, Region& out) const;
+
+  /// accumulate_cap_mask / accumulate_ring_mask against this plan.
+  void accumulate_annulus(double inner_km, double outer_km,
+                          std::vector<std::uint64_t>& masks,
+                          unsigned bit) const;
+
+ private:
+  template <typename CellF, typename SpanF>
+  void scan(double inner_km, double outer_km, CellF&& f, SpanF&& fs) const;
+
+  const Grid* g_;
+  geo::LatLon center_;
+  geo::Vec3 v_;
+  long c_round_ = 0;   ///< column index nearest the center longitude
+  double frac_ = 0.0;  ///< center's sub-column offset, in [-0.5, 0.5]
+  std::vector<double> row_p_, row_q_;  ///< per row: P, Q of d = P + Q cos
+  /// cos of the longitude offset at integer column offsets to the right
+  /// (o = +j) and left (o = -j) of c_round_; both monotone nonincreasing,
+  /// which is what turns a radius query into two binary searches.
+  std::vector<double> cos_right_, cos_left_;
+};
+
+/// Thread-safe LRU cache of CapScanPlans keyed by (grid, center).
+class CapPlanCache {
+ public:
+  /// `capacity` bounds resident plans; at the audit's default 1-degree
+  /// grid a plan is ~7 KB, so the default is ~4 MB worst case.
+  explicit CapPlanCache(std::size_t capacity = 512);
+
+  /// Plan for annuli centered at `center` on `g`, built on first use.
+  /// The returned plan stays valid after eviction (shared ownership);
+  /// `g` must outlive it.
+  std::shared_ptr<const CapScanPlan> plan(const Grid& g,
+                                          const geo::LatLon& center);
+
+  struct Stats {
+    std::uint64_t hits = 0, misses = 0, evictions = 0;
+  };
+  Stats stats() const;
+  std::size_t size() const;
+
+ private:
+  struct Key {
+    const Grid* grid;
+    double lat, lon;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+  using Entry = std::pair<Key, std::shared_ptr<const CapScanPlan>>;
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+  Stats stats_;
+};
+
+}  // namespace ageo::grid

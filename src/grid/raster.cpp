@@ -3,61 +3,157 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <tuple>
 
 #include "common/error.hpp"
 #include "geo/units.hpp"
 #include "geo/vec3.hpp"
+#include "grid/annulus_scan.hpp"
 
 namespace ageo::grid {
 
 namespace {
 
+using detail::AnnulusScan;
+
 /// Visit every cell whose center is within [inner_km, outer_km] of
-/// `center`, pruned to the latitude band the annulus can touch.
+/// `center`, one dot product per cell of the latitude band. This is the
+/// specification the pruned scan below is tested against bit for bit.
 template <typename F>
-void scan_annulus(const Grid& g, const geo::LatLon& center, double inner_km,
-                  double outer_km, F&& f) {
-  if (outer_km < 0 || outer_km < inner_km) return;
-  const double outer_capped =
-      std::min(outer_km, geo::kEarthRadiusKm * std::numbers::pi);
-  const double dlat = geo::rad_to_deg(outer_capped / geo::kEarthRadiusKm);
-  // Half a cell of slack so cell centers right at the band edge are kept.
-  auto [r0, r1] = g.rows_in_lat_band(center.lat_deg - dlat - g.cell_deg(),
-                                     center.lat_deg + dlat + g.cell_deg());
-  const geo::Vec3 v = geo::to_vec3(center);
-  // Convert distance bounds to dot-product bounds: d <= r  <=>
-  // angle <= r/R  <=>  dot >= cos(r/R), for r/R in [0, pi].
-  const double cos_outer = std::cos(outer_capped / geo::kEarthRadiusKm);
-  const double inner_clamped =
-      std::clamp(inner_km, 0.0, geo::kEarthRadiusKm * std::numbers::pi);
-  const double cos_inner = std::cos(inner_clamped / geo::kEarthRadiusKm);
-  for (std::size_t r = r0; r < r1; ++r) {
+void scan_annulus_naive(const Grid& g, const geo::LatLon& center,
+                        double inner_km, double outer_km, F&& f) {
+  const AnnulusScan s(g, center, inner_km, outer_km);
+  if (s.empty) return;
+  for (std::size_t r = s.r0; r < s.r1; ++r) {
     const std::size_t base = g.index(r, 0);
     for (std::size_t c = 0; c < g.cols(); ++c) {
-      double d = v.dot(g.center_vec(base + c));
-      if (d >= cos_outer && d <= cos_inner) f(base + c);
+      // The clamp keeps cells coincident with the center: their dot can
+      // round to just above 1, which would fail `d <= cos_inner` when
+      // inner_km is 0 and cos_inner is exactly 1.
+      double d = std::clamp(s.v.dot(g.center_vec(base + c)), -1.0, 1.0);
+      if (d >= s.cos_outer && d <= s.cos_inner) f(base + c);
     }
+  }
+}
+
+/// Pruned scan: per row, the annulus intersects a longitude window that is
+/// computed analytically from d(c) = P + Q*cos(dlon_c) with
+/// P = sin(lat0)sin(lat_c) and Q = cos(lat0)cos(lat_c) >= 0. Guaranteed
+/// cells are emitted as spans via `fs(begin, end)` (word fills downstream);
+/// only the boundary bands evaluate the exact per-cell test and call
+/// `f(idx)`. Bit-for-bit identical to scan_annulus_naive; see
+/// annulus_scan.hpp for the error budget.
+template <typename CellF, typename SpanF>
+void scan_annulus(const Grid& g, const geo::LatLon& center, double inner_km,
+                  double outer_km, CellF&& f, SpanF&& fs) {
+  const AnnulusScan s(g, center, inner_km, outer_km);
+  if (s.empty) return;
+  const long ncols = static_cast<long>(g.cols());
+  const double cell = g.cell_deg();
+  const double inv_cell = 1.0 / cell;
+  const double lat0 = geo::deg_to_rad(center.lat_deg);
+  const double sin0 = std::sin(lat0), cos0 = std::cos(lat0);
+  // Real-valued column coordinate of the center longitude.
+  const double t0 = (geo::wrap_longitude(center.lon_deg) + 180.0) * inv_cell - 0.5;
+  const long c_round = static_cast<long>(std::llround(t0));
+  const double frac = t0 - static_cast<double>(c_round);
+  // inner_km == 0 makes cos_inner exactly 1, which every clamped dot
+  // satisfies: the inner constraint is vacuous and rows get no hole.
+  const bool inner_vacuous = s.inner_clamped == 0.0;
+
+  // Angular half-width, in columns, of cos(dlon) >= u.
+  const auto cols_of = [&](double u) {
+    return geo::rad_to_deg(std::acos(std::clamp(u, -1.0, 1.0))) * inv_cell;
+  };
+  const auto exact_test = [&](std::size_t idx) {
+    double d = std::clamp(s.v.dot(g.center_vec(idx)), -1.0, 1.0);
+    if (d >= s.cos_outer && d <= s.cos_inner) f(idx);
+  };
+
+  for (std::size_t r = s.r0; r < s.r1; ++r) {
+    const std::size_t base = g.index(r, 0);
+    const double latc = geo::deg_to_rad(g.row_lat_south(r) + cell / 2.0);
+    const double P = sin0 * std::sin(latc);
+    const double Q = cos0 * std::cos(latc);
+    if (Q < detail::kMinQ) {  // ill-conditioned window: scan the whole row
+      for (std::size_t c = 0; c < g.cols(); ++c) exact_test(base + c);
+      continue;
+    }
+    // Pass requires cos(dlon) in [u_out, u_in]; widen by the margin for
+    // the candidate band, narrow for the guaranteed band.
+    const double u_out_wide = (s.cos_outer - detail::kDotMargin - P) / Q;
+    if (u_out_wide > 1.0) continue;  // row beyond the outer radius
+    const double u_in_wide = (s.cos_inner + detail::kDotMargin - P) / Q;
+    if (!inner_vacuous && u_in_wide < -1.0) continue;  // row inside the hole
+    const double u_out_safe = (s.cos_outer + detail::kDotMargin - P) / Q;
+    const double u_in_safe = (s.cos_inner - detail::kDotMargin - P) / Q;
+
+    detail::RadialBounds b;
+    b.cand = cols_of(u_out_wide) + 1.0;
+    b.fill = u_out_safe > 1.0 ? -1.0 : cols_of(u_out_safe) - 1.0;
+    if (!inner_vacuous && u_in_safe < 1.0) {
+      b.hole = cols_of(u_in_safe) + 1.0;
+      b.core = u_in_wide >= 1.0 ? -1.0 : cols_of(u_in_wide) - 1.0;
+    }
+    detail::emit_zones(
+        detail::zones_from_radii(frac, b, ncols),
+        [&](long o) {
+          long c = (c_round + o) % ncols;
+          if (c < 0) c += ncols;
+          exact_test(base + static_cast<std::size_t>(c));
+        },
+        [&](long o_lo, long o_hi) {
+          detail::for_col_spans(c_round, o_lo, o_hi, ncols,
+                                [&](long b0, long b1) {
+                                  fs(base + static_cast<std::size_t>(b0),
+                                     base + static_cast<std::size_t>(b1));
+                                });
+        });
   }
 }
 
 }  // namespace
 
 Region rasterize_cap(const Grid& g, const geo::Cap& cap) {
-  detail::require(geo::is_valid(cap.center), "rasterize_cap: invalid center");
+  ageo::detail::require(geo::is_valid(cap.center), "rasterize_cap: invalid center");
   Region out(g);
-  scan_annulus(g, cap.center, 0.0, cap.radius_km,
-               [&](std::size_t idx) { out.set(idx); });
+  scan_annulus(
+      g, cap.center, 0.0, cap.radius_km, [&](std::size_t idx) { out.set(idx); },
+      [&](std::size_t b, std::size_t e) { out.set_span(b, e); });
   return out;
 }
 
 Region rasterize_ring(const Grid& g, const geo::Ring& ring) {
-  detail::require(geo::is_valid(ring.center),
+  ageo::detail::require(geo::is_valid(ring.center),
                   "rasterize_ring: invalid center");
   Region out(g);
-  scan_annulus(g, ring.center, ring.inner_km, ring.outer_km,
-               [&](std::size_t idx) { out.set(idx); });
+  scan_annulus(
+      g, ring.center, ring.inner_km, ring.outer_km,
+      [&](std::size_t idx) { out.set(idx); },
+      [&](std::size_t b, std::size_t e) { out.set_span(b, e); });
   return out;
 }
+
+namespace reference {
+
+Region rasterize_cap(const Grid& g, const geo::Cap& cap) {
+  ageo::detail::require(geo::is_valid(cap.center), "rasterize_cap: invalid center");
+  Region out(g);
+  scan_annulus_naive(g, cap.center, 0.0, cap.radius_km,
+                     [&](std::size_t idx) { out.set(idx); });
+  return out;
+}
+
+Region rasterize_ring(const Grid& g, const geo::Ring& ring) {
+  ageo::detail::require(geo::is_valid(ring.center),
+                  "rasterize_ring: invalid center");
+  Region out(g);
+  scan_annulus_naive(g, ring.center, ring.inner_km, ring.outer_km,
+                     [&](std::size_t idx) { out.set(idx); });
+  return out;
+}
+
+}  // namespace reference
 
 Region rasterize_polygon(const Grid& g, const geo::Polygon& poly) {
   Region out(g);
@@ -88,22 +184,30 @@ Region rasterize_lat_band(const Grid& g, double lat_lo, double lat_hi) {
 
 void accumulate_cap_mask(const Grid& g, const geo::Cap& cap,
                          std::vector<std::uint64_t>& masks, unsigned bit) {
-  detail::require(masks.size() == g.size(),
+  ageo::detail::require(masks.size() == g.size(),
                   "accumulate_cap_mask: mask size mismatch");
-  detail::require(bit < 64, "accumulate_cap_mask: bit must be < 64");
+  ageo::detail::require(bit < 64, "accumulate_cap_mask: bit must be < 64");
   const std::uint64_t m = 1ULL << bit;
-  scan_annulus(g, cap.center, 0.0, cap.radius_km,
-               [&](std::size_t idx) { masks[idx] |= m; });
+  scan_annulus(
+      g, cap.center, 0.0, cap.radius_km,
+      [&](std::size_t idx) { masks[idx] |= m; },
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) masks[i] |= m;
+      });
 }
 
 void accumulate_ring_mask(const Grid& g, const geo::Ring& ring,
                           std::vector<std::uint64_t>& masks, unsigned bit) {
-  detail::require(masks.size() == g.size(),
+  ageo::detail::require(masks.size() == g.size(),
                   "accumulate_ring_mask: mask size mismatch");
-  detail::require(bit < 64, "accumulate_ring_mask: bit must be < 64");
+  ageo::detail::require(bit < 64, "accumulate_ring_mask: bit must be < 64");
   const std::uint64_t m = 1ULL << bit;
-  scan_annulus(g, ring.center, ring.inner_km, ring.outer_km,
-               [&](std::size_t idx) { masks[idx] |= m; });
+  scan_annulus(
+      g, ring.center, ring.inner_km, ring.outer_km,
+      [&](std::size_t idx) { masks[idx] |= m; },
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) masks[i] |= m;
+      });
 }
 
 }  // namespace ageo::grid

@@ -2,8 +2,12 @@
 //
 // These functions turn the geometric primitives the algorithms produce
 // (caps, rings, polygons) into Regions. Cap/ring rasterization prunes to
-// the latitude band the shape can touch, which makes small disks cheap
-// even on fine grids.
+// the latitude band the shape can touch and, within each row, to the
+// longitude window the shape can reach; cells guaranteed inside are set
+// with whole-word fills and only the boundary bands are tested cell by
+// cell, which makes small disks cheap even on fine grids. The pruned scan
+// is bit-for-bit identical to the naive per-cell scan kept under
+// grid::reference below (pinned by raster_equivalence_test).
 #pragma once
 
 #include "geo/geodesy.hpp"
@@ -35,5 +39,14 @@ void accumulate_cap_mask(const Grid& g, const geo::Cap& cap,
 /// Same for a ring constraint.
 void accumulate_ring_mask(const Grid& g, const geo::Ring& ring,
                           std::vector<std::uint64_t>& masks, unsigned bit);
+
+/// Naive per-cell reference rasterizers: one dot product per cell of the
+/// latitude band, no longitude pruning. These define the semantics the
+/// fast paths (above and in cap_cache.hpp) must reproduce exactly; tests
+/// compare against them. Too slow for production use.
+namespace reference {
+Region rasterize_cap(const Grid& g, const geo::Cap& cap);
+Region rasterize_ring(const Grid& g, const geo::Ring& ring);
+}  // namespace reference
 
 }  // namespace ageo::grid

@@ -29,6 +29,21 @@ class Region {
     return (words_[idx >> 6] >> (idx & 63)) & 1;
   }
   void set(std::size_t idx) noexcept { words_[idx >> 6] |= 1ULL << (idx & 63); }
+  /// Set every cell in [begin, end) with whole-word fills; the workhorse
+  /// of the pruned rasterizer (raster.cpp).
+  void set_span(std::size_t begin, std::size_t end) noexcept {
+    if (begin >= end) return;
+    std::size_t w0 = begin >> 6, w1 = (end - 1) >> 6;
+    std::uint64_t first = ~0ULL << (begin & 63);
+    std::uint64_t last = ~0ULL >> (63 - ((end - 1) & 63));
+    if (w0 == w1) {
+      words_[w0] |= first & last;
+      return;
+    }
+    words_[w0] |= first;
+    for (std::size_t w = w0 + 1; w < w1; ++w) words_[w] = ~0ULL;
+    words_[w1] |= last;
+  }
   void reset(std::size_t idx) noexcept {
     words_[idx >> 6] &= ~(1ULL << (idx & 63));
   }

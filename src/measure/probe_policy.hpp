@@ -130,6 +130,15 @@ class BreakerBoard {
   /// Record a measured probe: closes the breaker, forgets the landmark.
   void record_success(std::size_t landmark_id);
 
+  /// Fold another board's state into this one: the clock advances to the
+  /// later of the two, and per landmark the MORE BROKEN state wins (open
+  /// beats closed; among open entries the later half-open deadline wins;
+  /// among closed ones the higher failure streak). Merging is commutative
+  /// and associative up to those maxima, so folding per-worker boards in
+  /// any order yields one deterministic run board — the parallel audit
+  /// merges its per-proxy boards through here at the join barrier.
+  void merge(const BreakerBoard& other);
+
   /// Forget one landmark (e.g. decommissioned by the landmark service).
   void drop(std::size_t landmark_id);
   /// Forget every landmark `keep` rejects; returns how many were

@@ -17,9 +17,29 @@ double conservative_pad_km(const grid::Grid& g) noexcept {
   return 0.7072 * g.cell_deg() * 111.2;
 }
 
+namespace {
+
+/// Rasterize one padded annulus, through the plan cache when available.
+/// Both paths produce bit-identical regions (see raster_equivalence_test),
+/// so a cache changes throughput only.
+grid::Region rasterize_annulus(const grid::Grid& g, const geo::LatLon& center,
+                               double inner_km, double outer_km,
+                               grid::CapPlanCache* cache) {
+  if (cache) {
+    grid::Region out(g);
+    cache->plan(g, center)->rasterize_annulus(inner_km, outer_km, out);
+    return out;
+  }
+  if (inner_km <= 0.0) return grid::rasterize_cap(g, geo::Cap{center, outer_km});
+  return grid::rasterize_ring(g, geo::Ring{center, inner_km, outer_km});
+}
+
+}  // namespace
+
 grid::Region intersect_disks(const grid::Grid& g,
                              std::span<const DiskConstraint> disks,
-                             const grid::Region* mask) {
+                             const grid::Region* mask,
+                             grid::CapPlanCache* cache) {
   grid::Region out(g);
   if (mask) {
     detail::require(mask->grid() == &g, "intersect_disks: mask grid mismatch");
@@ -29,7 +49,7 @@ grid::Region intersect_disks(const grid::Grid& g,
   }
   const double pad = conservative_pad_km(g);
   for (const auto& d : disks) {
-    out &= grid::rasterize_cap(g, geo::Cap{d.center, d.max_km + pad});
+    out &= rasterize_annulus(g, d.center, 0.0, d.max_km + pad, cache);
     if (out.empty()) break;
   }
   return out;
@@ -37,7 +57,8 @@ grid::Region intersect_disks(const grid::Grid& g,
 
 grid::Region intersect_rings(const grid::Grid& g,
                              std::span<const RingConstraint> rings,
-                             const grid::Region* mask) {
+                             const grid::Region* mask,
+                             grid::CapPlanCache* cache) {
   grid::Region out(g);
   if (mask) {
     detail::require(mask->grid() == &g, "intersect_rings: mask grid mismatch");
@@ -49,9 +70,8 @@ grid::Region intersect_rings(const grid::Grid& g,
   for (const auto& r : rings) {
     detail::require(r.min_km <= r.max_km,
                     "intersect_rings: min_km must be <= max_km");
-    out &= grid::rasterize_ring(
-        g, geo::Ring{r.center, std::max(0.0, r.min_km - pad),
-                     r.max_km + pad});
+    out &= rasterize_annulus(g, r.center, std::max(0.0, r.min_km - pad),
+                             r.max_km + pad, cache);
     if (out.empty()) break;
   }
   return out;
@@ -70,7 +90,8 @@ grid::Field fuse_gaussian_rings(const grid::Grid& g,
 
 SubsetResult largest_consistent_subset(const grid::Grid& g,
                                        std::span<const DiskConstraint> disks,
-                                       const grid::Region* mask) {
+                                       const grid::Region* mask,
+                                       grid::CapPlanCache* cache) {
   detail::require(disks.size() <= 64,
                   "largest_consistent_subset: at most 64 constraints");
   if (mask)
@@ -93,9 +114,15 @@ SubsetResult largest_consistent_subset(const grid::Grid& g,
   const double pad = conservative_pad_km(g);
   std::vector<std::uint64_t> cover(g.size(), 0);
   for (std::size_t i = 0; i < disks.size(); ++i) {
-    grid::accumulate_cap_mask(
-        g, geo::Cap{disks[i].center, disks[i].max_km + pad}, cover,
-        static_cast<unsigned>(i));
+    if (cache) {
+      cache->plan(g, disks[i].center)
+          ->accumulate_annulus(0.0, disks[i].max_km + pad, cover,
+                               static_cast<unsigned>(i));
+    } else {
+      grid::accumulate_cap_mask(
+          g, geo::Cap{disks[i].center, disks[i].max_km + pad}, cover,
+          static_cast<unsigned>(i));
+    }
   }
 
   // Pass 1: the maximum coverage cardinality among candidate cells.
@@ -111,15 +138,19 @@ SubsetResult largest_consistent_subset(const grid::Grid& g,
   result.n_used = best;
   if (best == 0) return result;
 
-  // Pass 2: distinct maximum-cardinality coverage sets.
+  // Pass 2: distinct maximum-cardinality coverage sets. Collect first and
+  // sort-unique afterwards: near-concentric constraint stacks produce
+  // thousands of winning cells over a handful of distinct sets, and a
+  // linear find per cell made this pass quadratic.
   std::vector<std::uint64_t> best_masks;
   for (std::size_t idx = 0; idx < cover.size(); ++idx) {
     if (!candidate(idx)) continue;
     if (static_cast<std::size_t>(std::popcount(cover[idx])) != best) continue;
-    if (std::find(best_masks.begin(), best_masks.end(), cover[idx]) ==
-        best_masks.end())
-      best_masks.push_back(cover[idx]);
+    best_masks.push_back(cover[idx]);
   }
+  std::sort(best_masks.begin(), best_masks.end());
+  best_masks.erase(std::unique(best_masks.begin(), best_masks.end()),
+                   best_masks.end());
 
   // Pass 3: the region is every candidate cell whose coverage contains
   // some maximum subset; record which constraints participate.

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "geo/geodesy.hpp"
+#include "grid/cap_cache.hpp"
 #include "grid/field.hpp"
 #include "grid/region.hpp"
 
@@ -46,15 +47,19 @@ struct GaussianConstraint {
 };
 
 /// Intersection of all disks, clipped by `mask` when non-null. Empty
-/// region when the constraints are inconsistent.
+/// region when the constraints are inconsistent. `cache`, when non-null,
+/// reuses per-landmark scan plans across calls (the constraint centers of
+/// successive proxies repeat); results are identical either way.
 grid::Region intersect_disks(const grid::Grid& g,
                              std::span<const DiskConstraint> disks,
-                             const grid::Region* mask = nullptr);
+                             const grid::Region* mask = nullptr,
+                             grid::CapPlanCache* cache = nullptr);
 
 /// Intersection of all rings, clipped by `mask` when non-null.
 grid::Region intersect_rings(const grid::Grid& g,
                              std::span<const RingConstraint> rings,
-                             const grid::Region* mask = nullptr);
+                             const grid::Region* mask = nullptr,
+                             grid::CapPlanCache* cache = nullptr);
 
 /// Bayesian fusion of Gaussian rings (Spotter). The returned field is
 /// normalised unless the total mass is zero.
@@ -78,6 +83,7 @@ struct SubsetResult {
 /// cells when non-null.
 SubsetResult largest_consistent_subset(const grid::Grid& g,
                                        std::span<const DiskConstraint> disks,
-                                       const grid::Region* mask = nullptr);
+                                       const grid::Region* mask = nullptr,
+                                       grid::CapPlanCache* cache = nullptr);
 
 }  // namespace ageo::mlat

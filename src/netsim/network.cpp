@@ -13,7 +13,7 @@ Network::Network(const world::HubGraph& hubs, std::uint64_t seed,
     : hubs_(&hubs),
       params_(params),
       seed_(seed),
-      meas_rng_(seed, "netsim/measurements") {
+      default_lane_(seed) {
   detail::require(params_.fibre_speed_km_per_ms > 0.0,
                   "Network: fibre speed must be positive");
   detail::require(params_.local_inflation >= 1.0 &&
@@ -30,7 +30,6 @@ HostId Network::add_host(const HostProfile& profile) {
   check_fault_model(profile);
   hosts_.push_back(profile);
   nearest_hub_.push_back(hubs_->nearest_hub(profile.location));
-  probes_this_round_.push_back(0);
   outage_window_.emplace_back(0, 0);
   return static_cast<HostId>(hosts_.size() - 1);
 }
@@ -44,23 +43,25 @@ void Network::check_fault_model(const HostProfile& p) const {
                   "Network: rate_limit_per_round must be >= 0");
 }
 
-void Network::advance_round(int n) {
+void Network::advance_round(int n, Lane* lane) {
   detail::require(n >= 0, "Network::advance_round: n must be >= 0");
   if (n == 0) return;
-  round_ += static_cast<std::uint64_t>(n);
-  std::fill(probes_this_round_.begin(), probes_this_round_.end(), 0u);
+  Lane& l = lane ? *lane : default_lane_;
+  l.round_ += static_cast<std::uint64_t>(n);
+  std::fill(l.probes_this_round_.begin(), l.probes_this_round_.end(), 0u);
 }
 
-bool Network::host_up(HostId id) const {
+bool Network::host_up(HostId id, const Lane* lane) const {
   check_host(id);
+  const std::uint64_t round = (lane ? *lane : default_lane_).round_;
   const auto& [from, to] = outage_window_[id];
-  if (from != to && round_ >= from && round_ < to) return false;
+  if (from != to && round >= from && round < to) return false;
   const auto& h = hosts_[id];
   if (h.flap_probability <= 0.0 || h.flap_duration_rounds <= 0) return true;
   // Outage decided per block of flap_duration_rounds, deterministic in
   // (seed, host, block): the host comes back when the block elapses.
   std::uint64_t block =
-      round_ / static_cast<std::uint64_t>(h.flap_duration_rounds);
+      round / static_cast<std::uint64_t>(h.flap_duration_rounds);
   SplitMix64 sm(seed_ ^ (static_cast<std::uint64_t>(id) + 1) *
                             0x9e3779b97f4a7c15ULL ^
                 (block + 1) * 0xbf58476d1ce4e5b9ULL);
@@ -89,10 +90,12 @@ void Network::set_rate_limit(HostId id, int per_round) {
   check_fault_model(hosts_[id]);
 }
 
-bool Network::rate_limited(HostId to) {
+bool Network::rate_limited(HostId to, Lane& lane) {
   int limit = hosts_[to].rate_limit_per_round;
   if (limit <= 0) return false;
-  return ++probes_this_round_[to] > static_cast<std::uint32_t>(limit);
+  if (to >= lane.probes_this_round_.size())
+    lane.probes_this_round_.resize(hosts_.size(), 0u);
+  return ++lane.probes_this_round_[to] > static_cast<std::uint32_t>(limit);
 }
 
 const HostProfile& Network::host(HostId id) const {
@@ -171,35 +174,39 @@ double Network::base_rtt_ms(HostId a, HostId b) const {
   return 2.0 * one_way + access_ms(a) + access_ms(b);
 }
 
-double Network::sample_rtt_ms(HostId a, HostId b) {
+double Network::sample_rtt_ms(HostId a, HostId b, Lane* lane) {
   double rtt = base_rtt_ms(a, b);
   if (a == b) return rtt;
+  Rng& rng = (lane ? *lane : default_lane_).rng_;
   double congestion_mean = params_.congestion_scale * path_congestion(a, b);
-  if (congestion_mean > 0.0) rtt += meas_rng_.exponential(congestion_mean);
-  if (meas_rng_.chance(params_.spike_probability))
-    rtt += meas_rng_.lognormal(params_.spike_mu, params_.spike_sigma);
-  rtt += std::abs(meas_rng_.normal(0.0, params_.jitter_ms));
+  if (congestion_mean > 0.0) rtt += rng.exponential(congestion_mean);
+  if (rng.chance(params_.spike_probability))
+    rtt += rng.lognormal(params_.spike_mu, params_.spike_sigma);
+  rtt += std::abs(rng.normal(0.0, params_.jitter_ms));
   return rtt;
 }
 
-std::optional<double> Network::icmp_ping_ms(HostId from, HostId to) {
+std::optional<double> Network::icmp_ping_ms(HostId from, HostId to,
+                                            Lane* lane) {
   check_host(from);
   check_host(to);
   if (!hosts_[to].icmp_responds) return std::nullopt;
-  if (!host_up(to) || rate_limited(to)) return std::nullopt;
-  return sample_rtt_ms(from, to);
+  Lane& l = lane ? *lane : default_lane_;
+  if (!host_up(to, &l) || rate_limited(to, l)) return std::nullopt;
+  return sample_rtt_ms(from, to, &l);
 }
 
 ConnectResult Network::tcp_connect(HostId from, HostId to,
-                                   std::uint16_t port) {
+                                   std::uint16_t port, Lane* lane) {
   check_host(from);
   check_host(to);
   const bool common = (port == 80 || port == 443);
   if (!common && hosts_[to].filters_uncommon_ports)
     return {ConnectOutcome::kTimeout, 0.0};
-  if (!host_up(to) || rate_limited(to))
+  Lane& l = lane ? *lane : default_lane_;
+  if (!host_up(to, &l) || rate_limited(to, l))
     return {ConnectOutcome::kTimeout, 0.0};
-  double rtt = sample_rtt_ms(from, to);
+  double rtt = sample_rtt_ms(from, to, &l);
   if (port == 80 && !hosts_[to].tcp_port80_open) {
     // RST arrives after one round trip: connect() reports "refused" but
     // the elapsed time is still one RTT (paper §4.2).
@@ -208,11 +215,12 @@ ConnectResult Network::tcp_connect(HostId from, HostId to,
   return {ConnectOutcome::kAccepted, rtt};
 }
 
-std::optional<int> Network::traceroute_hops(HostId from, HostId to) {
+std::optional<int> Network::traceroute_hops(HostId from, HostId to,
+                                            const Lane* lane) {
   check_host(from);
   check_host(to);
   if (!hosts_[to].sends_time_exceeded) return std::nullopt;
-  if (!host_up(to)) return std::nullopt;
+  if (!host_up(to, lane)) return std::nullopt;
   return path_hops(from, to);
 }
 

@@ -89,6 +89,39 @@ struct ConnectResult {
   double elapsed_ms = 0.0;
 };
 
+class Network;
+
+/// An independent measurement timeline over one shared Network: its own
+/// queueing/jitter RNG stream, its own probe-round clock, and its own
+/// per-host rate-limit counters. The topology (hosts, routes, base RTTs,
+/// outage schedules) stays shared and read-only.
+///
+/// Concurrent measurement campaigns each drive a private Lane, so their
+/// stochastic draws and round clocks cannot interleave: a campaign's
+/// measurements depend only on its lane seed and its own probe order,
+/// which is what makes a parallel audit bit-identical to a serial one.
+/// Lanes are created by Network::make_lane and passed to the Lane-taking
+/// parameters below; a null Lane selects the network's built-in default
+/// lane (the classic single-timeline semantics).
+///
+/// A Lane may only be used by one thread at a time; distinct lanes over
+/// one Network are safe to drive concurrently.
+class Lane {
+ public:
+  /// This lane's probe-round clock.
+  std::uint64_t round() const noexcept { return round_; }
+
+ private:
+  friend class Network;
+  explicit Lane(std::uint64_t seed) noexcept
+      : rng_(seed, "netsim/measurements") {}
+
+  Rng rng_;
+  std::uint64_t round_ = 0;
+  /// Probes answered per host this round; grown on demand.
+  std::vector<std::uint32_t> probes_this_round_;
+};
+
 class Network {
  public:
   Network(const world::HubGraph& hubs, std::uint64_t seed,
@@ -103,33 +136,45 @@ class Network {
   double base_rtt_ms(HostId a, HostId b) const;
 
   /// One measured raw path RTT, ms (>= base, plus queueing and jitter).
-  double sample_rtt_ms(HostId a, HostId b);
+  /// Queueing/jitter draws come from `lane` (default lane when null).
+  double sample_rtt_ms(HostId a, HostId b, Lane* lane = nullptr);
 
   /// ICMP echo; nullopt if the target ignores pings.
-  std::optional<double> icmp_ping_ms(HostId from, HostId to);
+  std::optional<double> icmp_ping_ms(HostId from, HostId to,
+                                     Lane* lane = nullptr);
 
   /// TCP connect to `port`. Port 80/443 always elicit a response unless
   /// the host filters; uncommon ports may be silently dropped.
-  ConnectResult tcp_connect(HostId from, HostId to, std::uint16_t port);
+  ConnectResult tcp_connect(HostId from, HostId to, std::uint16_t port,
+                            Lane* lane = nullptr);
 
   /// Hop count a traceroute would see, or nullopt when intermediate
   /// routers suppress time-exceeded messages.
-  std::optional<int> traceroute_hops(HostId from, HostId to);
+  std::optional<int> traceroute_hops(HostId from, HostId to,
+                                     const Lane* lane = nullptr);
 
   /// The inflated route length used for the pair, km (exposed for tests
   /// and ablation benches).
   double route_km(HostId a, HostId b) const;
 
   // --- probe rounds & transient faults ---
-  /// Advance the probe-round clock by `n`. A "round" is one volley of a
-  /// measurement campaign; outage blocks and rate limits are expressed
-  /// in rounds. Per-round rate-limit counters reset here.
-  void advance_round(int n = 1);
-  std::uint64_t round() const noexcept { return round_; }
+  /// Advance `lane`'s probe-round clock by `n` (default lane when null).
+  /// A "round" is one volley of a measurement campaign; outage blocks
+  /// and rate limits are expressed in rounds. Per-round rate-limit
+  /// counters of that lane reset here.
+  void advance_round(int n = 1, Lane* lane = nullptr);
+  /// The default lane's probe-round clock (use Lane::round for others).
+  std::uint64_t round() const noexcept { return default_lane_.round_; }
 
-  /// Whether the host answers probes this round (flap schedule and any
-  /// explicit outage window). Deterministic in (seed, host, round).
-  bool host_up(HostId id) const;
+  /// An independent measurement timeline seeded from `lane_seed`. The
+  /// returned Lane references no Network state and may outlive probes on
+  /// other lanes, but not the Network itself.
+  Lane make_lane(std::uint64_t lane_seed) const { return Lane(lane_seed); }
+
+  /// Whether the host answers probes in `lane`'s current round (flap
+  /// schedule and any explicit outage window). Deterministic in
+  /// (seed, host, round).
+  bool host_up(HostId id, const Lane* lane = nullptr) const;
 
   /// Reconfigure a host's flap model after creation (tests, fault
   /// injection into an existing constellation).
@@ -145,18 +190,16 @@ class Network {
   const world::HubGraph* hubs_;
   LatencyParams params_;
   std::uint64_t seed_;
-  Rng meas_rng_;
   std::vector<HostProfile> hosts_;
   std::vector<std::size_t> nearest_hub_;
-  std::uint64_t round_ = 0;
-  /// Probes answered by each host this round (rate limiting).
-  std::vector<std::uint32_t> probes_this_round_;
+  /// The built-in timeline used when callers pass no Lane.
+  Lane default_lane_;
   /// Explicit outage windows [from, to) per host; (0, 0) = none.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> outage_window_;
 
-  /// Counts the probe against the target's per-round budget; true when
-  /// the budget is exceeded and the probe must time out.
-  bool rate_limited(HostId to);
+  /// Counts the probe against the target's per-round budget in `lane`;
+  /// true when the budget is exceeded and the probe must time out.
+  bool rate_limited(HostId to, Lane& lane);
   void check_fault_model(const HostProfile& p) const;
   double access_ms(HostId h) const;
   double pair_inflation(HostId a, HostId b) const;

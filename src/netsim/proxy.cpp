@@ -14,7 +14,7 @@ ProxySession::ProxySession(Network& net, HostId client, HostId proxy,
 ConnectResult ProxySession::connect_via(HostId landmark,
                                         std::uint16_t port) {
   if (!alive()) return {ConnectOutcome::kTimeout, 0.0};
-  double leg1 = net_->sample_rtt_ms(client_, proxy_) +
+  double leg1 = net_->sample_rtt_ms(client_, proxy_, lane_) +
                 behavior_.forwarding_overhead_ms;
   if (behavior_.forge_synack_after_ms) {
     // The proxy answers the SYN itself: the landmark is never contacted
@@ -22,7 +22,7 @@ ConnectResult ProxySession::connect_via(HostId landmark,
     return {ConnectOutcome::kAccepted,
             leg1 + *behavior_.forge_synack_after_ms};
   }
-  ConnectResult r = net_->tcp_connect(proxy_, landmark, port);
+  ConnectResult r = net_->tcp_connect(proxy_, landmark, port, lane_);
   if (r.outcome == ConnectOutcome::kTimeout) return r;
   double extra = behavior_.added_delay_ms;
   if (behavior_.selective_delay) extra += behavior_.selective_delay(landmark);
@@ -33,8 +33,8 @@ ConnectResult ProxySession::connect_via(HostId landmark,
 double ProxySession::self_ping_ms() {
   // Echo request: client -> proxy -> client; reply: client -> proxy ->
   // client. Two full tunnel round trips plus two encapsulation costs.
-  double rtt1 = net_->sample_rtt_ms(client_, proxy_);
-  double rtt2 = net_->sample_rtt_ms(client_, proxy_);
+  double rtt1 = net_->sample_rtt_ms(client_, proxy_, lane_);
+  double rtt2 = net_->sample_rtt_ms(client_, proxy_, lane_);
   return rtt1 + rtt2 + 2.0 * behavior_.forwarding_overhead_ms +
          2.0 * behavior_.added_delay_ms;
 }
@@ -44,7 +44,7 @@ std::optional<double> ProxySession::try_self_ping_ms() {
   return self_ping_ms();
 }
 
-bool ProxySession::alive() const { return net_->host_up(proxy_); }
+bool ProxySession::alive() const { return net_->host_up(proxy_, lane_); }
 
 bool ProxySession::reconnect() {
   ++reconnect_attempts_;
@@ -53,14 +53,14 @@ bool ProxySession::reconnect() {
 
 std::optional<double> ProxySession::direct_ping_ms() {
   if (!behavior_.icmp_responds) return std::nullopt;
-  return net_->sample_rtt_ms(client_, proxy_);
+  return net_->sample_rtt_ms(client_, proxy_, lane_);
 }
 
 std::optional<int> ProxySession::traceroute_hops_via(HostId landmark) {
   if (behavior_.drops_time_exceeded) return std::nullopt;
-  auto tail = net_->traceroute_hops(proxy_, landmark);
+  auto tail = net_->traceroute_hops(proxy_, landmark, lane_);
   if (!tail) return std::nullopt;
-  auto head = net_->traceroute_hops(client_, proxy_);
+  auto head = net_->traceroute_hops(client_, proxy_, lane_);
   if (!head) return std::nullopt;
   return *head + *tail;
 }

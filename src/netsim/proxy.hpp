@@ -56,6 +56,13 @@ class ProxySession {
     behavior_.added_delay_ms = ms;
   }
 
+  /// Route every measurement of this session through `lane` (not owned;
+  /// must outlive the session or be reset). Null restores the network's
+  /// default lane. Concurrent audits give each session its own lane so
+  /// campaigns cannot perturb each other's RNG streams or round clocks.
+  void set_lane(Lane* lane) noexcept { lane_ = lane; }
+  Lane* lane() const noexcept { return lane_; }
+
   /// TCP connect to `landmark`:`port` through the tunnel. Timeouts occur
   /// when the landmark filters the port.
   ConnectResult connect_via(HostId landmark, std::uint16_t port);
@@ -93,6 +100,7 @@ class ProxySession {
   HostId client_;
   HostId proxy_;
   ProxyBehavior behavior_;
+  Lane* lane_ = nullptr;
   int reconnect_attempts_ = 0;
 };
 

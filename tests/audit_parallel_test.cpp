@@ -1,0 +1,176 @@
+// The parallel audit fan-out: bit-identical to serial, and the
+// primitives underneath it (parallel_for, network lanes, breaker-board
+// merging) behave as documented.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "assess/audit.hpp"
+#include "common/thread_pool.hpp"
+#include "measure/testbed.hpp"
+#include "world/fleet.hpp"
+
+using namespace ageo;
+using namespace ageo::assess;
+
+// ---- parallel_for ----
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  for (int threads : {1, 2, 4, 0}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h = 0;
+    parallel_for(hits.size(), threads, [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyRangeAndSingleItem) {
+  int calls = 0;
+  parallel_for(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, 4, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, RethrowsWorkerException) {
+  EXPECT_THROW(
+      parallel_for(64, 4,
+                   [&](std::size_t i) {
+                     if (i == 13) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // Serial path rethrows too.
+  EXPECT_THROW(
+      parallel_for(4, 1,
+                   [&](std::size_t i) {
+                     if (i == 2) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ResolveThreads) {
+  EXPECT_EQ(resolve_threads(1, 100), 1);
+  EXPECT_EQ(resolve_threads(4, 100), 4);
+  EXPECT_EQ(resolve_threads(4, 2), 2);  // never more workers than items
+  EXPECT_EQ(resolve_threads(-3, 100), 1);
+  EXPECT_GE(resolve_threads(0, 1000), 1);  // hardware concurrency
+}
+
+// ---- the audit itself ----
+
+namespace {
+
+measure::TestbedConfig small_bed_config() {
+  measure::TestbedConfig cfg;
+  cfg.seed = 4242;
+  cfg.constellation.n_anchors = 100;
+  cfg.constellation.n_probes = 150;
+  return cfg;
+}
+
+world::Fleet small_fleet(const world::WorldModel& w) {
+  auto specs = world::default_provider_specs();
+  specs.resize(2);
+  specs[0].target_servers = 8;
+  specs[0].n_real_sites = 3;
+  specs[1].target_servers = 6;
+  specs[1].n_real_sites = 2;
+  return world::generate_fleet(w, specs, 77);
+}
+
+AuditConfig audit_config(int threads) {
+  AuditConfig cfg;
+  cfg.grid_cell_deg = 2.0;
+  cfg.threads = threads;
+  return cfg;
+}
+
+/// Every field of every row, plus report-level aggregates.
+void expect_reports_identical(const AuditReport& a, const AuditReport& b) {
+  EXPECT_EQ(a.eta.eta, b.eta.eta);
+  EXPECT_EQ(a.eta.n_proxies, b.eta.n_proxies);
+  EXPECT_EQ(a.campaign_totals, b.campaign_totals);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    SCOPED_TRACE("row " + std::to_string(i));
+    const auto& x = a.rows[i];
+    const auto& y = b.rows[i];
+    EXPECT_EQ(x.host_index, y.host_index);
+    EXPECT_EQ(x.provider, y.provider);
+    EXPECT_EQ(x.claimed, y.claimed);
+    EXPECT_EQ(x.true_country, y.true_country);
+    // The two reports come from distinct Auditor grids, so compare cell
+    // bitmasks, not Region identity (operator== also checks the grid).
+    EXPECT_TRUE(x.region.words() == y.region.words());
+    ASSERT_EQ(x.observations.size(), y.observations.size());
+    for (std::size_t k = 0; k < x.observations.size(); ++k) {
+      EXPECT_EQ(x.observations[k].landmark_id, y.observations[k].landmark_id);
+      EXPECT_EQ(x.observations[k].one_way_delay_ms,
+                y.observations[k].one_way_delay_ms);
+    }
+    EXPECT_EQ(x.verdict_raw, y.verdict_raw);
+    EXPECT_EQ(x.verdict_dc, y.verdict_dc);
+    EXPECT_EQ(x.verdict_final, y.verdict_final);
+    EXPECT_EQ(x.continent_verdict, y.continent_verdict);
+    EXPECT_EQ(x.candidates, y.candidates);
+    EXPECT_EQ(x.empty_prediction, y.empty_prediction);
+    EXPECT_EQ(x.area_km2, y.area_km2);
+    EXPECT_EQ(x.centroid.has_value(), y.centroid.has_value());
+    if (x.centroid && y.centroid) {
+      EXPECT_EQ(*x.centroid, *y.centroid);
+    }
+    EXPECT_EQ(x.nearest_landmark_km, y.nearest_landmark_km);
+    EXPECT_EQ(x.iclab_accepted, y.iclab_accepted);
+    EXPECT_EQ(x.campaign, y.campaign);
+    EXPECT_EQ(x.tunnel_flagged, y.tunnel_flagged);
+  }
+}
+
+}  // namespace
+
+TEST(ParallelAudit, ParallelReportBitIdenticalToSerial) {
+  // Two testbeds built from one config are bit-identical worlds; run()
+  // mutates its bed (registers hosts), so each run needs a fresh one.
+  measure::Testbed bed_serial(small_bed_config());
+  measure::Testbed bed_parallel(small_bed_config());
+  auto fleet = small_fleet(bed_serial.world());
+
+  Auditor serial(bed_serial, audit_config(1));
+  Auditor parallel(bed_parallel, audit_config(4));
+  auto a = serial.run(fleet);
+  auto b = parallel.run(fleet);
+  ASSERT_EQ(a.rows.size(), fleet.hosts.size());
+  expect_reports_identical(a, b);
+  // The merged run boards agree as well (merge order is host-index
+  // order on both sides).
+  EXPECT_EQ(serial.run_board().clock(), parallel.run_board().clock());
+  EXPECT_EQ(serial.run_board().open_count(), parallel.run_board().open_count());
+}
+
+TEST(ParallelAudit, HardwareThreadsModeRuns) {
+  measure::Testbed bed(small_bed_config());
+  auto fleet = small_fleet(bed.world());
+  Auditor auditor(bed, audit_config(0));  // one worker per hardware thread
+  auto report = auditor.run(fleet);
+  EXPECT_EQ(report.rows.size(), fleet.hosts.size());
+  std::set<std::size_t> indices;
+  for (const auto& r : report.rows) indices.insert(r.host_index);
+  EXPECT_EQ(indices.size(), fleet.hosts.size());
+}
+
+TEST(ParallelAudit, RerunIsDeterministic) {
+  // Two parallel runs over identical worlds agree with each other (no
+  // hidden scheduling dependence, warm plan cache included).
+  measure::Testbed bed1(small_bed_config());
+  measure::Testbed bed2(small_bed_config());
+  auto fleet = small_fleet(bed1.world());
+  Auditor a1(bed1, audit_config(3));
+  Auditor a2(bed2, audit_config(2));
+  expect_reports_identical(a1.run(fleet), a2.run(fleet));
+}

@@ -315,6 +315,67 @@ TEST_F(NetsimTest, FaultModelValidates) {
   EXPECT_THROW(net.host_up(999), InvalidArgument);
 }
 
+// ---- lanes: independent measurement timelines ----
+
+TEST_F(NetsimTest, LanesWithSameSeedDrawIdenticalSamples) {
+  HostId a = host_at(40.7, -74.0), b = host_at(34.05, -118.24);
+  Lane l1 = net.make_lane(123), l2 = net.make_lane(123);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(net.sample_rtt_ms(a, b, &l1), net.sample_rtt_ms(a, b, &l2));
+}
+
+TEST_F(NetsimTest, LaneDrawsDoNotPerturbOtherLanes) {
+  HostId a = host_at(40.7, -74.0), b = host_at(34.05, -118.24);
+  // Reference sequence from a fresh lane, uninterrupted.
+  Lane ref = net.make_lane(5);
+  std::vector<double> expect;
+  for (int i = 0; i < 10; ++i) expect.push_back(net.sample_rtt_ms(a, b, &ref));
+  // Same sequence while another lane (and the default lane) draw
+  // interleaved: the streams must not cross.
+  Lane mine = net.make_lane(5), other = net.make_lane(6);
+  for (int i = 0; i < 10; ++i) {
+    net.sample_rtt_ms(a, b, &other);
+    net.sample_rtt_ms(a, b);  // default lane
+    EXPECT_EQ(net.sample_rtt_ms(a, b, &mine), expect[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST_F(NetsimTest, LaneRoundClockAndRateLimitAreIndependent) {
+  HostId a = host_at(0.0, 0.0);
+  HostId h = host_at(10.0, 10.0);
+  net.set_rate_limit(h, 2);
+  Lane lane = net.make_lane(9);
+  // Exhaust the lane's budget; the default lane's budget is untouched.
+  EXPECT_TRUE(net.icmp_ping_ms(a, h, &lane).has_value());
+  EXPECT_TRUE(net.icmp_ping_ms(a, h, &lane).has_value());
+  EXPECT_FALSE(net.icmp_ping_ms(a, h, &lane).has_value());
+  EXPECT_TRUE(net.icmp_ping_ms(a, h).has_value());
+  // Advancing the lane resets its budget and moves only its clock.
+  net.advance_round(3, &lane);
+  EXPECT_EQ(lane.round(), 3u);
+  EXPECT_EQ(net.round(), 0u);
+  EXPECT_TRUE(net.icmp_ping_ms(a, h, &lane).has_value());
+  // An outage window is judged against the lane's clock.
+  net.set_outage_window(h, 2, 4);
+  EXPECT_FALSE(net.host_up(h, &lane));  // lane round 3: inside [2, 4)
+  EXPECT_TRUE(net.host_up(h));          // default round 0: before it
+}
+
+TEST_F(ProxyTest, SessionLaneRoutesMeasurements) {
+  ProxySession s(net, client, proxy, {});
+  Lane lane = net.make_lane(31);
+  s.set_lane(&lane);
+  EXPECT_EQ(s.lane(), &lane);
+  EXPECT_TRUE(s.alive());
+  EXPECT_GT(s.self_ping_ms(), 0.0);
+  // Outage windows act on the session's lane clock.
+  net.set_outage_window(proxy, 1, 2);
+  net.advance_round(1, &lane);
+  EXPECT_FALSE(s.alive());
+  s.set_lane(nullptr);  // default lane is still at round 0
+  EXPECT_TRUE(s.alive());
+}
+
 TEST_F(ProxyTest, TunnelAliveReconnectAndSelfPing) {
   ProxySession s(net, client, proxy, {});
   EXPECT_TRUE(s.alive());
