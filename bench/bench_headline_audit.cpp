@@ -15,10 +15,16 @@ using namespace ageo;
 int main() {
   auto bundle = bench::run_standard_audit(bench::scale_from_env());
   const auto& rows = bundle.report.rows;
+  std::printf("algorithm: %s\n", bench::audit_algorithm_name().c_str());
   std::printf("setup (testbed+calibration): %.0f ms, audit: %.0f ms "
-              "(%.2f ms/proxy)\n\n",
+              "(%.2f ms/proxy)\n",
               bundle.setup_ms, bundle.audit_ms,
               rows.empty() ? 0.0 : bundle.audit_ms / rows.size());
+  std::printf("plan cache: %llu hits, %llu misses, %llu evictions\n\n",
+              static_cast<unsigned long long>(bundle.report.plan_cache.hits),
+              static_cast<unsigned long long>(bundle.report.plan_cache.misses),
+              static_cast<unsigned long long>(
+                  bundle.report.plan_cache.evictions));
 
   std::set<world::CountryId> claimed_countries;
   for (const auto& r : rows) claimed_countries.insert(r.claimed);

@@ -218,4 +218,151 @@ static void BM_GaussianFusion(benchmark::State& state) {
 }
 BENCHMARK(BM_GaussianFusion);
 
+static void BM_GaussianFusionReference(benchmark::State& state) {
+  // The pre-fast-path fusion: full-grid reference multiplies. Kept as
+  // the in-tree "before" row for BENCH_spotter.json.
+  grid::Grid g(1.0);
+  Rng rng(4);
+  std::vector<mlat::GaussianConstraint> rings;
+  for (int i = 0; i < 25; ++i) {
+    rings.push_back({{rng.uniform(30.0, 65.0), rng.uniform(-15.0, 40.0)},
+                     rng.uniform(300.0, 3000.0), 200.0});
+  }
+  for (auto _ : state) {
+    grid::Field f(g);
+    for (const auto& r : rings)
+      grid::reference::multiply_gaussian_ring(f, r.center, r.mu_km,
+                                              r.sigma_km);
+    f.normalize();
+    benchmark::DoNotOptimize(f.credible_region(0.95).count());
+  }
+}
+BENCHMARK(BM_GaussianFusionReference);
+
+static void BM_GaussianFusionCached(benchmark::State& state) {
+  // BM_GaussianFusion through a warm plan cache: distance tables built
+  // once, every ring multiply trig-free. Bit-identical posterior.
+  grid::Grid g(1.0);
+  Rng rng(4);
+  std::vector<mlat::GaussianConstraint> rings;
+  for (int i = 0; i < 25; ++i) {
+    rings.push_back({{rng.uniform(30.0, 65.0), rng.uniform(-15.0, 40.0)},
+                     rng.uniform(300.0, 3000.0), 200.0});
+  }
+  grid::CapPlanCache cache;
+  benchmark::DoNotOptimize(
+      mlat::fuse_gaussian_rings(g, rings, nullptr, &cache).total_mass());
+  for (auto _ : state) {
+    auto f = mlat::fuse_gaussian_rings(g, rings, nullptr, &cache);
+    benchmark::DoNotOptimize(f.credible_region(0.95).count());
+  }
+}
+BENCHMARK(BM_GaussianFusionCached);
+
+// ---- Spotter ring multiply: naive vs windowed vs plan-cached ----
+// One Gaussian ring into a fresh all-ones field; the field reset sits
+// outside the timed region. Args are {cell_deg * 100, sigma_km}: 1.0 and
+// 0.25 degree grids, sigma at a representative 150 km and at the 50 km
+// calibration floor.
+
+static void BM_GaussianRingNaive(benchmark::State& state) {
+  grid::Grid g(static_cast<double>(state.range(0)) / 100.0);
+  const geo::LatLon center{48.0, 11.0};
+  const double sigma = static_cast<double>(state.range(1));
+  const grid::Field fresh(g);
+  grid::Field f(g);
+  for (auto _ : state) {
+    state.PauseTiming();
+    f = fresh;
+    state.ResumeTiming();
+    grid::reference::multiply_gaussian_ring(f, center, 1500.0, sigma);
+    benchmark::DoNotOptimize(f.at(0));
+  }
+  state.SetLabel("cell_deg=" + std::to_string(state.range(0) / 100.0) +
+                 " sigma=" + std::to_string(state.range(1)));
+}
+BENCHMARK(BM_GaussianRingNaive)->Args({100, 150})->Args({25, 150})->Args({25, 50});
+
+static void BM_GaussianRingWindowed(benchmark::State& state) {
+  grid::Grid g(static_cast<double>(state.range(0)) / 100.0);
+  const geo::LatLon center{48.0, 11.0};
+  const double sigma = static_cast<double>(state.range(1));
+  const grid::Field fresh(g);
+  grid::Field f(g);
+  for (auto _ : state) {
+    state.PauseTiming();
+    f = fresh;
+    state.ResumeTiming();
+    f.multiply_gaussian_ring(center, 1500.0, sigma);
+    benchmark::DoNotOptimize(f.at(0));
+  }
+  state.SetLabel("cell_deg=" + std::to_string(state.range(0) / 100.0) +
+                 " sigma=" + std::to_string(state.range(1)));
+}
+BENCHMARK(BM_GaussianRingWindowed)
+    ->Args({100, 150})
+    ->Args({25, 150})
+    ->Args({25, 50});
+
+static void BM_GaussianRingPlanCached(benchmark::State& state) {
+  // Warm plan + distance table: the steady state of an audit, where the
+  // same landmark multiplies into hundreds of proxies' posteriors.
+  grid::Grid g(static_cast<double>(state.range(0)) / 100.0);
+  const geo::LatLon center{48.0, 11.0};
+  const double sigma = static_cast<double>(state.range(1));
+  grid::CapScanPlan plan(g, center);
+  benchmark::DoNotOptimize(plan.cell_distances_km().data());
+  const grid::Field fresh(g);
+  grid::Field f(g);
+  for (auto _ : state) {
+    state.PauseTiming();
+    f = fresh;
+    state.ResumeTiming();
+    f.multiply_gaussian_ring(plan, 1500.0, sigma);
+    benchmark::DoNotOptimize(f.at(0));
+  }
+  state.SetLabel("cell_deg=" + std::to_string(state.range(0) / 100.0) +
+                 " sigma=" + std::to_string(state.range(1)));
+}
+BENCHMARK(BM_GaussianRingPlanCached)
+    ->Args({100, 150})
+    ->Args({25, 150})
+    ->Args({25, 50});
+
+static void BM_GaussianRingSteadyState(benchmark::State& state) {
+  // The fusion hot loop: every ring after the first multiplies into a
+  // posterior whose live-cell list is already built, so only surviving
+  // cells are visited at all.
+  grid::Grid g(static_cast<double>(state.range(0)) / 100.0);
+  const double sigma = static_cast<double>(state.range(1));
+  grid::CapScanPlan plan(g, {40.0, 20.0});
+  benchmark::DoNotOptimize(plan.cell_distances_km().data());
+  grid::Field seeded(g);
+  seeded.multiply_gaussian_ring({48.0, 11.0}, 1500.0, sigma);
+  grid::Field f(g);
+  for (auto _ : state) {
+    state.PauseTiming();
+    f = seeded;
+    state.ResumeTiming();
+    f.multiply_gaussian_ring(plan, 1200.0, sigma);
+    benchmark::DoNotOptimize(f.at(0));
+  }
+  state.SetLabel("cell_deg=" + std::to_string(state.range(0) / 100.0) +
+                 " sigma=" + std::to_string(state.range(1)));
+}
+BENCHMARK(BM_GaussianRingSteadyState)->Args({100, 150})->Args({25, 50});
+
+static void BM_CredibleRegion(benchmark::State& state) {
+  // Selection-based credible region over a broad normalised posterior
+  // (the widest support Spotter realistically produces).
+  grid::Grid g(static_cast<double>(state.range(0)) / 100.0);
+  grid::Field f(g);
+  f.multiply_gaussian_ring({48.0, 11.0}, 3000.0, 1000.0);
+  f.normalize();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(f.credible_region(0.95).count());
+  state.SetLabel("cell_deg=" + std::to_string(state.range(0) / 100.0));
+}
+BENCHMARK(BM_CredibleRegion)->Arg(100)->Arg(25);
+
 BENCHMARK_MAIN();

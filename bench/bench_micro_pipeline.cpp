@@ -2,6 +2,8 @@
 #include <benchmark/benchmark.h>
 
 #include "algos/cbg_pp.hpp"
+#include "algos/spotter.hpp"
+#include "grid/cap_cache.hpp"
 #include "measure/campaign.hpp"
 #include "measure/testbed.hpp"
 #include "measure/tools.hpp"
@@ -89,6 +91,47 @@ static void BM_FullLocate(benchmark::State& state) {
   state.SetLabel("cell_deg=" + std::to_string(state.range(0) / 100.0));
 }
 BENCHMARK(BM_FullLocate)->Arg(200)->Arg(100)->Arg(50);
+
+// Spotter's full locate (fuse_gaussian_rings + credible region) through a
+// warm CapPlanCache — the steady-state cost of the probability-field
+// pipeline per proxy. Compare against a second instance without a cache
+// by toggling range(1).
+static void BM_SpotterLocate(benchmark::State& state) {
+  auto& bed = shared_bed();
+  netsim::HostProfile p;
+  p.location = {48.2, 16.4};
+  netsim::HostId target = bed.add_host(p);
+  measure::ProbeFn probe = [&](std::size_t lm) {
+    return measure::CliTool::measure_ms(bed.net(), target,
+                                        bed.landmark_host(lm));
+  };
+  Rng rng(10);
+  auto tp = measure::two_phase_measure(bed, probe, rng);
+  grid::Grid g(static_cast<double>(state.range(0)) / 100.0);
+  grid::Region mask = bed.world().plausibility_mask(g);
+  algos::SpotterGeolocator locator;
+  grid::CapPlanCache cache;
+  const bool cached = state.range(1) != 0;
+  if (cached) {
+    locator.set_plan_cache(&cache);
+    // Warm the per-landmark plans + distance tables: an audit pays the
+    // build once per landmark and amortises it over every proxy, so the
+    // steady state is what this loop should see.
+    benchmark::DoNotOptimize(
+        locator.locate(g, bed.store(), tp.observations, &mask).area_km2());
+  }
+  for (auto _ : state) {
+    auto est = locator.locate(g, bed.store(), tp.observations, &mask);
+    benchmark::DoNotOptimize(est.area_km2());
+  }
+  state.SetLabel("cell_deg=" + std::to_string(state.range(0) / 100.0) +
+                 (cached ? " plan_cache=on" : " plan_cache=off"));
+}
+BENCHMARK(BM_SpotterLocate)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({50, 1})
+    ->Args({25, 1});
 
 static void BM_TestbedCalibration(benchmark::State& state) {
   for (auto _ : state) {

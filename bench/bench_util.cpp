@@ -33,6 +33,29 @@ world::Fleet standard_fleet(const world::WorldModel& w, double scale) {
   return world::generate_fleet(w, specs, 2018);
 }
 
+namespace {
+assess::AuditAlgorithm audit_algorithm_from_env() {
+  if (const char* a = std::getenv("AGEO_AUDIT_ALGO")) {
+    const std::string s(a);
+    if (s == "spotter") return assess::AuditAlgorithm::kSpotter;
+    if (s == "hybrid") return assess::AuditAlgorithm::kHybrid;
+  }
+  return assess::AuditAlgorithm::kCbgPlusPlus;
+}
+}  // namespace
+
+std::string audit_algorithm_name() {
+  switch (audit_algorithm_from_env()) {
+    case assess::AuditAlgorithm::kSpotter:
+      return "spotter";
+    case assess::AuditAlgorithm::kHybrid:
+      return "hybrid";
+    case assess::AuditAlgorithm::kCbgPlusPlus:
+      break;
+  }
+  return "cbg++";
+}
+
 AuditBundle run_standard_audit(double scale, int threads) {
   if (const char* t = std::getenv("AGEO_THREADS")) {
     int v = std::atoi(t);
@@ -45,6 +68,7 @@ AuditBundle run_standard_audit(double scale, int threads) {
   auto t1 = std::chrono::steady_clock::now();
   assess::AuditConfig cfg;
   cfg.threads = threads;
+  cfg.algorithm = audit_algorithm_from_env();
   assess::Auditor auditor(*bundle.bed, cfg);
   bundle.report = auditor.run(bundle.fleet);
   auto t2 = std::chrono::steady_clock::now();

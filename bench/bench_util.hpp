@@ -38,10 +38,16 @@ struct AuditBundle {
   double audit_ms = 0.0;
 };
 
-/// Full §6 audit: testbed + fleet + CBG++ pipeline over every proxy.
-/// `threads` is forwarded to AuditConfig::threads (0 = hardware
+/// Full §6 audit: testbed + fleet + geolocation pipeline over every
+/// proxy. `threads` is forwarded to AuditConfig::threads (0 = hardware
 /// concurrency, 1 = serial); AGEO_THREADS in the environment overrides.
+/// The algorithm defaults to CBG++; set AGEO_AUDIT_ALGO to `cbgpp`,
+/// `spotter` or `hybrid` to audit with a different geolocator.
 AuditBundle run_standard_audit(double scale = 1.0, int threads = 1);
+
+/// Human-readable name of the algorithm `run_standard_audit` will use
+/// (after applying the AGEO_AUDIT_ALGO override).
+std::string audit_algorithm_name();
 
 /// Per-crowd-host measurement result for the §5 validation experiments.
 struct CrowdMeasurement {

@@ -52,11 +52,10 @@ class CbgPlusPlusGeolocator final : public Geolocator {
                          const grid::Region* mask = nullptr) const;
 
   /// Reuse per-landmark rasterization plans from `cache` (not owned; may
-  /// be null to disable). The audit points every proxy's locate at one
-  /// cache since the landmark set repeats. Results are identical with or
-  /// without a cache; CapPlanCache is internally synchronized, so a
-  /// shared locator stays usable from several threads.
-  void set_plan_cache(grid::CapPlanCache* cache) noexcept {
+  /// be null to disable). Results are identical with or without a cache;
+  /// CapPlanCache is internally synchronized, so a shared locator stays
+  /// usable from several threads.
+  void set_plan_cache(grid::CapPlanCache* cache) noexcept override {
     plan_cache_ = cache;
   }
 

@@ -17,6 +17,10 @@
 #include "geo/latlon.hpp"
 #include "grid/region.hpp"
 
+namespace ageo::grid {
+class CapPlanCache;
+}
+
 namespace ageo::algos {
 
 /// One landmark's measurement of the target.
@@ -52,6 +56,14 @@ class Geolocator {
                              const calib::CalibrationStore& store,
                              std::span<const Observation> observations,
                              const grid::Region* mask = nullptr) const = 0;
+
+  /// Reuse per-landmark scan plans (rasterization geometry + distance
+  /// tables) from `cache` across locate() calls — the audit points every
+  /// proxy's locate at one shared cache since the landmark set repeats.
+  /// Not owned; null disables reuse. Results are bit-identical with or
+  /// without a cache. Default is a no-op for algorithms with no
+  /// per-landmark geometry worth caching.
+  virtual void set_plan_cache(grid::CapPlanCache* /*cache*/) noexcept {}
 
  protected:
   /// Shared precondition checks for implementations.

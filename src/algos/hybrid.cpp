@@ -25,7 +25,7 @@ GeoEstimate HybridGeolocator::locate(
     rings.push_back({ob.landmark, std::max(0.0, mu - n_sigma_ * sigma),
                      mu + n_sigma_ * sigma});
   }
-  return GeoEstimate{mlat::intersect_rings(g, rings, mask)};
+  return GeoEstimate{mlat::intersect_rings(g, rings, mask, plan_cache_)};
 }
 
 }  // namespace ageo::algos

@@ -20,8 +20,15 @@ class HybridGeolocator final : public Geolocator {
                      std::span<const Observation> observations,
                      const grid::Region* mask = nullptr) const override;
 
+  /// Reuse per-landmark rasterization plans from `cache` for the ring
+  /// intersection (not owned; null disables). Results are identical.
+  void set_plan_cache(grid::CapPlanCache* cache) noexcept override {
+    plan_cache_ = cache;
+  }
+
  private:
   double n_sigma_;
+  grid::CapPlanCache* plan_cache_ = nullptr;
 };
 
 }  // namespace ageo::algos

@@ -23,7 +23,8 @@ GeoEstimate SpotterGeolocator::locate(
     rings.push_back({ob.landmark, model.mu_km(ob.one_way_delay_ms),
                      model.sigma_km(ob.one_way_delay_ms)});
   }
-  grid::Field posterior = mlat::fuse_gaussian_rings(g, rings, mask);
+  grid::Field posterior = mlat::fuse_gaussian_rings(g, rings, mask,
+                                                    plan_cache_);
   return GeoEstimate{posterior.credible_region(credible_mass_)};
 }
 

@@ -19,8 +19,16 @@ class SpotterGeolocator final : public Geolocator {
                      std::span<const Observation> observations,
                      const grid::Region* mask = nullptr) const override;
 
+  /// Serve per-landmark distance tables from `cache` so each ring
+  /// multiply does zero trigonometry (not owned; null disables). The
+  /// posterior is bit-identical with or without a cache.
+  void set_plan_cache(grid::CapPlanCache* cache) noexcept override {
+    plan_cache_ = cache;
+  }
+
  private:
   double credible_mass_;
+  grid::CapPlanCache* plan_cache_ = nullptr;
 };
 
 }  // namespace ageo::algos

@@ -4,6 +4,8 @@
 #include <limits>
 #include <map>
 
+#include "algos/hybrid.hpp"
+#include "algos/spotter.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "geo/geodesy.hpp"
@@ -11,6 +13,19 @@
 namespace ageo::assess {
 
 namespace {
+
+std::unique_ptr<algos::Geolocator> make_locator(const AuditConfig& c) {
+  switch (c.algorithm) {
+    case AuditAlgorithm::kSpotter:
+      return std::make_unique<algos::SpotterGeolocator>(
+          c.spotter_credible_mass);
+    case AuditAlgorithm::kHybrid:
+      return std::make_unique<algos::HybridGeolocator>();
+    case AuditAlgorithm::kCbgPlusPlus:
+      break;
+  }
+  return std::make_unique<algos::CbgPlusPlusGeolocator>(c.cbg_pp);
+}
 
 /// Independent per-proxy seed: the audit seed xor a mixed host index.
 /// The golden-ratio multiply spreads the index across all 64 bits; a
@@ -30,10 +45,13 @@ Auditor::Auditor(measure::Testbed& bed, AuditConfig config)
       mask_(bed.world().plausibility_mask(*grid_)),
       raster_(bed.world().country_raster(*grid_)),
       country_regions_(bed.world().country_count()),
+      plan_cache_(config.plan_cache_capacity != 0
+                      ? config.plan_cache_capacity
+                      : std::max<std::size_t>(512, bed.landmarks().size())),
       run_board_(config.campaign.breaker),
-      locator_(config.cbg_pp),
+      locator_(make_locator(config)),
       iclab_(config.iclab) {
-  locator_.set_plan_cache(&plan_cache_);
+  locator_->set_plan_cache(&plan_cache_);
 }
 
 const grid::Region& Auditor::country_region(world::CountryId id) {
@@ -129,7 +147,7 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
       row.region = grid::Region(*grid_);
     } else {
       auto est =
-          locator_.locate(*grid_, bed_->store(), row.observations, &mask_);
+          locator_->locate(*grid_, bed_->store(), row.observations, &mask_);
       row.region = std::move(est.region);
     }
 
@@ -176,6 +194,7 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
   }
   run_board_ = std::move(merged);
   report.rows = std::move(rows);
+  report.plan_cache = plan_cache_.stats();
 
   if (config_.use_as_grouping) apply_as_grouping(report.rows, fleet);
   return report;

@@ -23,6 +23,12 @@
 
 namespace ageo::assess {
 
+/// Which geolocator turns a proxy's observations into a prediction
+/// region. CBG++ is the paper's §6 choice; Spotter and the hybrid enable
+/// cross-algorithm audits. All three share the Auditor's per-landmark
+/// plan cache (rasterization geometry and, for Spotter, distance tables).
+enum class AuditAlgorithm { kCbgPlusPlus, kSpotter, kHybrid };
+
 struct AuditConfig {
   double grid_cell_deg = 1.0;
   /// Measurement client location (the paper used one host in Frankfurt).
@@ -37,7 +43,16 @@ struct AuditConfig {
   int eta_samples = 5;
   bool use_data_centers = true;
   bool use_as_grouping = true;
+  AuditAlgorithm algorithm = AuditAlgorithm::kCbgPlusPlus;
+  /// Plan-cache capacity (resident CapScanPlans). 0 = auto: one slot per
+  /// testbed landmark (min 512), so the cache never thrashes — with
+  /// fewer slots than landmarks the LRU evicts every plan once per
+  /// proxy, and Spotter audits rebuild each landmark's distance table
+  /// (~0.5 MB at 1 degree) thousands of times instead of once.
+  std::size_t plan_cache_capacity = 0;
   algos::CbgPlusPlusOptions cbg_pp;
+  /// Posterior mass of the prediction region when algorithm == kSpotter.
+  double spotter_credible_mass = 0.95;
   algos::IclabOptions iclab;
   std::uint64_t seed = 99;
   /// Worker threads for the per-proxy fan-out of run(). 1 = serial in
@@ -82,6 +97,12 @@ struct AuditReport {
   measure::EtaEstimate eta;
   /// Per-run fault totals across every proxy campaign.
   measure::CampaignStats campaign_totals;
+  /// Plan-cache counters at the end of the run (cumulative over the
+  /// Auditor's lifetime — the cache persists across runs). A healthy
+  /// audit shows one miss per distinct landmark and hits everywhere else;
+  /// nonzero evictions mean the cache capacity is under-sized for the
+  /// constellation.
+  grid::CapPlanCache::Stats plan_cache;
 };
 
 class Auditor {
@@ -116,7 +137,9 @@ class Auditor {
   /// internally synchronized, persists across runs.
   grid::CapPlanCache plan_cache_;
   measure::BreakerBoard run_board_;
-  algos::CbgPlusPlusGeolocator locator_;
+  /// Built from config_.algorithm; shared (const) across the worker
+  /// threads, with per-landmark geometry served by plan_cache_.
+  std::unique_ptr<algos::Geolocator> locator_;
   algos::IclabChecker iclab_;
 
   void apply_as_grouping(std::vector<ProxyAuditRow>& rows,

@@ -151,6 +151,22 @@ void CapScanPlan::accumulate_annulus(double inner_km, double outer_km,
       });
 }
 
+const std::vector<double>& CapScanPlan::cell_distances_km() const {
+  std::call_once(dist_once_, [this] {
+    const Grid& g = *g_;
+    std::vector<double> table(g.size());
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const geo::Vec3& u = g.center_vec(i);
+      // Exactly the reference multiply's expression, so serving distances
+      // from this table cannot perturb a single bit of the posterior.
+      double ang = std::atan2(v_.cross(u).norm(), v_.dot(u));
+      table[i] = geo::kEarthRadiusKm * ang;
+    }
+    dist_km_ = std::move(table);
+  });
+  return dist_km_;
+}
+
 // ---- CapPlanCache ----
 
 CapPlanCache::CapPlanCache(std::size_t capacity)

@@ -47,6 +47,17 @@ class CapScanPlan {
                           std::vector<std::uint64_t>& masks,
                           unsigned bit) const;
 
+  /// Per-cell great-circle distance (km) from the plan's center, by the
+  /// exact kEarthRadiusKm * atan2(cross, dot) formula Field's reference
+  /// ring multiply uses — plan-served multiplies are therefore
+  /// bit-identical to it while doing zero trig per ring. Built lazily on
+  /// first use and kept for the plan's lifetime: 8 bytes per cell
+  /// (~0.5 MB on the audit's 1-degree grid, ~8.3 MB at 0.25 degrees),
+  /// bounded overall by the owning CapPlanCache's LRU capacity. Only the
+  /// probability-field path pays for it; pure rasterization users never
+  /// trigger the build. Thread-safe (call_once).
+  const std::vector<double>& cell_distances_km() const;
+
  private:
   template <typename CellF, typename SpanF>
   void scan(double inner_km, double outer_km, CellF&& f, SpanF&& fs) const;
@@ -61,13 +72,21 @@ class CapScanPlan {
   /// (o = +j) and left (o = -j) of c_round_; both monotone nonincreasing,
   /// which is what turns a radius query into two binary searches.
   std::vector<double> cos_right_, cos_left_;
+  /// Lazily-built distance table (cell_distances_km).
+  mutable std::once_flag dist_once_;
+  mutable std::vector<double> dist_km_;
 };
 
 /// Thread-safe LRU cache of CapScanPlans keyed by (grid, center).
 class CapPlanCache {
  public:
   /// `capacity` bounds resident plans; at the audit's default 1-degree
-  /// grid a plan is ~7 KB, so the default is ~4 MB worst case.
+  /// grid a plan is ~7 KB, so the default is ~4 MB worst case. A plan's
+  /// lazy distance table (built on the Spotter path) adds 8 bytes/cell
+  /// (~0.5 MB at 1 degree), and an evicted+refetched plan must rebuild
+  /// it — size the cache to the landmark count when auditing with
+  /// Spotter (Auditor does this automatically; see
+  /// AuditConfig::plan_cache_capacity).
   explicit CapPlanCache(std::size_t capacity = 512);
 
   /// Plan for annuli centered at `center` on `g`, built on first use.

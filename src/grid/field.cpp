@@ -7,47 +7,222 @@
 #include "common/error.hpp"
 #include "geo/units.hpp"
 #include "geo/vec3.hpp"
+#include "grid/cap_cache.hpp"
+#include "grid/raster.hpp"
 
 namespace ageo::grid {
 
-Field::Field(const Grid& g) : grid_(&g), density_(g.size(), 1.0) {}
+namespace {
+
+/// exp(-a) is exactly +0.0 in IEEE-754 double precision for every
+/// a >= 746: the smallest subnormal is 2^-1074, so any result below
+/// 2^-1075 rounds to zero under round-to-nearest, and exp underflows
+/// that far once a > 1075 * ln 2 ~= 745.133. A cell whose Gaussian
+/// exponent a = ((d - mu)^2) / (2 sigma^2) clears this cutoff therefore
+/// multiplies the density by a bit-exact +0.0 — which is why the fast
+/// path may zero it without evaluating exp at all.
+constexpr double kGaussianCut = 746.0;
+
+/// Slack (km) added to the support annulus radii. The annulus membership
+/// test works in dot-product space while the Gaussian distance uses
+/// atan2(cross, dot); the two can disagree by the angle-equivalent of a
+/// few ulps of the dot product (< 1e-3 km everywhere on Earth, worst at
+/// the poles of the cap where |sin| vanishes), plus ulp-level rounding in
+/// the a >= kGaussianCut comparison itself. 4 km is three orders of
+/// magnitude of headroom; cells inside the annulus but outside the true
+/// support still go through the exact comparison, so correctness never
+/// depends on this constant — only the guarantee that no live cell is
+/// zeroed wholesale does.
+constexpr double kSupportSlackKm = 4.0;
+
+}  // namespace
+
+namespace reference {
+
+void multiply_gaussian_ring(Field& f, const geo::LatLon& center, double mu_km,
+                            double sigma_km) {
+  detail::require(f.grid_ != nullptr, "Field: not attached to a grid");
+  detail::require(sigma_km > 0.0, "Field: sigma must be positive");
+  detail::require(geo::is_valid(center), "Field: invalid ring center");
+  f.invalidate_caches();
+  std::vector<double>& density = f.density_;
+  const Grid& grid = *f.grid_;
+  const geo::Vec3 v = geo::to_vec3(center);
+  const double inv_2s2 = 1.0 / (2.0 * sigma_km * sigma_km);
+  for (std::size_t i = 0; i < density.size(); ++i) {
+    if (density[i] == 0.0) continue;
+    const geo::Vec3& u = grid.center_vec(i);
+    double ang = std::atan2(v.cross(u).norm(), v.dot(u));
+    double d = geo::kEarthRadiusKm * ang;
+    double r = d - mu_km;
+    density[i] *= std::exp(-r * r * inv_2s2);
+  }
+}
+
+}  // namespace reference
+
+Field::Field(const Grid& g) : grid_(&g), density_(g.size(), 1.0) {
+  detail::require(g.size() <= 0xffffffffULL,
+                  "Field: grid too large for the live-cell index");
+}
+
+template <typename DistF, typename SupportF>
+void Field::multiply_ring_windowed(double mu_km, double sigma_km, DistF&& dist,
+                                   SupportF&& support) {
+  mass_valid_ = false;
+  const double inv_2s2 = 1.0 / (2.0 * sigma_km * sigma_km);
+  // The reference evaluates exp(-r * r * inv_2s2); computing
+  // a = (r * r) * inv_2s2 and passing -a gives bit-identical arguments
+  // (IEEE negation is exact and commutes with multiplication), so both
+  // branches below reproduce the reference product exactly: the compare
+  // branch because exp gets the same bits, the zeroing branch because
+  // a >= kGaussianCut guarantees exp would return +0.0 and x *= 0.0 has
+  // the same sign/NaN/inf semantics as x *= (+0.0 result of exp).
+
+  if (live_valid_) {
+    // Later rings: only survivors of earlier multiplies can still be
+    // nonzero; the cutoff comparison is the support-window test.
+    std::size_t keep = 0;
+    for (const std::uint32_t i : live_) {
+      double& d = density_[i];
+      const double r = dist(i) - mu_km;
+      const double a = r * r * inv_2s2;
+      if (a >= kGaussianCut) {
+        d *= 0.0;
+      } else {
+        d *= std::exp(-a);
+      }
+      if (d != 0.0) live_[keep++] = i;
+    }
+    live_.resize(keep);
+    return;
+  }
+
+  // First windowed multiply on a dense field: rasterize a superset of the
+  // ring's support, zero the complement a word at a time, and record the
+  // survivors as the live list for the rings that follow.
+  const double w =
+      sigma_km * std::sqrt(2.0 * kGaussianCut) + kSupportSlackKm;
+  const Region s = support(std::max(0.0, mu_km - w), mu_km + w);
+  live_.clear();
+  live_.reserve(s.count());
+  const std::vector<std::uint64_t>& words = s.words();
+  const std::size_t n = density_.size();
+  for (std::size_t wi = 0; wi < words.size(); ++wi) {
+    const std::size_t base = wi << 6;
+    const std::size_t lim = std::min<std::size_t>(64, n - base);
+    const std::uint64_t bits = words[wi];
+    if (bits == 0) {
+      for (std::size_t j = 0; j < lim; ++j) density_[base + j] *= 0.0;
+      continue;
+    }
+    for (std::size_t j = 0; j < lim; ++j) {
+      double& d = density_[base + j];
+      if (((bits >> j) & 1u) == 0) {
+        d *= 0.0;
+        continue;
+      }
+      if (d == 0.0) continue;
+      const double r = dist(base + j) - mu_km;
+      const double a = r * r * inv_2s2;
+      if (a >= kGaussianCut) {
+        d *= 0.0;
+      } else {
+        d *= std::exp(-a);
+      }
+      if (d != 0.0) live_.push_back(static_cast<std::uint32_t>(base + j));
+    }
+  }
+  live_valid_ = true;
+}
 
 void Field::multiply_gaussian_ring(const geo::LatLon& center, double mu_km,
                                    double sigma_km) {
   detail::require(grid_ != nullptr, "Field: not attached to a grid");
   detail::require(sigma_km > 0.0, "Field: sigma must be positive");
+  detail::require(!std::isnan(mu_km), "Field: mu must not be NaN");
   detail::require(geo::is_valid(center), "Field: invalid ring center");
+  multiply_gaussian_ring_unchecked(center, mu_km, sigma_km);
+}
+
+void Field::multiply_gaussian_ring(const CapScanPlan& plan, double mu_km,
+                                   double sigma_km) {
+  detail::require(grid_ != nullptr, "Field: not attached to a grid");
+  detail::require(&plan.grid() == grid_,
+                  "Field: plan built on a different grid");
+  detail::require(sigma_km > 0.0, "Field: sigma must be positive");
+  detail::require(!std::isnan(mu_km), "Field: mu must not be NaN");
+  multiply_gaussian_ring_unchecked(plan, mu_km, sigma_km);
+}
+
+void Field::multiply_gaussian_ring_unchecked(const geo::LatLon& center,
+                                             double mu_km, double sigma_km) {
   const geo::Vec3 v = geo::to_vec3(center);
-  const double inv_2s2 = 1.0 / (2.0 * sigma_km * sigma_km);
-  for (std::size_t i = 0; i < density_.size(); ++i) {
-    if (density_[i] == 0.0) continue;
-    const geo::Vec3& u = grid_->center_vec(i);
-    double ang = std::atan2(v.cross(u).norm(), v.dot(u));
-    double d = geo::kEarthRadiusKm * ang;
-    double r = d - mu_km;
-    density_[i] *= std::exp(-r * r * inv_2s2);
-  }
+  const Grid& g = *grid_;
+  multiply_ring_windowed(
+      mu_km, sigma_km,
+      [&](std::size_t i) {
+        const geo::Vec3& u = g.center_vec(i);
+        return geo::kEarthRadiusKm * std::atan2(v.cross(u).norm(), v.dot(u));
+      },
+      [&](double inner, double outer) {
+        return rasterize_ring(g, geo::Ring{center, inner, outer});
+      });
+}
+
+void Field::multiply_gaussian_ring_unchecked(const CapScanPlan& plan,
+                                             double mu_km, double sigma_km) {
+  const double* dist = plan.cell_distances_km().data();
+  multiply_ring_windowed(
+      mu_km, sigma_km, [dist](std::size_t i) { return dist[i]; },
+      [&](double inner, double outer) {
+        Region s(*grid_);
+        plan.rasterize_annulus(inner, outer, s);
+        return s;
+      });
 }
 
 void Field::apply_mask(const Region& mask) {
   detail::require(grid_ != nullptr && mask.grid() == grid_,
                   "Field: mask must share the field's grid");
-  for (std::size_t i = 0; i < density_.size(); ++i)
-    if (!mask.test(i)) density_[i] = 0.0;
+  mass_valid_ = false;
+  live_.clear();
+  for (std::size_t i = 0; i < density_.size(); ++i) {
+    if (!mask.test(i)) {
+      density_[i] = 0.0;
+    } else if (density_[i] != 0.0) {
+      live_.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  live_valid_ = true;
 }
 
 double Field::total_mass() const noexcept {
   if (!grid_) return 0.0;
+  if (mass_valid_) return mass_;
   double m = 0.0;
   for (std::size_t i = 0; i < density_.size(); ++i)
     m += density_[i] * grid_->cell_area_km2(i);
+  mass_ = m;
+  mass_valid_ = true;
   return m;
 }
 
 bool Field::normalize() noexcept {
-  double m = total_mass();
+  const double m = total_mass();
   if (!(m > 0.0) || !std::isfinite(m)) return false;
-  for (auto& d : density_) d /= m;
+  // Divide and re-accumulate in one pass. The running sum reads the
+  // stored (rounded) quotients in index order, so the cached mass is
+  // bit-identical to what a fresh total_mass() scan would return.
+  double post = 0.0;
+  for (std::size_t i = 0; i < density_.size(); ++i) {
+    density_[i] /= m;
+    post += density_[i] * grid_->cell_area_km2(i);
+  }
+  mass_ = post;
+  mass_valid_ = true;
+  // Survivor indices are unchanged by a positive rescale (a quotient that
+  // underflows to zero merely leaves a stale — harmless — live entry).
   return true;
 }
 
@@ -56,23 +231,73 @@ Region Field::credible_region(double mass) const {
   detail::require(mass > 0.0 && mass <= 1.0,
                   "Field: credible mass must be in (0, 1]");
   Region out(*grid_);
-  double total = total_mass();
+  const double total = total_mass();
   if (!(total > 0.0)) return out;
 
-  std::vector<std::size_t> order;
-  order.reserve(density_.size());
-  for (std::size_t i = 0; i < density_.size(); ++i)
-    if (density_[i] > 0.0) order.push_back(i);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return density_[a] > density_[b];
-  });
+  std::vector<std::uint32_t> order;
+  order.reserve(live_valid_ ? live_.size() : density_.size());
+  if (live_valid_) {
+    for (const std::uint32_t i : live_)
+      if (density_[i] > 0.0) order.push_back(i);
+  } else {
+    for (std::size_t i = 0; i < density_.size(); ++i)
+      if (density_[i] > 0.0) order.push_back(static_cast<std::uint32_t>(i));
+  }
 
-  double acc = 0.0;
+  // mass == 1 means the entire support, exactly. (Chasing it through the
+  // accumulator instead would leave the outcome to summation rounding:
+  // once the running sum saturates, tail cells add less than 1 ulp each
+  // and `acc >= total` can flip either way.)
+  if (mass == 1.0) {
+    for (const std::uint32_t i : order) out.set(i);
+    return out;
+  }
+
+  // Density descending, ties by cell index: a deterministic total order,
+  // so the region never depends on sort implementation details.
+  const auto denser = [this](std::uint32_t a, std::uint32_t b) {
+    return density_[a] > density_[b] ||
+           (density_[a] == density_[b] && a < b);
+  };
+  const auto weight = [this](std::uint32_t i) {
+    return density_[i] * grid_->cell_area_km2(i);
+  };
   const double target = mass * total;
-  for (std::size_t idx : order) {
-    out.set(idx);
-    acc += density_[idx] * grid_->cell_area_km2(idx);
-    if (acc >= target) break;
+
+  // Weighted quickselect: shrink a bracket around the density threshold
+  // with nth_element (expected O(n)) instead of sorting every candidate
+  // cell (O(n log n)). Halves that land entirely inside the region are
+  // committed unsorted; only the final small bracket is sorted to place
+  // the exact cut.
+  std::size_t lo = 0, hi = order.size();
+  double acc = 0.0;
+  while (hi - lo > 256) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    std::nth_element(order.begin() + lo, order.begin() + mid,
+                     order.begin() + hi, denser);
+    double top = 0.0;
+    for (std::size_t k = lo; k < mid; ++k) top += weight(order[k]);
+    if (acc + top >= target) {
+      hi = mid;
+    } else {
+      for (std::size_t k = lo; k < mid; ++k) out.set(order[k]);
+      acc += top;
+      lo = mid;
+    }
+  }
+  std::sort(order.begin() + lo, order.begin() + hi, denser);
+  for (std::size_t k = lo; k < hi && acc < target; ++k) {
+    out.set(order[k]);
+    acc += weight(order[k]);
+  }
+  if (acc < target && hi < order.size()) {
+    // Summation-order rounding can leave the bracket a hair short of the
+    // target; spill into the remaining (less dense) cells.
+    std::sort(order.begin() + hi, order.end(), denser);
+    for (std::size_t k = hi; k < order.size() && acc < target; ++k) {
+      out.set(order[k]);
+      acc += weight(order[k]);
+    }
   }
   return out;
 }

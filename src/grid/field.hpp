@@ -4,9 +4,19 @@
 // probability over the Earth's surface and combines rings with Bayes' rule
 // (pointwise product followed by renormalisation). A Field is that density,
 // stored per cell and weighted by cell area when normalising.
+//
+// Ring multiplies take the support-windowed fast path: outside the radius
+// where exp() underflows to exactly +0.0 the product is zeroed wholesale,
+// and inside it only cells that are still alive are visited (the support
+// collapses rapidly as rings accumulate). With a CapScanPlan the per-cell
+// great-circle distances come from a cached table, so a multiply does zero
+// trigonometry. The original full-grid scan is retained verbatim under
+// grid::reference as the oracle; the fast path is bit-for-bit identical to
+// it (pinned by field_equivalence_test).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -15,6 +25,17 @@
 #include "grid/region.hpp"
 
 namespace ageo::grid {
+
+class CapScanPlan;
+class Field;
+
+namespace reference {
+/// The original full-grid ring multiply: one atan2 + exp per nonzero cell.
+/// This defines the semantics the windowed fast path must reproduce
+/// exactly; tests compare against it. Too slow for production use.
+void multiply_gaussian_ring(Field& f, const geo::LatLon& center, double mu_km,
+                            double sigma_km);
+}  // namespace reference
 
 class Field {
  public:
@@ -25,36 +46,84 @@ class Field {
   const Grid* grid() const noexcept { return grid_; }
 
   double at(std::size_t idx) const noexcept { return density_[idx]; }
-  double& at(std::size_t idx) noexcept { return density_[idx]; }
+  /// Mutable cell access. Invalidates the cached total mass and the
+  /// live-cell list (the caller may zero or revive any cell).
+  double& at(std::size_t idx) noexcept {
+    invalidate_caches();
+    return density_[idx];
+  }
 
   /// Multiply in a Gaussian ring likelihood centered on `center`:
   /// L(cell) = exp(-(dist(cell, center) - mu)^2 / (2 sigma^2)).
-  /// Requires sigma > 0.
+  /// Requires sigma > 0 and a non-NaN mu.
   void multiply_gaussian_ring(const geo::LatLon& center, double mu_km,
                               double sigma_km);
+
+  /// Same, but with per-cell distances served from `plan`'s cached table
+  /// (zero trig). `plan` must be built on this field's grid and centered
+  /// on the landmark. Bit-identical to the overload above.
+  void multiply_gaussian_ring(const CapScanPlan& plan, double mu_km,
+                              double sigma_km);
+
+  /// Validation-free entry points for callers that have already checked
+  /// the whole constraint list once (mlat::fuse_gaussian_rings); the
+  /// per-ring `require`s above are measurable on the hot path.
+  void multiply_gaussian_ring_unchecked(const geo::LatLon& center,
+                                        double mu_km, double sigma_km);
+  void multiply_gaussian_ring_unchecked(const CapScanPlan& plan, double mu_km,
+                                        double sigma_km);
 
   /// Zero out density outside `mask` (e.g. the land mask).
   void apply_mask(const Region& mask);
 
   /// Normalise so the area-weighted integral is 1. Returns false (leaving
   /// the field unchanged) when the total mass is zero — i.e. the
-  /// constraints were inconsistent.
+  /// constraints were inconsistent. On success the post-division mass is
+  /// cached, so the usual normalize() + credible_region() sequence does
+  /// not rescan the grid for its total.
   bool normalize() noexcept;
 
-  /// Total area-weighted mass.
+  /// Total area-weighted mass (cached between mutations).
   double total_mass() const noexcept;
 
   /// Highest-density region containing at least `mass` of the total
-  /// probability (cells added in decreasing density order). Returns an
-  /// empty region if the field has zero mass. `mass` must be in (0, 1].
+  /// probability (cells added in decreasing density order; ties broken by
+  /// cell index). `mass` of exactly 1 returns the full support. Returns
+  /// an empty region if the field has zero mass. `mass` must be in
+  /// (0, 1].
   Region credible_region(double mass) const;
 
   /// Cell with the highest density, if any mass exists.
   std::optional<std::size_t> mode() const noexcept;
 
  private:
+  friend void reference::multiply_gaussian_ring(Field&, const geo::LatLon&,
+                                                double, double);
+
+  void invalidate_caches() noexcept {
+    mass_valid_ = false;
+    live_valid_ = false;
+  }
+
+  /// Core of the windowed multiply; DistF maps cell index -> great-circle
+  /// distance (km) from the ring center, by the exact reference formula.
+  /// PlanF rasterizes the support annulus [inner, outer] into a Region.
+  template <typename DistF, typename SupportF>
+  void multiply_ring_windowed(double mu_km, double sigma_km, DistF&& dist,
+                              SupportF&& support);
+
   const Grid* grid_ = nullptr;
   std::vector<double> density_;
+
+  /// Indices of cells that may be nonzero, in increasing order — a
+  /// superset of the true nonzero set is allowed (stale zeros are
+  /// harmless and get compacted on the next multiply). Maintained by the
+  /// ring multiplies and apply_mask so later rings only touch survivors.
+  std::vector<std::uint32_t> live_;
+  bool live_valid_ = false;
+
+  mutable double mass_ = 0.0;
+  mutable bool mass_valid_ = false;
 };
 
 }  // namespace ageo::grid

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 #include "common/error.hpp"
 #include "grid/raster.hpp"
@@ -79,11 +80,29 @@ grid::Region intersect_rings(const grid::Grid& g,
 
 grid::Field fuse_gaussian_rings(const grid::Grid& g,
                                 std::span<const GaussianConstraint> rings,
-                                const grid::Region* mask) {
+                                const grid::Region* mask,
+                                grid::CapPlanCache* cache) {
+  // Validate the list once; the per-ring multiplies below run unchecked
+  // so the hot path does no per-call argument vetting.
+  if (mask)
+    detail::require(mask->grid() == &g, "fuse_gaussian_rings: mask grid mismatch");
+  for (const auto& r : rings) {
+    detail::require(geo::is_valid(r.center),
+                    "fuse_gaussian_rings: invalid ring center");
+    detail::require(r.sigma_km > 0.0,
+                    "fuse_gaussian_rings: sigma must be positive");
+    detail::require(!std::isnan(r.mu_km), "fuse_gaussian_rings: mu is NaN");
+  }
   grid::Field field(g);
   if (mask) field.apply_mask(*mask);
-  for (const auto& r : rings)
-    field.multiply_gaussian_ring(r.center, r.mu_km, r.sigma_km);
+  for (const auto& r : rings) {
+    if (cache) {
+      field.multiply_gaussian_ring_unchecked(*cache->plan(g, r.center),
+                                             r.mu_km, r.sigma_km);
+    } else {
+      field.multiply_gaussian_ring_unchecked(r.center, r.mu_km, r.sigma_km);
+    }
+  }
   field.normalize();  // a zero-mass field stays unnormalised (empty)
   return field;
 }

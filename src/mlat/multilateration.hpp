@@ -62,10 +62,15 @@ grid::Region intersect_rings(const grid::Grid& g,
                              grid::CapPlanCache* cache = nullptr);
 
 /// Bayesian fusion of Gaussian rings (Spotter). The returned field is
-/// normalised unless the total mass is zero.
+/// normalised unless the total mass is zero. Validates the whole
+/// constraint list once up front, then runs the per-ring multiplies
+/// unchecked on the windowed fast path. `cache`, when non-null, serves
+/// per-landmark distance tables so the multiplies do zero trig; results
+/// are bit-identical either way.
 grid::Field fuse_gaussian_rings(const grid::Grid& g,
                                 std::span<const GaussianConstraint> rings,
-                                const grid::Region* mask = nullptr);
+                                const grid::Region* mask = nullptr,
+                                grid::CapPlanCache* cache = nullptr);
 
 struct SubsetResult {
   grid::Region region;

@@ -164,6 +164,42 @@ TEST(ParallelAudit, HardwareThreadsModeRuns) {
   EXPECT_EQ(indices.size(), fleet.hosts.size());
 }
 
+TEST(ParallelAudit, SpotterAuditParallelBitIdenticalToSerial) {
+  // The probability-field path under the fan-out: shared plan cache,
+  // lazily-built (call_once) per-landmark distance tables, windowed
+  // multiplies. Must stay bit-identical to the serial run, and the cache
+  // counters must surface on the report.
+  measure::Testbed bed_serial(small_bed_config());
+  measure::Testbed bed_parallel(small_bed_config());
+  auto fleet = small_fleet(bed_serial.world());
+
+  AuditConfig serial_cfg = audit_config(1);
+  serial_cfg.algorithm = AuditAlgorithm::kSpotter;
+  AuditConfig parallel_cfg = audit_config(4);
+  parallel_cfg.algorithm = AuditAlgorithm::kSpotter;
+
+  Auditor serial(bed_serial, serial_cfg);
+  Auditor parallel(bed_parallel, parallel_cfg);
+  auto a = serial.run(fleet);
+  auto b = parallel.run(fleet);
+  expect_reports_identical(a, b);
+  EXPECT_GT(a.plan_cache.misses, 0u);
+  EXPECT_GT(a.plan_cache.hits, 0u);
+  EXPECT_EQ(a.plan_cache.misses, b.plan_cache.misses);
+}
+
+TEST(ParallelAudit, HybridAuditRuns) {
+  // The hybrid shares the plan cache through intersect_rings.
+  measure::Testbed bed(small_bed_config());
+  auto fleet = small_fleet(bed.world());
+  AuditConfig cfg = audit_config(2);
+  cfg.algorithm = AuditAlgorithm::kHybrid;
+  Auditor auditor(bed, cfg);
+  auto report = auditor.run(fleet);
+  EXPECT_EQ(report.rows.size(), fleet.hosts.size());
+  EXPECT_GT(report.plan_cache.hits + report.plan_cache.misses, 0u);
+}
+
 TEST(ParallelAudit, RerunIsDeterministic) {
   // Two parallel runs over identical worlds agree with each other (no
   // hidden scheduling dependence, warm plan cache included).

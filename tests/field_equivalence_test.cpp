@@ -1,0 +1,357 @@
+// The support-windowed Gaussian ring multiply (and the plan-served
+// distance-table variant) must match the retained full-grid reference
+// scan bit for bit, across everything that has ever broken a windowed
+// optimisation: rings over the poles, rings straddling the antimeridian,
+// mu of zero / beyond half the Earth's circumference / negative, sigma
+// at the calibration floor and absurdly small or large, masked fields,
+// multi-ring sequences that exercise the live-cell list, and posteriors
+// whose mass underflows to exactly zero. Also pins the selection-based
+// credible_region against a full-sort reference and the cached total
+// mass against a fresh scan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "geo/geodesy.hpp"
+#include "geo/units.hpp"
+#include "grid/cap_cache.hpp"
+#include "grid/field.hpp"
+#include "grid/grid.hpp"
+#include "grid/raster.hpp"
+#include "grid/region.hpp"
+#include "mlat/multilateration.hpp"
+
+namespace ageo::grid {
+namespace {
+
+constexpr double kHalfTurnKm = geo::kEarthRadiusKm * std::numbers::pi;
+/// Spotter's default calibration floor for sigma (calib::SpotterModel).
+constexpr double kSigmaFloorKm = 50.0;
+
+struct RingSpec {
+  geo::LatLon center;
+  double mu_km;
+  double sigma_km;
+};
+
+std::string spec_str(const RingSpec& r) {
+  return "center (" + std::to_string(r.center.lat_deg) + ", " +
+         std::to_string(r.center.lon_deg) + ") mu " +
+         std::to_string(r.mu_km) + " sigma " + std::to_string(r.sigma_km);
+}
+
+/// Bit-for-bit comparison; reports the first mismatching cell.
+void expect_fields_identical(const Field& got, const Field& want,
+                             const std::string& what) {
+  const Grid& g = *want.grid();
+  ASSERT_EQ(got.grid(), want.grid()) << what;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const std::uint64_t a = std::bit_cast<std::uint64_t>(got.at(i));
+    const std::uint64_t b = std::bit_cast<std::uint64_t>(want.at(i));
+    if (a != b) {
+      const geo::LatLon p = g.center(i);
+      ASSERT_EQ(a, b) << what << ": first diff at cell " << i << " (lat "
+                      << p.lat_deg << ", lon " << p.lon_deg << "): got "
+                      << got.at(i) << " [" << std::hex << a << "], want "
+                      << want.at(i) << " [" << b << "]";
+    }
+  }
+}
+
+/// Runs one ring sequence through every fast path — windowed (no plan),
+/// plan-served, and mlat::fuse_gaussian_rings with and without a shared
+/// cache — and demands bit-identity with the reference scan.
+void expect_equivalent(const Grid& g, const Region* mask,
+                       const std::vector<RingSpec>& rings) {
+  std::string what = "[";
+  for (const auto& r : rings) what += spec_str(r) + "; ";
+  what += "]";
+
+  Field want(g);
+  if (mask) want.apply_mask(*mask);
+  for (const auto& r : rings)
+    reference::multiply_gaussian_ring(want, r.center, r.mu_km, r.sigma_km);
+
+  Field windowed(g);
+  if (mask) windowed.apply_mask(*mask);
+  for (const auto& r : rings)
+    windowed.multiply_gaussian_ring(r.center, r.mu_km, r.sigma_km);
+  expect_fields_identical(windowed, want, "windowed " + what);
+
+  Field planned(g);
+  if (mask) planned.apply_mask(*mask);
+  for (const auto& r : rings) {
+    CapScanPlan plan(g, r.center);
+    planned.multiply_gaussian_ring(plan, r.mu_km, r.sigma_km);
+  }
+  expect_fields_identical(planned, want, "plan-served " + what);
+
+  // The fused (normalised) posterior: normalize() is shared code, so
+  // running it on the reference field keeps the comparison bit-exact.
+  std::vector<mlat::GaussianConstraint> constraints;
+  for (const auto& r : rings)
+    constraints.push_back({r.center, r.mu_km, r.sigma_km});
+  Field want_norm = want;
+  want_norm.normalize();
+  Field fused = mlat::fuse_gaussian_rings(g, constraints, mask);
+  expect_fields_identical(fused, want_norm, "fused " + what);
+  CapPlanCache cache(64);
+  Field fused_cached = mlat::fuse_gaussian_rings(g, constraints, mask, &cache);
+  expect_fields_identical(fused_cached, want_norm, "fused+cache " + what);
+}
+
+TEST(FieldEquivalence, HandPickedSingleRings) {
+  Grid g(2.0);
+  const geo::LatLon centers[] = {
+      {0.0, 0.0},      {50.11, 8.68},    {90.0, 0.0},   {-90.0, 45.0},
+      {0.0, 179.95},   {12.0, -179.5},   {-65.5, 179.99},
+  };
+  const std::pair<double, double> params[] = {
+      {0.0, kSigmaFloorKm},          // cap-like ring, sigma at the floor
+      {500.0, kSigmaFloorKm},        {1000.0, 100.0},
+      {3000.0, 300.0},               {kHalfTurnKm, 200.0},
+      {kHalfTurnKm + 500.0, 150.0},  // mu beyond half turn
+      {25000.0, 100.0},              // support entirely off the sphere
+      {-300.0, 100.0},               // negative mu: tail still on-sphere
+      {12000.0, 1.0},                // sigma far below the floor
+      {2000.0, 1e-3},                // support thinner than any cell
+      {100.0, 5000.0},               // sigma so wide support is everything
+  };
+  for (const auto& c : centers)
+    for (const auto& [mu, sigma] : params)
+      expect_equivalent(g, nullptr, {{c, mu, sigma}});
+}
+
+TEST(FieldEquivalence, RandomizedSequencesCoarse) {
+  std::mt19937 rng(20180814);
+  std::uniform_real_distribution<double> lat(-90.0, 90.0);
+  std::uniform_real_distribution<double> lon(-180.0, 180.0);
+  std::uniform_real_distribution<double> mu(0.0, kHalfTurnKm + 500.0);
+  std::uniform_real_distribution<double> sigma(kSigmaFloorKm, 800.0);
+  std::uniform_int_distribution<int> n_rings(1, 5);
+  for (const double cell : {2.0, 1.0}) {
+    Grid g(cell);
+    for (int s = 0; s < 12; ++s) {
+      std::vector<RingSpec> rings;
+      const int n = n_rings(rng);
+      for (int k = 0; k < n; ++k)
+        rings.push_back({{lat(rng), lon(rng)}, mu(rng), sigma(rng)});
+      expect_equivalent(g, nullptr, rings);
+    }
+  }
+}
+
+TEST(FieldEquivalence, RandomizedSequencesWithMask) {
+  std::mt19937 rng(4321);
+  std::uniform_real_distribution<double> lat(-85.0, 85.0);
+  std::uniform_real_distribution<double> lon(-180.0, 180.0);
+  std::uniform_real_distribution<double> mu(0.0, 9000.0);
+  std::uniform_real_distribution<double> sigma(kSigmaFloorKm, 400.0);
+  Grid g(1.0);
+  for (int s = 0; s < 10; ++s) {
+    // A lumpy mask from two random caps (plus one empty-mask round).
+    Region mask(g);
+    if (s != 0) {
+      mask = rasterize_cap(g, {{lat(rng), lon(rng)}, 4000.0});
+      mask |= rasterize_cap(g, {{lat(rng), lon(rng)}, 2500.0});
+    }
+    std::vector<RingSpec> rings;
+    for (int k = 0; k < 3; ++k)
+      rings.push_back({{lat(rng), lon(rng)}, mu(rng), sigma(rng)});
+    expect_equivalent(g, &mask, rings);
+  }
+}
+
+TEST(FieldEquivalence, RandomizedFineGrid) {
+  // The production resolution of the windowing win: 0.25 degree cells.
+  // Few scenarios — the reference scan costs ~1M trig calls per ring.
+  Grid g(0.25);
+  std::mt19937 rng(91011);
+  std::uniform_real_distribution<double> lat(-89.0, 89.0);
+  std::uniform_real_distribution<double> lon(-180.0, 180.0);
+  std::uniform_real_distribution<double> mu(0.0, 6000.0);
+  std::uniform_real_distribution<double> sigma(kSigmaFloorKm, 200.0);
+  for (int s = 0; s < 3; ++s) {
+    std::vector<RingSpec> rings;
+    for (int k = 0; k < 2; ++k)
+      rings.push_back({{lat(rng), lon(rng)}, mu(rng), sigma(rng)});
+    expect_equivalent(g, nullptr, rings);
+  }
+}
+
+TEST(FieldEquivalence, ZeroMassPosterior) {
+  // Two floor-sigma rings whose supports cannot intersect: the product
+  // underflows to exactly zero everywhere, normalize() declines, and the
+  // fast path's wholesale zeroing must reproduce the all-(+0.0) field.
+  Grid g(1.0);
+  const std::vector<RingSpec> rings = {
+      {{0.0, 0.0}, 500.0, kSigmaFloorKm},
+      {{0.0, 180.0}, 500.0, kSigmaFloorKm},
+  };
+  expect_equivalent(g, nullptr, rings);
+
+  Field f(g);
+  for (const auto& r : rings)
+    f.multiply_gaussian_ring(r.center, r.mu_km, r.sigma_km);
+  EXPECT_EQ(f.total_mass(), 0.0);
+  EXPECT_FALSE(f.normalize());
+  EXPECT_TRUE(f.credible_region(0.95).empty());
+  EXPECT_FALSE(f.mode().has_value());
+}
+
+TEST(FieldEquivalence, MutationThroughAtInvalidatesLiveList) {
+  // Reviving a zeroed cell between rings must be visible to the next
+  // multiply on both paths (the live list is rebuilt after at()).
+  Grid g(1.0);
+  const std::size_t revived = g.cell_at({10.0, 120.0});
+
+  Field want(g);
+  reference::multiply_gaussian_ring(want, {48.0, 11.0}, 1200.0, 80.0);
+  want.at(revived) = 0.5;
+  reference::multiply_gaussian_ring(want, {10.0, 121.0}, 300.0, 150.0);
+
+  Field fast(g);
+  fast.multiply_gaussian_ring({48.0, 11.0}, 1200.0, 80.0);
+  fast.at(revived) = 0.5;
+  fast.multiply_gaussian_ring({10.0, 121.0}, 300.0, 150.0);
+
+  expect_fields_identical(fast, want, "revived-cell sequence");
+  EXPECT_NE(fast.at(revived), 0.0);
+}
+
+TEST(FieldEquivalence, PlanReuseAcrossRings) {
+  // One plan (one distance table) serving several (mu, sigma) pairs must
+  // match per-call no-plan multiplies.
+  Grid g(1.0);
+  const geo::LatLon center{47.4, -122.3};
+  CapScanPlan plan(g, center);
+  Field want(g), got(g);
+  for (const auto& [mu, sigma] :
+       std::vector<std::pair<double, double>>{
+           {500.0, kSigmaFloorKm}, {2500.0, 120.0}, {700.0, 60.0}}) {
+    reference::multiply_gaussian_ring(want, center, mu, sigma);
+    got.multiply_gaussian_ring(plan, mu, sigma);
+  }
+  expect_fields_identical(got, want, "plan reuse");
+}
+
+// ---- cached mass ----
+
+double fresh_mass_scan(const Field& f) {
+  const Grid& g = *f.grid();
+  double m = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i)
+    m += f.at(i) * g.cell_area_km2(i);
+  return m;
+}
+
+TEST(FieldMassCache, NormalizeCachesExactPostDivisionMass) {
+  Grid g(2.0);
+  Field f(g);
+  f.multiply_gaussian_ring({20.0, 30.0}, 1500.0, 200.0);
+  ASSERT_TRUE(f.normalize());
+  // The cached value must equal a fresh index-order scan to the bit —
+  // credible_region's target depends on it.
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(f.total_mass()),
+            std::bit_cast<std::uint64_t>(fresh_mass_scan(f)));
+}
+
+TEST(FieldMassCache, InvalidatedByMutation) {
+  Grid g(2.0);
+  Field f(g);
+  const double before = f.total_mass();
+  f.at(7) = 100.0;
+  EXPECT_NE(f.total_mass(), before);
+  EXPECT_EQ(f.total_mass(), fresh_mass_scan(f));
+
+  f.multiply_gaussian_ring({0.0, 0.0}, 1000.0, 300.0);
+  EXPECT_EQ(f.total_mass(), fresh_mass_scan(f));
+
+  Region mask = rasterize_cap(g, {{0.0, 0.0}, 3000.0});
+  f.apply_mask(mask);
+  EXPECT_EQ(f.total_mass(), fresh_mass_scan(f));
+}
+
+// ---- selection-based credible_region ----
+
+/// The pre-selection implementation: full sort with the same
+/// (density desc, index asc) order, sequential accumulation.
+Region credible_fullsort(const Field& f, double mass) {
+  const Grid& g = *f.grid();
+  Region out(g);
+  const double total = f.total_mass();
+  if (!(total > 0.0)) return out;
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < g.size(); ++i)
+    if (f.at(i) > 0.0) order.push_back(i);
+  if (mass == 1.0) {  // full support, matching credible_region's contract
+    for (std::size_t idx : order) out.set(idx);
+    return out;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return f.at(a) > f.at(b) || (f.at(a) == f.at(b) && a < b);
+  });
+  double acc = 0.0;
+  const double target = mass * total;
+  for (std::size_t idx : order) {
+    out.set(idx);
+    acc += f.at(idx) * g.cell_area_km2(idx);
+    if (acc >= target) break;
+  }
+  return out;
+}
+
+TEST(FieldCredibleRegion, SelectionMatchesFullSort) {
+  std::mt19937 rng(777);
+  std::uniform_real_distribution<double> lat(-80.0, 80.0);
+  std::uniform_real_distribution<double> lon(-180.0, 180.0);
+  Grid g(1.0);
+  for (int s = 0; s < 6; ++s) {
+    Field f(g);
+    f.multiply_gaussian_ring({lat(rng), lon(rng)}, 2000.0, 350.0);
+    f.multiply_gaussian_ring({lat(rng), lon(rng)}, 2500.0, 500.0);
+    if (!f.normalize()) continue;
+    for (double mass : {0.25, 0.5, 0.9, 0.95, 0.999, 1.0}) {
+      Region got = f.credible_region(mass);
+      Region want = credible_fullsort(f, mass);
+      EXPECT_EQ(got, want) << "scenario " << s << " mass " << mass
+                           << ": got " << got.count() << " cells, want "
+                           << want.count();
+    }
+  }
+}
+
+TEST(FieldCredibleRegion, UniformTiesBreakByIndex) {
+  // An all-ties field: the deterministic tie-break (cell index) must make
+  // selection and full sort agree exactly, not just in cell count.
+  Grid g(4.0);
+  Field f(g);
+  ASSERT_TRUE(f.normalize());
+  for (double mass : {0.1, 0.5, 1.0}) {
+    Region got = f.credible_region(mass);
+    Region want = credible_fullsort(f, mass);
+    EXPECT_EQ(got, want) << "mass " << mass;
+  }
+}
+
+TEST(FieldCredibleRegion, MaskedFieldMatches) {
+  Grid g(1.0);
+  Region mask = rasterize_cap(g, {{40.0, -100.0}, 3500.0});
+  Field f(g);
+  f.apply_mask(mask);
+  f.multiply_gaussian_ring({41.0, -99.0}, 800.0, 150.0);
+  ASSERT_TRUE(f.normalize());
+  for (double mass : {0.5, 0.95}) {
+    EXPECT_EQ(f.credible_region(mass), credible_fullsort(f, mass));
+  }
+}
+
+}  // namespace
+}  // namespace ageo::grid

@@ -8,9 +8,14 @@
 // they pin the regime, not the digits.
 #include <gtest/gtest.h>
 
+#include "algos/spotter.hpp"
 #include "assess/audit.hpp"
+#include "common/rng.hpp"
 #include "geo/units.hpp"
+#include "grid/cap_cache.hpp"
+#include "grid/field.hpp"
 #include "measure/testbed.hpp"
+#include "measure/tools.hpp"
 #include "world/fleet.hpp"
 
 namespace ageo {
@@ -105,6 +110,51 @@ TEST_F(RegressionPins, AuditRegime) {
     if (h.provider == "G") g_gen = h.generous();
   }
   EXPECT_GT(g_gen, a_gen + 0.15);
+}
+
+TEST_F(RegressionPins, SpotterEstimateUnchangedByWindowedFastPath) {
+  // Spotter's GeoEstimate on a seed scenario must be exactly what the
+  // retained reference (full-grid scan) pipeline produces — the windowed
+  // multiply, the plan-served distance tables and the cached mass are
+  // throughput changes only.
+  netsim::HostProfile profile;
+  profile.location = {50.08, 14.44};
+  netsim::HostId target = bed_->add_host(profile);
+  measure::ProbeFn probe = [&](std::size_t lm) {
+    return measure::CliTool::measure_ms(bed_->net(), target,
+                                        bed_->landmark_host(lm));
+  };
+  Rng rng(2018, "spotter-pin");
+  auto tp = measure::two_phase_measure(*bed_, probe, rng);
+  ASSERT_FALSE(tp.observations.empty());
+
+  grid::Grid g(1.0);
+  grid::Region mask = bed_->world().plausibility_mask(g);
+
+  algos::SpotterGeolocator spotter;
+  auto fast = spotter.locate(g, bed_->store(), tp.observations, &mask);
+
+  grid::CapPlanCache cache;
+  algos::SpotterGeolocator spotter_cached;
+  spotter_cached.set_plan_cache(&cache);
+  auto cached = spotter_cached.locate(g, bed_->store(), tp.observations,
+                                      &mask);
+
+  const auto& model = bed_->store().spotter();
+  grid::Field ref(g);
+  ref.apply_mask(mask);
+  for (const auto& ob : tp.observations)
+    grid::reference::multiply_gaussian_ring(
+        ref, ob.landmark, model.mu_km(ob.one_way_delay_ms),
+        model.sigma_km(ob.one_way_delay_ms));
+  ref.normalize();
+  grid::Region want = ref.credible_region(0.95);
+
+  EXPECT_FALSE(want.empty());
+  EXPECT_EQ(fast.region, want);
+  EXPECT_EQ(cached.region, want);
+  // The cache saw every landmark once.
+  EXPECT_EQ(cache.stats().misses, tp.observations.size());
 }
 
 TEST_F(RegressionPins, RegionSizeRegime) {
