@@ -9,6 +9,7 @@
 #include "grid/field.hpp"
 #include "grid/raster.hpp"
 #include "mlat/multilateration.hpp"
+#include "obs/metrics.hpp"
 
 using namespace ageo;
 
@@ -328,6 +329,32 @@ BENCHMARK(BM_GaussianRingPlanCached)
     ->Args({100, 150})
     ->Args({25, 150})
     ->Args({25, 50});
+
+static void BM_GaussianRingPlanCachedObsOn(benchmark::State& state) {
+  // Same as BM_GaussianRingPlanCached but with the telemetry runtime
+  // switch on: the multiply records a counter and a sampled-ns histogram
+  // observation per call. The delta against the row above is the
+  // enabled-path overhead on the hottest primitive in the stack.
+  obs::set_metrics_enabled(true);
+  grid::Grid g(static_cast<double>(state.range(0)) / 100.0);
+  const geo::LatLon center{48.0, 11.0};
+  const double sigma = static_cast<double>(state.range(1));
+  grid::CapScanPlan plan(g, center);
+  benchmark::DoNotOptimize(plan.cell_distances_km().data());
+  const grid::Field fresh(g);
+  grid::Field f(g);
+  for (auto _ : state) {
+    state.PauseTiming();
+    f = fresh;
+    state.ResumeTiming();
+    f.multiply_gaussian_ring(plan, 1500.0, sigma);
+    benchmark::DoNotOptimize(f.at(0));
+  }
+  obs::set_metrics_enabled(false);
+  state.SetLabel("cell_deg=" + std::to_string(state.range(0) / 100.0) +
+                 " sigma=" + std::to_string(state.range(1)));
+}
+BENCHMARK(BM_GaussianRingPlanCachedObsOn)->Args({100, 150})->Args({25, 50});
 
 static void BM_GaussianRingSteadyState(benchmark::State& state) {
   // The fusion hot loop: every ring after the first multiplies into a

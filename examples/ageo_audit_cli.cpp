@@ -1,10 +1,13 @@
 // ageo_audit_cli: the full audit as a command-line tool.
 //
-//   ageo_audit_cli [--scale F] [--seed N] [--grid DEG] [--json FILE]
-//                  [--ground-truth]
+//   ageo_audit_cli [--scale F] [--seed N] [--grid DEG] [--threads N]
+//                  [--algo NAME] [--json FILE] [--ground-truth]
+//                  [--metrics FILE|-] [--trace FILE]
 //
 // Runs the seven-provider audit and prints the per-provider summary;
-// optionally writes the complete per-proxy results as JSON.
+// optionally writes the complete per-proxy results as JSON, the
+// telemetry snapshot as Prometheus text (--metrics), and a Chrome
+// trace_event profile of the run (--trace).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,6 +18,8 @@
 #include "assess/audit.hpp"
 #include "assess/report.hpp"
 #include "measure/testbed.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "world/fleet.hpp"
 
 using namespace ageo;
@@ -22,16 +27,37 @@ using namespace ageo;
 namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--scale F] [--seed N] [--grid DEG] "
-               "[--json FILE] [--ground-truth]\n"
+               "usage: %s [--scale F] [--seed N] [--grid DEG] [--threads N] "
+               "[--algo NAME]\n"
+               "       [--json FILE] [--ground-truth] [--metrics FILE|-] "
+               "[--trace FILE]\n"
                "  --scale F         fleet/constellation scale factor "
                "(default 0.25; 1.0 = paper scale)\n"
                "  --seed N          master seed (default 2018)\n"
                "  --grid DEG        analysis grid cell size (default 1.0)\n"
-               "  --json FILE       write per-proxy results as JSON\n"
+               "  --threads N       audit worker threads (default 1; 0 = "
+               "one per hardware thread)\n"
+               "  --algo NAME       geolocator: cbgpp | spotter | hybrid "
+               "(default cbgpp)\n"
+               "  --json FILE       write per-proxy results as JSON "
+               "(includes the telemetry snapshot)\n"
                "  --ground-truth    include simulator ground truth in the "
-               "JSON\n",
+               "JSON\n"
+               "  --metrics FILE|-  write the metrics snapshot as "
+               "Prometheus text (- = stdout)\n"
+               "  --trace FILE      write a Chrome trace_event profile "
+               "(open in chrome://tracing); FILE.jsonl gets the flat log\n",
                argv0);
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text;
+  return true;
 }
 }  // namespace
 
@@ -39,7 +65,11 @@ int main(int argc, char** argv) {
   double scale = 0.25;
   std::uint64_t seed = 2018;
   double grid_deg = 1.0;
+  int threads = 1;
+  std::string algo = "cbgpp";
   std::string json_path;
+  std::string metrics_path;
+  std::string trace_path;
   bool ground_truth = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -57,8 +87,16 @@ int main(int argc, char** argv) {
       seed = static_cast<std::uint64_t>(std::atoll(need_value("--seed")));
     } else if (!std::strcmp(argv[i], "--grid")) {
       grid_deg = std::atof(need_value("--grid"));
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      threads = std::atoi(need_value("--threads"));
+    } else if (!std::strcmp(argv[i], "--algo")) {
+      algo = need_value("--algo");
     } else if (!std::strcmp(argv[i], "--json")) {
       json_path = need_value("--json");
+    } else if (!std::strcmp(argv[i], "--metrics")) {
+      metrics_path = need_value("--metrics");
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      trace_path = need_value("--trace");
     } else if (!std::strcmp(argv[i], "--ground-truth")) {
       ground_truth = true;
     } else if (!std::strcmp(argv[i], "--help") ||
@@ -71,7 +109,26 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (!(scale > 0.0 && scale <= 4.0) || !(grid_deg > 0.0)) {
+  if (!(scale > 0.0 && scale <= 4.0) || !(grid_deg > 0.0) || threads < 0) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  // Telemetry is on whenever any consumer asked for it (the JSON report
+  // embeds the snapshot too). Metric updates never perturb results.
+  if (!metrics_path.empty() || !json_path.empty())
+    obs::set_metrics_enabled(true);
+  if (!trace_path.empty()) obs::set_tracing_enabled(true);
+
+  assess::AuditConfig ac;
+  if (algo == "cbgpp") {
+    ac.algorithm = assess::AuditAlgorithm::kCbgPlusPlus;
+  } else if (algo == "spotter") {
+    ac.algorithm = assess::AuditAlgorithm::kSpotter;
+  } else if (algo == "hybrid") {
+    ac.algorithm = assess::AuditAlgorithm::kHybrid;
+  } else {
+    std::fprintf(stderr, "unknown --algo: %s\n", algo.c_str());
     usage(argv[0]);
     return 2;
   }
@@ -91,9 +148,9 @@ int main(int argc, char** argv) {
   auto fleet = world::generate_fleet(bed.world(), specs, seed);
   std::fprintf(stderr, "auditing %zu proxies...\n", fleet.hosts.size());
 
-  assess::AuditConfig ac;
   ac.grid_cell_deg = grid_deg;
   ac.seed = seed + 1;
+  ac.threads = threads;
   assess::Auditor auditor(bed, ac);
   auto report = auditor.run(fleet);
 
@@ -113,6 +170,27 @@ int main(int argc, char** argv) {
     opt.include_ground_truth = ground_truth;
     assess::write_json(out, report, bed.world(), opt);
     std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+
+  if (!metrics_path.empty()) {
+    const std::string text = report.telemetry.to_prometheus();
+    if (metrics_path == "-") {
+      std::fwrite(text.data(), 1, text.size(), stdout);
+    } else if (write_text_file(metrics_path, text)) {
+      std::fprintf(stderr, "wrote %s\n", metrics_path.c_str());
+    } else {
+      return 1;
+    }
+  }
+
+  if (!trace_path.empty()) {
+    const obs::TraceDump dump = obs::collect_trace();
+    if (!write_text_file(trace_path, obs::trace_to_chrome_json(dump)) ||
+        !write_text_file(trace_path + ".jsonl", obs::trace_to_jsonl(dump)))
+      return 1;
+    std::fprintf(stderr, "wrote %s (+.jsonl, %zu events, %llu dropped)\n",
+                 trace_path.c_str(), dump.events.size(),
+                 static_cast<unsigned long long>(dump.dropped));
   }
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "grid/raster.hpp"
 #include "mlat/multilateration.hpp"
+#include "obs/obs.hpp"
 
 namespace ageo::algos {
 
@@ -23,6 +24,8 @@ CbgPlusPlusGeolocator::Detail CbgPlusPlusGeolocator::locate_detailed(
     const grid::Grid& g, const calib::CalibrationStore& store,
     std::span<const Observation> observations,
     const grid::Region* mask) const {
+  AGEO_SPAN("algos", "cbg_pp.locate");
+  AGEO_COUNT("algos.cbg_pp.locates");
   validate(store, observations);
   Detail detail;
 

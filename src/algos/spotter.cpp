@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "mlat/multilateration.hpp"
+#include "obs/obs.hpp"
 
 namespace ageo::algos {
 
@@ -15,6 +16,8 @@ GeoEstimate SpotterGeolocator::locate(
     const grid::Grid& g, const calib::CalibrationStore& store,
     std::span<const Observation> observations,
     const grid::Region* mask) const {
+  AGEO_SPAN("algos", "spotter.locate");
+  AGEO_COUNT("algos.spotter.locates");
   validate(store, observations);
   const auto& model = store.spotter();
   std::vector<mlat::GaussianConstraint> rings;

@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "geo/geodesy.hpp"
+#include "obs/obs.hpp"
 
 namespace ageo::assess {
 
@@ -68,6 +69,9 @@ const grid::Region& Auditor::country_region(world::CountryId id) {
 }
 
 AuditReport Auditor::run(const world::Fleet& fleet) {
+  AGEO_SPAN("assess", "audit.run");
+  AGEO_COUNT("assess.audit.runs");
+  AGEO_COUNTER_ADD("assess.audit.proxies", fleet.hosts.size());
   AuditReport report;
   report.grid = grid_;
 
@@ -97,7 +101,11 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
 
   // Fleet-wide eta from the pingable minority (paper Fig. 13). Serial,
   // on the network's default lane, before any fan-out.
-  report.eta = measure::estimate_eta(sessions, config_.eta_samples);
+  {
+    AGEO_SPAN("assess", "audit.estimate_eta");
+    report.eta = measure::estimate_eta(sessions, config_.eta_samples);
+  }
+  AGEO_GAUGE_SET("assess.audit.eta", report.eta.eta);
 
   // Warm the lazily-cached country regions while still single-threaded;
   // the workers below only read them.
@@ -119,6 +127,8 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
     lanes.push_back(bed_->net().make_lane(proxy_seed(config_.seed, i)));
 
   parallel_for(n, config_.threads, [&](std::size_t i) {
+    AGEO_SPAN("assess", "audit.proxy");
+    AGEO_TIMED_US("assess.audit.proxy_us", 10.0, 1e8);
     const auto& host = fleet.hosts[i];
     ProxyAuditRow row;
     row.host_index = i;
@@ -141,6 +151,10 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
     row.observations = tp.observations;
     row.campaign = tp.stats;
     row.tunnel_flagged = engine.tunnel_flagged();
+    // Registry-backed view of this campaign's stats. The engine is
+    // fresh per proxy, so each row publishes exactly once; the TLS
+    // shard merge makes the totals thread-count independent.
+    measure::publish_campaign_stats(row.campaign);
 
     if (row.observations.empty()) {
       row.empty_prediction = true;
@@ -197,6 +211,31 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
   report.plan_cache = plan_cache_.stats();
 
   if (config_.use_as_grouping) apply_as_grouping(report.rows, fleet);
+
+  // Serial epilogue: verdict tallies and run-level gauges, then the
+  // run's telemetry snapshot. Everything here is counted exactly once
+  // from the joining thread, so it is deterministic by construction.
+  if (obs::metrics_enabled()) {
+    for (const auto& row : report.rows) {
+      switch (row.verdict_final) {
+        case Verdict::kCredible:
+          AGEO_COUNT("assess.audit.verdict_credible");
+          break;
+        case Verdict::kUncertain:
+          AGEO_COUNT("assess.audit.verdict_uncertain");
+          break;
+        case Verdict::kFalse:
+          AGEO_COUNT("assess.audit.verdict_false");
+          break;
+      }
+      if (row.empty_prediction) AGEO_COUNT("assess.audit.empty_predictions");
+      if (row.tunnel_flagged) AGEO_COUNT("assess.audit.tunnel_flagged_rows");
+      AGEO_HIST("assess.audit.region_area_km2", row.area_km2, 1e3, 1e9);
+    }
+    AGEO_GAUGE_SET("grid.plan_cache.size",
+                   static_cast<double>(plan_cache_.size()));
+    report.telemetry = obs::Registry::global().snapshot();
+  }
   return report;
 }
 

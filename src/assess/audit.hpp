@@ -19,6 +19,7 @@
 #include "measure/proxy_measure.hpp"
 #include "measure/testbed.hpp"
 #include "measure/two_phase.hpp"
+#include "obs/metrics.hpp"
 #include "world/fleet.hpp"
 
 namespace ageo::assess {
@@ -103,6 +104,12 @@ struct AuditReport {
   /// nonzero evictions mean the cache capacity is under-sized for the
   /// constellation.
   grid::CapPlanCache::Stats plan_cache;
+  /// Process-wide metrics snapshot taken at the end of the run (empty
+  /// when telemetry was disabled). Cumulative across the process, like
+  /// the registry itself; the deterministic subset (Clock::
+  /// kDeterministic) is byte-identical across thread counts — see
+  /// obs::Snapshot::to_json(false).
+  obs::Snapshot telemetry;
 };
 
 class Auditor {

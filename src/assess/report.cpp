@@ -77,13 +77,31 @@ void write_json(std::ostream& os, const AuditReport& report,
   os << "{\n  \"eta\": {\"value\":" << report.eta.eta
      << ",\"r_squared\":" << report.eta.r_squared
      << ",\"n_proxies\":" << report.eta.n_proxies << "},\n";
+  const auto& c = report.campaign_totals;
+  os << "  \"campaign\": {\"probes_sent\":" << c.probes_sent
+     << ",\"measured\":" << c.measured() << ",\"timeouts\":" << c.timeouts
+     << ",\"retries\":" << c.retries
+     << ",\"retry_exhausted\":" << c.retry_exhausted
+     << ",\"breaker_trips\":" << c.breaker_trips
+     << ",\"breaker_skips\":" << c.breaker_skips
+     << ",\"replacements\":" << c.replacements
+     << ",\"tunnel_drops\":" << c.tunnel_drops
+     << ",\"rounds\":" << c.rounds << "},\n";
+  os << "  \"plan_cache\": {\"hits\":" << report.plan_cache.hits
+     << ",\"misses\":" << report.plan_cache.misses
+     << ",\"evictions\":" << report.plan_cache.evictions << "},\n";
   os << "  \"proxies\": [\n";
   for (std::size_t i = 0; i < report.rows.size(); ++i) {
     write_row(os, report.rows[i], w, options);
     if (i + 1 < report.rows.size()) os << ",";
     os << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ]";
+  if (options.include_telemetry && !report.telemetry.empty()) {
+    os << ",\n  \"telemetry\": "
+       << report.telemetry.to_json(options.telemetry_wall_clock);
+  }
+  os << "\n}\n";
 }
 
 void write_text_summary(std::ostream& os, const AuditReport& report,
@@ -109,6 +127,22 @@ void write_text_summary(std::ostream& os, const AuditReport& report,
                 b.country_false_continent_credible +
                     b.country_false_continent_uncertain + b.continent_false,
                 b.continent_false);
+  os << buf;
+  const auto& c = report.campaign_totals;
+  std::snprintf(buf, sizeof buf,
+                "campaign: %llu probes, %llu measured, %llu retries, "
+                "%llu breaker trips, %llu tunnel drops\n",
+                static_cast<unsigned long long>(c.probes_sent),
+                static_cast<unsigned long long>(c.measured()),
+                static_cast<unsigned long long>(c.retries),
+                static_cast<unsigned long long>(c.breaker_trips),
+                static_cast<unsigned long long>(c.tunnel_drops));
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "plan cache: %llu hits, %llu misses, %llu evictions\n",
+                static_cast<unsigned long long>(report.plan_cache.hits),
+                static_cast<unsigned long long>(report.plan_cache.misses),
+                static_cast<unsigned long long>(report.plan_cache.evictions));
   os << buf;
 }
 

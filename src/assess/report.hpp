@@ -18,10 +18,19 @@ struct ReportOptions {
   bool include_ground_truth = false;
   /// Include the covered-country candidate lists.
   bool include_candidates = true;
+  /// Include AuditReport::telemetry (skipped when the snapshot is empty,
+  /// i.e. telemetry was disabled for the run).
+  bool include_telemetry = true;
+  /// Keep wall-clock (timing) metrics in the telemetry section. Set
+  /// false for output that must be byte-identical across machines and
+  /// thread counts.
+  bool telemetry_wall_clock = true;
 };
 
 /// Write the report as a JSON object:
-/// { "eta": {...}, "proxies": [ {provider, claimed, verdict, ...} ] }.
+/// { "eta": {...}, "campaign": {...}, "plan_cache": {...},
+///   "proxies": [ {provider, claimed, verdict, ...} ],
+///   "telemetry": {...}? }.
 void write_json(std::ostream& os, const AuditReport& report,
                 const world::WorldModel& w, const ReportOptions& options = {});
 

@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace ageo {
 
 /// Number of workers a `threads` request resolves to: 0 = one per
@@ -38,6 +40,8 @@ inline int resolve_threads(int threads, std::size_t n) noexcept {
 template <typename F>
 void parallel_for(std::size_t n, int threads, F&& f) {
   const int workers = resolve_threads(threads, n);
+  AGEO_COUNT("common.parallel_for.calls");
+  AGEO_COUNTER_ADD("common.parallel_for.items", n);
   if (workers <= 1) {
     for (std::size_t i = 0; i < n; ++i) f(i);
     return;
@@ -48,6 +52,7 @@ void parallel_for(std::size_t n, int threads, F&& f) {
   std::exception_ptr error;
   std::mutex error_mu;
   auto work = [&]() noexcept {
+    AGEO_SPAN("common", "parallel_for.worker");
     for (;;) {
       if (failed.load(std::memory_order_relaxed)) return;
       std::size_t i = next.fetch_add(1, std::memory_order_relaxed);

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "geo/units.hpp"
 #include "grid/annulus_scan.hpp"
+#include "obs/obs.hpp"
 
 namespace ageo::grid {
 
@@ -153,6 +154,8 @@ void CapScanPlan::accumulate_annulus(double inner_km, double outer_km,
 
 const std::vector<double>& CapScanPlan::cell_distances_km() const {
   std::call_once(dist_once_, [this] {
+    AGEO_COUNT("grid.plan_cache.distance_tables_built");
+    AGEO_TIMED_US("grid.plan_cache.distance_table_us", 1.0, 1e6);
     const Grid& g = *g_;
     std::vector<double> table(g.size());
     for (std::size_t i = 0; i < g.size(); ++i) {
@@ -189,17 +192,21 @@ std::shared_ptr<const CapScanPlan> CapPlanCache::plan(
   std::lock_guard lock(mu_);
   if (auto it = map_.find(key); it != map_.end()) {
     ++stats_.hits;
+    AGEO_COUNT("grid.plan_cache.hits");
     lru_.splice(lru_.begin(), lru_, it->second);
     return it->second->second;
   }
   ++stats_.misses;
+  AGEO_COUNT("grid.plan_cache.misses");
   // Building while holding the lock keeps concurrent lookups of the same
   // landmark from duplicating the (microseconds of) construction work.
+  AGEO_TIMED_US("grid.plan_cache.build_us", 1.0, 1e6);
   auto built = std::make_shared<const CapScanPlan>(g, center);
   lru_.emplace_front(key, built);
   map_[key] = lru_.begin();
   if (lru_.size() > capacity_) {
     ++stats_.evictions;
+    AGEO_COUNT("grid.plan_cache.evictions");
     map_.erase(lru_.back().first);
     lru_.pop_back();
   }

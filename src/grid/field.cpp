@@ -9,6 +9,7 @@
 #include "geo/vec3.hpp"
 #include "grid/cap_cache.hpp"
 #include "grid/raster.hpp"
+#include "obs/obs.hpp"
 
 namespace ageo::grid {
 
@@ -157,6 +158,8 @@ void Field::multiply_gaussian_ring(const CapScanPlan& plan, double mu_km,
 
 void Field::multiply_gaussian_ring_unchecked(const geo::LatLon& center,
                                              double mu_km, double sigma_km) {
+  AGEO_COUNT("grid.ring_multiply.trig");
+  AGEO_TIMED_NS("grid.ring_multiply_ns", 100.0, 1e9);
   const geo::Vec3 v = geo::to_vec3(center);
   const Grid& g = *grid_;
   multiply_ring_windowed(
@@ -172,6 +175,8 @@ void Field::multiply_gaussian_ring_unchecked(const geo::LatLon& center,
 
 void Field::multiply_gaussian_ring_unchecked(const CapScanPlan& plan,
                                              double mu_km, double sigma_km) {
+  AGEO_COUNT("grid.ring_multiply.plan_served");
+  AGEO_TIMED_NS("grid.ring_multiply_ns", 100.0, 1e9);
   const double* dist = plan.cell_distances_km().data();
   multiply_ring_windowed(
       mu_km, sigma_km, [dist](std::size_t i) { return dist[i]; },

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace ageo::measure {
 
@@ -91,6 +92,8 @@ ProbeReply CampaignEngine::raw_probe(std::size_t landmark_id) {
   ProbeReply r = probe_(landmark_id);
   ++stats_.probes_sent;
   if (r.measured()) {
+    // Simulated RTT — seed-derived, deterministic across thread counts.
+    AGEO_HIST("measure.rtt_ms", r.rtt_ms, 0.5, 4096.0);
     if (r.outcome == ProbeOutcome::kOk)
       ++stats_.ok;
     else
@@ -191,6 +194,8 @@ std::size_t CampaignEngine::prune_breakers(
 
 TwoPhaseResult two_phase_measure(const Testbed& bed, CampaignEngine& engine,
                                  Rng& rng, const TwoPhaseConfig& cfg) {
+  AGEO_SPAN("measure", "two_phase.campaign");
+  AGEO_COUNT("measure.two_phase.campaign_runs");
   detail::require(cfg.anchors_per_continent > 0 && cfg.phase2_landmarks > 0 &&
                       cfg.attempts > 0,
                   "two_phase_measure: invalid config");

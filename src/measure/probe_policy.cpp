@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace ageo::measure {
 
@@ -51,6 +52,30 @@ void CampaignStats::merge(const CampaignStats& other) noexcept {
   tunnel_reconnects += other.tunnel_reconnects;
   tunnel_drift_flags += other.tunnel_drift_flags;
   rounds += other.rounds;
+}
+
+void publish_campaign_stats(const CampaignStats& stats) {
+  AGEO_COUNTER_ADD("measure.campaign.probes_sent", stats.probes_sent);
+  AGEO_COUNTER_ADD("measure.campaign.ok", stats.ok);
+  AGEO_COUNTER_ADD("measure.campaign.refused_measured",
+                   stats.refused_measured);
+  AGEO_COUNTER_ADD("measure.campaign.timeouts", stats.timeouts);
+  AGEO_COUNTER_ADD("measure.campaign.retries", stats.retries);
+  AGEO_COUNTER_ADD("measure.campaign.retry_exhausted", stats.retry_exhausted);
+  AGEO_COUNTER_ADD("measure.campaign.budget_denied", stats.budget_denied);
+  AGEO_COUNTER_ADD("measure.campaign.breaker_trips", stats.breaker_trips);
+  AGEO_COUNTER_ADD("measure.campaign.breaker_skips", stats.breaker_skips);
+  AGEO_COUNTER_ADD("measure.campaign.half_open_probes",
+                   stats.half_open_probes);
+  AGEO_COUNTER_ADD("measure.campaign.gated_skips", stats.gated_skips);
+  AGEO_COUNTER_ADD("measure.campaign.replacements", stats.replacements);
+  AGEO_COUNTER_ADD("measure.campaign.tunnel_drops", stats.tunnel_drops);
+  AGEO_COUNTER_ADD("measure.campaign.tunnel_reconnects",
+                   stats.tunnel_reconnects);
+  AGEO_COUNTER_ADD("measure.campaign.tunnel_drift_flags",
+                   stats.tunnel_drift_flags);
+  AGEO_COUNTER_ADD("measure.campaign.rounds", stats.rounds);
+  AGEO_COUNT("measure.campaign.published");
 }
 
 BreakerBoard::BreakerBoard(BreakerPolicy policy) : policy_(policy) {

@@ -101,6 +101,14 @@ struct CampaignStats {
                          const CampaignStats&) = default;
 };
 
+/// Add one campaign's stats to the process-wide metrics registry as
+/// "measure.campaign.*" counters (the registry-backed view of
+/// CampaignStats). Call once per campaign — the audit fan-out publishes
+/// each proxy's per-row stats from the worker that measured it, and the
+/// shard merge makes the totals independent of thread count. No-op when
+/// metrics are disabled.
+void publish_campaign_stats(const CampaignStats& stats);
+
 /// Per-landmark circuit-breaker state plus the probe-round clock. One
 /// board can be shared by every campaign of an Auditor::run, so a
 /// landmark that went dark during proxy #3 is not hammered again for

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace ageo::measure {
 
@@ -14,6 +15,14 @@ std::optional<double> min_probe(const ProbeFn& probe, std::size_t id,
   std::optional<double> best;
   for (int i = 0; i < attempts; ++i) {
     auto m = probe(id);
+    AGEO_COUNT("measure.raw_probes");
+    if (m) {
+      // Simulated round-trip time: seed-derived, so the histogram is
+      // deterministic across thread counts.
+      AGEO_HIST("measure.rtt_ms", *m, 0.5, 4096.0);
+    } else {
+      AGEO_COUNT("measure.raw_probe_failures");
+    }
     if (m && (!best || *m < *best)) best = m;
   }
   return best;
@@ -22,6 +31,8 @@ std::optional<double> min_probe(const ProbeFn& probe, std::size_t id,
 
 TwoPhaseResult two_phase_measure(const Testbed& bed, const ProbeFn& probe,
                                  Rng& rng, const TwoPhaseConfig& cfg) {
+  AGEO_SPAN("measure", "two_phase");
+  AGEO_COUNT("measure.two_phase.runs");
   detail::require(cfg.anchors_per_continent > 0 && cfg.phase2_landmarks > 0 &&
                       cfg.attempts > 0,
                   "two_phase_measure: invalid config");
@@ -75,6 +86,7 @@ TwoPhaseResult two_phase_measure(const Testbed& bed, const ProbeFn& probe,
 std::vector<algos::Observation> full_scan_measure(const Testbed& bed,
                                                   const ProbeFn& probe,
                                                   int attempts) {
+  AGEO_SPAN("measure", "full_scan");
   detail::require(attempts > 0, "full_scan_measure: attempts must be > 0");
   std::vector<algos::Observation> out;
   const auto& landmarks = bed.landmarks();

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "grid/raster.hpp"
+#include "obs/obs.hpp"
 
 namespace ageo::mlat {
 
@@ -41,6 +42,8 @@ grid::Region intersect_disks(const grid::Grid& g,
                              std::span<const DiskConstraint> disks,
                              const grid::Region* mask,
                              grid::CapPlanCache* cache) {
+  AGEO_SPAN("mlat", "intersect_disks");
+  AGEO_COUNTER_ADD("mlat.disk_constraints", disks.size());
   grid::Region out(g);
   if (mask) {
     detail::require(mask->grid() == &g, "intersect_disks: mask grid mismatch");
@@ -60,6 +63,8 @@ grid::Region intersect_rings(const grid::Grid& g,
                              std::span<const RingConstraint> rings,
                              const grid::Region* mask,
                              grid::CapPlanCache* cache) {
+  AGEO_SPAN("mlat", "intersect_rings");
+  AGEO_COUNTER_ADD("mlat.ring_constraints", rings.size());
   grid::Region out(g);
   if (mask) {
     detail::require(mask->grid() == &g, "intersect_rings: mask grid mismatch");
@@ -82,6 +87,8 @@ grid::Field fuse_gaussian_rings(const grid::Grid& g,
                                 std::span<const GaussianConstraint> rings,
                                 const grid::Region* mask,
                                 grid::CapPlanCache* cache) {
+  AGEO_SPAN("mlat", "fuse_gaussian_rings");
+  AGEO_COUNTER_ADD("mlat.gaussian_constraints", rings.size());
   // Validate the list once; the per-ring multiplies below run unchecked
   // so the hot path does no per-call argument vetting.
   if (mask)
@@ -111,6 +118,7 @@ SubsetResult largest_consistent_subset(const grid::Grid& g,
                                        std::span<const DiskConstraint> disks,
                                        const grid::Region* mask,
                                        grid::CapPlanCache* cache) {
+  AGEO_SPAN("mlat", "largest_consistent_subset");
   detail::require(disks.size() <= 64,
                   "largest_consistent_subset: at most 64 constraints");
   if (mask)

@@ -11,6 +11,7 @@
 #include "assess/audit.hpp"
 #include "common/thread_pool.hpp"
 #include "measure/testbed.hpp"
+#include "obs/metrics.hpp"
 #include "world/fleet.hpp"
 
 using namespace ageo;
@@ -198,6 +199,66 @@ TEST(ParallelAudit, HybridAuditRuns) {
   auto report = auditor.run(fleet);
   EXPECT_EQ(report.rows.size(), fleet.hosts.size());
   EXPECT_GT(report.plan_cache.hits + report.plan_cache.misses, 0u);
+}
+
+TEST(ParallelAudit, TelemetrySnapshotByteIdenticalAcrossThreadCounts) {
+  // The metrics registry is process-global and cumulative, so each pass
+  // resets it; reset keeps registrations, so both passes serialize the
+  // same metric set. The deterministic view (wall-clock metrics
+  // filtered) must be byte-identical between threads=1 and threads=4.
+  const bool prev = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+
+  measure::Testbed bed_serial(small_bed_config());
+  measure::Testbed bed_parallel(small_bed_config());
+  auto fleet = small_fleet(bed_serial.world());
+
+  obs::Registry::global().reset();
+  Auditor serial(bed_serial, audit_config(1));
+  auto a = serial.run(fleet);
+
+  obs::Registry::global().reset();
+  Auditor parallel(bed_parallel, audit_config(4));
+  auto b = parallel.run(fleet);
+
+  obs::set_metrics_enabled(prev);
+
+#if AGEO_OBS_ENABLED
+  ASSERT_FALSE(a.telemetry.empty());
+  ASSERT_FALSE(b.telemetry.empty());
+  EXPECT_EQ(a.telemetry.to_prometheus(false), b.telemetry.to_prometheus(false));
+  EXPECT_EQ(a.telemetry.to_json(false), b.telemetry.to_json(false));
+
+  // Spot-check the registry-backed CampaignStats view against the
+  // report's own serial fold.
+  bool saw_probes = false, saw_rounds = false;
+  for (const auto& c : a.telemetry.counters) {
+    if (c.name == "measure.campaign.probes_sent") {
+      EXPECT_EQ(c.value, a.campaign_totals.probes_sent);
+      saw_probes = true;
+    }
+    if (c.name == "measure.campaign.rounds") {
+      EXPECT_EQ(c.value, a.campaign_totals.rounds);
+      saw_rounds = true;
+    }
+  }
+  EXPECT_TRUE(saw_probes);
+  EXPECT_TRUE(saw_rounds);
+#else
+  // -DAGEO_OBS=OFF compiles the instrumentation away entirely: nothing
+  // registers, so the snapshot stays empty even with metrics enabled.
+  EXPECT_TRUE(a.telemetry.empty());
+  EXPECT_TRUE(b.telemetry.empty());
+#endif
+}
+
+TEST(ParallelAudit, TelemetryEmptyWhenDisabled) {
+  measure::Testbed bed(small_bed_config());
+  auto fleet = small_fleet(bed.world());
+  obs::set_metrics_enabled(false);
+  Auditor auditor(bed, audit_config(2));
+  auto report = auditor.run(fleet);
+  EXPECT_TRUE(report.telemetry.empty());
 }
 
 TEST(ParallelAudit, RerunIsDeterministic) {

@@ -158,6 +158,69 @@ TEST(ProbePolicy, StatsMergeAndEquality) {
   EXPECT_NE(a, c);
 }
 
+namespace {
+
+/// A CampaignStats with every field distinct (and distinct from the
+/// other fill patterns), so a dropped or swapped field in merge()
+/// cannot cancel out.
+CampaignStats filled_stats(std::uint64_t base) {
+  CampaignStats s;
+  s.probes_sent = base + 1;
+  s.ok = base + 2;
+  s.refused_measured = base + 3;
+  s.timeouts = base + 4;
+  s.retries = base + 5;
+  s.retry_exhausted = base + 6;
+  s.budget_denied = base + 7;
+  s.breaker_trips = base + 8;
+  s.breaker_skips = base + 9;
+  s.half_open_probes = base + 10;
+  s.gated_skips = base + 11;
+  s.replacements = base + 12;
+  s.tunnel_drops = base + 13;
+  s.tunnel_reconnects = base + 14;
+  s.tunnel_drift_flags = base + 15;
+  s.rounds = base + 16;
+  return s;
+}
+
+CampaignStats merged(CampaignStats a, const CampaignStats& b) {
+  a.merge(b);
+  return a;
+}
+
+}  // namespace
+
+// The parallel audit folds per-proxy stats in host-index order, but the
+// totals must not depend on that order: merge has to be a commutative
+// monoid. Pin all three laws.
+
+TEST(ProbePolicy, StatsMergeIdentity) {
+  const CampaignStats a = filled_stats(100);
+  const CampaignStats zero;
+  EXPECT_EQ(merged(a, zero), a);
+  EXPECT_EQ(merged(zero, a), a);
+  EXPECT_EQ(merged(zero, zero), zero);
+}
+
+TEST(ProbePolicy, StatsMergeAssociative) {
+  const CampaignStats a = filled_stats(100);
+  const CampaignStats b = filled_stats(2000);
+  const CampaignStats c = filled_stats(30000);
+  EXPECT_EQ(merged(merged(a, b), c), merged(a, merged(b, c)));
+}
+
+TEST(ProbePolicy, StatsMergeCommutative) {
+  const CampaignStats a = filled_stats(100);
+  const CampaignStats b = filled_stats(2000);
+  EXPECT_EQ(merged(a, b), merged(b, a));
+  // Any fold order of three distinct stats yields the same totals.
+  const CampaignStats c = filled_stats(30000);
+  const CampaignStats abc = merged(merged(a, b), c);
+  EXPECT_EQ(merged(merged(c, a), b), abc);
+  EXPECT_EQ(merged(merged(b, c), a), abc);
+}
+
 TEST(CampaignEngine, RetriesTransientFailuresWithBackoff) {
   // Landmark 5 fails twice then answers; the engine's retry policy
   // should recover the measurement and count the retries.
