@@ -8,6 +8,7 @@
 #include "grid/cap_cache.hpp"
 #include "grid/field.hpp"
 #include "grid/raster.hpp"
+#include "grid/scratch.hpp"
 #include "mlat/multilateration.hpp"
 #include "obs/metrics.hpp"
 
@@ -183,6 +184,129 @@ static void BM_SubsetSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SubsetSolve)->Arg(8)->Arg(25)->Arg(60);
+
+static std::vector<mlat::DiskConstraint> fine_subset_disks(int n) {
+  // The phase-2 audit workload: mostly nearby landmarks with tight
+  // distance bounds (constraint bands cover a small slice of the grid),
+  // plus a far tail of loose continent-scale disks.
+  Rng rng(5);
+  std::vector<mlat::DiskConstraint> disks;
+  geo::LatLon truth{47.0, 12.0};
+  for (int i = 0; i < n; ++i) {
+    if (i % 5 == 4) {
+      geo::LatLon lm{rng.uniform(30.0, 65.0), rng.uniform(-15.0, 40.0)};
+      disks.push_back(
+          {lm, geo::distance_km(lm, truth) + rng.uniform(200.0, 800.0)});
+    } else {
+      geo::LatLon lm{truth.lat_deg + rng.uniform(-8.0, 8.0),
+                     truth.lon_deg + rng.uniform(-10.0, 10.0)};
+      disks.push_back(
+          {lm, geo::distance_km(lm, truth) + rng.uniform(50.0, 400.0)});
+    }
+  }
+  return disks;
+}
+
+static void BM_SubsetSolveFine(benchmark::State& state) {
+  // The audit steady state at the finest grid: sparse multi-plane LCS
+  // walking only the constraint row bands, pooled scratch buffers, warm
+  // plan cache. The 128-disk row runs the >64 (two-plane) path the old
+  // engine rejected outright.
+  grid::Grid g(0.25);
+  auto disks = fine_subset_disks(static_cast<int>(state.range(0)));
+  grid::CapPlanCache cache(256);
+  grid::Scratch* arena = &grid::Scratch::tls();
+  benchmark::DoNotOptimize(
+      mlat::largest_consistent_subset(g, disks, nullptr, &cache, arena)
+          .n_used);
+  for (auto _ : state) {
+    auto res =
+        mlat::largest_consistent_subset(g, disks, nullptr, &cache, arena);
+    benchmark::DoNotOptimize(res.region.count());
+  }
+}
+BENCHMARK(BM_SubsetSolveFine)->Arg(8)->Arg(25)->Arg(60)->Arg(128);
+
+static void BM_SubsetSolveFineOutliers(benchmark::State& state) {
+  // Same workload with a few lying landmarks mixed in: the global
+  // intersection is empty, so the intersect-first fast path bails and
+  // the multi-plane coverage sweep (the general engine) does the work.
+  grid::Grid g(0.25);
+  auto disks = fine_subset_disks(static_cast<int>(state.range(0)));
+  disks.push_back({{-55.0, -170.0}, 250.0});
+  disks.push_back({{-40.0, 95.0}, 300.0});
+  disks.push_back({{8.0, -150.0}, 200.0});
+  grid::CapPlanCache cache(256);
+  grid::Scratch* arena = &grid::Scratch::tls();
+  benchmark::DoNotOptimize(
+      mlat::largest_consistent_subset(g, disks, nullptr, &cache, arena)
+          .n_used);
+  for (auto _ : state) {
+    auto res =
+        mlat::largest_consistent_subset(g, disks, nullptr, &cache, arena);
+    benchmark::DoNotOptimize(res.region.count());
+  }
+}
+BENCHMARK(BM_SubsetSolveFineOutliers)->Arg(8)->Arg(25)->Arg(60)->Arg(128);
+
+static void BM_SubsetSolveFineReference(benchmark::State& state) {
+  // The "before" of BM_SubsetSolveFine: dense single-word reference
+  // engine (allocates and full-scans a g.size() coverage vector per
+  // call), same disks, same warm plan cache. Capped at its 64-disk
+  // ceiling.
+  grid::Grid g(0.25);
+  auto disks = fine_subset_disks(static_cast<int>(state.range(0)));
+  grid::CapPlanCache cache(256);
+  benchmark::DoNotOptimize(
+      mlat::reference::largest_consistent_subset(g, disks, nullptr, &cache)
+          .n_used);
+  for (auto _ : state) {
+    auto res =
+        mlat::reference::largest_consistent_subset(g, disks, nullptr, &cache);
+    benchmark::DoNotOptimize(res.region.count());
+  }
+}
+BENCHMARK(BM_SubsetSolveFineReference)->Arg(8)->Arg(25)->Arg(60);
+
+static void BM_IntersectAnnulusFused(benchmark::State& state) {
+  // AND a fresh annulus into a running region straight from the plan's
+  // row spans — the intersect_disks/intersect_rings inner loop. Each
+  // iteration pays one region copy (resetting the running region) so the
+  // fused and materialized rows differ only in the kernel.
+  grid::Grid g(0.25);
+  grid::CapScanPlan plan(g, {48.0, 11.0});
+  const grid::Region base =
+      grid::rasterize_cap(g, geo::Cap{{50.0, 15.0}, 3000.0});
+  grid::Region out(g);
+  double radius = 400.0;
+  for (auto _ : state) {
+    out = base;
+    radius = radius >= 2800.0 ? 400.0 : radius + 61.0;
+    plan.intersect_annulus_into(0.0, radius, out);
+    benchmark::DoNotOptimize(out.words().data());
+  }
+}
+BENCHMARK(BM_IntersectAnnulusFused);
+
+static void BM_IntersectAnnulusMaterialized(benchmark::State& state) {
+  // The "before": rasterize the annulus into a temporary, then AND the
+  // full word arrays.
+  grid::Grid g(0.25);
+  grid::CapScanPlan plan(g, {48.0, 11.0});
+  const grid::Region base =
+      grid::rasterize_cap(g, geo::Cap{{50.0, 15.0}, 3000.0});
+  grid::Region out(g), tmp(g);
+  double radius = 400.0;
+  for (auto _ : state) {
+    out = base;
+    radius = radius >= 2800.0 ? 400.0 : radius + 61.0;
+    tmp.clear();
+    plan.rasterize_annulus(0.0, radius, tmp);
+    out &= tmp;
+    benchmark::DoNotOptimize(out.words().data());
+  }
+}
+BENCHMARK(BM_IntersectAnnulusMaterialized);
 
 static void BM_SubsetSolveManyMasks(benchmark::State& state) {
   // Adversarial dedup load: 60 near-concentric disks produce many

@@ -1,8 +1,8 @@
 // ageo_audit_cli: the full audit as a command-line tool.
 //
-//   ageo_audit_cli [--scale F] [--seed N] [--grid DEG] [--threads N]
-//                  [--algo NAME] [--json FILE] [--ground-truth]
-//                  [--metrics FILE|-] [--trace FILE]
+//   ageo_audit_cli [--scale F] [--seed N] [--grid DEG] [--grid-deg DEG]
+//                  [--threads N] [--algo NAME] [--json FILE]
+//                  [--ground-truth] [--metrics FILE|-] [--trace FILE]
 //
 // Runs the seven-provider audit and prints the per-provider summary;
 // optionally writes the complete per-proxy results as JSON, the
@@ -27,14 +27,16 @@ using namespace ageo;
 namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--scale F] [--seed N] [--grid DEG] [--threads N] "
-               "[--algo NAME]\n"
+               "usage: %s [--scale F] [--seed N] [--grid DEG] "
+               "[--grid-deg DEG] [--threads N] [--algo NAME]\n"
                "       [--json FILE] [--ground-truth] [--metrics FILE|-] "
                "[--trace FILE]\n"
                "  --scale F         fleet/constellation scale factor "
                "(default 0.25; 1.0 = paper scale)\n"
                "  --seed N          master seed (default 2018)\n"
                "  --grid DEG        analysis grid cell size (default 1.0)\n"
+               "  --grid-deg DEG    like --grid, restricted to the "
+               "calibrated resolutions: 0.25, 0.5, 1.0, 2.0\n"
                "  --threads N       audit worker threads (default 1; 0 = "
                "one per hardware thread)\n"
                "  --algo NAME       geolocator: cbgpp | spotter | hybrid "
@@ -87,6 +89,15 @@ int main(int argc, char** argv) {
       seed = static_cast<std::uint64_t>(std::atoll(need_value("--seed")));
     } else if (!std::strcmp(argv[i], "--grid")) {
       grid_deg = std::atof(need_value("--grid"));
+    } else if (!std::strcmp(argv[i], "--grid-deg")) {
+      grid_deg = std::atof(need_value("--grid-deg"));
+      if (grid_deg != 0.25 && grid_deg != 0.5 && grid_deg != 1.0 &&
+          grid_deg != 2.0) {
+        std::fprintf(stderr,
+                     "--grid-deg must be one of 0.25, 0.5, 1.0, 2.0 "
+                     "(use --grid for arbitrary cell sizes)\n");
+        return 2;
+      }
     } else if (!std::strcmp(argv[i], "--threads")) {
       threads = std::atoi(need_value("--threads"));
     } else if (!std::strcmp(argv[i], "--algo")) {
@@ -159,6 +170,48 @@ int main(int argc, char** argv) {
               report.eta.eta, report.eta.eta_ci_low,
               report.eta.eta_ci_high, report.eta.r_squared,
               report.eta.n_proxies);
+
+  if (!report.telemetry.empty()) {
+    // Scratch-arena report: how much the pooled hot-path buffers cost
+    // (allocations should be a handful regardless of proxy count) and
+    // how hard they were exercised.
+    const auto counter = [&](const char* name) -> std::uint64_t {
+      for (const auto& c : report.telemetry.counters)
+        if (c.name == name) return c.value;
+      return 0;
+    };
+    const auto gauge = [&](const char* name) -> double {
+      for (const auto& g : report.telemetry.gauges)
+        if (g.name == name) return g.value;
+      return 0.0;
+    };
+    std::printf("scratch arenas:\n");
+    std::printf("  heap bytes: %.0f allocated, %.0f high water, "
+                "%.0f retained\n",
+                gauge("mlat.scratch.bytes_allocated"),
+                gauge("mlat.scratch.high_water_bytes"),
+                gauge("mlat.scratch.retained_bytes"));
+    std::printf("  buffer allocations: %llu region, %llu cover, "
+                "%llu field, %llu index\n",
+                static_cast<unsigned long long>(
+                    counter("grid.alloc.region_buffers")),
+                static_cast<unsigned long long>(
+                    counter("grid.alloc.cover_buffers")),
+                static_cast<unsigned long long>(
+                    counter("grid.alloc.field_buffers")),
+                static_cast<unsigned long long>(
+                    counter("grid.alloc.index_buffers")));
+    std::printf("  lease acquires: %llu region, %llu words, "
+                "%llu field, %llu index\n",
+                static_cast<unsigned long long>(
+                    counter("mlat.scratch.region_acquires")),
+                static_cast<unsigned long long>(
+                    counter("mlat.scratch.words_acquires")),
+                static_cast<unsigned long long>(
+                    counter("mlat.scratch.field_acquires")),
+                static_cast<unsigned long long>(
+                    counter("mlat.scratch.index_acquires")));
+  }
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);

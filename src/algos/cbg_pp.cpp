@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "grid/raster.hpp"
+#include "grid/scratch.hpp"
 #include "mlat/multilateration.hpp"
 #include "obs/obs.hpp"
 
@@ -28,6 +29,7 @@ CbgPlusPlusGeolocator::Detail CbgPlusPlusGeolocator::locate_detailed(
   AGEO_COUNT("algos.cbg_pp.locates");
   validate(store, observations);
   Detail detail;
+  grid::Scratch* scratch = &grid::Scratch::tls();
 
   std::vector<mlat::DiskConstraint> bestline, baseline;
   bestline.reserve(observations.size());
@@ -44,47 +46,29 @@ CbgPlusPlusGeolocator::Detail CbgPlusPlusGeolocator::locate_detailed(
   }
 
   if (!options_.use_subset_filter) {
-    detail.estimate =
-        GeoEstimate{mlat::intersect_disks(g, bestline, mask, plan_cache_)};
+    detail.estimate = GeoEstimate{
+        mlat::intersect_disks(g, bestline, mask, plan_cache_, scratch)};
     detail.bestline_subset_size = observations.size();
     detail.baseline_subset_size = observations.size();
     return detail;
   }
 
-  // The subset engine handles at most 64 constraints. With more (e.g. a
-  // full 250-anchor scan), run it on the 64 tightest disks — the ones
-  // that actually shape the region — and fold the looser disks in
-  // afterwards, skipping any that would empty the region (the same
-  // drop-inconsistent-constraints philosophy, applied to the long tail
-  // of ineffective overestimates; cf. Fig. 11).
-  constexpr std::size_t kMaxSubset = 64;
-  std::vector<mlat::DiskConstraint> spare;
-  auto keep_tightest = [&](std::vector<mlat::DiskConstraint>& disks) {
-    if (disks.size() <= kMaxSubset) return;
-    std::sort(disks.begin(), disks.end(),
-              [](const mlat::DiskConstraint& a,
-                 const mlat::DiskConstraint& b) {
-                return a.max_km < b.max_km;
-              });
-    spare.insert(spare.end(), disks.begin() + kMaxSubset, disks.end());
-    disks.resize(kMaxSubset);
-  };
-  keep_tightest(bestline);
-  // Baseline disks correspond 1:1 with observations only when not
-  // truncated; truncate them independently by radius as well.
-  keep_tightest(baseline);
-
   // Stage 1: baseline region — largest consistent subset of the
-  // physics-only disks.
-  auto base = mlat::largest_consistent_subset(g, baseline, mask, plan_cache_);
-  detail.baseline_subset_size = base.n_used;
+  // physics-only disks. The region is a pooled temporary: it only feeds
+  // the stage-2 distance queries and never escapes.
+  auto base_lease = grid::Scratch::region(scratch, g);
+  grid::Region& base_region = base_lease.ref();
+  std::vector<bool> base_used;
+  detail.baseline_subset_size = mlat::largest_consistent_subset_into(
+      g, baseline, mask, plan_cache_, scratch, base_region, base_used);
 
   // Stage 2: drop bestline disks that do not overlap the baseline region.
+  const bool base_empty = base_region.empty();
   std::vector<mlat::DiskConstraint> retained;
   retained.reserve(bestline.size());
   for (const auto& d : bestline) {
-    if (base.region.empty() ||
-        base.region.distance_from_km(d.center) <= d.max_km) {
+    if (base_empty ||
+        base_region.distance_from_km(d.center) <= d.max_km) {
       retained.push_back(d);
     } else {
       ++detail.disks_discarded_by_baseline;
@@ -92,24 +76,12 @@ CbgPlusPlusGeolocator::Detail CbgPlusPlusGeolocator::locate_detailed(
   }
 
   // Stage 3: bestline region — largest consistent subset of the rest.
-  auto bestr = mlat::largest_consistent_subset(g, retained, mask, plan_cache_);
+  // The subset engine now takes any number of constraints (multi-word
+  // coverage masks), so a full 250-anchor scan runs through it directly —
+  // no tightest-64 truncation, no lossy fold of the loose tail.
+  auto bestr = mlat::largest_consistent_subset(g, retained, mask, plan_cache_,
+                                               scratch);
   detail.bestline_subset_size = bestr.n_used;
-
-  // Fold in the spare (loose) disks; skip any that would empty the
-  // region.
-  for (const auto& d : spare) {
-    const geo::Cap cap{d.center, d.max_km + mlat::conservative_pad_km(g)};
-    grid::Region clipped = bestr.region;
-    if (plan_cache_) {
-      grid::Region disk(g);
-      plan_cache_->plan(g, cap.center)
-          ->rasterize_annulus(0.0, cap.radius_km, disk);
-      clipped &= disk;
-    } else {
-      clipped &= grid::rasterize_cap(g, cap);
-    }
-    if (!clipped.empty()) bestr.region = std::move(clipped);
-  }
   detail.estimate = GeoEstimate{std::move(bestr.region)};
   return detail;
 }

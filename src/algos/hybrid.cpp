@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "grid/scratch.hpp"
 #include "mlat/multilateration.hpp"
 
 namespace ageo::algos {
@@ -25,7 +26,8 @@ GeoEstimate HybridGeolocator::locate(
     rings.push_back({ob.landmark, std::max(0.0, mu - n_sigma_ * sigma),
                      mu + n_sigma_ * sigma});
   }
-  return GeoEstimate{mlat::intersect_rings(g, rings, mask, plan_cache_)};
+  return GeoEstimate{mlat::intersect_rings(g, rings, mask, plan_cache_,
+                                           &grid::Scratch::tls())};
 }
 
 }  // namespace ageo::algos

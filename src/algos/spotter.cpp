@@ -1,6 +1,7 @@
 #include "algos/spotter.hpp"
 
 #include "common/error.hpp"
+#include "grid/scratch.hpp"
 #include "mlat/multilateration.hpp"
 #include "obs/obs.hpp"
 
@@ -26,9 +27,13 @@ GeoEstimate SpotterGeolocator::locate(
     rings.push_back({ob.landmark, model.mu_km(ob.one_way_delay_ms),
                      model.sigma_km(ob.one_way_delay_ms)});
   }
-  grid::Field posterior = mlat::fuse_gaussian_rings(g, rings, mask,
-                                                    plan_cache_);
-  return GeoEstimate{posterior.credible_region(credible_mass_)};
+  // Pooled posterior: the Field (and its internal temporaries, via the
+  // attached arena) comes from the thread's scratch pool; only the
+  // credible region escapes.
+  auto posterior = grid::Scratch::field(&grid::Scratch::tls(), g);
+  mlat::fuse_gaussian_rings_into(g, rings, posterior.ref(), mask,
+                                 plan_cache_);
+  return GeoEstimate{posterior.ref().credible_region(credible_mass_)};
 }
 
 }  // namespace ageo::algos

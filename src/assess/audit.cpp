@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "geo/geodesy.hpp"
+#include "grid/scratch.hpp"
 #include "obs/obs.hpp"
 
 namespace ageo::assess {
@@ -234,6 +235,16 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
     }
     AGEO_GAUGE_SET("grid.plan_cache.size",
                    static_cast<double>(plan_cache_.size()));
+    // Arena occupancy depends on thread count and pool reuse, so these
+    // gauges are wall-clock-only (excluded from determinism diffs).
+    const grid::Scratch::Stats arena = grid::Scratch::aggregate();
+    (void)arena;  // only consumed by the macros below when obs is built in
+    AGEO_GAUGE_SET_WALL("mlat.scratch.retained_bytes",
+                        static_cast<double>(arena.bytes_retained));
+    AGEO_GAUGE_SET_WALL("mlat.scratch.high_water_bytes",
+                        static_cast<double>(arena.high_water_bytes));
+    AGEO_GAUGE_SET_WALL("mlat.scratch.bytes_allocated",
+                        static_cast<double>(arena.bytes_allocated));
     report.telemetry = obs::Registry::global().snapshot();
   }
   return report;

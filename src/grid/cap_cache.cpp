@@ -56,6 +56,51 @@ long count_gt(const std::vector<double>& a, double u) {
 
 }  // namespace
 
+CapScanPlan::RowClass CapScanPlan::classify_row(const detail::AnnulusScan& s,
+                                                std::size_t r,
+                                                detail::RowZones& z) const {
+  const long ncols = static_cast<long>(g_->cols());
+  const double P = row_p_[r], Q = row_q_[r];
+  if (Q < detail::kMinQ) return RowClass::kNaive;
+  const double u_out_wide = (s.cos_outer - detail::kDotMargin - P) / Q;
+  const long cand_r = count_ge(cos_right_, u_out_wide);
+  if (cand_r == 0) return RowClass::kOutside;  // beyond the outer radius
+  const long cand_l = count_ge(cos_left_, u_out_wide);
+
+  z.cand_lo = -(cand_l - 1);
+  z.cand_hi = cand_r - 1;
+  if (z.cand_hi - z.cand_lo + 1 > ncols) {  // annulus wraps the whole row
+    z.cand_lo = -(ncols / 2);
+    z.cand_hi = z.cand_lo + ncols - 1;
+  }
+  const double u_out_safe = (s.cos_outer + detail::kDotMargin - P) / Q;
+  const long fill_r = count_ge(cos_right_, u_out_safe);
+  if (fill_r == 0) {
+    z.fill_lo = detail::kEmptyLo;
+    z.fill_hi = detail::kEmptyLo - 1;
+  } else {
+    z.fill_lo = std::max(z.cand_lo, -(count_ge(cos_left_, u_out_safe) - 1));
+    z.fill_hi = std::min(z.cand_hi, fill_r - 1);
+  }
+  z.hole_lo = z.core_lo = detail::kEmptyLo;
+  z.hole_hi = z.core_hi = detail::kEmptyLo - 1;
+  if (s.inner_clamped != 0.0) {
+    const double u_in_safe = (s.cos_inner - detail::kDotMargin - P) / Q;
+    const long hole_r = count_gt(cos_right_, u_in_safe);
+    if (hole_r > 0) {
+      z.hole_lo = -(count_gt(cos_left_, u_in_safe) - 1);
+      z.hole_hi = hole_r - 1;
+      const double u_in_wide = (s.cos_inner + detail::kDotMargin - P) / Q;
+      const long core_r = count_gt(cos_right_, u_in_wide);
+      if (core_r > 0) {
+        z.core_lo = -(count_gt(cos_left_, u_in_wide) - 1);
+        z.core_hi = core_r - 1;
+      }
+    }
+  }
+  return RowClass::kZones;
+}
+
 template <typename CellF, typename SpanF>
 void CapScanPlan::scan(double inner_km, double outer_km, CellF&& f,
                        SpanF&& fs) const {
@@ -63,55 +108,22 @@ void CapScanPlan::scan(double inner_km, double outer_km, CellF&& f,
   const detail::AnnulusScan s(g, center_, inner_km, outer_km);
   if (s.empty) return;
   const long ncols = static_cast<long>(g.cols());
-  const bool inner_vacuous = s.inner_clamped == 0.0;
   const auto exact_test = [&](std::size_t idx) {
     double d = std::clamp(s.v.dot(g.center_vec(idx)), -1.0, 1.0);
     if (d >= s.cos_outer && d <= s.cos_inner) f(idx);
   };
 
+  detail::RowZones z;
   for (std::size_t r = s.r0; r < s.r1; ++r) {
     const std::size_t base = g.index(r, 0);
-    const double P = row_p_[r], Q = row_q_[r];
-    if (Q < detail::kMinQ) {  // ill-conditioned window: scan the whole row
-      for (std::size_t c = 0; c < g.cols(); ++c) exact_test(base + c);
-      continue;
-    }
-    const double u_out_wide = (s.cos_outer - detail::kDotMargin - P) / Q;
-    const long cand_r = count_ge(cos_right_, u_out_wide);
-    if (cand_r == 0) continue;  // row beyond the outer radius
-    const long cand_l = count_ge(cos_left_, u_out_wide);
-
-    detail::RowZones z;
-    z.cand_lo = -(cand_l - 1);
-    z.cand_hi = cand_r - 1;
-    if (z.cand_hi - z.cand_lo + 1 > ncols) {  // annulus wraps the whole row
-      z.cand_lo = -(ncols / 2);
-      z.cand_hi = z.cand_lo + ncols - 1;
-    }
-    const double u_out_safe = (s.cos_outer + detail::kDotMargin - P) / Q;
-    const long fill_r = count_ge(cos_right_, u_out_safe);
-    if (fill_r == 0) {
-      z.fill_lo = detail::kEmptyLo;
-      z.fill_hi = detail::kEmptyLo - 1;
-    } else {
-      z.fill_lo = std::max(z.cand_lo, -(count_ge(cos_left_, u_out_safe) - 1));
-      z.fill_hi = std::min(z.cand_hi, fill_r - 1);
-    }
-    z.hole_lo = z.core_lo = detail::kEmptyLo;
-    z.hole_hi = z.core_hi = detail::kEmptyLo - 1;
-    if (!inner_vacuous) {
-      const double u_in_safe = (s.cos_inner - detail::kDotMargin - P) / Q;
-      const long hole_r = count_gt(cos_right_, u_in_safe);
-      if (hole_r > 0) {
-        z.hole_lo = -(count_gt(cos_left_, u_in_safe) - 1);
-        z.hole_hi = hole_r - 1;
-        const double u_in_wide = (s.cos_inner + detail::kDotMargin - P) / Q;
-        const long core_r = count_gt(cos_right_, u_in_wide);
-        if (core_r > 0) {
-          z.core_lo = -(count_gt(cos_left_, u_in_wide) - 1);
-          z.core_hi = core_r - 1;
-        }
-      }
+    switch (classify_row(s, r, z)) {
+      case RowClass::kNaive:  // ill-conditioned window: scan the whole row
+        for (std::size_t c = 0; c < g.cols(); ++c) exact_test(base + c);
+        continue;
+      case RowClass::kOutside:
+        continue;
+      case RowClass::kZones:
+        break;
     }
     detail::emit_zones(
         z,
@@ -143,6 +155,12 @@ void CapScanPlan::accumulate_annulus(double inner_km, double outer_km,
                                      unsigned bit) const {
   ageo::detail::require(masks.size() == g_->size(),
                   "CapScanPlan: mask size mismatch");
+  accumulate_annulus(inner_km, outer_km, masks.data(), bit);
+}
+
+void CapScanPlan::accumulate_annulus(double inner_km, double outer_km,
+                                     std::uint64_t* masks,
+                                     unsigned bit) const {
   ageo::detail::require(bit < 64, "CapScanPlan: bit must be < 64");
   const std::uint64_t m = 1ULL << bit;
   scan(
@@ -150,6 +168,134 @@ void CapScanPlan::accumulate_annulus(double inner_km, double outer_km,
       [&](std::size_t b, std::size_t e) {
         for (std::size_t i = b; i < e; ++i) masks[i] |= m;
       });
+}
+
+void CapScanPlan::intersect_annulus_into(double inner_km, double outer_km,
+                                         Region& out) const {
+  ageo::detail::require(out.grid() == g_,
+                        "CapScanPlan: region on a different grid");
+  const Grid& g = *g_;
+  const detail::AnnulusScan s(g, center_, inner_km, outer_km);
+  if (s.empty) {  // empty annulus: intersection clears everything
+    out.clear();
+    return;
+  }
+  const long ncols = static_cast<long>(g.cols());
+  const std::size_t cols = g.cols();
+  const auto in_annulus = [&](std::size_t idx) {
+    double d = std::clamp(s.v.dot(g.center_vec(idx)), -1.0, 1.0);
+    return d >= s.cos_outer && d <= s.cos_inner;
+  };
+
+  // Rows outside the latitude band cannot intersect the annulus.
+  out.clear_span(0, s.r0 * cols);
+  out.clear_span(s.r1 * cols, g.size());
+
+  detail::RowZones z;
+  for (std::size_t r = s.r0; r < s.r1; ++r) {
+    const std::size_t base = g.index(r, 0);
+    switch (classify_row(s, r, z)) {
+      case RowClass::kNaive:
+        // Only surviving cells need the exact test (AND with a zero bit
+        // is a no-op either way).
+        out.for_each_set_in(base, base + cols, [&](std::size_t idx) {
+          if (!in_annulus(idx)) out.reset(idx);
+        });
+        continue;
+      case RowClass::kOutside:
+        out.clear_span(base, base + cols);
+        continue;
+      case RowClass::kZones:
+        break;
+    }
+    // Columns outside the candidate range are guaranteed outside the
+    // annulus: clear the complement of the (possibly wrapped) cand span.
+    const long width = z.cand_hi - z.cand_lo + 1;
+    if (width < ncols) {
+      long c0 = (c_round_ + z.cand_lo) % ncols;
+      if (c0 < 0) c0 += ncols;
+      if (c0 + width <= ncols) {
+        out.clear_span(base, base + static_cast<std::size_t>(c0));
+        out.clear_span(base + static_cast<std::size_t>(c0 + width),
+                       base + cols);
+      } else {
+        const long wrap = c0 + width - ncols;
+        out.clear_span(base + static_cast<std::size_t>(wrap),
+                       base + static_cast<std::size_t>(c0));
+      }
+    }
+    // The core is guaranteed inside the inner exclusion; emit_zones
+    // skips it, so clear it here (clamped to cand — everything beyond
+    // cand is already gone, and an unclamped core can span > ncols).
+    const long core_lo = std::max(z.core_lo, z.cand_lo);
+    const long core_hi = std::min(z.core_hi, z.cand_hi);
+    if (core_lo <= core_hi) {
+      detail::for_col_spans(c_round_, core_lo, core_hi, ncols,
+                            [&](long b0, long b1) {
+                              out.clear_span(base + static_cast<std::size_t>(b0),
+                                             base + static_cast<std::size_t>(b1));
+                            });
+    }
+    detail::emit_zones(
+        z,
+        [&](long o) {
+          long c = (c_round_ + o) % ncols;
+          if (c < 0) c += ncols;
+          const std::size_t idx = base + static_cast<std::size_t>(c);
+          if (out.test(idx) && !in_annulus(idx)) out.reset(idx);
+        },
+        // Guaranteed-inside fill spans: AND with 1 — leave untouched.
+        [](long, long) {});
+  }
+}
+
+void CapScanPlan::subtract_annulus_into(double inner_km, double outer_km,
+                                        Region& out) const {
+  ageo::detail::require(out.grid() == g_,
+                        "CapScanPlan: region on a different grid");
+  const Grid& g = *g_;
+  const detail::AnnulusScan s(g, center_, inner_km, outer_km);
+  if (s.empty) return;  // nothing to subtract
+  const long ncols = static_cast<long>(g.cols());
+  const std::size_t cols = g.cols();
+  const auto in_annulus = [&](std::size_t idx) {
+    double d = std::clamp(s.v.dot(g.center_vec(idx)), -1.0, 1.0);
+    return d >= s.cos_outer && d <= s.cos_inner;
+  };
+
+  detail::RowZones z;
+  for (std::size_t r = s.r0; r < s.r1; ++r) {
+    const std::size_t base = g.index(r, 0);
+    switch (classify_row(s, r, z)) {
+      case RowClass::kNaive:
+        out.for_each_set_in(base, base + cols, [&](std::size_t idx) {
+          if (in_annulus(idx)) out.reset(idx);
+        });
+        continue;
+      case RowClass::kOutside:  // row entirely outside: subtract nothing
+        continue;
+      case RowClass::kZones:
+        break;
+    }
+    detail::emit_zones(
+        z,
+        [&](long o) {
+          long c = (c_round_ + o) % ncols;
+          if (c < 0) c += ncols;
+          const std::size_t idx = base + static_cast<std::size_t>(c);
+          if (out.test(idx) && in_annulus(idx)) out.reset(idx);
+        },
+        // Guaranteed-inside fill spans are removed wholesale; the core
+        // and everything beyond cand are guaranteed outside the annulus
+        // and stay untouched.
+        [&](long o_lo, long o_hi) {
+          detail::for_col_spans(c_round_, o_lo, o_hi, ncols,
+                                [&](long b0, long b1) {
+                                  out.clear_span(base + static_cast<std::size_t>(b0),
+                                                 base + static_cast<std::size_t>(b1));
+                                });
+        });
+  }
 }
 
 const std::vector<double>& CapScanPlan::cell_distances_km() const {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "geo/geodesy.hpp"
+#include "grid/annulus_scan.hpp"
 #include "grid/region.hpp"
 
 namespace ageo::grid {
@@ -47,6 +48,30 @@ class CapScanPlan {
                           std::vector<std::uint64_t>& masks,
                           unsigned bit) const;
 
+  /// Same, into a raw per-cell mask plane of at least grid().size()
+  /// words (the multi-plane coverage layout of the >64-constraint LCS
+  /// solver; mlat::largest_consistent_subset).
+  void accumulate_annulus(double inner_km, double outer_km,
+                          std::uint64_t* masks, unsigned bit) const;
+
+  /// Fused intersect: out &= { cells within [inner_km, outer_km] },
+  /// without materialising the annulus. Rows outside the latitude band
+  /// and row segments the zone analysis proves outside the annulus are
+  /// cleared with whole-word stores; boundary cells are re-tested with
+  /// the exact clamped-dot expression only where `out` still has a bit
+  /// set; guaranteed-inside fills are left untouched (AND with 1).
+  /// Bit-identical to `out &= tmp` after rasterize_annulus into an empty
+  /// tmp — the per-cell membership values are computed by the same
+  /// expressions, only the order of the AND changes.
+  void intersect_annulus_into(double inner_km, double outer_km,
+                              Region& out) const;
+
+  /// Fused subtract: out &= ~{ cells within [inner_km, outer_km] }.
+  /// Bit-identical to rasterize_annulus + Region::subtract, by the same
+  /// argument as intersect_annulus_into.
+  void subtract_annulus_into(double inner_km, double outer_km,
+                             Region& out) const;
+
   /// Per-cell great-circle distance (km) from the plan's center, by the
   /// exact kEarthRadiusKm * atan2(cross, dot) formula Field's reference
   /// ring multiply uses — plan-served multiplies are therefore
@@ -59,6 +84,19 @@ class CapScanPlan {
   const std::vector<double>& cell_distances_km() const;
 
  private:
+  /// How one grid row relates to an annulus being scanned.
+  enum class RowClass {
+    kOutside,  ///< entirely beyond the outer radius — no cell can pass
+    kNaive,    ///< ill-conditioned longitude window — test every cell
+    kZones,    ///< zone ranges in `z` are valid
+  };
+  /// Shared zone analysis of scan() and the fused kernels: classify row
+  /// `r` against `s` and, for kZones, fill `z` with the cand/fill/hole/
+  /// core offset ranges. Identical arithmetic on every path keeps the
+  /// fused kernels bit-compatible with rasterize_annulus.
+  RowClass classify_row(const detail::AnnulusScan& s, std::size_t r,
+                        detail::RowZones& z) const;
+
   template <typename CellF, typename SpanF>
   void scan(double inner_km, double outer_km, CellF&& f, SpanF&& fs) const;
 

@@ -9,6 +9,7 @@
 #include "geo/vec3.hpp"
 #include "grid/cap_cache.hpp"
 #include "grid/raster.hpp"
+#include "grid/scratch.hpp"
 #include "obs/obs.hpp"
 
 namespace ageo::grid {
@@ -42,9 +43,9 @@ namespace reference {
 
 void multiply_gaussian_ring(Field& f, const geo::LatLon& center, double mu_km,
                             double sigma_km) {
-  detail::require(f.grid_ != nullptr, "Field: not attached to a grid");
-  detail::require(sigma_km > 0.0, "Field: sigma must be positive");
-  detail::require(geo::is_valid(center), "Field: invalid ring center");
+  ageo::detail::require(f.grid_ != nullptr, "Field: not attached to a grid");
+  ageo::detail::require(sigma_km > 0.0, "Field: sigma must be positive");
+  ageo::detail::require(geo::is_valid(center), "Field: invalid ring center");
   f.invalidate_caches();
   std::vector<double>& density = f.density_;
   const Grid& grid = *f.grid_;
@@ -63,8 +64,19 @@ void multiply_gaussian_ring(Field& f, const geo::LatLon& center, double mu_km,
 }  // namespace reference
 
 Field::Field(const Grid& g) : grid_(&g), density_(g.size(), 1.0) {
-  detail::require(g.size() <= 0xffffffffULL,
+  ageo::detail::require(g.size() <= 0xffffffffULL,
                   "Field: grid too large for the live-cell index");
+}
+
+void Field::rebind(const Grid& g) {
+  ageo::detail::require(g.size() <= 0xffffffffULL,
+                  "Field: grid too large for the live-cell index");
+  grid_ = &g;
+  density_.assign(g.size(), 1.0);
+  live_.clear();
+  live_valid_ = false;
+  mass_valid_ = false;
+  mass_ = 0.0;
 }
 
 template <typename DistF, typename SupportF>
@@ -101,10 +113,13 @@ void Field::multiply_ring_windowed(double mu_km, double sigma_km, DistF&& dist,
 
   // First windowed multiply on a dense field: rasterize a superset of the
   // ring's support, zero the complement a word at a time, and record the
-  // survivors as the live list for the rings that follow.
+  // survivors as the live list for the rings that follow. The support
+  // Region is a pooled temporary when the field carries an arena.
   const double w =
       sigma_km * std::sqrt(2.0 * kGaussianCut) + kSupportSlackKm;
-  const Region s = support(std::max(0.0, mu_km - w), mu_km + w);
+  Scratch::RegionLease slease = Scratch::region(scratch_, *grid_);
+  Region& s = slease.ref();
+  support(std::max(0.0, mu_km - w), mu_km + w, s);
   live_.clear();
   live_.reserve(s.count());
   const std::vector<std::uint64_t>& words = s.words();
@@ -139,20 +154,20 @@ void Field::multiply_ring_windowed(double mu_km, double sigma_km, DistF&& dist,
 
 void Field::multiply_gaussian_ring(const geo::LatLon& center, double mu_km,
                                    double sigma_km) {
-  detail::require(grid_ != nullptr, "Field: not attached to a grid");
-  detail::require(sigma_km > 0.0, "Field: sigma must be positive");
-  detail::require(!std::isnan(mu_km), "Field: mu must not be NaN");
-  detail::require(geo::is_valid(center), "Field: invalid ring center");
+  ageo::detail::require(grid_ != nullptr, "Field: not attached to a grid");
+  ageo::detail::require(sigma_km > 0.0, "Field: sigma must be positive");
+  ageo::detail::require(!std::isnan(mu_km), "Field: mu must not be NaN");
+  ageo::detail::require(geo::is_valid(center), "Field: invalid ring center");
   multiply_gaussian_ring_unchecked(center, mu_km, sigma_km);
 }
 
 void Field::multiply_gaussian_ring(const CapScanPlan& plan, double mu_km,
                                    double sigma_km) {
-  detail::require(grid_ != nullptr, "Field: not attached to a grid");
-  detail::require(&plan.grid() == grid_,
+  ageo::detail::require(grid_ != nullptr, "Field: not attached to a grid");
+  ageo::detail::require(&plan.grid() == grid_,
                   "Field: plan built on a different grid");
-  detail::require(sigma_km > 0.0, "Field: sigma must be positive");
-  detail::require(!std::isnan(mu_km), "Field: mu must not be NaN");
+  ageo::detail::require(sigma_km > 0.0, "Field: sigma must be positive");
+  ageo::detail::require(!std::isnan(mu_km), "Field: mu must not be NaN");
   multiply_gaussian_ring_unchecked(plan, mu_km, sigma_km);
 }
 
@@ -168,8 +183,8 @@ void Field::multiply_gaussian_ring_unchecked(const geo::LatLon& center,
         const geo::Vec3& u = g.center_vec(i);
         return geo::kEarthRadiusKm * std::atan2(v.cross(u).norm(), v.dot(u));
       },
-      [&](double inner, double outer) {
-        return rasterize_ring(g, geo::Ring{center, inner, outer});
+      [&](double inner, double outer, Region& out) {
+        rasterize_ring_into(g, geo::Ring{center, inner, outer}, out);
       });
 }
 
@@ -180,15 +195,13 @@ void Field::multiply_gaussian_ring_unchecked(const CapScanPlan& plan,
   const double* dist = plan.cell_distances_km().data();
   multiply_ring_windowed(
       mu_km, sigma_km, [dist](std::size_t i) { return dist[i]; },
-      [&](double inner, double outer) {
-        Region s(*grid_);
-        plan.rasterize_annulus(inner, outer, s);
-        return s;
+      [&](double inner, double outer, Region& out) {
+        plan.rasterize_annulus(inner, outer, out);
       });
 }
 
 void Field::apply_mask(const Region& mask) {
-  detail::require(grid_ != nullptr && mask.grid() == grid_,
+  ageo::detail::require(grid_ != nullptr && mask.grid() == grid_,
                   "Field: mask must share the field's grid");
   mass_valid_ = false;
   live_.clear();
@@ -232,14 +245,15 @@ bool Field::normalize() noexcept {
 }
 
 Region Field::credible_region(double mass) const {
-  detail::require(grid_ != nullptr, "Field: not attached to a grid");
-  detail::require(mass > 0.0 && mass <= 1.0,
+  ageo::detail::require(grid_ != nullptr, "Field: not attached to a grid");
+  ageo::detail::require(mass > 0.0 && mass <= 1.0,
                   "Field: credible mass must be in (0, 1]");
   Region out(*grid_);
   const double total = total_mass();
   if (!(total > 0.0)) return out;
 
-  std::vector<std::uint32_t> order;
+  Scratch::IndexLease olease = Scratch::indices(scratch_);
+  std::vector<std::uint32_t>& order = olease.vec();
   order.reserve(live_valid_ ? live_.size() : density_.size());
   if (live_valid_) {
     for (const std::uint32_t i : live_)

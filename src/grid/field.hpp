@@ -28,6 +28,7 @@ namespace ageo::grid {
 
 class CapScanPlan;
 class Field;
+class Scratch;
 
 namespace reference {
 /// The original full-grid ring multiply: one atan2 + exp per nonzero cell.
@@ -96,6 +97,25 @@ class Field {
   /// Cell with the highest density, if any mass exists.
   std::optional<std::size_t> mode() const noexcept;
 
+  /// Re-attach to `g` as a fresh uniform field, reusing the density and
+  /// live-list capacity. Arena support (grid/scratch.hpp): equivalent to
+  /// `*this = Field(g)` minus the allocations.
+  void rebind(const Grid& g);
+
+  /// Arena used for internal temporaries (the support Region of the
+  /// first windowed multiply, the credible-region ordering). Null — the
+  /// default — means plain per-call allocations. The arena must outlive
+  /// this binding and must belong to the calling thread; Scratch's
+  /// FieldLease resets it to null on release so a pooled Field never
+  /// carries a stale arena across threads.
+  void set_scratch(Scratch* s) noexcept { scratch_ = s; }
+
+  /// Bytes of heap capacity currently retained (arena accounting).
+  std::size_t capacity_bytes() const noexcept {
+    return density_.capacity() * sizeof(double) +
+           live_.capacity() * sizeof(std::uint32_t);
+  }
+
  private:
   friend void reference::multiply_gaussian_ring(Field&, const geo::LatLon&,
                                                 double, double);
@@ -107,12 +127,14 @@ class Field {
 
   /// Core of the windowed multiply; DistF maps cell index -> great-circle
   /// distance (km) from the ring center, by the exact reference formula.
-  /// PlanF rasterizes the support annulus [inner, outer] into a Region.
+  /// SupportF rasterizes the support annulus [inner, outer] into the
+  /// empty Region it is handed (pooled when scratch_ is set).
   template <typename DistF, typename SupportF>
   void multiply_ring_windowed(double mu_km, double sigma_km, DistF&& dist,
                               SupportF&& support);
 
   const Grid* grid_ = nullptr;
+  Scratch* scratch_ = nullptr;
   std::vector<double> density_;
 
   /// Indices of cells that may be nonzero, in increasing order — a

@@ -115,23 +115,44 @@ void scan_annulus(const Grid& g, const geo::LatLon& center, double inner_km,
 }  // namespace
 
 Region rasterize_cap(const Grid& g, const geo::Cap& cap) {
-  ageo::detail::require(geo::is_valid(cap.center), "rasterize_cap: invalid center");
   Region out(g);
-  scan_annulus(
-      g, cap.center, 0.0, cap.radius_km, [&](std::size_t idx) { out.set(idx); },
-      [&](std::size_t b, std::size_t e) { out.set_span(b, e); });
+  rasterize_cap_into(g, cap, out);
   return out;
 }
 
 Region rasterize_ring(const Grid& g, const geo::Ring& ring) {
+  Region out(g);
+  rasterize_ring_into(g, ring, out);
+  return out;
+}
+
+void rasterize_cap_into(const Grid& g, const geo::Cap& cap, Region& out) {
+  ageo::detail::require(geo::is_valid(cap.center), "rasterize_cap: invalid center");
+  ageo::detail::require(out.grid() == &g,
+                        "rasterize_cap_into: region on a different grid");
+  scan_annulus(
+      g, cap.center, 0.0, cap.radius_km, [&](std::size_t idx) { out.set(idx); },
+      [&](std::size_t b, std::size_t e) { out.set_span(b, e); });
+}
+
+void rasterize_ring_into(const Grid& g, const geo::Ring& ring, Region& out) {
   ageo::detail::require(geo::is_valid(ring.center),
                   "rasterize_ring: invalid center");
-  Region out(g);
+  ageo::detail::require(out.grid() == &g,
+                        "rasterize_ring_into: region on a different grid");
   scan_annulus(
       g, ring.center, ring.inner_km, ring.outer_km,
       [&](std::size_t idx) { out.set(idx); },
       [&](std::size_t b, std::size_t e) { out.set_span(b, e); });
-  return out;
+}
+
+std::pair<std::size_t, std::size_t> annulus_row_band(const Grid& g,
+                                                     const geo::LatLon& center,
+                                                     double inner_km,
+                                                     double outer_km) {
+  const AnnulusScan s(g, center, inner_km, outer_km);
+  if (s.empty) return {0, 0};
+  return {s.r0, s.r1};
 }
 
 namespace reference {
@@ -186,6 +207,18 @@ void accumulate_cap_mask(const Grid& g, const geo::Cap& cap,
                          std::vector<std::uint64_t>& masks, unsigned bit) {
   ageo::detail::require(masks.size() == g.size(),
                   "accumulate_cap_mask: mask size mismatch");
+  accumulate_cap_mask(g, cap, masks.data(), bit);
+}
+
+void accumulate_ring_mask(const Grid& g, const geo::Ring& ring,
+                          std::vector<std::uint64_t>& masks, unsigned bit) {
+  ageo::detail::require(masks.size() == g.size(),
+                  "accumulate_ring_mask: mask size mismatch");
+  accumulate_ring_mask(g, ring, masks.data(), bit);
+}
+
+void accumulate_cap_mask(const Grid& g, const geo::Cap& cap,
+                         std::uint64_t* masks, unsigned bit) {
   ageo::detail::require(bit < 64, "accumulate_cap_mask: bit must be < 64");
   const std::uint64_t m = 1ULL << bit;
   scan_annulus(
@@ -197,9 +230,7 @@ void accumulate_cap_mask(const Grid& g, const geo::Cap& cap,
 }
 
 void accumulate_ring_mask(const Grid& g, const geo::Ring& ring,
-                          std::vector<std::uint64_t>& masks, unsigned bit) {
-  ageo::detail::require(masks.size() == g.size(),
-                  "accumulate_ring_mask: mask size mismatch");
+                          std::uint64_t* masks, unsigned bit) {
   ageo::detail::require(bit < 64, "accumulate_ring_mask: bit must be < 64");
   const std::uint64_t m = 1ULL << bit;
   scan_annulus(

@@ -10,6 +10,8 @@
 // grid::reference below (pinned by raster_equivalence_test).
 #pragma once
 
+#include <utility>
+
 #include "geo/geodesy.hpp"
 #include "geo/polygon.hpp"
 #include "grid/region.hpp"
@@ -21,6 +23,22 @@ Region rasterize_cap(const Grid& g, const geo::Cap& cap);
 
 /// Cells whose centers lie within `ring`.
 Region rasterize_ring(const Grid& g, const geo::Ring& ring);
+
+/// Allocation-free variants: rasterize into `out`, which must be an
+/// empty region on `g` (typically a pooled one from grid/scratch.hpp).
+/// Same bits as the returning overloads above.
+void rasterize_cap_into(const Grid& g, const geo::Cap& cap, Region& out);
+void rasterize_ring_into(const Grid& g, const geo::Ring& ring, Region& out);
+
+/// Rows [first, second) of `g` that an annulus of [inner_km, outer_km]
+/// around `center` can touch — the same latitude band every annulus scan
+/// prunes to. {0, 0} for an empty annulus (outer < 0 or outer < inner).
+/// Lets callers that accumulate many constraints (the LCS coverage
+/// planes) clear and walk only the union of the touched row windows.
+std::pair<std::size_t, std::size_t> annulus_row_band(const Grid& g,
+                                                     const geo::LatLon& center,
+                                                     double inner_km,
+                                                     double outer_km);
 
 /// Cells whose centers lie inside `poly`.
 Region rasterize_polygon(const Grid& g, const geo::Polygon& poly);
@@ -39,6 +57,14 @@ void accumulate_cap_mask(const Grid& g, const geo::Cap& cap,
 /// Same for a ring constraint.
 void accumulate_ring_mask(const Grid& g, const geo::Ring& ring,
                           std::vector<std::uint64_t>& masks, unsigned bit);
+
+/// Raw-plane variants for the multi-plane coverage layout of the
+/// >64-constraint LCS solver: `masks` points at a plane of at least
+/// g.size() words.
+void accumulate_cap_mask(const Grid& g, const geo::Cap& cap,
+                         std::uint64_t* masks, unsigned bit);
+void accumulate_ring_mask(const Grid& g, const geo::Ring& ring,
+                          std::uint64_t* masks, unsigned bit);
 
 /// Naive per-cell reference rasterizers: one dot product per cell of the
 /// latitude band, no longitude pruning. These define the semantics the

@@ -50,6 +50,11 @@ void Region::clear() noexcept {
   for (auto& w : words_) w = 0;
 }
 
+void Region::rebind(const Grid& g) {
+  grid_ = &g;
+  words_.assign((g.size() + 63) / 64, 0);
+}
+
 Region& Region::operator&=(const Region& o) {
   check_compatible(o);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];

@@ -47,6 +47,51 @@ class Region {
   void reset(std::size_t idx) noexcept {
     words_[idx >> 6] &= ~(1ULL << (idx & 63));
   }
+  /// Clear every cell in [begin, end) with whole-word stores; the
+  /// workhorse of the fused intersect kernels (cap_cache.cpp).
+  void clear_span(std::size_t begin, std::size_t end) noexcept {
+    if (begin >= end) return;
+    std::size_t w0 = begin >> 6, w1 = (end - 1) >> 6;
+    std::uint64_t first = ~0ULL << (begin & 63);
+    std::uint64_t last = ~0ULL >> (63 - ((end - 1) & 63));
+    if (w0 == w1) {
+      words_[w0] &= ~(first & last);
+      return;
+    }
+    words_[w0] &= ~first;
+    for (std::size_t w = w0 + 1; w < w1; ++w) words_[w] = 0;
+    words_[w1] &= ~last;
+  }
+  /// True if any cell in [begin, end) is set.
+  bool any_in(std::size_t begin, std::size_t end) const noexcept {
+    if (begin >= end) return false;
+    std::size_t w0 = begin >> 6, w1 = (end - 1) >> 6;
+    std::uint64_t first = ~0ULL << (begin & 63);
+    std::uint64_t last = ~0ULL >> (63 - ((end - 1) & 63));
+    if (w0 == w1) return (words_[w0] & first & last) != 0;
+    if (words_[w0] & first) return true;
+    for (std::size_t w = w0 + 1; w < w1; ++w)
+      if (words_[w]) return true;
+    return (words_[w1] & last) != 0;
+  }
+  /// Visit every set cell in [begin, end), ascending.
+  template <typename F>
+  void for_each_set_in(std::size_t begin, std::size_t end, F&& f) const {
+    if (begin >= end) return;
+    std::size_t w0 = begin >> 6, w1 = (end - 1) >> 6;
+    std::uint64_t first = ~0ULL << (begin & 63);
+    std::uint64_t last = ~0ULL >> (63 - ((end - 1) & 63));
+    for (std::size_t w = w0; w <= w1; ++w) {
+      std::uint64_t bits = words_[w];
+      if (w == w0) bits &= first;
+      if (w == w1) bits &= last;
+      while (bits) {
+        unsigned b = static_cast<unsigned>(__builtin_ctzll(bits));
+        f((w << 6) + b);
+        bits &= bits - 1;
+      }
+    }
+  }
 
   /// True if the point's cell is in the region.
   bool contains(const geo::LatLon& p) const noexcept;
@@ -57,6 +102,13 @@ class Region {
   /// Fill / clear every cell.
   void fill() noexcept;
   void clear() noexcept;
+
+  /// Re-attach to `g` as an empty region, reusing the existing word
+  /// buffer's capacity. Arena support (grid/scratch.hpp): equivalent to
+  /// `*this = Region(g)` minus the allocation. The previous grid pointer
+  /// is never dereferenced, so a pooled Region may outlive the grid it
+  /// was last used on.
+  void rebind(const Grid& g);
 
   Region& operator&=(const Region& o);
   Region& operator|=(const Region& o);

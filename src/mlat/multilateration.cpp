@@ -21,19 +21,53 @@ double conservative_pad_km(const grid::Grid& g) noexcept {
 
 namespace {
 
-/// Rasterize one padded annulus, through the plan cache when available.
-/// Both paths produce bit-identical regions (see raster_equivalence_test),
-/// so a cache changes throughput only.
-grid::Region rasterize_annulus(const grid::Grid& g, const geo::LatLon& center,
-                               double inner_km, double outer_km,
-                               grid::CapPlanCache* cache) {
+/// Rasterize one padded annulus into `out` (which must be empty), through
+/// the plan cache when available. Both paths produce bit-identical
+/// regions (see raster_equivalence_test), so a cache changes throughput
+/// only.
+void rasterize_annulus_into(const grid::Grid& g, const geo::LatLon& center,
+                            double inner_km, double outer_km,
+                            grid::CapPlanCache* cache, grid::Region& out) {
   if (cache) {
-    grid::Region out(g);
     cache->plan(g, center)->rasterize_annulus(inner_km, outer_km, out);
-    return out;
+  } else if (inner_km <= 0.0) {
+    grid::rasterize_cap_into(g, geo::Cap{center, outer_km}, out);
+  } else {
+    grid::rasterize_ring_into(g, geo::Ring{center, inner_km, outer_km}, out);
   }
-  if (inner_km <= 0.0) return grid::rasterize_cap(g, geo::Cap{center, outer_km});
-  return grid::rasterize_ring(g, geo::Ring{center, inner_km, outer_km});
+}
+
+// Row-bitmap helpers (row index -> bit in a raw word buffer): the LCS
+// passes walk only rows some constraint's latitude band touches.
+void set_row_range(std::uint64_t* bits, std::size_t r0, std::size_t r1) {
+  if (r0 >= r1) return;
+  const std::size_t w0 = r0 >> 6, w1 = (r1 - 1) >> 6;
+  const std::uint64_t first = ~0ULL << (r0 & 63);
+  const std::uint64_t last = ~0ULL >> (63 - ((r1 - 1) & 63));
+  if (w0 == w1) {
+    bits[w0] |= first & last;
+    return;
+  }
+  bits[w0] |= first;
+  for (std::size_t w = w0 + 1; w < w1; ++w) bits[w] = ~0ULL;
+  bits[w1] |= last;
+}
+
+template <typename F>
+void for_each_row_run(const std::uint64_t* bits, std::size_t rows, F&& f) {
+  const auto is_set = [&](std::size_t r) {
+    return ((bits[r >> 6] >> (r & 63)) & 1) != 0;
+  };
+  std::size_t r = 0;
+  while (r < rows) {
+    if (!is_set(r)) {
+      ++r;
+      continue;
+    }
+    const std::size_t start = r;
+    while (r < rows && is_set(r)) ++r;
+    f(start, r);
+  }
 }
 
 }  // namespace
@@ -41,10 +75,11 @@ grid::Region rasterize_annulus(const grid::Grid& g, const geo::LatLon& center,
 grid::Region intersect_disks(const grid::Grid& g,
                              std::span<const DiskConstraint> disks,
                              const grid::Region* mask,
-                             grid::CapPlanCache* cache) {
+                             grid::CapPlanCache* cache,
+                             grid::Scratch* scratch) {
   AGEO_SPAN("mlat", "intersect_disks");
   AGEO_COUNTER_ADD("mlat.disk_constraints", disks.size());
-  grid::Region out(g);
+  grid::Region out(g);  // escapes to the caller: the one owned allocation
   if (mask) {
     detail::require(mask->grid() == &g, "intersect_disks: mask grid mismatch");
     out = *mask;
@@ -52,20 +87,36 @@ grid::Region intersect_disks(const grid::Grid& g,
     out.fill();
   }
   const double pad = conservative_pad_km(g);
+  std::size_t processed = 0;
   for (const auto& d : disks) {
-    out &= rasterize_annulus(g, d.center, 0.0, d.max_km + pad, cache);
+    ++processed;
+    if (cache) {
+      // Fused kernel: AND the annulus row spans straight into `out`.
+      cache->plan(g, d.center)->intersect_annulus_into(0.0, d.max_km + pad,
+                                                       out);
+    } else {
+      auto tmp = grid::Scratch::region(scratch, g);
+      grid::rasterize_cap_into(g, geo::Cap{d.center, d.max_km + pad},
+                               tmp.ref());
+      out &= tmp.ref();
+    }
     if (out.empty()) break;
   }
+  // Constraints never applied because the intersection emptied early.
+  // They are part of mlat.disk_constraints (the workload) but did no
+  // rasterization work.
+  AGEO_COUNTER_ADD("mlat.constraints_skipped", disks.size() - processed);
   return out;
 }
 
 grid::Region intersect_rings(const grid::Grid& g,
                              std::span<const RingConstraint> rings,
                              const grid::Region* mask,
-                             grid::CapPlanCache* cache) {
+                             grid::CapPlanCache* cache,
+                             grid::Scratch* scratch) {
   AGEO_SPAN("mlat", "intersect_rings");
   AGEO_COUNTER_ADD("mlat.ring_constraints", rings.size());
-  grid::Region out(g);
+  grid::Region out(g);  // escapes to the caller
   if (mask) {
     detail::require(mask->grid() == &g, "intersect_rings: mask grid mismatch");
     out = *mask;
@@ -73,22 +124,35 @@ grid::Region intersect_rings(const grid::Grid& g,
     out.fill();
   }
   const double pad = conservative_pad_km(g);
+  std::size_t processed = 0;
   for (const auto& r : rings) {
     detail::require(r.min_km <= r.max_km,
                     "intersect_rings: min_km must be <= max_km");
-    out &= rasterize_annulus(g, r.center, std::max(0.0, r.min_km - pad),
-                             r.max_km + pad, cache);
+    ++processed;
+    const double inner = std::max(0.0, r.min_km - pad);
+    const double outer = r.max_km + pad;
+    if (cache) {
+      cache->plan(g, r.center)->intersect_annulus_into(inner, outer, out);
+    } else {
+      auto tmp = grid::Scratch::region(scratch, g);
+      rasterize_annulus_into(g, r.center, inner, outer, nullptr, tmp.ref());
+      out &= tmp.ref();
+    }
     if (out.empty()) break;
   }
+  AGEO_COUNTER_ADD("mlat.constraints_skipped", rings.size() - processed);
   return out;
 }
 
-grid::Field fuse_gaussian_rings(const grid::Grid& g,
-                                std::span<const GaussianConstraint> rings,
-                                const grid::Region* mask,
-                                grid::CapPlanCache* cache) {
+void fuse_gaussian_rings_into(const grid::Grid& g,
+                              std::span<const GaussianConstraint> rings,
+                              grid::Field& posterior,
+                              const grid::Region* mask,
+                              grid::CapPlanCache* cache) {
   AGEO_SPAN("mlat", "fuse_gaussian_rings");
   AGEO_COUNTER_ADD("mlat.gaussian_constraints", rings.size());
+  detail::require(posterior.grid() == &g,
+                  "fuse_gaussian_rings_into: field grid mismatch");
   // Validate the list once; the per-ring multiplies below run unchecked
   // so the hot path does no per-call argument vetting.
   if (mask)
@@ -100,25 +164,192 @@ grid::Field fuse_gaussian_rings(const grid::Grid& g,
                     "fuse_gaussian_rings: sigma must be positive");
     detail::require(!std::isnan(r.mu_km), "fuse_gaussian_rings: mu is NaN");
   }
-  grid::Field field(g);
-  if (mask) field.apply_mask(*mask);
+  if (mask) posterior.apply_mask(*mask);
   for (const auto& r : rings) {
     if (cache) {
-      field.multiply_gaussian_ring_unchecked(*cache->plan(g, r.center),
-                                             r.mu_km, r.sigma_km);
+      posterior.multiply_gaussian_ring_unchecked(*cache->plan(g, r.center),
+                                                 r.mu_km, r.sigma_km);
     } else {
-      field.multiply_gaussian_ring_unchecked(r.center, r.mu_km, r.sigma_km);
+      posterior.multiply_gaussian_ring_unchecked(r.center, r.mu_km,
+                                                 r.sigma_km);
     }
   }
-  field.normalize();  // a zero-mass field stays unnormalised (empty)
+  posterior.normalize();  // a zero-mass field stays unnormalised (empty)
+}
+
+grid::Field fuse_gaussian_rings(const grid::Grid& g,
+                                std::span<const GaussianConstraint> rings,
+                                const grid::Region* mask,
+                                grid::CapPlanCache* cache,
+                                grid::Scratch* scratch) {
+  grid::Field field(g);
+  // Pool the internal temporaries; the returned Field itself escapes, so
+  // the arena binding must not escape with it.
+  field.set_scratch(scratch);
+  fuse_gaussian_rings_into(g, rings, field, mask, cache);
+  field.set_scratch(nullptr);
   return field;
+}
+
+std::size_t largest_consistent_subset_into(
+    const grid::Grid& g, std::span<const DiskConstraint> disks,
+    const grid::Region* mask, grid::CapPlanCache* cache,
+    grid::Scratch* scratch, grid::Region& region, std::vector<bool>& used) {
+  AGEO_SPAN("mlat", "largest_consistent_subset");
+  if (mask)
+    detail::require(mask->grid() == &g,
+                    "largest_consistent_subset: mask grid mismatch");
+  detail::require(region.grid() == &g,
+                  "largest_consistent_subset: region grid mismatch");
+
+  used.assign(disks.size(), false);
+  if (disks.empty()) {
+    if (mask)
+      region = *mask;
+    else
+      region.fill();
+    return 0;
+  }
+
+  const std::size_t n = disks.size();
+  const double pad = conservative_pad_km(g);
+
+  // Fast path: when every constraint admits a common cell — the normal
+  // case for honest proxies and for the baseline physical bounds — the
+  // answer is the full set. A cell lies in the intersection iff its
+  // coverage count is n, which is then the maximum, so the region is
+  // exactly the plain intersection and every used[i] is true. The fused
+  // intersect kernels compute that at word/span cost instead of per-cell
+  // coverage accumulation. If the intersection empties, every bit has
+  // been cleared again, and the general coverage sweep below proceeds on
+  // the untouched (all-zero) region.
+  if (cache != nullptr) {
+    if (mask)
+      region = *mask;
+    else
+      region.fill();
+    for (const auto& d : disks) {
+      cache->plan(g, d.center)->intersect_annulus_into(0.0, d.max_km + pad,
+                                                       region);
+      if (region.empty()) break;
+    }
+    if (!region.empty()) {
+      used.assign(n, true);
+      return n;
+    }
+  }
+
+  const std::size_t planes = (n + 63) / 64;
+  const std::size_t size = g.size();
+  const std::size_t cols = g.cols();
+  const std::size_t rows = g.rows();
+  const std::size_t row_words = (rows + 63) / 64;
+
+  // Coverage planes (conservatively padded, like intersect_disks):
+  // plane w holds bit (i & 63) of constraint i = 64 w + (i & 63) for
+  // every cell, at cover[w * size + idx]. Dirty ranges are declared per
+  // constraint so the pooled buffer's next clear costs O(touched rows).
+  auto cover_lease = grid::Scratch::words(scratch, planes * size);
+  std::uint64_t* cover = cover_lease.vec().data();
+  auto rowmap_lease = grid::Scratch::words(scratch, row_words);
+  std::uint64_t* rowmap = rowmap_lease.vec().data();
+  rowmap_lease.mark_dirty(0, row_words);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double outer = disks[i].max_km + pad;
+    const auto [r0, r1] = grid::annulus_row_band(g, disks[i].center, 0.0,
+                                                 outer);
+    if (r0 >= r1) continue;
+    set_row_range(rowmap, r0, r1);
+    const std::size_t plane = (i >> 6) * size;
+    cover_lease.mark_dirty(plane + r0 * cols, plane + r1 * cols);
+    const unsigned bit = static_cast<unsigned>(i & 63);
+    if (cache) {
+      cache->plan(g, disks[i].center)
+          ->accumulate_annulus(0.0, outer, cover + plane, bit);
+    } else {
+      grid::accumulate_cap_mask(g, geo::Cap{disks[i].center, outer},
+                                cover + plane, bit);
+    }
+  }
+
+  const auto candidate = [&](std::size_t idx) {
+    return mask == nullptr || mask->test(idx);
+  };
+
+  // Single fused sweep replacing the reference's passes 1–3. The region
+  // is exactly the candidate cells at maximum coverage: a cell whose
+  // coverage contains some maximum-cardinality set has popcount >= best,
+  // and best is the maximum, so == best; conversely a maximum cell's own
+  // coverage is such a set. Likewise used[i] ("i participates in some
+  // maximum set") is simply the OR of the tying cells' coverage words —
+  // deduplication is irrelevant under OR. So one walk suffices: track
+  // the running maximum, collect tying cell indices, and fold their
+  // coverage into `ormask`; a new maximum resets both. Cells outside
+  // every constraint's latitude band have zero coverage and cannot win,
+  // which is why walking only the touched row runs is exact.
+  auto ormask_lease = grid::Scratch::words(scratch, planes);
+  std::uint64_t* ormask = ormask_lease.vec().data();
+  ormask_lease.mark_dirty(0, planes);
+  auto ties_lease = grid::Scratch::indices(scratch);
+  std::vector<std::uint32_t>& ties = ties_lease.vec();
+  std::size_t best = 0;
+  for_each_row_run(rowmap, rows, [&](std::size_t ra, std::size_t rb) {
+    for (std::size_t idx = ra * cols; idx < rb * cols; ++idx) {
+      if (!candidate(idx)) continue;
+      std::size_t pc;
+      if (planes == 1) {
+        pc = static_cast<std::size_t>(std::popcount(cover[idx]));
+      } else {
+        pc = 0;
+        for (std::size_t w = 0; w < planes; ++w)
+          pc += static_cast<std::size_t>(std::popcount(cover[w * size + idx]));
+      }
+      if (pc == 0 || pc < best) continue;
+      if (pc > best) {
+        best = pc;
+        ties.clear();
+        std::fill(ormask, ormask + planes, 0);
+      }
+      ties.push_back(static_cast<std::uint32_t>(idx));
+      for (std::size_t w = 0; w < planes; ++w)
+        ormask[w] |= cover[w * size + idx];
+    }
+  });
+  if (best == 0) return 0;
+
+  for (const std::uint32_t idx : ties) region.set(idx);
+  for (std::size_t w = 0; w < planes; ++w) {
+    std::uint64_t bits = ormask[w];
+    while (bits) {
+      const unsigned b = static_cast<unsigned>(std::countr_zero(bits));
+      used[w * 64 + b] = true;
+      bits &= bits - 1;
+    }
+  }
+  return best;
+
 }
 
 SubsetResult largest_consistent_subset(const grid::Grid& g,
                                        std::span<const DiskConstraint> disks,
                                        const grid::Region* mask,
+                                       grid::CapPlanCache* cache,
+                                       grid::Scratch* scratch) {
+  SubsetResult result;
+  result.region = grid::Region(g);  // escapes to the caller
+  result.n_used = largest_consistent_subset_into(g, disks, mask, cache,
+                                                 scratch, result.region,
+                                                 result.used);
+  return result;
+}
+
+namespace reference {
+
+SubsetResult largest_consistent_subset(const grid::Grid& g,
+                                       std::span<const DiskConstraint> disks,
+                                       const grid::Region* mask,
                                        grid::CapPlanCache* cache) {
-  AGEO_SPAN("mlat", "largest_consistent_subset");
   detail::require(disks.size() <= 64,
                   "largest_consistent_subset: at most 64 constraints");
   if (mask)
@@ -196,5 +427,7 @@ SubsetResult largest_consistent_subset(const grid::Grid& g,
   }
   return result;
 }
+
+}  // namespace reference
 
 }  // namespace ageo::mlat

@@ -11,6 +11,14 @@
 // is exact and linear: a subset of disks has a common point iff some cell
 // is covered by all of them, so the maximum subset is read off per-cell
 // coverage masks (the paper's suffix-tree DFS optimises the same search).
+//
+// Every entry point takes an optional grid::Scratch arena. With an arena
+// the engines run allocation-free in steady state: intersections AND
+// plan row spans directly into the running region (no temporary Region),
+// coverage planes and posterior fields come from thread-local pools, and
+// only the result that escapes to the caller is heap-allocated. A null
+// arena degrades to plain per-call allocations with bit-identical
+// results (pinned by mlat_equivalence_test).
 #pragma once
 
 #include <cstdint>
@@ -21,6 +29,7 @@
 #include "grid/cap_cache.hpp"
 #include "grid/field.hpp"
 #include "grid/region.hpp"
+#include "grid/scratch.hpp"
 
 namespace ageo::mlat {
 
@@ -49,28 +58,45 @@ struct GaussianConstraint {
 /// Intersection of all disks, clipped by `mask` when non-null. Empty
 /// region when the constraints are inconsistent. `cache`, when non-null,
 /// reuses per-landmark scan plans across calls (the constraint centers of
-/// successive proxies repeat); results are identical either way.
+/// successive proxies repeat) and intersects each annulus in place with
+/// the fused kernel; results are identical either way. `scratch` pools
+/// the temporaries of the no-cache path.
 grid::Region intersect_disks(const grid::Grid& g,
                              std::span<const DiskConstraint> disks,
                              const grid::Region* mask = nullptr,
-                             grid::CapPlanCache* cache = nullptr);
+                             grid::CapPlanCache* cache = nullptr,
+                             grid::Scratch* scratch = nullptr);
 
 /// Intersection of all rings, clipped by `mask` when non-null.
 grid::Region intersect_rings(const grid::Grid& g,
                              std::span<const RingConstraint> rings,
                              const grid::Region* mask = nullptr,
-                             grid::CapPlanCache* cache = nullptr);
+                             grid::CapPlanCache* cache = nullptr,
+                             grid::Scratch* scratch = nullptr);
 
 /// Bayesian fusion of Gaussian rings (Spotter). The returned field is
 /// normalised unless the total mass is zero. Validates the whole
 /// constraint list once up front, then runs the per-ring multiplies
 /// unchecked on the windowed fast path. `cache`, when non-null, serves
 /// per-landmark distance tables so the multiplies do zero trig; results
-/// are bit-identical either way.
+/// are bit-identical either way. `scratch` pools the support-annulus
+/// temporaries (the returned Field itself is a fresh allocation — keep a
+/// pooled posterior with fuse_gaussian_rings_into instead).
 grid::Field fuse_gaussian_rings(const grid::Grid& g,
                                 std::span<const GaussianConstraint> rings,
                                 const grid::Region* mask = nullptr,
-                                grid::CapPlanCache* cache = nullptr);
+                                grid::CapPlanCache* cache = nullptr,
+                                grid::Scratch* scratch = nullptr);
+
+/// Allocation-free variant: fuse into `posterior`, which must be a fresh
+/// uniform (all-ones) field on `g` — typically a pooled one from
+/// grid::Scratch::field, which also threads the arena through the
+/// field's internal temporaries. Same bits as fuse_gaussian_rings.
+void fuse_gaussian_rings_into(const grid::Grid& g,
+                              std::span<const GaussianConstraint> rings,
+                              grid::Field& posterior,
+                              const grid::Region* mask = nullptr,
+                              grid::CapPlanCache* cache = nullptr);
 
 struct SubsetResult {
   grid::Region region;
@@ -84,11 +110,35 @@ struct SubsetResult {
 
 /// Largest consistent subset of disks: the region is the union, over all
 /// maximum-cardinality subsets with nonempty intersection, of that
-/// subset's intersection. At most 64 constraints. `mask` clips candidate
-/// cells when non-null.
+/// subset's intersection. `mask` clips candidate cells when non-null.
+/// Any number of constraints (coverage is tracked in ceil(n/64) bit
+/// planes); the passes walk only the union of the constraints' latitude
+/// bands, so sparse constraint sets never pay for the full grid.
+SubsetResult largest_consistent_subset(const grid::Grid& g,
+                                       std::span<const DiskConstraint> disks,
+                                       const grid::Region* mask = nullptr,
+                                       grid::CapPlanCache* cache = nullptr,
+                                       grid::Scratch* scratch = nullptr);
+
+/// Allocation-free core of largest_consistent_subset: the region is
+/// written into `region`, which must be an empty region on `g`
+/// (typically a pooled one), `used` is assigned in place, and the
+/// maximum cardinality is returned. Same bits as the wrapper.
+std::size_t largest_consistent_subset_into(
+    const grid::Grid& g, std::span<const DiskConstraint> disks,
+    const grid::Region* mask, grid::CapPlanCache* cache,
+    grid::Scratch* scratch, grid::Region& region, std::vector<bool>& used);
+
+namespace reference {
+/// The original full-grid, single-word LCS solver (at most 64
+/// constraints, three dense passes, owned allocations). This defines the
+/// semantics the sparse solver above must reproduce exactly — region,
+/// used vector and n_used — and mlat_equivalence_test pins the two
+/// against each other. Too slow for production use on fine grids.
 SubsetResult largest_consistent_subset(const grid::Grid& g,
                                        std::span<const DiskConstraint> disks,
                                        const grid::Region* mask = nullptr,
                                        grid::CapPlanCache* cache = nullptr);
+}  // namespace reference
 
 }  // namespace ageo::mlat

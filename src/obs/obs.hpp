@@ -44,12 +44,43 @@
 
 #define AGEO_COUNT(name_lit) AGEO_COUNTER_ADD(name_lit, 1)
 
+// Wall-clock-tagged counter: for values that depend on scheduling or
+// pool history (e.g. scratch-arena buffer allocations, which differ by
+// thread count because every worker warms its own arena). Excluded from
+// the deterministic snapshot view, like timer histograms.
+#define AGEO_COUNTER_ADD_WALL(name_lit, n)                                   \
+  do {                                                                       \
+    if (::ageo::obs::metrics_enabled()) {                                    \
+      static const ::ageo::obs::CounterId AGEO_OBS_CAT(ageo_obs_id_,         \
+                                                       __LINE__) =           \
+          ::ageo::obs::Registry::global().counter(                           \
+              name_lit, ::ageo::obs::Clock::kWallClock);                     \
+      ::ageo::obs::Registry::global().add(                                   \
+          AGEO_OBS_CAT(ageo_obs_id_, __LINE__), (n));                        \
+    }                                                                        \
+  } while (0)
+
+#define AGEO_COUNT_WALL(name_lit) AGEO_COUNTER_ADD_WALL(name_lit, 1)
+
 #define AGEO_GAUGE_SET(name_lit, v)                                          \
   do {                                                                       \
     if (::ageo::obs::metrics_enabled()) {                                    \
       static const ::ageo::obs::GaugeId AGEO_OBS_CAT(ageo_obs_id_,           \
                                                      __LINE__) =             \
           ::ageo::obs::Registry::global().gauge(name_lit);                   \
+      ::ageo::obs::Registry::global().set(                                   \
+          AGEO_OBS_CAT(ageo_obs_id_, __LINE__), (v));                        \
+    }                                                                        \
+  } while (0)
+
+// Wall-clock-tagged gauge (same rationale as AGEO_COUNTER_ADD_WALL).
+#define AGEO_GAUGE_SET_WALL(name_lit, v)                                     \
+  do {                                                                       \
+    if (::ageo::obs::metrics_enabled()) {                                    \
+      static const ::ageo::obs::GaugeId AGEO_OBS_CAT(ageo_obs_id_,           \
+                                                     __LINE__) =             \
+          ::ageo::obs::Registry::global().gauge(                             \
+              name_lit, ::ageo::obs::Clock::kWallClock);                     \
       ::ageo::obs::Registry::global().set(                                   \
           AGEO_OBS_CAT(ageo_obs_id_, __LINE__), (v));                        \
     }                                                                        \
@@ -104,7 +135,10 @@
 
 #define AGEO_COUNTER_ADD(name_lit, n) ((void)0)
 #define AGEO_COUNT(name_lit) ((void)0)
+#define AGEO_COUNTER_ADD_WALL(name_lit, n) ((void)0)
+#define AGEO_COUNT_WALL(name_lit) ((void)0)
 #define AGEO_GAUGE_SET(name_lit, v) ((void)0)
+#define AGEO_GAUGE_SET_WALL(name_lit, v) ((void)0)
 #define AGEO_HIST(name_lit, v, lo_, hi_) ((void)0)
 #define AGEO_HIST_WALL(name_lit, v, lo_, hi_) ((void)0)
 #define AGEO_TIMED_NS(name_lit, lo_, hi_) ((void)0)

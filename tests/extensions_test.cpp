@@ -135,23 +135,64 @@ class SubsetDfsEquivalence : public ::testing::TestWithParam<std::uint64_t> {
 };
 
 TEST_P(SubsetDfsEquivalence, MatchesCoverageMethod) {
-  grid::Grid g(2.0);
+  // Every third seed builds a >64-disk instance (the coverage engine's
+  // old ceiling): a consistent cluster plus outliers, so branch-and-bound
+  // stays fast while the multi-word mask path is exercised.
+  grid::Grid g(GetParam() % 3 == 0 ? 4.0 : 2.0);
   Rng rng(GetParam());
   std::vector<mlat::DiskConstraint> disks;
-  int n = 3 + static_cast<int>(rng.uniform_index(9));
-  for (int i = 0; i < n; ++i) {
-    disks.push_back({{rng.uniform(-60.0, 60.0), rng.uniform(-180.0, 180.0)},
-                     rng.uniform(300.0, 5000.0)});
+  if (GetParam() % 3 == 0) {
+    const geo::LatLon hub{rng.uniform(-40.0, 40.0),
+                          rng.uniform(-160.0, 160.0)};
+    const int n = 66 + static_cast<int>(rng.uniform_index(6));
+    const int outliers = 4 + static_cast<int>(rng.uniform_index(4));
+    for (int i = 0; i < n - outliers; ++i) {
+      disks.push_back({{hub.lat_deg + rng.uniform(-4.0, 4.0),
+                        hub.lon_deg + rng.uniform(-4.0, 4.0)},
+                       rng.uniform(1500.0, 5000.0)});
+    }
+    for (int i = 0; i < outliers; ++i) {
+      disks.push_back({{-hub.lat_deg + rng.uniform(-3.0, 3.0),
+                        hub.lon_deg + 180.0 * ((i % 2) ? 1.0 : -1.0) * 0.9},
+                       rng.uniform(300.0, 900.0)});
+    }
+  } else {
+    const int n = 3 + static_cast<int>(rng.uniform_index(9));
+    for (int i = 0; i < n; ++i) {
+      disks.push_back({{rng.uniform(-60.0, 60.0), rng.uniform(-180.0, 180.0)},
+                       rng.uniform(300.0, 5000.0)});
+    }
   }
-  auto cover = mlat::largest_consistent_subset(g, disks);
-  auto dfs = mlat::largest_consistent_subset_dfs(g, disks);
-  // Identical maximum-subset cardinality (the central invariant).
-  EXPECT_EQ(dfs.n_used, cover.n_used);
-  // The DFS region (one maximum subset's intersection) is contained in
-  // the coverage region (union over all maximum subsets).
-  if (dfs.n_used > 0) {
-    EXPECT_FALSE(dfs.region.empty());
-    EXPECT_TRUE(dfs.region.subset_of(cover.region));
+  const grid::Region mask = grid::rasterize_lat_band(
+      g, rng.uniform(-70.0, -30.0), rng.uniform(30.0, 70.0));
+  for (const grid::Region* m :
+       {static_cast<const grid::Region*>(nullptr), &mask}) {
+    auto cover = mlat::largest_consistent_subset(g, disks, m);
+    auto dfs = mlat::largest_consistent_subset_dfs(g, disks, m);
+    // Identical maximum-subset cardinality (the central invariant).
+    EXPECT_EQ(dfs.n_used, cover.n_used) << "masked=" << (m != nullptr);
+    // used-vector semantics: the DFS reports the members of ONE maximum
+    // subset, the coverage method the union over ALL maximum subsets —
+    // so dfs.used has exactly n_used bits, each also set in cover.used.
+    std::size_t dfs_members = 0;
+    for (std::size_t i = 0; i < disks.size(); ++i) {
+      if (dfs.used[i]) {
+        ++dfs_members;
+        EXPECT_TRUE(cover.used[i]) << "disk " << i;
+      }
+    }
+    EXPECT_EQ(dfs_members, dfs.n_used);
+    std::size_t cover_members = 0;
+    for (std::size_t i = 0; i < disks.size(); ++i) {
+      cover_members += cover.used[i] ? 1u : 0u;
+    }
+    EXPECT_GE(cover_members, cover.n_used);
+    // The DFS region (one maximum subset's intersection) is contained in
+    // the coverage region (union over all maximum subsets).
+    if (dfs.n_used > 0) {
+      EXPECT_FALSE(dfs.region.empty());
+      EXPECT_TRUE(dfs.region.subset_of(cover.region));
+    }
   }
 }
 

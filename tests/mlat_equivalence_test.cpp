@@ -1,0 +1,327 @@
+// Equivalence suite for the zero-allocation fast paths.
+//
+// Three families of oracle are pinned here:
+//   1. Fused annulus kernels (CapScanPlan::intersect_annulus_into /
+//      subtract_annulus_into) against materialize-then-AND(-NOT).
+//   2. The sparse multi-plane largest_consistent_subset against the
+//      retained dense reference::largest_consistent_subset (≤64 disks),
+//      and against a count-based oracle for >64 disks.
+//   3. Arena/cache invariance: every mlat entry point returns the same
+//      bits whether or not a Scratch arena or plan cache is supplied.
+//
+// All comparisons are on raw Region words — bit-identical, not "close".
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geo/geodesy.hpp"
+#include "grid/cap_cache.hpp"
+#include "grid/field.hpp"
+#include "grid/raster.hpp"
+#include "grid/scratch.hpp"
+#include "mlat/multilateration.hpp"
+
+namespace ageo::mlat {
+namespace {
+
+geo::LatLon random_point(Rng& rng) {
+  return {rng.uniform(-85.0, 85.0), rng.uniform(-180.0, 180.0)};
+}
+
+grid::Region random_base(const grid::Grid& g, Rng& rng, int flavour) {
+  switch (flavour % 3) {
+    case 0: {
+      grid::Region r(g);
+      r.fill();
+      return r;
+    }
+    case 1: {
+      const double lo = rng.uniform(-80.0, 0.0);
+      return grid::rasterize_lat_band(g, lo, rng.uniform(lo, 80.0));
+    }
+    default:
+      return grid::rasterize_cap(
+          g, geo::Cap{random_point(rng), rng.uniform(200.0, 6000.0)});
+  }
+}
+
+std::vector<DiskConstraint> random_disks(Rng& rng, std::size_t n,
+                                         double rmin, double rmax) {
+  std::vector<DiskConstraint> disks;
+  disks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    disks.push_back({random_point(rng), rng.uniform(rmin, rmax)});
+  }
+  return disks;
+}
+
+TEST(FusedKernels, IntersectAndSubtractMatchMaterialized) {
+  grid::Grid g(1.0);
+  grid::CapPlanCache cache(64);
+  Rng rng(20260807, "fused_kernels");
+  for (int iter = 0; iter < 60; ++iter) {
+    const geo::LatLon c = random_point(rng);
+    auto plan = cache.plan(g, c);
+    const double outer = rng.uniform(20.0, 12000.0);
+    const double inner = (iter % 3 == 0) ? 0.0 : rng.uniform(0.0, outer);
+    const grid::Region base = random_base(g, rng, iter);
+
+    grid::Region annulus(g);
+    plan->rasterize_annulus(inner, outer, annulus);
+
+    grid::Region and_oracle = base;
+    and_oracle &= annulus;
+    grid::Region fused_and = base;
+    plan->intersect_annulus_into(inner, outer, fused_and);
+    ASSERT_EQ(and_oracle.words(), fused_and.words())
+        << "intersect iter " << iter << " center (" << c.lat_deg << ", "
+        << c.lon_deg << ") inner " << inner << " outer " << outer;
+
+    grid::Region sub_oracle = base;
+    sub_oracle.subtract(annulus);
+    grid::Region fused_sub = base;
+    plan->subtract_annulus_into(inner, outer, fused_sub);
+    ASSERT_EQ(sub_oracle.words(), fused_sub.words())
+        << "subtract iter " << iter << " center (" << c.lat_deg << ", "
+        << c.lon_deg << ") inner " << inner << " outer " << outer;
+  }
+}
+
+TEST(FusedKernels, EmptyAndDegenerateAnnuli) {
+  grid::Grid g(2.0);
+  grid::CapPlanCache cache(8);
+  auto plan = cache.plan(g, {40.0, -3.0});
+  grid::Region base = grid::rasterize_lat_band(g, -30.0, 60.0);
+
+  // Empty annulus (outer < inner after clamping): intersect empties,
+  // subtract is a no-op. Same as the materialized oracle.
+  grid::Region annulus(g);
+  plan->rasterize_annulus(500.0, 100.0, annulus);
+  EXPECT_TRUE(annulus.empty());
+  grid::Region fused_and = base;
+  plan->intersect_annulus_into(500.0, 100.0, fused_and);
+  EXPECT_TRUE(fused_and.empty());
+  grid::Region fused_sub = base;
+  plan->subtract_annulus_into(500.0, 100.0, fused_sub);
+  EXPECT_EQ(base.words(), fused_sub.words());
+
+  // Whole-earth disk: intersect is a no-op, subtract empties.
+  grid::Region all(g);
+  plan->rasterize_annulus(0.0, 21000.0, all);
+  grid::Region fused_all = base;
+  plan->intersect_annulus_into(0.0, 21000.0, fused_all);
+  grid::Region oracle_all = base;
+  oracle_all &= all;
+  EXPECT_EQ(oracle_all.words(), fused_all.words());
+  grid::Region fused_none = base;
+  plan->subtract_annulus_into(0.0, 21000.0, fused_none);
+  grid::Region oracle_none = base;
+  oracle_none.subtract(all);
+  EXPECT_EQ(oracle_none.words(), fused_none.words());
+}
+
+// Every (cache, scratch) combination of the sparse engine against the
+// dense reference, masked and unmasked, across sizes up to the old
+// 64-constraint ceiling.
+TEST(SubsetEquivalence, SparseMatchesDenseReference) {
+  grid::Grid g(2.0);
+  Rng rng(99, "subset_equivalence");
+  const grid::Region mask = grid::rasterize_lat_band(g, -60.0, 72.0);
+  for (std::size_t n : {1u, 2u, 7u, 25u, 60u, 64u}) {
+    // Clustered disks with a few far-flung outliers so the maximum
+    // subset is a strict subset of the input.
+    auto disks = random_disks(rng, n, 300.0, 5000.0);
+    const geo::LatLon hub = random_point(rng);
+    for (std::size_t i = 0; i + 1 < disks.size(); i += 2) {
+      disks[i].center = {hub.lat_deg + rng.uniform(-5.0, 5.0),
+                         hub.lon_deg + rng.uniform(-5.0, 5.0)};
+    }
+    for (const grid::Region* m : {static_cast<const grid::Region*>(nullptr),
+                                  &mask}) {
+      grid::CapPlanCache cache(128);
+      const SubsetResult oracle =
+          reference::largest_consistent_subset(g, disks, m);
+      const SubsetResult oracle_cached =
+          reference::largest_consistent_subset(g, disks, m, &cache);
+      ASSERT_EQ(oracle.n_used, oracle_cached.n_used);
+      ASSERT_EQ(oracle.used, oracle_cached.used);
+      ASSERT_EQ(oracle.region.words(), oracle_cached.region.words());
+
+      grid::Scratch* arena = &grid::Scratch::tls();
+      for (grid::CapPlanCache* pc :
+           {static_cast<grid::CapPlanCache*>(nullptr), &cache}) {
+        for (grid::Scratch* sc :
+             {static_cast<grid::Scratch*>(nullptr), arena}) {
+          const SubsetResult fast =
+              largest_consistent_subset(g, disks, m, pc, sc);
+          EXPECT_EQ(oracle.n_used, fast.n_used)
+              << "n=" << n << " mask=" << (m != nullptr)
+              << " cache=" << (pc != nullptr) << " arena=" << (sc != nullptr);
+          EXPECT_EQ(oracle.used, fast.used) << "n=" << n;
+          EXPECT_EQ(oracle.region.words(), fast.region.words()) << "n=" << n;
+        }
+      }
+    }
+  }
+}
+
+// Count-based oracle valid for any number of disks: a cell's coverage
+// cardinality is the number of padded disks containing it; n_used is the
+// maximum over candidates; the region is reconstructed from the fast
+// path's own used-sets only through independent per-disk rasterization.
+TEST(SubsetEquivalence, Over64AgainstCountOracle) {
+  grid::Grid g(4.0);
+  Rng rng(7, "subset_over64");
+  const grid::Region mask = grid::rasterize_lat_band(g, -70.0, 70.0);
+  for (std::size_t n : {65u, 100u, 130u}) {
+    auto disks = random_disks(rng, n, 400.0, 4000.0);
+    const geo::LatLon hub = random_point(rng);
+    for (std::size_t i = 0; i < disks.size(); i += 3) {
+      disks[i].center = {hub.lat_deg + rng.uniform(-4.0, 4.0),
+                         hub.lon_deg + rng.uniform(-4.0, 4.0)};
+    }
+    for (const grid::Region* m : {static_cast<const grid::Region*>(nullptr),
+                                  &mask}) {
+      // Independent per-disk membership via the plain rasterizer.
+      const double pad = conservative_pad_km(g);
+      std::vector<grid::Region> members;
+      members.reserve(n);
+      for (const auto& d : disks) {
+        members.push_back(
+            grid::rasterize_cap(g, geo::Cap{d.center, d.max_km + pad}));
+      }
+      const auto candidate = [&](std::size_t idx) {
+        return m == nullptr || m->test(idx);
+      };
+      std::vector<std::uint32_t> count(g.size(), 0);
+      for (const auto& r : members) {
+        r.for_each_cell([&](std::size_t idx) { ++count[idx]; });
+      }
+      std::size_t best = 0;
+      for (std::size_t idx = 0; idx < g.size(); ++idx) {
+        if (candidate(idx) && count[idx] > best) best = count[idx];
+      }
+
+      grid::CapPlanCache cache(256);
+      const SubsetResult fast = largest_consistent_subset(
+          g, disks, m, &cache, &grid::Scratch::tls());
+      EXPECT_EQ(best, fast.n_used) << "n=" << n << " mask=" << (m != nullptr);
+      // used[i] ⇒ disk i covers some maximum-coverage candidate cell.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!fast.used[i]) continue;
+        bool covers_a_winner = false;
+        members[i].for_each_cell([&](std::size_t idx) {
+          if (candidate(idx) && count[idx] == best) covers_a_winner = true;
+        });
+        EXPECT_TRUE(covers_a_winner) << "disk " << i;
+      }
+      // The region is exactly the candidate cells at maximum coverage: a
+      // cell containing some maximum set has coverage popcount >= best,
+      // and best is the maximum, so == best; conversely a cell at best
+      // is itself a maximum set and must be included.
+      grid::Region oracle_region(g);
+      if (best > 0) {
+        for (std::size_t idx = 0; idx < g.size(); ++idx) {
+          if (candidate(idx) && count[idx] == best) oracle_region.set(idx);
+        }
+      }
+      EXPECT_EQ(oracle_region.words(), fast.region.words())
+          << "n=" << n << " mask=" << (m != nullptr);
+      // And the fast path is invariant to cache/arena choices.
+      const SubsetResult plain = largest_consistent_subset(g, disks, m);
+      EXPECT_EQ(plain.n_used, fast.n_used);
+      EXPECT_EQ(plain.used, fast.used);
+      EXPECT_EQ(plain.region.words(), fast.region.words());
+    }
+  }
+}
+
+TEST(ArenaInvariance, IntersectDisksAndRings) {
+  grid::Grid g(1.0);
+  Rng rng(11, "arena_intersect");
+  const grid::Region mask = grid::rasterize_lat_band(g, -55.0, 75.0);
+  auto disks = random_disks(rng, 12, 500.0, 6000.0);
+  std::vector<RingConstraint> rings;
+  for (const auto& d : disks) {
+    rings.push_back({d.center, d.max_km * rng.uniform(0.1, 0.8), d.max_km});
+  }
+  grid::CapPlanCache cache(64);
+  grid::Scratch* arena = &grid::Scratch::tls();
+
+  const grid::Region d_oracle = intersect_disks(g, disks, &mask);
+  const grid::Region r_oracle = intersect_rings(g, rings, &mask);
+  for (grid::CapPlanCache* pc :
+       {static_cast<grid::CapPlanCache*>(nullptr), &cache}) {
+    for (grid::Scratch* sc : {static_cast<grid::Scratch*>(nullptr), arena}) {
+      EXPECT_EQ(d_oracle.words(),
+                intersect_disks(g, disks, &mask, pc, sc).words())
+          << "cache=" << (pc != nullptr) << " arena=" << (sc != nullptr);
+      EXPECT_EQ(r_oracle.words(),
+                intersect_rings(g, rings, &mask, pc, sc).words())
+          << "cache=" << (pc != nullptr) << " arena=" << (sc != nullptr);
+    }
+  }
+}
+
+TEST(ArenaInvariance, FuseGaussianRings) {
+  grid::Grid g(1.0);
+  Rng rng(13, "arena_fuse");
+  const grid::Region mask = grid::rasterize_lat_band(g, -55.0, 75.0);
+  std::vector<GaussianConstraint> rings;
+  for (int i = 0; i < 8; ++i) {
+    rings.push_back(
+        {random_point(rng), rng.uniform(300.0, 4000.0),
+         rng.uniform(50.0, 400.0)});
+  }
+  grid::CapPlanCache cache(64);
+  grid::Scratch* arena = &grid::Scratch::tls();
+
+  grid::Field oracle = fuse_gaussian_rings(g, rings, &mask);
+  const grid::Region cr_oracle = oracle.credible_region(0.95);
+  for (grid::CapPlanCache* pc :
+       {static_cast<grid::CapPlanCache*>(nullptr), &cache}) {
+    for (grid::Scratch* sc : {static_cast<grid::Scratch*>(nullptr), arena}) {
+      grid::Field f = fuse_gaussian_rings(g, rings, &mask, pc, sc);
+      EXPECT_EQ(cr_oracle.words(), f.credible_region(0.95).words())
+          << "cache=" << (pc != nullptr) << " arena=" << (sc != nullptr);
+
+      // The pooled sibling: a leased Field filled in place.
+      auto lease = grid::Scratch::field(sc, g);
+      fuse_gaussian_rings_into(g, rings, lease.ref(), &mask, pc);
+      EXPECT_EQ(cr_oracle.words(),
+                lease.ref().credible_region(0.95).words())
+          << "pooled, cache=" << (pc != nullptr)
+          << " arena=" << (sc != nullptr);
+    }
+  }
+}
+
+// Leased buffers are dirty on purpose; a fresh lease must still behave
+// like a fresh allocation. Run a polluting workload, then re-verify a
+// pinned result.
+TEST(ArenaInvariance, ReusedBuffersDoNotLeakStateAcrossCalls) {
+  grid::Grid g(2.0);
+  Rng rng(17, "arena_reuse");
+  grid::CapPlanCache cache(64);
+  grid::Scratch* arena = &grid::Scratch::tls();
+  auto disks = random_disks(rng, 30, 300.0, 5000.0);
+  const SubsetResult pinned =
+      largest_consistent_subset(g, disks, nullptr, &cache, arena);
+  for (int iter = 0; iter < 10; ++iter) {
+    // Pollute the pools with different-shaped workloads.
+    auto other = random_disks(rng, 70 + 7 * iter, 200.0, 8000.0);
+    (void)largest_consistent_subset(g, other, nullptr, &cache, arena);
+    (void)intersect_disks(g, other, nullptr, nullptr, arena);
+    const SubsetResult again =
+        largest_consistent_subset(g, disks, nullptr, &cache, arena);
+    ASSERT_EQ(pinned.n_used, again.n_used) << iter;
+    ASSERT_EQ(pinned.used, again.used) << iter;
+    ASSERT_EQ(pinned.region.words(), again.region.words()) << iter;
+  }
+}
+
+}  // namespace
+}  // namespace ageo::mlat

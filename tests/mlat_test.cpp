@@ -179,10 +179,33 @@ TEST(Subset, RespectsMask) {
   });
 }
 
-TEST(Subset, TooManyConstraintsThrows) {
+TEST(Subset, MoreThanSixtyFourConstraintsSupported) {
+  // The coverage masks are multi-word, so the engine takes any number of
+  // constraints. 70 consistent disks around one point plus 5 outliers:
+  // the maximum subset is exactly the consistent 70.
   grid::Grid g(4.0);
-  std::vector<DiskConstraint> disks(65, DiskConstraint{{0.0, 0.0}, 100.0});
-  EXPECT_THROW(largest_consistent_subset(g, disks), InvalidArgument);
+  std::vector<DiskConstraint> disks;
+  for (int i = 0; i < 70; ++i) {
+    disks.push_back({{0.5 * (i % 7), 0.5 * (i % 5)}, 2000.0});
+  }
+  for (int i = 0; i < 5; ++i) {
+    disks.push_back({{-60.0, 150.0}, 300.0});  // far away, inconsistent
+  }
+  auto res = largest_consistent_subset(g, disks);
+  EXPECT_EQ(res.n_used, 70u);
+  ASSERT_EQ(res.used.size(), 75u);
+  for (std::size_t i = 0; i < 70; ++i) EXPECT_TRUE(res.used[i]) << i;
+  for (std::size_t i = 70; i < 75; ++i) EXPECT_FALSE(res.used[i]) << i;
+  EXPECT_FALSE(res.region.empty());
+  res.region.for_each_cell([&](std::size_t idx) {
+    // Every region cell is inside all 70 consistent disks (up to the
+    // conservative rasterization pad).
+    const auto c = g.center(idx);
+    for (std::size_t i = 0; i < 70; ++i) {
+      EXPECT_LE(geo::distance_km(c, disks[i].center),
+                disks[i].max_km + conservative_pad_km(g) + 1e-9);
+    }
+  });
 }
 
 TEST(Subset, MaximalityProperty) {
