@@ -3,21 +3,25 @@
 //   ageo_audit_cli [--scale F] [--seed N] [--grid DEG] [--grid-deg DEG]
 //                  [--threads N] [--algo NAME] [--json FILE]
 //                  [--ground-truth] [--metrics FILE|-] [--trace FILE]
+//                  [--attackers FRAC] [--attack STRATEGY]
 //
 // Runs the seven-provider audit and prints the per-provider summary;
 // optionally writes the complete per-proxy results as JSON, the
 // telemetry snapshot as Prometheus text (--metrics), and a Chrome
 // trace_event profile of the run (--trace).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "assess/audit.hpp"
 #include "assess/report.hpp"
 #include "measure/testbed.hpp"
+#include "netsim/adversary.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "world/fleet.hpp"
@@ -48,7 +52,11 @@ void usage(const char* argv0) {
                "  --metrics FILE|-  write the metrics snapshot as "
                "Prometheus text (- = stdout)\n"
                "  --trace FILE      write a Chrome trace_event profile "
-               "(open in chrome://tracing); FILE.jsonl gets the flat log\n",
+               "(open in chrome://tracing); FILE.jsonl gets the flat log\n"
+               "  --attackers FRAC  compromise this fraction of landmarks "
+               "(default 0 = honest fleet)\n"
+               "  --attack NAME     adversary strategy: inflate | deflate "
+               "| collude | drop (default collude)\n",
                argv0);
 }
 
@@ -73,6 +81,8 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_path;
   bool ground_truth = false;
+  double attackers = 0.0;
+  std::string attack = "collude";
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
@@ -108,6 +118,10 @@ int main(int argc, char** argv) {
       metrics_path = need_value("--metrics");
     } else if (!std::strcmp(argv[i], "--trace")) {
       trace_path = need_value("--trace");
+    } else if (!std::strcmp(argv[i], "--attackers")) {
+      attackers = std::atof(need_value("--attackers"));
+    } else if (!std::strcmp(argv[i], "--attack")) {
+      attack = need_value("--attack");
     } else if (!std::strcmp(argv[i], "--ground-truth")) {
       ground_truth = true;
     } else if (!std::strcmp(argv[i], "--help") ||
@@ -120,7 +134,13 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (!(scale > 0.0 && scale <= 4.0) || !(grid_deg > 0.0) || threads < 0) {
+  if (!(scale > 0.0 && scale <= 4.0) || !(grid_deg > 0.0) || threads < 0 ||
+      !(attackers >= 0.0 && attackers <= 1.0)) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (!netsim::profile_for_strategy(attack, geo::LatLon{0.0, 0.0})) {
+    std::fprintf(stderr, "unknown --attack: %s\n", attack.c_str());
     usage(argv[0]);
     return 2;
   }
@@ -157,6 +177,21 @@ int main(int argc, char** argv) {
   for (auto& s : specs)
     s.target_servers = std::max(10, static_cast<int>(s.target_servers * scale));
   auto fleet = world::generate_fleet(bed.world(), specs, seed);
+
+  std::vector<netsim::HostId> compromised;
+  if (attackers > 0.0) {
+    std::vector<netsim::HostId> landmark_hosts;
+    landmark_hosts.reserve(bed.landmarks().size());
+    for (std::size_t i = 0; i < bed.landmarks().size(); ++i)
+      landmark_hosts.push_back(bed.landmark_host(i));
+    // Colluders rendezvous on a fixed fake position; the other
+    // strategies ignore it.
+    const geo::LatLon fake{40.0, -100.0};
+    compromised = netsim::attach_adversaries(bed.net(), landmark_hosts,
+                                             attackers, attack, seed, fake);
+    std::fprintf(stderr, "compromised %zu/%zu landmarks (%s)\n",
+                 compromised.size(), landmark_hosts.size(), attack.c_str());
+  }
   std::fprintf(stderr, "auditing %zu proxies...\n", fleet.hosts.size());
 
   ac.grid_cell_deg = grid_deg;
@@ -170,6 +205,30 @@ int main(int argc, char** argv) {
               report.eta.eta, report.eta.eta_ci_low,
               report.eta.eta_ci_high, report.eta.r_squared,
               report.eta.n_proxies);
+
+  // Byzantine section: who the subset engine distrusts. Printed whenever
+  // something is flagged, or always under an explicit attack so the
+  // operator sees a (possibly empty) verdict either way.
+  std::size_t byz_rows = 0;
+  for (const auto& r : report.rows)
+    if (r.byzantine) ++byz_rows;
+  if (byz_rows || !report.suspicious_landmarks.empty() || attackers > 0.0) {
+    std::printf("byzantine: %zu flagged proxy rows, %zu suspicious "
+                "landmarks\n",
+                byz_rows, report.suspicious_landmarks.size());
+    for (std::size_t id : report.suspicious_landmarks) {
+      const auto& e = report.suspicion.entry(id);
+      const bool truly = std::find(compromised.begin(), compromised.end(),
+                                   bed.landmark_host(id)) !=
+                         compromised.end();
+      std::printf("  landmark %3zu: excluded %llu/%llu solves "
+                  "(score %.2f)%s\n",
+                  id, static_cast<unsigned long long>(e.excluded),
+                  static_cast<unsigned long long>(e.solves), e.score(),
+                  attackers > 0.0 ? (truly ? "  [attacker]" : "  [honest!]")
+                                  : "");
+    }
+  }
 
   if (!report.telemetry.empty()) {
     // Scratch-arena report: how much the pooled hot-path buffers cost
@@ -211,6 +270,27 @@ int main(int argc, char** argv) {
                     counter("mlat.scratch.field_acquires")),
                 static_cast<unsigned long long>(
                     counter("mlat.scratch.index_acquires")));
+    std::printf("subset engine: %llu solves, %llu constraints, "
+                "%llu fast-path, %llu excluded\n",
+                static_cast<unsigned long long>(counter("mlat.lcs.solves")),
+                static_cast<unsigned long long>(
+                    counter("mlat.lcs.constraints")),
+                static_cast<unsigned long long>(
+                    counter("mlat.lcs.fast_path_hits")),
+                static_cast<unsigned long long>(
+                    counter("mlat.lcs.excluded")));
+    if (counter("netsim.adversary.hosts_compromised")) {
+      std::printf("adversary: %llu hosts, %llu probes shifted, "
+                  "%llu forged, %llu dropped\n",
+                  static_cast<unsigned long long>(
+                      counter("netsim.adversary.hosts_compromised")),
+                  static_cast<unsigned long long>(
+                      counter("netsim.adversary.probes_shifted")),
+                  static_cast<unsigned long long>(
+                      counter("netsim.adversary.probes_forged")),
+                  static_cast<unsigned long long>(
+                      counter("netsim.adversary.probes_dropped")));
+    }
   }
 
   if (!json_path.empty()) {

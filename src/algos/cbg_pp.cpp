@@ -50,6 +50,11 @@ CbgPlusPlusGeolocator::Detail CbgPlusPlusGeolocator::locate_detailed(
         mlat::intersect_disks(g, bestline, mask, plan_cache_, scratch)};
     detail.bestline_subset_size = observations.size();
     detail.baseline_subset_size = observations.size();
+    // Plain-CBG mode has no subset semantics: every constraint is
+    // demanded, none is ever excluded.
+    detail.estimate.constraints_total = observations.size();
+    detail.estimate.constraints_used = observations.size();
+    detail.estimate.used.assign(observations.size(), true);
     return detail;
   }
 
@@ -65,11 +70,15 @@ CbgPlusPlusGeolocator::Detail CbgPlusPlusGeolocator::locate_detailed(
   // Stage 2: drop bestline disks that do not overlap the baseline region.
   const bool base_empty = base_region.empty();
   std::vector<mlat::DiskConstraint> retained;
+  std::vector<std::size_t> retained_idx;  // retained -> observation index
   retained.reserve(bestline.size());
-  for (const auto& d : bestline) {
+  retained_idx.reserve(bestline.size());
+  for (std::size_t i = 0; i < bestline.size(); ++i) {
+    const auto& d = bestline[i];
     if (base_empty ||
         base_region.distance_from_km(d.center) <= d.max_km) {
       retained.push_back(d);
+      retained_idx.push_back(i);
     } else {
       ++detail.disks_discarded_by_baseline;
     }
@@ -83,6 +92,14 @@ CbgPlusPlusGeolocator::Detail CbgPlusPlusGeolocator::locate_detailed(
                                                scratch);
   detail.bestline_subset_size = bestr.n_used;
   detail.estimate = GeoEstimate{std::move(bestr.region)};
+  // Byzantine diagnostics: a landmark participates iff its disk survived
+  // the baseline filter AND joined the winning coalition; the margin is
+  // therefore baseline discards plus subset exclusions.
+  detail.estimate.constraints_total = observations.size();
+  detail.estimate.constraints_used = bestr.n_used;
+  detail.estimate.used.assign(observations.size(), false);
+  for (std::size_t j = 0; j < retained_idx.size(); ++j)
+    if (bestr.used[j]) detail.estimate.used[retained_idx[j]] = true;
   return detail;
 }
 

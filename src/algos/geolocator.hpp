@@ -35,7 +35,38 @@ struct Observation {
 };
 
 struct GeoEstimate {
+  GeoEstimate() = default;
+  explicit GeoEstimate(grid::Region r) : region(std::move(r)) {}
+
   grid::Region region;
+
+  // --- Byzantine-robustness diagnostics (DESIGN.md §11) ---
+  // Filled by the subset-based locators (CBG++, Hybrid); zero/empty for
+  // locators without subset semantics (Spotter's posterior has no
+  // notion of an excluded constraint).
+  /// Observations turned into constraints for this estimate.
+  std::size_t constraints_total = 0;
+  /// Cardinality of the winning consistent coalition.
+  std::size_t constraints_used = 0;
+  /// Per-observation participation, parallel to the input span: false
+  /// means the observation was discarded (outside the baseline region
+  /// or excluded by the subset solve). Empty when not applicable.
+  std::vector<bool> used;
+
+  /// Constraints the solver had to discard (n - best); the per-proxy
+  /// flagging signal.
+  std::size_t margin() const noexcept {
+    return constraints_total - constraints_used;
+  }
+  /// Fraction of constraints in the winning coalition; 1 when there is
+  /// nothing to disagree about.
+  double agreement() const noexcept {
+    return constraints_total
+               ? static_cast<double>(constraints_used) /
+                     static_cast<double>(constraints_total)
+               : 1.0;
+  }
+
   /// True when the constraints were mutually inconsistent (an empty
   /// region); CBG++ is designed to avoid this (paper §5.1).
   bool empty() const noexcept { return region.empty(); }

@@ -8,7 +8,8 @@
 
 namespace ageo::algos {
 
-HybridGeolocator::HybridGeolocator(double n_sigma) : n_sigma_(n_sigma) {
+HybridGeolocator::HybridGeolocator(double n_sigma, bool robust_subset)
+    : n_sigma_(n_sigma), robust_subset_(robust_subset) {
   detail::require(n_sigma > 0.0, "HybridGeolocator: n_sigma must be > 0");
 }
 
@@ -26,8 +27,21 @@ GeoEstimate HybridGeolocator::locate(
     rings.push_back({ob.landmark, std::max(0.0, mu - n_sigma_ * sigma),
                      mu + n_sigma_ * sigma});
   }
-  return GeoEstimate{mlat::intersect_rings(g, rings, mask, plan_cache_,
-                                           &grid::Scratch::tls())};
+  if (!robust_subset_) {
+    return GeoEstimate{mlat::intersect_rings(g, rings, mask, plan_cache_,
+                                             &grid::Scratch::tls())};
+  }
+  // Byzantine-robust mode: the subset engine's intersect-first fast
+  // path makes a consistent (honest) ring set bit-identical to plain
+  // intersect_rings; an inconsistent one keeps the largest consistent
+  // coalition and reports who was excluded.
+  auto subset = mlat::largest_consistent_subset(g, rings, mask, plan_cache_,
+                                                &grid::Scratch::tls());
+  GeoEstimate est{std::move(subset.region)};
+  est.constraints_total = rings.size();
+  est.constraints_used = subset.n_used;
+  est.used = std::move(subset.used);
+  return est;
 }
 
 }  // namespace ageo::algos

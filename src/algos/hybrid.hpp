@@ -11,7 +11,14 @@ namespace ageo::algos {
 
 class HybridGeolocator final : public Geolocator {
  public:
-  explicit HybridGeolocator(double n_sigma = 5.0);
+  /// `robust_subset` routes the ring intersection through the
+  /// largest-consistent-subset engine (Byzantine-robust mode, DESIGN.md
+  /// §11): a fully consistent ring set — every honest measurement —
+  /// yields bit-identical regions either way, but when landmarks lie the
+  /// solver keeps the largest mutually consistent coalition instead of
+  /// collapsing to an empty region, and the estimate reports which
+  /// constraints were excluded.
+  explicit HybridGeolocator(double n_sigma = 5.0, bool robust_subset = true);
 
   std::string_view name() const noexcept override { return "Hybrid"; }
 
@@ -28,6 +35,7 @@ class HybridGeolocator final : public Geolocator {
 
  private:
   double n_sigma_;
+  bool robust_subset_;
   grid::CapPlanCache* plan_cache_ = nullptr;
 };
 

@@ -164,6 +164,16 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
       auto est =
           locator_->locate(*grid_, bed_->store(), row.observations, &mask_);
       row.region = std::move(est.region);
+      row.constraints_total = est.constraints_total;
+      row.constraints_used = est.constraints_used;
+      row.landmark_used = std::move(est.used);
+      // Byzantine verdict (DESIGN.md §11): the winning coalition left
+      // out too many constraints. Honest campaigns on this testbed are
+      // fully consistent (agreement 1.0 via the subset fast path), so a
+      // small coalition means somebody — landmarks or the proxy — lied.
+      row.byzantine =
+          row.constraints_total >= config_.byzantine_min_constraints &&
+          row.agreement() < config_.byzantine_min_agreement;
     }
 
     ClaimAssessment base =
@@ -213,6 +223,22 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
 
   if (config_.use_as_grouping) apply_as_grouping(report.rows, fleet);
 
+  // Suspicion fold (DESIGN.md §11): tally, per landmark, how often the
+  // subset engine excluded it from a winning coalition. Folded from the
+  // rows in host-index order so the table is thread-count independent.
+  {
+    std::vector<std::size_t> ids;
+    for (const auto& row : report.rows) {
+      if (row.landmark_used.empty()) continue;
+      ids.clear();
+      ids.reserve(row.observations.size());
+      for (const auto& ob : row.observations) ids.push_back(ob.landmark_id);
+      report.suspicion.record(ids, row.landmark_used);
+    }
+    report.suspicious_landmarks = report.suspicion.flagged(
+        config_.suspicion_min_score, config_.suspicion_min_solves);
+  }
+
   // Serial epilogue: verdict tallies and run-level gauges, then the
   // run's telemetry snapshot. Everything here is counted exactly once
   // from the joining thread, so it is deterministic by construction.
@@ -231,8 +257,11 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
       }
       if (row.empty_prediction) AGEO_COUNT("assess.audit.empty_predictions");
       if (row.tunnel_flagged) AGEO_COUNT("assess.audit.tunnel_flagged_rows");
+      if (row.byzantine) AGEO_COUNT("assess.audit.byzantine_rows");
       AGEO_HIST("assess.audit.region_area_km2", row.area_km2, 1e3, 1e9);
     }
+    AGEO_COUNTER_ADD("assess.audit.suspicious_landmarks",
+                     report.suspicious_landmarks.size());
     AGEO_GAUGE_SET("grid.plan_cache.size",
                    static_cast<double>(plan_cache_.size()));
     // Arena occupancy depends on thread count and pool reuse, so these

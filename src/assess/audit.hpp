@@ -19,6 +19,7 @@
 #include "measure/proxy_measure.hpp"
 #include "measure/testbed.hpp"
 #include "measure/two_phase.hpp"
+#include "mlat/byzantine.hpp"
 #include "obs/metrics.hpp"
 #include "world/fleet.hpp"
 
@@ -55,6 +56,26 @@ struct AuditConfig {
   /// Posterior mass of the prediction region when algorithm == kSpotter.
   double spotter_credible_mass = 0.95;
   algos::IclabOptions iclab;
+  // --- Byzantine flagging (DESIGN.md §11) ---
+  /// Flag a proxy row as `byzantine` when fewer than this fraction of
+  /// its constraints joined the winning consistent coalition. Honest
+  /// campaigns on this testbed resolve with agreement near 1.0 (the
+  /// subset fast path), but CBG++'s baseline filter honestly discards
+  /// the occasional miscalibrated disk, so the threshold leaves room
+  /// for that while still catching 25% deflating landmarks (which drag
+  /// agreement toward 0.75 and below).
+  double byzantine_min_agreement = 0.7;
+  /// Do not flag rows with fewer constraints than this: with a handful
+  /// of observations one discarded disk swings the agreement fraction
+  /// wildly.
+  std::size_t byzantine_min_constraints = 10;
+  /// Flag a landmark as suspicious when it was excluded from the
+  /// winning coalition in at least this fraction of the subset solves
+  /// it participated in...
+  double suspicion_min_score = 0.5;
+  /// ...over at least this many solves (guards against one unlucky
+  /// campaign condemning a landmark).
+  std::uint64_t suspicion_min_solves = 4;
   std::uint64_t seed = 99;
   /// Worker threads for the per-proxy fan-out of run(). 1 = serial in
   /// the calling thread; 0 = one per hardware thread. Any value yields
@@ -90,6 +111,29 @@ struct ProxyAuditRow {
   /// Tunnel RTT drifted past tolerance after a mid-campaign reconnect;
   /// the eta correction may be stale for this row.
   bool tunnel_flagged = false;
+
+  // --- Byzantine diagnostics (DESIGN.md §11) ---
+  /// Constraints the locator derived from the observations (0 for
+  /// locators without subset semantics, e.g. Spotter).
+  std::size_t constraints_total = 0;
+  /// Of those, how many joined the winning consistent coalition.
+  std::size_t constraints_used = 0;
+  /// Per-observation participation, parallel to `observations`; empty
+  /// when the locator has no subset semantics.
+  std::vector<bool> landmark_used;
+  /// The consistent subset was suspiciously small (agreement below
+  /// AuditConfig::byzantine_min_agreement): either several landmarks
+  /// lied to this campaign, or the proxy's own timing was manipulated.
+  bool byzantine = false;
+
+  /// Fraction of constraints in the winning coalition (1 when there
+  /// were none to disagree about).
+  double agreement() const noexcept {
+    return constraints_total
+               ? static_cast<double>(constraints_used) /
+                     static_cast<double>(constraints_total)
+               : 1.0;
+  }
 };
 
 struct AuditReport {
@@ -110,6 +154,13 @@ struct AuditReport {
   /// kDeterministic) is byte-identical across thread counts — see
   /// obs::Snapshot::to_json(false).
   obs::Snapshot telemetry;
+  /// Per-landmark exclusion tallies across every subset solve of this
+  /// run, folded from the rows in host-index order (thread-count
+  /// independent). Empty when the algorithm has no subset semantics.
+  mlat::SuspicionTable suspicion;
+  /// Landmarks whose exclusion frequency crossed the config thresholds,
+  /// ascending by landmark id.
+  std::vector<std::size_t> suspicious_landmarks;
 };
 
 class Auditor {

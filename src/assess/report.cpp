@@ -51,7 +51,10 @@ void write_row(std::ostream& os, const ProxyAuditRow& r,
      << "\"" << ",\"empty_prediction\":"
      << (r.empty_prediction ? "true" : "false")
      << ",\"area_km2\":" << (std::isfinite(r.area_km2) ? r.area_km2 : 0.0)
-     << ",\"iclab_accepted\":" << (r.iclab_accepted ? "true" : "false");
+     << ",\"iclab_accepted\":" << (r.iclab_accepted ? "true" : "false")
+     << ",\"byzantine\":" << (r.byzantine ? "true" : "false")
+     << ",\"constraints_total\":" << r.constraints_total
+     << ",\"constraints_used\":" << r.constraints_used;
   if (r.centroid) {
     os << ",\"centroid\":{\"lat\":" << r.centroid->lat_deg
        << ",\"lon\":" << r.centroid->lon_deg << "}";
@@ -80,7 +83,7 @@ void write_json(std::ostream& os, const AuditReport& report,
   const auto& c = report.campaign_totals;
   os << "  \"campaign\": {\"probes_sent\":" << c.probes_sent
      << ",\"measured\":" << c.measured() << ",\"timeouts\":" << c.timeouts
-     << ",\"retries\":" << c.retries
+     << ",\"dropped\":" << c.dropped << ",\"retries\":" << c.retries
      << ",\"retry_exhausted\":" << c.retry_exhausted
      << ",\"breaker_trips\":" << c.breaker_trips
      << ",\"breaker_skips\":" << c.breaker_skips
@@ -97,6 +100,25 @@ void write_json(std::ostream& os, const AuditReport& report,
     os << "\n";
   }
   os << "  ]";
+  if (!report.suspicion.entries().empty()) {
+    os << ",\n  \"suspicion\": {\"flagged\":[";
+    for (std::size_t i = 0; i < report.suspicious_landmarks.size(); ++i) {
+      if (i) os << ",";
+      os << report.suspicious_landmarks[i];
+    }
+    os << "],\"landmarks\":[";
+    const auto& entries = report.suspicion.entries();
+    bool first = true;
+    for (std::size_t id = 0; id < entries.size(); ++id) {
+      if (entries[id].solves == 0) continue;  // never participated
+      if (!first) os << ",";
+      first = false;
+      os << "{\"id\":" << id << ",\"solves\":" << entries[id].solves
+         << ",\"excluded\":" << entries[id].excluded
+         << ",\"score\":" << entries[id].score() << "}";
+    }
+    os << "]}";
+  }
   if (options.include_telemetry && !report.telemetry.empty()) {
     os << ",\n  \"telemetry\": "
        << report.telemetry.to_json(options.telemetry_wall_clock);
@@ -144,6 +166,17 @@ void write_text_summary(std::ostream& os, const AuditReport& report,
                 static_cast<unsigned long long>(report.plan_cache.misses),
                 static_cast<unsigned long long>(report.plan_cache.evictions));
   os << buf;
+  std::size_t byz = 0;
+  for (const auto& r : report.rows)
+    if (r.byzantine) ++byz;
+  if (byz || c.dropped || !report.suspicious_landmarks.empty()) {
+    std::snprintf(buf, sizeof buf,
+                  "byzantine: %zu flagged rows, %zu suspicious landmarks, "
+                  "%llu dropped probes\n",
+                  byz, report.suspicious_landmarks.size(),
+                  static_cast<unsigned long long>(c.dropped));
+    os << buf;
+  }
 }
 
 }  // namespace ageo::assess

@@ -102,7 +102,14 @@ ProbeReply CampaignEngine::raw_probe(std::size_t landmark_id) {
     timeout_streak_ = 0;
     return r;
   }
-  ++stats_.timeouts;
+  // A drop is an adversarial act by the landmark; a timeout is honest
+  // congestion/outage. Indistinguishable to a real client, so both feed
+  // the retry loop, the breaker and the tunnel-check streak identically
+  // — only the ledger differs (DESIGN.md §11).
+  if (r.outcome == ProbeOutcome::kDropped)
+    ++stats_.dropped;
+  else
+    ++stats_.timeouts;
   ++timeout_streak_;
   // When the tunnel itself is down the landmark is blameless: do not
   // feed its breaker, let the tunnel check below handle the outage.
@@ -142,8 +149,11 @@ void CampaignEngine::maybe_check_tunnel() {
 }
 
 ProbeReply CampaignEngine::probe(std::size_t landmark_id) {
+  const auto retryable = [](ProbeOutcome o) {
+    return o == ProbeOutcome::kTimeout || o == ProbeOutcome::kDropped;
+  };
   ProbeReply r = raw_probe(landmark_id);
-  if (r.outcome != ProbeOutcome::kTimeout) return r;
+  if (!retryable(r.outcome)) return r;
   int backoff = config_.retry.backoff_base_rounds;
   for (int attempt = 1; attempt < config_.retry.max_attempts; ++attempt) {
     if (retries_used_ >= config_.retry.campaign_retry_budget) {
@@ -162,9 +172,9 @@ ProbeReply CampaignEngine::probe(std::size_t landmark_id) {
         static_cast<int>(
             std::ceil(backoff * config_.retry.backoff_factor)));
     r = raw_probe(landmark_id);
-    if (r.outcome != ProbeOutcome::kTimeout) return r;
+    if (!retryable(r.outcome)) return r;
   }
-  if (r.outcome == ProbeOutcome::kTimeout) {
+  if (retryable(r.outcome)) {
     ++stats_.retry_exhausted;
     r.outcome = ProbeOutcome::kRetryExhausted;
   }

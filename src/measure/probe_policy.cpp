@@ -21,6 +21,8 @@ const char* to_string(ProbeOutcome outcome) noexcept {
       return "breaker-open";
     case ProbeOutcome::kGatedInactive:
       return "gated-inactive";
+    case ProbeOutcome::kDropped:
+      return "dropped";
   }
   return "unknown";
 }
@@ -40,6 +42,7 @@ void CampaignStats::merge(const CampaignStats& other) noexcept {
   ok += other.ok;
   refused_measured += other.refused_measured;
   timeouts += other.timeouts;
+  dropped += other.dropped;
   retries += other.retries;
   retry_exhausted += other.retry_exhausted;
   budget_denied += other.budget_denied;
@@ -60,6 +63,7 @@ void publish_campaign_stats(const CampaignStats& stats) {
   AGEO_COUNTER_ADD("measure.campaign.refused_measured",
                    stats.refused_measured);
   AGEO_COUNTER_ADD("measure.campaign.timeouts", stats.timeouts);
+  AGEO_COUNTER_ADD("measure.campaign.dropped", stats.dropped);
   AGEO_COUNTER_ADD("measure.campaign.retries", stats.retries);
   AGEO_COUNTER_ADD("measure.campaign.retry_exhausted", stats.retry_exhausted);
   AGEO_COUNTER_ADD("measure.campaign.budget_denied", stats.budget_denied);

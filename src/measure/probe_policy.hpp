@@ -30,6 +30,11 @@ enum class ProbeOutcome : std::uint8_t {
   kRetryExhausted,  // every attempt of the retry policy failed
   kBreakerOpen,     // circuit breaker open: probe not sent
   kGatedInactive,   // landmark not active this epoch: probe not sent
+  kDropped,         // silently discarded by an adversarial landmark
+                    // (netsim::ConnectOutcome::kDropped): behaves like a
+                    // timeout for retries and breakers, but is counted
+                    // separately so selective drops are distinguishable
+                    // from honest congestion (DESIGN.md §11)
 };
 
 const char* to_string(ProbeOutcome outcome) noexcept;
@@ -82,6 +87,7 @@ struct CampaignStats {
   std::uint64_t ok = 0;
   std::uint64_t refused_measured = 0;
   std::uint64_t timeouts = 0;
+  std::uint64_t dropped = 0;          // adversarial selective drops
   std::uint64_t retries = 0;          // attempts beyond each probe's first
   std::uint64_t retry_exhausted = 0;  // probes that failed every attempt
   std::uint64_t budget_denied = 0;    // retries skipped: budget exhausted

@@ -96,6 +96,8 @@ ProbeReply ProxyProber::rich_probe(std::size_t landmark_id) {
   auto r = session_->connect_via(lm, 80);
   if (r.outcome == netsim::ConnectOutcome::kTimeout)
     return {ProbeOutcome::kTimeout, 0.0};
+  if (r.outcome == netsim::ConnectOutcome::kDropped)
+    return {ProbeOutcome::kDropped, 0.0};
   double corrected = std::max(kCorrectionFloorMs,
                               r.elapsed_ms - tunnel_rtt_ms_);
   return {r.outcome == netsim::ConnectOutcome::kRefused

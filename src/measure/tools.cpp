@@ -8,14 +8,18 @@ std::optional<double> CliTool::measure_ms(netsim::Network& net,
                                           netsim::HostId from,
                                           netsim::HostId to) {
   auto r = net.tcp_connect(from, to, 80);
-  if (r.outcome == netsim::ConnectOutcome::kTimeout) return std::nullopt;
+  if (r.outcome == netsim::ConnectOutcome::kTimeout ||
+      r.outcome == netsim::ConnectOutcome::kDropped)
+    return std::nullopt;
   return r.elapsed_ms;
 }
 
 std::optional<double> CliTool::measure_via_ms(netsim::ProxySession& session,
                                               netsim::HostId landmark) {
   auto r = session.connect_via(landmark, 80);
-  if (r.outcome == netsim::ConnectOutcome::kTimeout) return std::nullopt;
+  if (r.outcome == netsim::ConnectOutcome::kTimeout ||
+      r.outcome == netsim::ConnectOutcome::kDropped)
+    return std::nullopt;
   return r.elapsed_ms;
 }
 

@@ -1,0 +1,40 @@
+#include "mlat/byzantine.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ageo::mlat {
+
+void SuspicionTable::record(std::span<const std::size_t> landmark_ids,
+                            const std::vector<bool>& used) {
+  detail::require(landmark_ids.size() == used.size(),
+                  "SuspicionTable::record: ids/used size mismatch");
+  for (std::size_t i = 0; i < landmark_ids.size(); ++i) {
+    const std::size_t id = landmark_ids[i];
+    if (id >= entries_.size()) entries_.resize(id + 1);
+    ++entries_[id].solves;
+    if (!used[i]) ++entries_[id].excluded;
+  }
+}
+
+void SuspicionTable::merge(const SuspicionTable& other) {
+  if (entries_.size() < other.entries_.size())
+    entries_.resize(other.entries_.size());
+  for (std::size_t i = 0; i < other.entries_.size(); ++i) {
+    entries_[i].solves += other.entries_[i].solves;
+    entries_[i].excluded += other.entries_[i].excluded;
+  }
+}
+
+std::vector<std::size_t> SuspicionTable::flagged(
+    double min_score, std::uint64_t min_solves) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const auto& e = entries_[i];
+    if (e.solves >= min_solves && e.score() >= min_score) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace ageo::mlat

@@ -1,0 +1,86 @@
+// Per-landmark suspicion scoring across subset solves (DESIGN.md §11).
+//
+// One subset solve says which constraints joined the maximum consistent
+// coalition and which were excluded. A single exclusion is weak evidence
+// — congestion spikes or a tight calibration can push an honest
+// landmark's disk off the winning cell — but exclusion *frequency*
+// across many independent solves (one per audited proxy) separates
+// honest landmarks from Byzantine ones: an honest landmark's constraint
+// contains the truth with high probability per solve, so it is excluded
+// rarely; a deflating or colluding landmark's constraint excludes the
+// truth by construction, so it loses against the honest majority in
+// nearly every solve it participates in.
+//
+// The table is plain vector-indexed state with an order-independent
+// merge (sums), so per-worker tables folded in host-index order give a
+// thread-count-independent result, like CampaignStats.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ageo::mlat {
+
+/// Exclusion tally of one landmark.
+struct LandmarkSuspicion {
+  /// Subset solves whose constraint list included this landmark.
+  std::uint64_t solves = 0;
+  /// Of those, solves where the landmark was outside every maximum
+  /// consistent subset.
+  std::uint64_t excluded = 0;
+
+  /// Exclusion frequency in [0, 1]; 0 when the landmark never
+  /// participated.
+  double score() const noexcept {
+    return solves ? static_cast<double>(excluded) /
+                        static_cast<double>(solves)
+                  : 0.0;
+  }
+
+  friend bool operator==(const LandmarkSuspicion&,
+                         const LandmarkSuspicion&) = default;
+};
+
+/// Exclusion tallies for a whole landmark constellation.
+class SuspicionTable {
+ public:
+  SuspicionTable() = default;
+  explicit SuspicionTable(std::size_t n_landmarks)
+      : entries_(n_landmarks) {}
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  void resize(std::size_t n) { entries_.resize(n); }
+
+  const LandmarkSuspicion& entry(std::size_t landmark_id) const {
+    return entries_.at(landmark_id);
+  }
+  std::span<const LandmarkSuspicion> entries() const noexcept {
+    return entries_;
+  }
+
+  /// Record one subset solve: `landmark_ids[i]` is the landmark behind
+  /// constraint i and `used[i]` whether it joined a maximum subset.
+  /// Ids beyond the table grow it. Sizes must match.
+  void record(std::span<const std::size_t> landmark_ids,
+              const std::vector<bool>& used);
+
+  /// Fold another table in (element-wise sums; commutative, so folding
+  /// per-worker tables in any fixed order is deterministic).
+  void merge(const SuspicionTable& other);
+
+  /// Landmarks whose exclusion frequency reaches `min_score` over at
+  /// least `min_solves` participations, ascending by id. `min_solves`
+  /// guards against flagging a landmark on one unlucky solve.
+  std::vector<std::size_t> flagged(double min_score,
+                                   std::uint64_t min_solves) const;
+
+  friend bool operator==(const SuspicionTable&,
+                         const SuspicionTable&) = default;
+
+ private:
+  std::vector<LandmarkSuspicion> entries_;
+};
+
+}  // namespace ageo::mlat

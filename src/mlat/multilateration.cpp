@@ -191,28 +191,44 @@ grid::Field fuse_gaussian_rings(const grid::Grid& g,
   return field;
 }
 
-std::size_t largest_consistent_subset_into(
-    const grid::Grid& g, std::span<const DiskConstraint> disks,
-    const grid::Region* mask, grid::CapPlanCache* cache,
-    grid::Scratch* scratch, grid::Region& region, std::vector<bool>& used) {
+namespace {
+
+/// One padded constraint of the subset engine: the annulus
+/// [inner_km, outer_km] around center (inner 0 for disks).
+struct PaddedAnnulus {
+  geo::LatLon center;
+  double inner_km = 0.0;
+  double outer_km = 0.0;
+};
+
+/// Shared core of the disk and ring subset engines: `at(i)` yields the
+/// i-th padded annulus. Semantics, scratch discipline and bit-exactness
+/// are those documented on largest_consistent_subset; the disk overload
+/// compiles to exactly the code it replaced (inner_km is 0 for every
+/// constraint).
+template <typename AnnulusAt>
+std::size_t lcs_annuli_into(const grid::Grid& g, std::size_t n,
+                            AnnulusAt&& at, const grid::Region* mask,
+                            grid::CapPlanCache* cache,
+                            grid::Scratch* scratch, grid::Region& region,
+                            std::vector<bool>& used) {
   AGEO_SPAN("mlat", "largest_consistent_subset");
+  AGEO_COUNT("mlat.lcs.solves");
+  AGEO_COUNTER_ADD("mlat.lcs.constraints", n);
   if (mask)
     detail::require(mask->grid() == &g,
                     "largest_consistent_subset: mask grid mismatch");
   detail::require(region.grid() == &g,
                   "largest_consistent_subset: region grid mismatch");
 
-  used.assign(disks.size(), false);
-  if (disks.empty()) {
+  used.assign(n, false);
+  if (n == 0) {
     if (mask)
       region = *mask;
     else
       region.fill();
     return 0;
   }
-
-  const std::size_t n = disks.size();
-  const double pad = conservative_pad_km(g);
 
   // Fast path: when every constraint admits a common cell — the normal
   // case for honest proxies and for the baseline physical bounds — the
@@ -228,13 +244,15 @@ std::size_t largest_consistent_subset_into(
       region = *mask;
     else
       region.fill();
-    for (const auto& d : disks) {
-      cache->plan(g, d.center)->intersect_annulus_into(0.0, d.max_km + pad,
-                                                       region);
+    for (std::size_t i = 0; i < n; ++i) {
+      const PaddedAnnulus a = at(i);
+      cache->plan(g, a.center)->intersect_annulus_into(a.inner_km,
+                                                       a.outer_km, region);
       if (region.empty()) break;
     }
     if (!region.empty()) {
       used.assign(n, true);
+      AGEO_COUNT("mlat.lcs.fast_path_hits");
       return n;
     }
   }
@@ -256,20 +274,24 @@ std::size_t largest_consistent_subset_into(
   rowmap_lease.mark_dirty(0, row_words);
 
   for (std::size_t i = 0; i < n; ++i) {
-    const double outer = disks[i].max_km + pad;
-    const auto [r0, r1] = grid::annulus_row_band(g, disks[i].center, 0.0,
-                                                 outer);
+    const PaddedAnnulus a = at(i);
+    const auto [r0, r1] =
+        grid::annulus_row_band(g, a.center, a.inner_km, a.outer_km);
     if (r0 >= r1) continue;
     set_row_range(rowmap, r0, r1);
     const std::size_t plane = (i >> 6) * size;
     cover_lease.mark_dirty(plane + r0 * cols, plane + r1 * cols);
     const unsigned bit = static_cast<unsigned>(i & 63);
     if (cache) {
-      cache->plan(g, disks[i].center)
-          ->accumulate_annulus(0.0, outer, cover + plane, bit);
-    } else {
-      grid::accumulate_cap_mask(g, geo::Cap{disks[i].center, outer},
+      cache->plan(g, a.center)
+          ->accumulate_annulus(a.inner_km, a.outer_km, cover + plane, bit);
+    } else if (a.inner_km <= 0.0) {
+      grid::accumulate_cap_mask(g, geo::Cap{a.center, a.outer_km},
                                 cover + plane, bit);
+    } else {
+      grid::accumulate_ring_mask(g,
+                                 geo::Ring{a.center, a.inner_km, a.outer_km},
+                                 cover + plane, bit);
     }
   }
 
@@ -316,7 +338,10 @@ std::size_t largest_consistent_subset_into(
         ormask[w] |= cover[w * size + idx];
     }
   });
-  if (best == 0) return 0;
+  if (best == 0) {
+    AGEO_COUNTER_ADD("mlat.lcs.excluded", n);
+    return 0;
+  }
 
   for (const std::uint32_t idx : ties) region.set(idx);
   for (std::size_t w = 0; w < planes; ++w) {
@@ -327,8 +352,42 @@ std::size_t largest_consistent_subset_into(
       bits &= bits - 1;
     }
   }
+  AGEO_COUNTER_ADD("mlat.lcs.excluded", n - best);
   return best;
+}
 
+}  // namespace
+
+std::size_t largest_consistent_subset_into(
+    const grid::Grid& g, std::span<const DiskConstraint> disks,
+    const grid::Region* mask, grid::CapPlanCache* cache,
+    grid::Scratch* scratch, grid::Region& region, std::vector<bool>& used) {
+  const double pad = conservative_pad_km(g);
+  return lcs_annuli_into(
+      g, disks.size(),
+      [&](std::size_t i) {
+        return PaddedAnnulus{disks[i].center, 0.0, disks[i].max_km + pad};
+      },
+      mask, cache, scratch, region, used);
+}
+
+std::size_t largest_consistent_subset_into(
+    const grid::Grid& g, std::span<const RingConstraint> rings,
+    const grid::Region* mask, grid::CapPlanCache* cache,
+    grid::Scratch* scratch, grid::Region& region, std::vector<bool>& used) {
+  for (const auto& r : rings)
+    detail::require(r.min_km <= r.max_km,
+                    "largest_consistent_subset: min_km must be <= max_km");
+  const double pad = conservative_pad_km(g);
+  // Same padding as intersect_rings: quantisation may only grow rings.
+  return lcs_annuli_into(
+      g, rings.size(),
+      [&](std::size_t i) {
+        return PaddedAnnulus{rings[i].center,
+                             std::max(0.0, rings[i].min_km - pad),
+                             rings[i].max_km + pad};
+      },
+      mask, cache, scratch, region, used);
 }
 
 SubsetResult largest_consistent_subset(const grid::Grid& g,
@@ -344,7 +403,30 @@ SubsetResult largest_consistent_subset(const grid::Grid& g,
   return result;
 }
 
+SubsetResult largest_consistent_subset(const grid::Grid& g,
+                                       std::span<const RingConstraint> rings,
+                                       const grid::Region* mask,
+                                       grid::CapPlanCache* cache,
+                                       grid::Scratch* scratch) {
+  SubsetResult result;
+  result.region = grid::Region(g);  // escapes to the caller
+  result.n_used = largest_consistent_subset_into(g, rings, mask, cache,
+                                                 scratch, result.region,
+                                                 result.used);
+  return result;
+}
+
 namespace reference {
+
+namespace {
+
+/// The three dense passes shared by the disk and ring oracles, applied
+/// to a fully built per-cell coverage vector of `n` constraints.
+SubsetResult dense_passes(const grid::Grid& g, std::size_t n,
+                          const std::vector<std::uint64_t>& cover,
+                          const grid::Region* mask);
+
+}  // namespace
 
 SubsetResult largest_consistent_subset(const grid::Grid& g,
                                        std::span<const DiskConstraint> disks,
@@ -356,10 +438,9 @@ SubsetResult largest_consistent_subset(const grid::Grid& g,
     detail::require(mask->grid() == &g,
                     "largest_consistent_subset: mask grid mismatch");
 
-  SubsetResult result;
-  result.region = grid::Region(g);
-  result.used.assign(disks.size(), false);
   if (disks.empty()) {
+    SubsetResult result;
+    result.region = grid::Region(g);
     if (mask)
       result.region = *mask;
     else
@@ -382,6 +463,59 @@ SubsetResult largest_consistent_subset(const grid::Grid& g,
           static_cast<unsigned>(i));
     }
   }
+  return dense_passes(g, disks.size(), cover, mask);
+}
+
+SubsetResult largest_consistent_subset(const grid::Grid& g,
+                                       std::span<const RingConstraint> rings,
+                                       const grid::Region* mask,
+                                       grid::CapPlanCache* cache) {
+  detail::require(rings.size() <= 64,
+                  "largest_consistent_subset: at most 64 constraints");
+  if (mask)
+    detail::require(mask->grid() == &g,
+                    "largest_consistent_subset: mask grid mismatch");
+
+  if (rings.empty()) {
+    SubsetResult result;
+    result.region = grid::Region(g);
+    if (mask)
+      result.region = *mask;
+    else
+      result.region.fill();
+    return result;
+  }
+
+  const double pad = conservative_pad_km(g);
+  std::vector<std::uint64_t> cover(g.size(), 0);
+  for (std::size_t i = 0; i < rings.size(); ++i) {
+    detail::require(rings[i].min_km <= rings[i].max_km,
+                    "largest_consistent_subset: min_km must be <= max_km");
+    const double inner = std::max(0.0, rings[i].min_km - pad);
+    const double outer = rings[i].max_km + pad;
+    if (cache) {
+      cache->plan(g, rings[i].center)
+          ->accumulate_annulus(inner, outer, cover,
+                               static_cast<unsigned>(i));
+    } else if (inner <= 0.0) {
+      grid::accumulate_cap_mask(g, geo::Cap{rings[i].center, outer}, cover,
+                                static_cast<unsigned>(i));
+    } else {
+      grid::accumulate_ring_mask(g, geo::Ring{rings[i].center, inner, outer},
+                                 cover, static_cast<unsigned>(i));
+    }
+  }
+  return dense_passes(g, rings.size(), cover, mask);
+}
+
+namespace {
+
+SubsetResult dense_passes(const grid::Grid& g, std::size_t n,
+                          const std::vector<std::uint64_t>& cover,
+                          const grid::Region* mask) {
+  SubsetResult result;
+  result.region = grid::Region(g);
+  result.used.assign(n, false);
 
   // Pass 1: the maximum coverage cardinality among candidate cells.
   std::size_t best = 0;
@@ -422,11 +556,13 @@ SubsetResult largest_consistent_subset(const grid::Grid& g,
     }
   }
   for (std::uint64_t m : best_masks) {
-    for (std::size_t i = 0; i < disks.size(); ++i)
+    for (std::size_t i = 0; i < n; ++i)
       if (m & (1ULL << i)) result.used[i] = true;
   }
   return result;
 }
+
+}  // namespace
 
 }  // namespace reference
 

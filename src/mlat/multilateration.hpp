@@ -106,6 +106,12 @@ struct SubsetResult {
   /// Cardinality of the maximum consistent subset; 0 when no cell is
   /// covered at all (empty region).
   std::size_t n_used = 0;
+
+  /// Byzantine margin: how many constraints had to be discarded to make
+  /// the rest consistent (n - best). 0 for a fully consistent set; a
+  /// large margin means many landmarks disagree with the winning
+  /// coalition — the flagging signal of DESIGN.md §11.
+  std::size_t margin() const noexcept { return used.size() - n_used; }
 };
 
 /// Largest consistent subset of disks: the region is the union, over all
@@ -129,6 +135,23 @@ std::size_t largest_consistent_subset_into(
     const grid::Region* mask, grid::CapPlanCache* cache,
     grid::Scratch* scratch, grid::Region& region, std::vector<bool>& used);
 
+/// Ring-constraint variant of the subset engine (the Byzantine-robust
+/// mode of the Hybrid locator): same semantics with each constraint a
+/// padded annulus [min - pad, max + pad] instead of a disk. A fully
+/// consistent ring set yields exactly intersect_rings' region with
+/// every constraint used, so honest inputs are unchanged by routing
+/// them through the subset engine.
+SubsetResult largest_consistent_subset(const grid::Grid& g,
+                                       std::span<const RingConstraint> rings,
+                                       const grid::Region* mask = nullptr,
+                                       grid::CapPlanCache* cache = nullptr,
+                                       grid::Scratch* scratch = nullptr);
+
+std::size_t largest_consistent_subset_into(
+    const grid::Grid& g, std::span<const RingConstraint> rings,
+    const grid::Region* mask, grid::CapPlanCache* cache,
+    grid::Scratch* scratch, grid::Region& region, std::vector<bool>& used);
+
 namespace reference {
 /// The original full-grid, single-word LCS solver (at most 64
 /// constraints, three dense passes, owned allocations). This defines the
@@ -137,6 +160,13 @@ namespace reference {
 /// against each other. Too slow for production use on fine grids.
 SubsetResult largest_consistent_subset(const grid::Grid& g,
                                        std::span<const DiskConstraint> disks,
+                                       const grid::Region* mask = nullptr,
+                                       grid::CapPlanCache* cache = nullptr);
+
+/// Dense ring oracle, same contract as the disk one (at most 64
+/// constraints); pins the sparse ring engine above.
+SubsetResult largest_consistent_subset(const grid::Grid& g,
+                                       std::span<const RingConstraint> rings,
                                        const grid::Region* mask = nullptr,
                                        grid::CapPlanCache* cache = nullptr);
 }  // namespace reference

@@ -1,0 +1,106 @@
+#include "netsim/adversary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "netsim/network.hpp"
+
+namespace ageo::netsim {
+
+void check_adversary(const AdversaryProfile& p) {
+  detail::require(p.delay_scale > 0.0,
+                  "AdversaryProfile: delay_scale must be > 0");
+  detail::require(p.jitter_ms >= 0.0,
+                  "AdversaryProfile: jitter_ms must be >= 0");
+  detail::require(p.drop_probability >= 0.0 && p.drop_probability <= 1.0,
+                  "AdversaryProfile: drop_probability must be in [0, 1]");
+  detail::require(p.fake_route_inflation >= 1.0,
+                  "AdversaryProfile: fake_route_inflation must be >= 1");
+  detail::require(!std::isnan(p.delay_shift_ms),
+                  "AdversaryProfile: delay_shift_ms is NaN");
+  if (p.fake_target)
+    detail::require(geo::is_valid(*p.fake_target),
+                    "AdversaryProfile: invalid fake_target");
+}
+
+AdversaryProfile inflate_attack(double shift_ms, double jitter_ms) {
+  AdversaryProfile p;
+  p.delay_shift_ms = shift_ms;
+  p.delay_scale = 1.5;
+  p.jitter_ms = jitter_ms;
+  return p;
+}
+
+AdversaryProfile deflate_attack(double scale, double jitter_ms) {
+  AdversaryProfile p;
+  p.delay_scale = scale;
+  p.jitter_ms = jitter_ms;
+  return p;
+}
+
+AdversaryProfile collusion_attack(const geo::LatLon& fake_target, int group,
+                                  double jitter_ms) {
+  AdversaryProfile p;
+  p.fake_target = fake_target;
+  p.collusion_group = group;
+  p.jitter_ms = jitter_ms;
+  return p;
+}
+
+AdversaryProfile drop_attack(double drop_probability) {
+  AdversaryProfile p;
+  p.drop_probability = drop_probability;
+  return p;
+}
+
+std::optional<AdversaryProfile> profile_for_strategy(
+    std::string_view name, const geo::LatLon& fake_target) {
+  if (name == "inflate") return inflate_attack();
+  if (name == "deflate") return deflate_attack();
+  if (name == "collude") return collusion_attack(fake_target);
+  if (name == "drop") return drop_attack();
+  return std::nullopt;
+}
+
+std::vector<HostId> pick_colluders(const std::vector<HostId>& hosts,
+                                   double fraction, std::uint64_t seed) {
+  detail::require(fraction >= 0.0 && fraction <= 1.0,
+                  "pick_colluders: fraction must be in [0, 1]");
+  const std::size_t want = static_cast<std::size_t>(
+      std::floor(fraction * static_cast<double>(hosts.size())));
+  std::vector<HostId> pool = hosts;
+  SplitMix64 sm(seed ^ 0xb1a2c3d4e5f60718ULL);
+  // Partial Fisher-Yates: the first `want` slots are a uniform sample.
+  for (std::size_t i = 0; i < want && i < pool.size(); ++i) {
+    std::size_t j =
+        i + static_cast<std::size_t>(sm.next() % (pool.size() - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(want);
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+std::vector<HostId> attach_adversaries(Network& net,
+                                       const std::vector<HostId>& hosts,
+                                       double fraction,
+                                       std::string_view strategy,
+                                       std::uint64_t seed,
+                                       const geo::LatLon& fake_target) {
+  auto profile = profile_for_strategy(strategy, fake_target);
+  detail::require(profile.has_value(),
+                  "attach_adversaries: unknown strategy");
+  std::vector<HostId> chosen = pick_colluders(hosts, fraction, seed);
+  int group = 0;
+  for (HostId id : chosen) {
+    AdversaryProfile p = *profile;
+    p.collusion_group = group;  // one clique per attach call
+    net.set_adversary(id, p);
+  }
+  (void)group;
+  return chosen;
+}
+
+}  // namespace ageo::netsim

@@ -1,0 +1,111 @@
+// Byzantine landmark adversaries (BFT-PoLoc attack taxonomy; see
+// DESIGN.md §11).
+//
+// The paper's audit trusts its landmarks: every observation is taken at
+// face value and only the *proxy* is suspected of lying. A landmark
+// that is itself compromised can manipulate the delays it reports —
+// inflating them (blowing up the prediction region), deflating them
+// (shrinking it around a false position), or colluding with other
+// landmarks on delays geometrically consistent with a fake region so
+// that naive consistency checks pass. An AdversaryProfile attached to a
+// landmark host makes the simulator play those attacks.
+//
+// Determinism contract: every adversarial draw (per-round jitter, drop
+// decisions) is derived by hashing (network seed, lane seed, host,
+// round, per-lane ordinal) through SplitMix64 — never by consuming the
+// lane's RNG stream. Honest hosts' queueing/jitter draws are therefore
+// byte-for-byte unchanged by the presence of adversaries elsewhere in
+// the constellation, and threaded audits stay bit-identical to serial
+// ones (each campaign's lane sees the same adversarial schedule no
+// matter which worker drives it).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "geo/latlon.hpp"
+
+namespace ageo::netsim {
+
+using HostId = std::uint32_t;
+
+class Network;
+
+/// How a compromised landmark lies. Attached per host via
+/// Network::set_adversary; absent profile = honest host.
+struct AdversaryProfile {
+  /// Additive delay shift, ms; negative values deflate (the dangerous
+  /// direction: deflation can exclude the true location).
+  double delay_shift_ms = 0.0;
+  /// Multiplicative delay scale; > 1 inflates, < 1 deflates. Applied
+  /// before the shift.
+  double delay_scale = 1.0;
+  /// Amplitude of deterministic per-round jitter, ms: the reported
+  /// delay moves by up to +-jitter_ms between probe rounds, constant
+  /// within a round (a real attacker quantizes its lie per volley).
+  double jitter_ms = 0.0;
+  /// Consistency-preserving collusion: when set, the landmark ignores
+  /// the true path entirely and replies with a delay a landmark at its
+  /// own position WOULD measure if the probing host sat at
+  /// `fake_target` — so colluders sharing one fake target produce
+  /// mutually consistent constraints around it.
+  std::optional<geo::LatLon> fake_target;
+  /// Route circuitousness the colluder bakes into its fabricated delay
+  /// (honest routes are inflated too, so 1.0 would look too fast).
+  double fake_route_inflation = 1.3;
+  /// Probability that any given probe is silently dropped (selective
+  /// drop: the adversary starves the measurement rather than skewing
+  /// it). Drawn per probe, deterministic per lane.
+  double drop_probability = 0.0;
+  /// Bookkeeping label for colluding cliques (-1 = lone attacker).
+  /// Benches and tests use it as ground truth for flag scoring; the
+  /// simulator itself only reads fake_target.
+  int collusion_group = -1;
+};
+
+/// Throws unless the profile is well-formed (scale > 0, jitter >= 0,
+/// drop_probability in [0, 1], fake_route_inflation >= 1, fake_target
+/// valid when set). Network::set_adversary applies this.
+void check_adversary(const AdversaryProfile& p);
+
+// ---- canned strategies (the bench/CLI/test vocabulary) ----
+
+/// Additive + multiplicative delay inflation.
+AdversaryProfile inflate_attack(double shift_ms = 60.0,
+                                double jitter_ms = 2.0);
+/// Multiplicative deflation: reported delays are `scale` times the true
+/// ones (scale < 1). Can exclude the truth from the region.
+AdversaryProfile deflate_attack(double scale = 0.55,
+                                double jitter_ms = 0.5);
+/// Consistency-preserving collusion on `fake_target`.
+AdversaryProfile collusion_attack(const geo::LatLon& fake_target,
+                                  int group = 0, double jitter_ms = 0.5);
+/// Selective probe drops.
+AdversaryProfile drop_attack(double drop_probability = 0.75);
+
+/// The profile for a named strategy ("inflate", "deflate", "collude",
+/// "drop"); nullopt for an unknown name. `fake_target` is only
+/// consulted by "collude".
+std::optional<AdversaryProfile> profile_for_strategy(
+    std::string_view name, const geo::LatLon& fake_target);
+
+/// Deterministically pick floor(fraction * hosts.size()) colluders from
+/// `hosts`, keyed on `seed` (Fisher-Yates over a SplitMix64 stream).
+/// The same (hosts, fraction, seed) always yields the same set, so the
+/// bench's ground-truth colluder list and the simulator agree.
+std::vector<HostId> pick_colluders(const std::vector<HostId>& hosts,
+                                   double fraction, std::uint64_t seed);
+
+/// Attach `strategy` to a `fraction` of `hosts` (picked by
+/// pick_colluders with `seed`) on `net`. Returns the compromised ids.
+/// Unknown strategy names throw.
+std::vector<HostId> attach_adversaries(Network& net,
+                                       const std::vector<HostId>& hosts,
+                                       double fraction,
+                                       std::string_view strategy,
+                                       std::uint64_t seed,
+                                       const geo::LatLon& fake_target);
+
+}  // namespace ageo::netsim

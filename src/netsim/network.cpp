@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "geo/geodesy.hpp"
+#include "obs/obs.hpp"
 
 namespace ageo::netsim {
 
@@ -72,9 +73,13 @@ bool Network::host_up(HostId id, const Lane* lane) const {
 
 void Network::set_flap(HostId id, double probability, int duration_rounds) {
   check_host(id);
-  hosts_[id].flap_probability = probability;
-  hosts_[id].flap_duration_rounds = duration_rounds;
-  check_fault_model(hosts_[id]);
+  // Validate on a copy so a rejected reconfiguration leaves the host's
+  // previous (valid) fault model in place instead of a half-written one.
+  HostProfile candidate = hosts_[id];
+  candidate.flap_probability = probability;
+  candidate.flap_duration_rounds = duration_rounds;
+  check_fault_model(candidate);
+  hosts_[id] = candidate;
 }
 
 void Network::set_outage_window(HostId id, std::uint64_t from,
@@ -86,8 +91,92 @@ void Network::set_outage_window(HostId id, std::uint64_t from,
 
 void Network::set_rate_limit(HostId id, int per_round) {
   check_host(id);
-  hosts_[id].rate_limit_per_round = per_round;
-  check_fault_model(hosts_[id]);
+  HostProfile candidate = hosts_[id];
+  candidate.rate_limit_per_round = per_round;
+  check_fault_model(candidate);
+  hosts_[id] = candidate;
+}
+
+void Network::set_adversary(HostId id, const AdversaryProfile& profile) {
+  check_host(id);
+  check_adversary(profile);  // throws before any mutation
+  if (adversaries_.size() < hosts_.size()) adversaries_.resize(hosts_.size());
+  if (!adversaries_[id]) AGEO_COUNT("netsim.adversary.hosts_compromised");
+  adversaries_[id] = profile;
+}
+
+void Network::clear_adversary(HostId id) {
+  check_host(id);
+  if (id < adversaries_.size()) adversaries_[id].reset();
+}
+
+const AdversaryProfile* Network::adversary(HostId id) const {
+  check_host(id);
+  if (id >= adversaries_.size() || !adversaries_[id]) return nullptr;
+  return &*adversaries_[id];
+}
+
+std::size_t Network::adversary_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& a : adversaries_)
+    if (a) ++n;
+  return n;
+}
+
+std::optional<double> Network::adversarial_rtt_ms(HostId from, HostId to,
+                                                  Lane& lane,
+                                                  const AdversaryProfile& adv) {
+  // Hash-keyed draws (never the lane's RNG): deterministic in
+  // (network seed, lane seed, target host, lane round, per-lane probe
+  // ordinal), so a threaded audit replays the identical schedule and
+  // honest hosts' streams are untouched.
+  const std::uint64_t key =
+      seed_ ^ (lane.seed_ * 0x9e3779b97f4a7c15ULL) ^
+      ((static_cast<std::uint64_t>(to) + 1) * 0xbf58476d1ce4e5b9ULL);
+  ++lane.adversary_draws_;
+  if (adv.drop_probability > 0.0) {
+    SplitMix64 dm(key ^ (lane.round_ + 1) * 0x94d049bb133111ebULL ^
+                  lane.adversary_draws_ * 0xd6e8feb86659fd93ULL);
+    dm.next();
+    double u = static_cast<double>(dm.next() >> 11) * 0x1.0p-53;
+    if (u < adv.drop_probability) {
+      AGEO_COUNT("netsim.adversary.probes_dropped");
+      return std::nullopt;
+    }
+  }
+  double jitter = 0.0;
+  if (adv.jitter_ms > 0.0) {
+    // Per-round, not per-probe: the lie is re-quantized each volley but
+    // holds still within one (min-filtering across attempts would
+    // otherwise strip a zero-mean per-probe jitter right back off).
+    SplitMix64 jm(key ^ (lane.round_ + 1) * 0xa0761d6478bd642fULL);
+    jm.next();
+    double u = static_cast<double>(jm.next() >> 11) * 0x1.0p-53;
+    jitter = (2.0 * u - 1.0) * adv.jitter_ms;
+  }
+  double rtt;
+  if (adv.fake_target) {
+    // Consistency-preserving collusion: reply with the RTT a probe
+    // would plausibly measure if the prober sat at fake_target —
+    // propagation over an inflated route plus both access legs, no
+    // queueing tail. Colluders sharing a fake target thus produce
+    // mutually consistent geometric constraints around it. The true
+    // path is never sampled (the colluder answers from a script), which
+    // is itself deterministic per lane.
+    double d = geo::distance_km(hosts_[to].location, *adv.fake_target);
+    double one_way = d * adv.fake_route_inflation /
+                         params_.fibre_speed_km_per_ms +
+                     params_.per_hop_ms * 4.0;
+    rtt = 2.0 * one_way + access_ms(from) + access_ms(to);
+    AGEO_COUNT("netsim.adversary.probes_forged");
+  } else {
+    // Shift/scale attack: the true path is measured (consuming exactly
+    // the draws an honest reply would) and the reported value is bent.
+    rtt = sample_rtt_ms(from, to, &lane) * adv.delay_scale +
+          adv.delay_shift_ms;
+    AGEO_COUNT("netsim.adversary.probes_shifted");
+  }
+  return std::max(0.05, rtt + jitter);
 }
 
 bool Network::rate_limited(HostId to, Lane& lane) {
@@ -193,6 +282,8 @@ std::optional<double> Network::icmp_ping_ms(HostId from, HostId to,
   if (!hosts_[to].icmp_responds) return std::nullopt;
   Lane& l = lane ? *lane : default_lane_;
   if (!host_up(to, &l) || rate_limited(to, l)) return std::nullopt;
+  if (to < adversaries_.size() && adversaries_[to])
+    return adversarial_rtt_ms(from, to, l, *adversaries_[to]);
   return sample_rtt_ms(from, to, &l);
 }
 
@@ -206,7 +297,14 @@ ConnectResult Network::tcp_connect(HostId from, HostId to,
   Lane& l = lane ? *lane : default_lane_;
   if (!host_up(to, &l) || rate_limited(to, l))
     return {ConnectOutcome::kTimeout, 0.0};
-  double rtt = sample_rtt_ms(from, to, &l);
+  double rtt;
+  if (to < adversaries_.size() && adversaries_[to]) {
+    auto manipulated = adversarial_rtt_ms(from, to, l, *adversaries_[to]);
+    if (!manipulated) return {ConnectOutcome::kDropped, 0.0};
+    rtt = *manipulated;
+  } else {
+    rtt = sample_rtt_ms(from, to, &l);
+  }
   if (port == 80 && !hosts_[to].tcp_port80_open) {
     // RST arrives after one round trip: connect() reports "refused" but
     // the elapsed time is still one RTT (paper §4.2).

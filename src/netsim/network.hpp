@@ -24,6 +24,7 @@
 
 #include "common/rng.hpp"
 #include "geo/latlon.hpp"
+#include "netsim/adversary.hpp"
 #include "world/hubs.hpp"
 
 namespace ageo::netsim {
@@ -81,6 +82,10 @@ enum class ConnectOutcome : std::uint8_t {
   kAccepted,   // three-way handshake completed: one RTT measured
   kRefused,    // RST after one round trip: RTT still measured
   kTimeout,    // filtered: no information
+  kDropped,    // silently discarded by an adversarial landmark: no
+               // information, but distinguishable in simulation so
+               // campaign stats can separate selective drops from
+               // honest congestion (DESIGN.md §11)
 };
 
 struct ConnectResult {
@@ -114,12 +119,17 @@ class Lane {
  private:
   friend class Network;
   explicit Lane(std::uint64_t seed) noexcept
-      : rng_(seed, "netsim/measurements") {}
+      : rng_(seed, "netsim/measurements"), seed_(seed) {}
 
   Rng rng_;
+  std::uint64_t seed_ = 0;
   std::uint64_t round_ = 0;
   /// Probes answered per host this round; grown on demand.
   std::vector<std::uint32_t> probes_this_round_;
+  /// Ordinal of adversarial draws on this lane (drop decisions).
+  /// Incremented only for probes of hosts that carry an
+  /// AdversaryProfile, so honest hosts' draw sequences never move.
+  std::uint64_t adversary_draws_ = 0;
 };
 
 class Network {
@@ -184,6 +194,18 @@ class Network {
   /// Reconfigure a host's per-round probe budget (0 = unlimited).
   void set_rate_limit(HostId id, int per_round);
 
+  // --- Byzantine landmark adversaries (DESIGN.md §11) ---
+  /// Attach (or replace) an adversary profile: probes OF this host get
+  /// manipulated delays / selective drops. Validates the profile first;
+  /// on throw the host keeps its previous state.
+  void set_adversary(HostId id, const AdversaryProfile& profile);
+  /// Restore honest behaviour.
+  void clear_adversary(HostId id);
+  /// The host's profile, or null when honest.
+  const AdversaryProfile* adversary(HostId id) const;
+  /// Number of hosts currently carrying a profile.
+  std::size_t adversary_count() const noexcept;
+
   const LatencyParams& params() const noexcept { return params_; }
 
  private:
@@ -196,10 +218,21 @@ class Network {
   Lane default_lane_;
   /// Explicit outage windows [from, to) per host; (0, 0) = none.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> outage_window_;
+  /// Adversary profiles per host (nullopt = honest); sized lazily so
+  /// the honest fast path is one empty() check.
+  std::vector<std::optional<AdversaryProfile>> adversaries_;
 
   /// Counts the probe against the target's per-round budget in `lane`;
   /// true when the budget is exceeded and the probe must time out.
   bool rate_limited(HostId to, Lane& lane);
+  /// The delay an adversarial host reports for a probe from `from` in
+  /// `lane`'s current round, or nullopt when the probe is selectively
+  /// dropped. Hash-keyed draws only — never consumes lane RNG state
+  /// beyond what the honest path would (the honest sample is still
+  /// drawn for shift/scale attacks so downstream draw sequences match;
+  /// fake-target replies skip it, which is deterministic per lane).
+  std::optional<double> adversarial_rtt_ms(HostId from, HostId to, Lane& lane,
+                                           const AdversaryProfile& adv);
   void check_fault_model(const HostProfile& p) const;
   double access_ms(HostId h) const;
   double pair_inflation(HostId a, HostId b) const;

@@ -23,7 +23,9 @@ ConnectResult ProxySession::connect_via(HostId landmark,
             leg1 + *behavior_.forge_synack_after_ms};
   }
   ConnectResult r = net_->tcp_connect(proxy_, landmark, port, lane_);
-  if (r.outcome == ConnectOutcome::kTimeout) return r;
+  if (r.outcome == ConnectOutcome::kTimeout ||
+      r.outcome == ConnectOutcome::kDropped)
+    return r;
   double extra = behavior_.added_delay_ms;
   if (behavior_.selective_delay) extra += behavior_.selective_delay(landmark);
   r.elapsed_ms += leg1 + extra;

@@ -11,6 +11,7 @@
 #include "assess/audit.hpp"
 #include "common/thread_pool.hpp"
 #include "measure/testbed.hpp"
+#include "netsim/adversary.hpp"
 #include "obs/metrics.hpp"
 #include "world/fleet.hpp"
 
@@ -130,7 +131,13 @@ void expect_reports_identical(const AuditReport& a, const AuditReport& b) {
     EXPECT_EQ(x.iclab_accepted, y.iclab_accepted);
     EXPECT_EQ(x.campaign, y.campaign);
     EXPECT_EQ(x.tunnel_flagged, y.tunnel_flagged);
+    EXPECT_EQ(x.constraints_total, y.constraints_total);
+    EXPECT_EQ(x.constraints_used, y.constraints_used);
+    EXPECT_EQ(x.landmark_used, y.landmark_used);
+    EXPECT_EQ(x.byzantine, y.byzantine);
   }
+  EXPECT_EQ(a.suspicion, b.suspicion);
+  EXPECT_EQ(a.suspicious_landmarks, b.suspicious_landmarks);
 }
 
 }  // namespace
@@ -152,6 +159,38 @@ TEST(ParallelAudit, ParallelReportBitIdenticalToSerial) {
   // order on both sides).
   EXPECT_EQ(serial.run_board().clock(), parallel.run_board().clock());
   EXPECT_EQ(serial.run_board().open_count(), parallel.run_board().open_count());
+}
+
+TEST(ParallelAudit, ByzantineAuditParallelBitIdenticalToSerial) {
+  // With a quarter of the landmarks deflating, the subset engine takes
+  // its slow (coverage-sweep) path and rows carry nonzero byzantine
+  // diagnostics; all of it — flags, used vectors, the suspicion table —
+  // must stay bit-identical across thread counts, because adversarial
+  // draws are keyed on (seed, lane, host, round), never on scheduling.
+  auto compromise = [](measure::Testbed& bed) {
+    std::vector<netsim::HostId> hosts;
+    for (std::size_t i = 0; i < bed.landmarks().size(); ++i)
+      hosts.push_back(bed.landmark_host(i));
+    return netsim::attach_adversaries(bed.net(), hosts, 0.25, "deflate",
+                                      2024, geo::LatLon{40.0, -100.0});
+  };
+  measure::Testbed bed_serial(small_bed_config());
+  measure::Testbed bed_parallel(small_bed_config());
+  auto fleet = small_fleet(bed_serial.world());
+  auto c1 = compromise(bed_serial);
+  auto c2 = compromise(bed_parallel);
+  ASSERT_EQ(c1, c2);  // pick_colluders is deterministic
+  ASSERT_GT(c1.size(), 0u);
+
+  Auditor serial(bed_serial, audit_config(1));
+  Auditor parallel(bed_parallel, audit_config(4));
+  auto a = serial.run(fleet);
+  auto b = parallel.run(fleet);
+  expect_reports_identical(a, b);
+  // The attack actually bit: at least one solve excluded somebody.
+  std::uint64_t excluded = 0;
+  for (const auto& e : a.suspicion.entries()) excluded += e.excluded;
+  EXPECT_GT(excluded, 0u);
 }
 
 TEST(ParallelAudit, HardwareThreadsModeRuns) {

@@ -57,6 +57,7 @@ TEST(ProbePolicy, OutcomeNames) {
   EXPECT_STREQ(to_string(ProbeOutcome::kRetryExhausted), "retry-exhausted");
   EXPECT_STREQ(to_string(ProbeOutcome::kBreakerOpen), "breaker-open");
   EXPECT_STREQ(to_string(ProbeOutcome::kGatedInactive), "gated-inactive");
+  EXPECT_STREQ(to_string(ProbeOutcome::kDropped), "dropped");
 }
 
 TEST(ProbePolicy, BreakerOpensAfterThresholdAndRecovers) {
@@ -257,6 +258,46 @@ TEST(CampaignEngine, RetryExhaustionAndBudget) {
   EXPECT_EQ(engine.stats().budget_denied, 1u);
   EXPECT_EQ(engine.retries_left(), 0);
   EXPECT_EQ(engine.stats().retry_exhausted, 2u);
+}
+
+TEST(CampaignEngine, DroppedProbesCountSeparatelyButRetryLikeTimeouts) {
+  // An adversarial drop is indistinguishable from a timeout on the wire
+  // — same retries, same breaker pressure — but the stats ledger keeps
+  // it apart so audits can tell starvation from congestion.
+  std::map<std::size_t, int> calls;
+  RichProbeFn adversarial = [&](std::size_t id) -> ProbeReply {
+    if (calls[id]++ < 2) return {ProbeOutcome::kDropped, 0.0};
+    return {ProbeOutcome::kOk, 12.0};
+  };
+  CampaignConfig cfg;
+  cfg.retry.max_attempts = 3;
+  CampaignEngine engine(adversarial, cfg);
+  auto r = engine.probe(4);
+  EXPECT_EQ(r.outcome, ProbeOutcome::kOk);
+  EXPECT_DOUBLE_EQ(r.rtt_ms, 12.0);
+  EXPECT_EQ(engine.stats().dropped, 2u);
+  EXPECT_EQ(engine.stats().timeouts, 0u);
+  EXPECT_EQ(engine.stats().retries, 2u);
+  EXPECT_EQ(engine.stats().ok, 1u);
+}
+
+TEST(CampaignEngine, AllDroppedExhaustsRetries) {
+  RichProbeFn starved = [](std::size_t) -> ProbeReply {
+    return {ProbeOutcome::kDropped, 0.0};
+  };
+  CampaignConfig cfg;
+  cfg.retry.max_attempts = 2;
+  CampaignEngine engine(starved, cfg);
+  auto r = engine.probe(0);
+  EXPECT_EQ(r.outcome, ProbeOutcome::kRetryExhausted);
+  EXPECT_EQ(engine.stats().dropped, 2u);
+  EXPECT_EQ(engine.stats().retry_exhausted, 1u);
+
+  CampaignStats a, b;
+  a.dropped = 2;
+  b.dropped = 3;
+  a.merge(b);
+  EXPECT_EQ(a.dropped, 5u);
 }
 
 TEST(CampaignEngine, AbortOnBudgetExhaustedThrows) {

@@ -7,6 +7,9 @@
 // inputs never crash the pipeline.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "algos/cbg_pp.hpp"
 #include "assess/audit.hpp"
 #include "common/error.hpp"
@@ -16,6 +19,8 @@
 #include "measure/testbed.hpp"
 #include "measure/tools.hpp"
 #include "measure/two_phase.hpp"
+#include "netsim/adversary.hpp"
+#include "world/fleet.hpp"
 
 namespace ageo {
 namespace {
@@ -277,6 +282,120 @@ TEST_F(FailureTest, AuditReportExposesCampaignTotals) {
   EXPECT_EQ(sum, report.campaign_totals);
   EXPECT_GT(report.campaign_totals.measured(), 0u);
   EXPECT_EQ(report.campaign_totals.tunnel_drops, 0u);
+}
+
+// ---- Byzantine landmarks (DESIGN.md §11) ----
+
+measure::TestbedConfig byzantine_bed_config() {
+  measure::TestbedConfig cfg;
+  cfg.seed = 909;
+  cfg.constellation.n_anchors = 120;
+  cfg.constellation.n_probes = 160;
+  return cfg;
+}
+
+world::Fleet byzantine_fleet(const world::WorldModel& w) {
+  auto specs = world::default_provider_specs();
+  specs.resize(3);
+  for (auto& s : specs) {
+    s.target_servers = 14;
+    s.n_real_sites = 4;
+  }
+  return world::generate_fleet(w, specs, 31);
+}
+
+assess::AuditConfig byzantine_audit_config() {
+  assess::AuditConfig cfg;
+  cfg.grid_cell_deg = 2.0;
+  cfg.threads = 4;
+  return cfg;
+}
+
+std::vector<netsim::HostId> compromise_landmarks(measure::Testbed& bed,
+                                                 double fraction,
+                                                 const char* strategy) {
+  std::vector<netsim::HostId> hosts;
+  hosts.reserve(bed.landmarks().size());
+  for (std::size_t i = 0; i < bed.landmarks().size(); ++i)
+    hosts.push_back(bed.landmark_host(i));
+  return netsim::attach_adversaries(bed.net(), hosts, fraction, strategy,
+                                    909, geo::LatLon{40.0, -100.0});
+}
+
+TEST(ByzantineAudit, HonestFleetIsFlagFree) {
+  // No adversaries: no proxy row is flagged byzantine and no landmark
+  // crosses the suspicion thresholds — the defences are quiet when
+  // there is nothing to defend against.
+  measure::Testbed bed(byzantine_bed_config());
+  auto fleet = byzantine_fleet(bed.world());
+  assess::Auditor auditor(bed, byzantine_audit_config());
+  auto report = auditor.run(fleet);
+  ASSERT_EQ(report.rows.size(), fleet.hosts.size());
+  for (const auto& r : report.rows) {
+    EXPECT_FALSE(r.byzantine) << "row " << r.host_index << " agreement "
+                              << r.agreement();
+  }
+  EXPECT_TRUE(report.suspicious_landmarks.empty());
+}
+
+TEST(ByzantineAudit, DeflatingLandmarksAreFlaggedWithPrecision) {
+  // Regression pin: 25% of landmarks deflate; the suspicion table must
+  // name only true attackers (perfect precision on this seed) and catch
+  // a solid fraction of them, and some proxy rows go byzantine.
+  measure::Testbed bed(byzantine_bed_config());
+  auto fleet = byzantine_fleet(bed.world());
+  auto attackers = compromise_landmarks(bed, 0.25, "deflate");
+  ASSERT_EQ(attackers.size(), bed.landmarks().size() / 4);
+
+  assess::Auditor auditor(bed, byzantine_audit_config());
+  auto report = auditor.run(fleet);
+
+  std::size_t hits = 0;
+  for (std::size_t id : report.suspicious_landmarks) {
+    if (std::find(attackers.begin(), attackers.end(),
+                  bed.landmark_host(id)) != attackers.end())
+      ++hits;
+  }
+  ASSERT_FALSE(report.suspicious_landmarks.empty());
+  const double precision =
+      static_cast<double>(hits) /
+      static_cast<double>(report.suspicious_landmarks.size());
+  const double recall =
+      static_cast<double>(hits) / static_cast<double>(attackers.size());
+  EXPECT_DOUBLE_EQ(precision, 1.0);
+  EXPECT_GE(recall, 0.2);
+
+  std::size_t byz_rows = 0;
+  for (const auto& r : report.rows)
+    if (r.byzantine) ++byz_rows;
+  EXPECT_GT(byz_rows, 0u);
+}
+
+TEST(ByzantineAudit, AttackerFractionFromEnv) {
+  // CI matrix hook: AGEO_ATTACKER_FRACTION compromises that fraction of
+  // landmarks with the deflate strategy; the pipeline must survive any
+  // setting (the default 0 degenerates to the honest case).
+  double fraction = 0.0;
+  if (const char* s = std::getenv("AGEO_ATTACKER_FRACTION")) {
+    fraction = std::atof(s);
+    ASSERT_GE(fraction, 0.0);
+    ASSERT_LE(fraction, 1.0);
+  }
+  measure::Testbed bed(byzantine_bed_config());
+  auto fleet = byzantine_fleet(bed.world());
+  auto attackers = compromise_landmarks(bed, fraction, "deflate");
+  assess::Auditor auditor(bed, byzantine_audit_config());
+  auto report = auditor.run(fleet);
+  ASSERT_EQ(report.rows.size(), fleet.hosts.size());
+  EXPECT_EQ(bed.net().adversary_count(), attackers.size());
+  for (const auto& r : report.rows) {
+    if (r.landmark_used.empty()) continue;
+    EXPECT_EQ(r.landmark_used.size(), r.observations.size());
+    EXPECT_LE(r.constraints_used, r.constraints_total);
+  }
+  // Flagged landmarks, if any, must at least have participated.
+  for (std::size_t id : report.suspicious_landmarks)
+    EXPECT_GE(report.suspicion.entry(id).solves, 4u);
 }
 
 TEST_F(FailureTest, AllProbesFailYieldsEmptyNotCrash) {

@@ -18,11 +18,14 @@
 
 #include "common/rng.hpp"
 #include "geo/geodesy.hpp"
+#include "geo/units.hpp"
 #include "grid/cap_cache.hpp"
 #include "grid/field.hpp"
 #include "grid/raster.hpp"
 #include "grid/scratch.hpp"
 #include "mlat/multilateration.hpp"
+#include "netsim/network.hpp"
+#include "world/hubs.hpp"
 
 namespace ageo::mlat {
 namespace {
@@ -236,6 +239,125 @@ TEST(SubsetEquivalence, Over64AgainstCountOracle) {
       EXPECT_EQ(plain.used, fast.used);
       EXPECT_EQ(plain.region.words(), fast.region.words());
     }
+  }
+}
+
+// The ring engine against the dense ring oracle, same matrix as the
+// disk test: every (cache, scratch) combination, masked and unmasked.
+TEST(SubsetEquivalence, RingSparseMatchesDenseReference) {
+  grid::Grid g(2.0);
+  Rng rng(41, "ring_subset_equivalence");
+  const grid::Region mask = grid::rasterize_lat_band(g, -60.0, 72.0);
+  for (std::size_t n : {1u, 2u, 9u, 33u, 64u}) {
+    std::vector<RingConstraint> rings;
+    rings.reserve(n);
+    const geo::LatLon hub = random_point(rng);
+    for (std::size_t i = 0; i < n; ++i) {
+      geo::LatLon c = (i % 2 == 0)
+                          ? geo::LatLon{hub.lat_deg + rng.uniform(-6.0, 6.0),
+                                        hub.lon_deg + rng.uniform(-6.0, 6.0)}
+                          : random_point(rng);
+      const double inner = rng.uniform(0.0, 2500.0);
+      rings.push_back({c, inner, inner + rng.uniform(300.0, 3000.0)});
+    }
+    for (const grid::Region* m : {static_cast<const grid::Region*>(nullptr),
+                                  &mask}) {
+      grid::CapPlanCache cache(128);
+      const SubsetResult oracle =
+          reference::largest_consistent_subset(
+              g, std::span<const RingConstraint>(rings), m);
+      grid::Scratch* arena = &grid::Scratch::tls();
+      for (grid::CapPlanCache* pc :
+           {static_cast<grid::CapPlanCache*>(nullptr), &cache}) {
+        for (grid::Scratch* sc :
+             {static_cast<grid::Scratch*>(nullptr), arena}) {
+          const SubsetResult fast = largest_consistent_subset(
+              g, std::span<const RingConstraint>(rings), m, pc, sc);
+          EXPECT_EQ(oracle.n_used, fast.n_used)
+              << "n=" << n << " mask=" << (m != nullptr)
+              << " cache=" << (pc != nullptr) << " arena=" << (sc != nullptr);
+          EXPECT_EQ(oracle.used, fast.used) << "n=" << n;
+          EXPECT_EQ(oracle.region.words(), fast.region.words()) << "n=" << n;
+        }
+      }
+    }
+  }
+}
+
+// >64 ring constraints derived from an actual Byzantine constellation:
+// honest landmarks ring the truth, deflating landmarks produce rings too
+// tight to contain it, and a colluding clique rings a fake rendezvous.
+// The three camps are mutually inconsistent by construction; the sparse
+// engine must agree with the independent count oracle about who wins.
+TEST(SubsetEquivalence, AdversarialRingsOver64AgainstCountOracle) {
+  grid::Grid g(4.0);
+  Rng rng(13, "byzantine_rings");
+  const geo::LatLon truth{48.0, 11.0};
+  const geo::LatLon fake{40.0, -100.0};
+
+  netsim::Network net(world::HubGraph::builtin(), 23);
+  netsim::HostProfile tp;
+  tp.location = truth;
+  const netsim::HostId target = net.add_host(tp);
+
+  for (std::size_t n : {70u, 96u}) {
+    std::vector<RingConstraint> rings;
+    std::vector<netsim::HostId> hosts;
+    rings.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      netsim::HostProfile lp;
+      lp.location = random_point(rng);
+      const netsim::HostId lm = net.add_host(lp);
+      hosts.push_back(lm);
+      if (i % 4 == 1) {
+        net.set_adversary(lm, netsim::deflate_attack(0.35, 0.0));
+      } else if (i % 4 == 3) {
+        net.set_adversary(lm, netsim::collusion_attack(fake, 0, 0.0));
+      }
+    }
+    netsim::Lane lane = net.make_lane(1000 + n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto rtt = net.icmp_ping_ms(hosts[i], target, &lane);
+      ASSERT_TRUE(rtt.has_value());
+      // A crude but monotone delay→distance band around the implied
+      // great-circle estimate; deflated/forged delays yield rings that
+      // cannot contain the truth.
+      const double d = (*rtt / 2.0) * geo::kFibreSpeedKmPerMs;
+      rings.push_back({net.host(hosts[i]).location, 0.45 * d, 1.05 * d});
+    }
+
+    const double pad = conservative_pad_km(g);
+    std::vector<grid::Region> members;
+    members.reserve(n);
+    for (const auto& r : rings) {
+      members.push_back(grid::rasterize_ring(
+          g, geo::Ring{r.center, std::max(0.0, r.min_km - pad),
+                       r.max_km + pad}));
+    }
+    std::vector<std::uint32_t> count(g.size(), 0);
+    for (const auto& r : members)
+      r.for_each_cell([&](std::size_t idx) { ++count[idx]; });
+    std::size_t best = 0;
+    for (std::size_t idx = 0; idx < g.size(); ++idx)
+      if (count[idx] > best) best = count[idx];
+
+    grid::CapPlanCache cache(256);
+    const SubsetResult fast = largest_consistent_subset(
+        g, std::span<const RingConstraint>(rings), nullptr, &cache,
+        &grid::Scratch::tls());
+    EXPECT_EQ(best, fast.n_used) << "n=" << n;
+    ASSERT_GT(fast.n_used, 0u);
+    EXPECT_LT(fast.n_used, n) << "adversaries should not all survive";
+    grid::Region oracle_region(g);
+    for (std::size_t idx = 0; idx < g.size(); ++idx)
+      if (count[idx] == best) oracle_region.set(idx);
+    EXPECT_EQ(oracle_region.words(), fast.region.words()) << "n=" << n;
+    // Cache/arena invariance on the adversarial shape too.
+    const SubsetResult plain = largest_consistent_subset(
+        g, std::span<const RingConstraint>(rings));
+    EXPECT_EQ(plain.n_used, fast.n_used);
+    EXPECT_EQ(plain.used, fast.used);
+    EXPECT_EQ(plain.region.words(), fast.region.words());
   }
 }
 

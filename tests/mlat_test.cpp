@@ -149,7 +149,7 @@ TEST(Subset, DropsUnderestimatingDisk) {
 
 TEST(Subset, EmptyInput) {
   grid::Grid g(2.0);
-  auto res = largest_consistent_subset(g, {});
+  auto res = largest_consistent_subset(g, std::span<const DiskConstraint>{});
   EXPECT_EQ(res.n_used, 0u);
   EXPECT_EQ(res.region.count(), g.size());
 }

@@ -441,5 +441,186 @@ TEST(NetsimStat, EffectiveSpeedBand) {
   EXPECT_GT(in_band, total * 2 / 3);
 }
 
+// ---- Byzantine landmark adversaries (DESIGN.md §11) ----
+
+TEST_F(NetsimTest, AdversaryValidatesBeforeMutation) {
+  HostId h = host_at(10.0, 10.0);
+  AdversaryProfile bad;
+  bad.delay_scale = 0.0;
+  EXPECT_THROW(net.set_adversary(h, bad), InvalidArgument);
+  bad = {};
+  bad.drop_probability = 1.5;
+  EXPECT_THROW(net.set_adversary(h, bad), InvalidArgument);
+  bad = {};
+  bad.jitter_ms = -1.0;
+  EXPECT_THROW(net.set_adversary(h, bad), InvalidArgument);
+  bad = {};
+  bad.fake_route_inflation = 0.5;
+  EXPECT_THROW(net.set_adversary(h, bad), InvalidArgument);
+  // Every rejection left the host honest.
+  EXPECT_EQ(net.adversary(h), nullptr);
+  EXPECT_EQ(net.adversary_count(), 0u);
+
+  net.set_adversary(h, inflate_attack());
+  EXPECT_NE(net.adversary(h), nullptr);
+  EXPECT_EQ(net.adversary_count(), 1u);
+  net.clear_adversary(h);
+  EXPECT_EQ(net.adversary(h), nullptr);
+}
+
+TEST_F(NetsimTest, ShiftAttackBendsTheHonestSample) {
+  // A pure additive shift with no jitter reports exactly the honest
+  // sample plus the shift: the adversarial path consumes the same lane
+  // draws, then lies about the result.
+  HostId a = host_at(52.5, 13.4);
+  HostId h = host_at(48.85, 2.35);
+  Network twin{world::HubGraph::builtin(), 7};
+  HostProfile pa, ph;
+  pa.location = {52.5, 13.4};
+  ph.location = {48.85, 2.35};
+  HostId ta = twin.add_host(pa);
+  HostId th = twin.add_host(ph);
+
+  AdversaryProfile shift;
+  shift.delay_shift_ms = 30.0;
+  net.set_adversary(h, shift);
+  Lane mine = net.make_lane(99), ref = twin.make_lane(99);
+  for (int i = 0; i < 20; ++i) {
+    auto lied = net.icmp_ping_ms(a, h, &mine);
+    auto honest = twin.icmp_ping_ms(ta, th, &ref);
+    ASSERT_TRUE(lied && honest);
+    EXPECT_NEAR(*lied, *honest + 30.0, 1e-9);
+  }
+}
+
+TEST_F(NetsimTest, DeflateAttackScalesDown) {
+  HostId a = host_at(40.7, -74.0);
+  HostId h = host_at(34.05, -118.24);
+  Network twin{world::HubGraph::builtin(), 7};
+  HostProfile pa, ph;
+  pa.location = {40.7, -74.0};
+  ph.location = {34.05, -118.24};
+  HostId ta = twin.add_host(pa);
+  HostId th = twin.add_host(ph);
+
+  net.set_adversary(h, deflate_attack(0.5, /*jitter_ms=*/0.0));
+  Lane mine = net.make_lane(4), ref = twin.make_lane(4);
+  for (int i = 0; i < 20; ++i) {
+    auto lied = net.icmp_ping_ms(a, h, &mine);
+    auto honest = twin.icmp_ping_ms(ta, th, &ref);
+    ASSERT_TRUE(lied && honest);
+    // Exactly half the honest sample (clamped): the deflater measures
+    // the true path, then under-reports it — undercutting the physical
+    // floor is the whole point, and what the subset engine catches.
+    EXPECT_NEAR(*lied, std::max(0.05, *honest * 0.5), 1e-9);
+    EXPECT_LT(*lied, *honest);
+  }
+}
+
+TEST_F(NetsimTest, HonestStreamsUnchangedByAdversaryElsewhere) {
+  // Attaching an adversary to one host must not perturb any other
+  // host's samples: adversarial draws are hash-derived, never taken
+  // from the lane RNG stream.
+  HostId a = host_at(52.5, 13.4);
+  HostId h = host_at(48.85, 2.35);
+  HostId honest = host_at(41.9, 12.5);
+  Network twin{world::HubGraph::builtin(), 7};
+  HostProfile pa, ph, po;
+  pa.location = {52.5, 13.4};
+  ph.location = {48.85, 2.35};
+  po.location = {41.9, 12.5};
+  HostId ta = twin.add_host(pa);
+  (void)twin.add_host(ph);
+  HostId to = twin.add_host(po);
+
+  net.set_adversary(h, drop_attack(0.9));
+  Lane mine = net.make_lane(7), ref = twin.make_lane(7);
+  for (int i = 0; i < 25; ++i) {
+    auto x = net.icmp_ping_ms(a, honest, &mine);
+    auto y = twin.icmp_ping_ms(ta, to, &ref);
+    ASSERT_TRUE(x && y);
+    EXPECT_EQ(*x, *y);
+  }
+}
+
+TEST_F(NetsimTest, DropAttackDropsDeterministically) {
+  HostId a = host_at(52.5, 13.4);
+  HostId h = host_at(48.85, 2.35);
+  net.set_adversary(h, drop_attack(1.0));
+  EXPECT_FALSE(net.icmp_ping_ms(a, h).has_value());
+  auto r = net.tcp_connect(a, h, 80);
+  EXPECT_EQ(r.outcome, ConnectOutcome::kDropped);
+
+  // p = 0.5 drops the same probes on identically-seeded lanes.
+  net.set_adversary(h, drop_attack(0.5));
+  Lane l1 = net.make_lane(21), l2 = net.make_lane(21);
+  int dropped = 0;
+  for (int i = 0; i < 40; ++i) {
+    auto x = net.icmp_ping_ms(a, h, &l1);
+    auto y = net.icmp_ping_ms(a, h, &l2);
+    EXPECT_EQ(x.has_value(), y.has_value());
+    if (!x) ++dropped;
+  }
+  EXPECT_GT(dropped, 5);
+  EXPECT_LT(dropped, 35);
+}
+
+TEST_F(NetsimTest, CollusionRepliesAreConsistentWithTheFakeTarget) {
+  // Two colluders at different distances from the rendezvous: the
+  // farther one must fabricate the larger delay, regardless of where
+  // the probing host actually is.
+  geo::LatLon fake{40.0, -100.0};
+  HostId probe = host_at(52.5, 13.4);
+  HostId near_fake = host_at(41.0, -95.0);
+  HostId far_fake = host_at(35.68, 139.69);
+  net.set_adversary(near_fake, collusion_attack(fake, 0, 0.0));
+  net.set_adversary(far_fake, collusion_attack(fake, 0, 0.0));
+  Lane lane = net.make_lane(3);
+  auto rn = net.icmp_ping_ms(probe, near_fake, &lane);
+  auto rf = net.icmp_ping_ms(probe, far_fake, &lane);
+  ASSERT_TRUE(rn && rf);
+  EXPECT_LT(*rn, *rf);
+  // And the forged reply is deterministic per lane.
+  Lane replay = net.make_lane(3);
+  auto rn2 = net.icmp_ping_ms(probe, near_fake, &replay);
+  ASSERT_TRUE(rn2);
+  EXPECT_EQ(*rn, *rn2);
+}
+
+TEST_F(NetsimTest, AttachAdversariesPicksDeterministically) {
+  std::vector<HostId> hosts;
+  for (int i = 0; i < 20; ++i) hosts.push_back(host_at(10.0 + i, 5.0));
+  auto picked = pick_colluders(hosts, 0.25, 77);
+  EXPECT_EQ(picked.size(), 5u);
+  EXPECT_EQ(picked, pick_colluders(hosts, 0.25, 77));
+  EXPECT_NE(picked, pick_colluders(hosts, 0.25, 78));
+
+  auto attached =
+      attach_adversaries(net, hosts, 0.25, "collude", 77, {40.0, -100.0});
+  EXPECT_EQ(attached, picked);
+  for (HostId h : attached) {
+    ASSERT_NE(net.adversary(h), nullptr);
+    EXPECT_TRUE(net.adversary(h)->fake_target.has_value());
+    EXPECT_EQ(net.adversary(h)->collusion_group, 0);
+  }
+  EXPECT_THROW(
+      attach_adversaries(net, hosts, 0.25, "nonsense", 77, {0.0, 0.0}),
+      InvalidArgument);
+}
+
+TEST_F(NetsimTest, FaultSetterRejectionPreservesOldState) {
+  // Regression: set_flap/set_rate_limit used to mutate the profile
+  // before validating, so a rejected reconfiguration left the host in a
+  // half-written state.
+  HostId h = host_at(10.0, 10.0);
+  net.set_flap(h, 0.25, 3);
+  EXPECT_THROW(net.set_flap(h, 1.5, 2), InvalidArgument);
+  EXPECT_EQ(net.host(h).flap_probability, 0.25);
+  EXPECT_EQ(net.host(h).flap_duration_rounds, 3);
+  net.set_rate_limit(h, 5);
+  EXPECT_THROW(net.set_rate_limit(h, -2), InvalidArgument);
+  EXPECT_EQ(net.host(h).rate_limit_per_round, 5);
+}
+
 }  // namespace
 }  // namespace ageo::netsim
