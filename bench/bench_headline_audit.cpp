@@ -5,16 +5,141 @@
 // the claimed continent; 462 of the uncertain on the same continent. At
 // most 70% of servers are where their operators say (generous), ~50%
 // confirmed (strict).
+//
+// After the §6 tables the bench measures the localization-perf curves
+// recorded to BENCH_refine.json (set AGEO_BENCH_JSON=FILE to write it):
+// the threads=1/2/4/8 scaling of the standard 1.0-degree audit, and the
+// flat vs coarse-to-fine refined audit at 0.25-degree final resolution
+// (schedule from AGEO_REFINE, default 2.0,0.5), with the refined rows
+// checked bit-identical against the flat oracle. AGEO_PERF_SECTION=off
+// skips both curves (the obs-overhead CI job only needs the headline).
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "obs/metrics.hpp"
 
 using namespace ageo;
+
+namespace {
+
+struct PerfCell {
+  std::string label;
+  double grid_deg = 1.0;
+  std::string schedule = "off";  // "off" = flat solves
+  int threads = 1;
+  std::size_t proxies = 0;
+  double audit_ms = 0.0;
+  double ms_per_proxy = 0.0;
+  double proxies_per_sec = 0.0;
+  double speedup = 1.0;  // vs the first cell of the same section
+  bool identical_to_flat = true;
+};
+
+assess::AuditAlgorithm algo_from_name(const std::string& name) {
+  if (name == "spotter") return assess::AuditAlgorithm::kSpotter;
+  if (name == "hybrid") return assess::AuditAlgorithm::kHybrid;
+  return assess::AuditAlgorithm::kCbgPlusPlus;
+}
+
+// One timed audit cell. Builds a fresh testbed from the standard seed
+// (audits perturb the testbed, and identical configs must see identical
+// worlds) and times only the audit proper. Deliberately ignores
+// AGEO_THREADS: the scaling section sweeps the thread count itself.
+PerfCell run_perf_cell(std::string label, double scale, double grid_deg,
+                       const std::string& schedule, int threads,
+                       assess::AuditReport* report_out = nullptr) {
+  auto bed = bench::standard_testbed(scale);
+  auto fleet = bench::standard_fleet(bed->world(), scale);
+  assess::AuditConfig cfg;
+  cfg.grid_cell_deg = grid_deg;
+  cfg.refine = mlat::RefineSchedule::parse(schedule);
+  cfg.threads = threads;
+  cfg.algorithm = algo_from_name(bench::audit_algorithm_name());
+  assess::Auditor auditor(*bed, cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto report = auditor.run(fleet);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  PerfCell cell;
+  cell.label = std::move(label);
+  cell.grid_deg = grid_deg;
+  cell.schedule = schedule;
+  cell.threads = threads;
+  cell.proxies = report.rows.size();
+  cell.audit_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  cell.ms_per_proxy =
+      cell.proxies ? cell.audit_ms / static_cast<double>(cell.proxies) : 0.0;
+  cell.proxies_per_sec = cell.audit_ms > 0.0
+                             ? 1000.0 * static_cast<double>(cell.proxies) /
+                                   cell.audit_ms
+                             : 0.0;
+  if (report_out) *report_out = std::move(report);
+  return cell;
+}
+
+bool reports_match(const assess::AuditReport& a, const assess::AuditReport& b) {
+  if (a.rows.size() != b.rows.size()) return false;
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    const auto& x = a.rows[i];
+    const auto& y = b.rows[i];
+    if (x.region.words() != y.region.words() ||
+        x.verdict_final != y.verdict_final ||
+        x.constraints_used != y.constraints_used ||
+        x.landmark_used != y.landmark_used)
+      return false;
+  }
+  return true;
+}
+
+void print_perf_row(const PerfCell& c) {
+  std::printf("%-24s %8.2f %-10s %7d %10.0f %12.4f %11.0f %8.2fx  %s\n",
+              c.label.c_str(), c.grid_deg, c.schedule.c_str(), c.threads,
+              c.audit_ms, c.ms_per_proxy, c.proxies_per_sec, c.speedup,
+              c.identical_to_flat ? "" : "MISMATCH");
+}
+
+void write_refine_json(const std::string& path, double scale,
+                       const std::vector<PerfCell>& threads_curve,
+                       const std::vector<PerfCell>& refine_curve) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  auto cell_json = [&](const PerfCell& c, const char* indent) {
+    out << indent << "{\"label\":\"" << c.label << "\",\"grid_deg\":"
+        << c.grid_deg << ",\"schedule\":\"" << c.schedule
+        << "\",\"threads\":" << c.threads << ",\"proxies\":" << c.proxies
+        << ",\"audit_ms\":" << c.audit_ms
+        << ",\"ms_per_proxy\":" << c.ms_per_proxy
+        << ",\"proxies_per_sec\":" << c.proxies_per_sec
+        << ",\"speedup\":" << c.speedup << ",\"identical_to_flat\":"
+        << (c.identical_to_flat ? "true" : "false") << "}";
+  };
+  out << "{\n  \"scale\": " << scale << ",\n  \"algorithm\": \""
+      << bench::audit_algorithm_name() << "\",\n  \"thread_scaling\": [\n";
+  for (std::size_t i = 0; i < threads_curve.size(); ++i) {
+    cell_json(threads_curve[i], "    ");
+    out << (i + 1 < threads_curve.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"refinement\": [\n";
+  for (std::size_t i = 0; i < refine_curve.size(); ++i) {
+    cell_json(refine_curve[i], "    ");
+    out << (i + 1 < refine_curve.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
+}  // namespace
 
 int main() {
   // AGEO_OBS_FORCE=on|off pins the telemetry runtime switch for overhead
@@ -114,5 +239,54 @@ int main() {
               "(false = %.0f%%)\n",
               false_ >= rows.size() / 3 ? "PASS" : "FAIL",
               100.0 * false_ / n);
-  return 0;
+
+  // ---- Localization perf: thread scaling + coarse-to-fine refinement ----
+  if (const char* p = std::getenv("AGEO_PERF_SECTION"))
+    if (!std::strcmp(p, "off")) return 0;
+
+  std::printf("\n=== Localization perf (BENCH_refine.json) ===\n\n");
+  std::printf("%-24s %8s %-10s %7s %10s %12s %11s %9s\n", "cell", "grid",
+              "schedule", "threads", "audit ms", "ms/proxy", "proxies/s",
+              "speedup");
+
+  // Thread scaling of the standard 1.0-degree audit. Reports are
+  // bit-identical across thread counts by construction (pinned by
+  // audit_parallel_test); here we record what that parallelism buys in
+  // wall-clock.
+  std::vector<PerfCell> threads_curve;
+  for (int t : {1, 2, 4, 8}) {
+    PerfCell c = run_perf_cell("threads-" + std::to_string(t), scale, 1.0,
+                               "off", t);
+    if (!threads_curve.empty())
+      c.speedup = threads_curve.front().audit_ms / c.audit_ms;
+    print_perf_row(c);
+    threads_curve.push_back(std::move(c));
+  }
+
+  // Flat vs refined audit at 0.25-degree final resolution, serial, with
+  // the refined rows checked against the flat oracle.
+  std::printf("\n");
+  const char* sched_env = std::getenv("AGEO_REFINE");
+  const std::string schedule = sched_env ? sched_env : "2.0,0.5";
+  std::vector<PerfCell> refine_curve;
+  assess::AuditReport flat_report;
+  PerfCell flat = run_perf_cell("flat-0.25deg", scale, 0.25, "off", 1,
+                                &flat_report);
+  print_perf_row(flat);
+  refine_curve.push_back(flat);
+  assess::AuditReport refined_report;
+  PerfCell refined = run_perf_cell("refined-0.25deg", scale, 0.25, schedule,
+                                   1, &refined_report);
+  refined.speedup = flat.audit_ms / refined.audit_ms;
+  refined.identical_to_flat = reports_match(flat_report, refined_report);
+  print_perf_row(refined);
+  refine_curve.push_back(refined);
+
+  std::printf("\nrefined == flat oracle: %s;  refined speedup at "
+              "0.25 degrees: %.2fx\n",
+              refined.identical_to_flat ? "PASS" : "FAIL", refined.speedup);
+
+  if (const char* path = std::getenv("AGEO_BENCH_JSON"))
+    write_refine_json(path, scale, threads_curve, refine_curve);
+  return refined.identical_to_flat ? 0 : 1;
 }

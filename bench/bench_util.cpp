@@ -56,7 +56,8 @@ std::string audit_algorithm_name() {
   return "cbg++";
 }
 
-AuditBundle run_standard_audit(double scale, int threads) {
+AuditBundle run_standard_audit(double scale, int threads,
+                               const assess::AuditConfig& base) {
   if (const char* t = std::getenv("AGEO_THREADS")) {
     int v = std::atoi(t);
     if (v >= 0) threads = v;
@@ -66,7 +67,7 @@ AuditBundle run_standard_audit(double scale, int threads) {
   bundle.bed = standard_testbed(scale);
   bundle.fleet = standard_fleet(bundle.bed->world(), scale);
   auto t1 = std::chrono::steady_clock::now();
-  assess::AuditConfig cfg;
+  assess::AuditConfig cfg = base;
   cfg.threads = threads;
   cfg.algorithm = audit_algorithm_from_env();
   assess::Auditor auditor(*bundle.bed, cfg);

@@ -42,8 +42,11 @@ struct AuditBundle {
 /// proxy. `threads` is forwarded to AuditConfig::threads (0 = hardware
 /// concurrency, 1 = serial); AGEO_THREADS in the environment overrides.
 /// The algorithm defaults to CBG++; set AGEO_AUDIT_ALGO to `cbgpp`,
-/// `spotter` or `hybrid` to audit with a different geolocator.
-AuditBundle run_standard_audit(double scale = 1.0, int threads = 1);
+/// `spotter` or `hybrid` to audit with a different geolocator. `base`
+/// seeds the rest of the AuditConfig (grid resolution, refinement
+/// schedule, ...); threads and algorithm are overridden as above.
+AuditBundle run_standard_audit(double scale = 1.0, int threads = 1,
+                               const assess::AuditConfig& base = {});
 
 /// Human-readable name of the algorithm `run_standard_audit` will use
 /// (after applying the AGEO_AUDIT_ALGO override).

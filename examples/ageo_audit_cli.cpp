@@ -1,15 +1,16 @@
 // ageo_audit_cli: the full audit as a command-line tool.
 //
 //   ageo_audit_cli [--scale F] [--seed N] [--grid DEG] [--grid-deg DEG]
-//                  [--threads N] [--algo NAME] [--json FILE]
-//                  [--ground-truth] [--metrics FILE|-] [--trace FILE]
-//                  [--attackers FRAC] [--attack STRATEGY]
+//                  [--refine SCHED] [--threads N] [--algo NAME]
+//                  [--json FILE] [--ground-truth] [--metrics FILE|-]
+//                  [--trace FILE] [--attackers FRAC] [--attack STRATEGY]
 //
 // Runs the seven-provider audit and prints the per-provider summary;
 // optionally writes the complete per-proxy results as JSON, the
 // telemetry snapshot as Prometheus text (--metrics), and a Chrome
 // trace_event profile of the run (--trace).
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,9 +39,16 @@ void usage(const char* argv0) {
                "  --scale F         fleet/constellation scale factor "
                "(default 0.25; 1.0 = paper scale)\n"
                "  --seed N          master seed (default 2018)\n"
-               "  --grid DEG        analysis grid cell size (default 1.0)\n"
+               "  --grid DEG        analysis grid cell size (default 1.0; "
+               "must divide 180 evenly)\n"
                "  --grid-deg DEG    like --grid, restricted to the "
                "calibrated resolutions: 0.25, 0.5, 1.0, 2.0\n"
+               "  --refine SCHED    coarse-to-fine refinement schedule: "
+               "comma-separated cell sizes\n"
+               "                    coarser than the grid (e.g. 2.0,0.5), "
+               "'auto', or 'off' (default off);\n"
+               "                    results are bit-identical to flat "
+               "solves\n"
                "  --threads N       audit worker threads (default 1; 0 = "
                "one per hardware thread)\n"
                "  --algo NAME       geolocator: cbgpp | spotter | hybrid "
@@ -60,6 +68,30 @@ void usage(const char* argv0) {
                argv0);
 }
 
+// Strict numeric parsing. std::atof maps garbage to 0.0 silently, which
+// used to turn a typo like "--grid-deg 0,5" into an opaque usage dump
+// (or worse, an uncaught Grid exception later); require the whole token
+// to parse and name the offending flag.
+double parse_double(const char* flag, const char* text) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !std::isfinite(v)) {
+    std::fprintf(stderr, "%s: '%s' is not a number\n", flag, text);
+    std::exit(2);
+  }
+  return v;
+}
+
+long long parse_int(const char* flag, const char* text) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "%s: '%s' is not an integer\n", flag, text);
+    std::exit(2);
+  }
+  return v;
+}
+
 bool write_text_file(const std::string& path, const std::string& text) {
   std::ofstream out(path);
   if (!out) {
@@ -75,6 +107,7 @@ int main(int argc, char** argv) {
   double scale = 0.25;
   std::uint64_t seed = 2018;
   double grid_deg = 1.0;
+  std::string refine_spec = "off";
   int threads = 1;
   std::string algo = "cbgpp";
   std::string json_path;
@@ -94,22 +127,29 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (!std::strcmp(argv[i], "--scale")) {
-      scale = std::atof(need_value("--scale"));
+      scale = parse_double("--scale", need_value("--scale"));
     } else if (!std::strcmp(argv[i], "--seed")) {
-      seed = static_cast<std::uint64_t>(std::atoll(need_value("--seed")));
+      seed = static_cast<std::uint64_t>(
+          parse_int("--seed", need_value("--seed")));
     } else if (!std::strcmp(argv[i], "--grid")) {
-      grid_deg = std::atof(need_value("--grid"));
+      grid_deg = parse_double("--grid", need_value("--grid"));
     } else if (!std::strcmp(argv[i], "--grid-deg")) {
-      grid_deg = std::atof(need_value("--grid-deg"));
+      const char* text = need_value("--grid-deg");
+      grid_deg = parse_double("--grid-deg", text);
       if (grid_deg != 0.25 && grid_deg != 0.5 && grid_deg != 1.0 &&
           grid_deg != 2.0) {
         std::fprintf(stderr,
-                     "--grid-deg must be one of 0.25, 0.5, 1.0, 2.0 "
-                     "(use --grid for arbitrary cell sizes)\n");
+                     "--grid-deg: '%s' is not a calibrated resolution; "
+                     "expected one of 0.25, 0.5, 1.0, 2.0 "
+                     "(use --grid for arbitrary cell sizes)\n",
+                     text);
         return 2;
       }
+    } else if (!std::strcmp(argv[i], "--refine")) {
+      refine_spec = need_value("--refine");
     } else if (!std::strcmp(argv[i], "--threads")) {
-      threads = std::atoi(need_value("--threads"));
+      threads =
+          static_cast<int>(parse_int("--threads", need_value("--threads")));
     } else if (!std::strcmp(argv[i], "--algo")) {
       algo = need_value("--algo");
     } else if (!std::strcmp(argv[i], "--json")) {
@@ -119,7 +159,7 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--trace")) {
       trace_path = need_value("--trace");
     } else if (!std::strcmp(argv[i], "--attackers")) {
-      attackers = std::atof(need_value("--attackers"));
+      attackers = parse_double("--attackers", need_value("--attackers"));
     } else if (!std::strcmp(argv[i], "--attack")) {
       attack = need_value("--attack");
     } else if (!std::strcmp(argv[i], "--ground-truth")) {
@@ -134,9 +174,40 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (!(scale > 0.0 && scale <= 4.0) || !(grid_deg > 0.0) || threads < 0 ||
-      !(attackers >= 0.0 && attackers <= 1.0)) {
-    usage(argv[0]);
+  if (!(scale > 0.0 && scale <= 4.0)) {
+    std::fprintf(stderr, "--scale must be in (0, 4], got %g\n", scale);
+    return 2;
+  }
+  if (!(grid_deg > 0.0 && grid_deg <= 30.0) ||
+      std::llround(180.0 / grid_deg) * grid_deg != 180.0 ||
+      std::llround(360.0 / grid_deg) * grid_deg != 360.0) {
+    std::fprintf(stderr,
+                 "--grid: %g does not evenly divide the 180x360 degree "
+                 "globe (try 0.25, 0.5, 1.0, or 2.0)\n",
+                 grid_deg);
+    return 2;
+  }
+  if (threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0, got %d\n", threads);
+    return 2;
+  }
+  if (!(attackers >= 0.0 && attackers <= 1.0)) {
+    std::fprintf(stderr, "--attackers must be in [0, 1], got %g\n",
+                 attackers);
+    return 2;
+  }
+  mlat::RefineSchedule refine;
+  try {
+    refine = refine_spec == "auto"
+                 ? mlat::RefineSchedule::recommended(grid_deg)
+                 : mlat::RefineSchedule::parse(refine_spec);
+    // Surface schedule/grid mismatches (e.g. a level finer than the
+    // grid) here with the flag named, not as an exception from deep
+    // inside Auditor construction.
+    if (refine.enabled()) mlat::RefineContext probe{grid::Grid(grid_deg), refine};
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--refine: invalid schedule '%s': %s\n",
+                 refine_spec.c_str(), e.what());
     return 2;
   }
   if (!netsim::profile_for_strategy(attack, geo::LatLon{0.0, 0.0})) {
@@ -195,6 +266,10 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "auditing %zu proxies...\n", fleet.hosts.size());
 
   ac.grid_cell_deg = grid_deg;
+  ac.refine = refine;
+  if (refine.enabled())
+    std::fprintf(stderr, "refinement schedule: %s -> %g\n",
+                 refine.to_string().c_str(), grid_deg);
   ac.seed = seed + 1;
   ac.threads = threads;
   assess::Auditor auditor(bed, ac);

@@ -1,12 +1,16 @@
 #include "algos/cbg_pp.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <vector>
 
+#include "geo/units.hpp"
+#include "geo/vec3.hpp"
 #include "grid/raster.hpp"
 #include "grid/scratch.hpp"
 #include "mlat/multilateration.hpp"
+#include "mlat/refine.hpp"
 #include "obs/obs.hpp"
 
 namespace ageo::algos {
@@ -30,6 +34,10 @@ CbgPlusPlusGeolocator::Detail CbgPlusPlusGeolocator::locate_detailed(
   validate(store, observations);
   Detail detail;
   grid::Scratch* scratch = &grid::Scratch::tls();
+  // Coarse-to-fine driver, when configured for this grid and mask; the
+  // refined solves are pinned bit-identical to the flat ones.
+  const mlat::RefineContext* rc =
+      refine_ && refine_->applies_to(g, mask) ? refine_ : nullptr;
 
   std::vector<mlat::DiskConstraint> bestline, baseline;
   bestline.reserve(observations.size());
@@ -47,7 +55,9 @@ CbgPlusPlusGeolocator::Detail CbgPlusPlusGeolocator::locate_detailed(
 
   if (!options_.use_subset_filter) {
     detail.estimate = GeoEstimate{
-        mlat::intersect_disks(g, bestline, mask, plan_cache_, scratch)};
+        rc ? mlat::refine_intersect_disks(*rc, bestline, mask, plan_cache_,
+                                          scratch)
+           : mlat::intersect_disks(g, bestline, mask, plan_cache_, scratch)};
     detail.bestline_subset_size = observations.size();
     detail.baseline_subset_size = observations.size();
     // Plain-CBG mode has no subset semantics: every constraint is
@@ -64,19 +74,45 @@ CbgPlusPlusGeolocator::Detail CbgPlusPlusGeolocator::locate_detailed(
   auto base_lease = grid::Scratch::region(scratch, g);
   grid::Region& base_region = base_lease.ref();
   std::vector<bool> base_used;
-  detail.baseline_subset_size = mlat::largest_consistent_subset_into(
-      g, baseline, mask, plan_cache_, scratch, base_region, base_used);
+  detail.baseline_subset_size =
+      rc ? mlat::refine_largest_consistent_subset_into(
+               *rc, baseline, mask, plan_cache_, scratch, base_region,
+               base_used)
+         : mlat::largest_consistent_subset_into(
+               g, baseline, mask, plan_cache_, scratch, base_region, base_used);
 
   // Stage 2: drop bestline disks that do not overlap the baseline region.
+  // One pass over the region computes, per disk center, the same max-dot
+  // fold Region::distance_from_km performs — max is order-independent,
+  // so the distances (and the filter) are bit-identical to the per-disk
+  // scans at one region traversal instead of one per disk.
   const bool base_empty = base_region.empty();
+  std::vector<geo::Vec3> disk_vecs;
+  std::vector<double> disk_dots;
+  if (!base_empty) {
+    disk_vecs.reserve(bestline.size());
+    for (const auto& d : bestline) disk_vecs.push_back(geo::to_vec3(d.center));
+    disk_dots.assign(bestline.size(), -2.0);
+    base_region.for_each_cell([&](std::size_t idx) {
+      const geo::Vec3& c = g.center_vec(idx);
+      for (std::size_t j = 0; j < disk_vecs.size(); ++j) {
+        const double d = disk_vecs[j].dot(c);
+        if (d > disk_dots[j]) disk_dots[j] = d;
+      }
+    });
+  }
   std::vector<mlat::DiskConstraint> retained;
   std::vector<std::size_t> retained_idx;  // retained -> observation index
   retained.reserve(bestline.size());
   retained_idx.reserve(bestline.size());
   for (std::size_t i = 0; i < bestline.size(); ++i) {
     const auto& d = bestline[i];
-    if (base_empty ||
-        base_region.distance_from_km(d.center) <= d.max_km) {
+    double dist_km = 0.0;
+    if (!base_empty && !base_region.test(g.cell_at(d.center))) {
+      const double b = std::min(1.0, std::max(-1.0, disk_dots[i]));
+      dist_km = geo::kEarthRadiusKm * std::acos(b);
+    }
+    if (base_empty || dist_km <= d.max_km) {
       retained.push_back(d);
       retained_idx.push_back(i);
     } else {
@@ -88,8 +124,14 @@ CbgPlusPlusGeolocator::Detail CbgPlusPlusGeolocator::locate_detailed(
   // The subset engine now takes any number of constraints (multi-word
   // coverage masks), so a full 250-anchor scan runs through it directly —
   // no tightest-64 truncation, no lossy fold of the loose tail.
-  auto bestr = mlat::largest_consistent_subset(g, retained, mask, plan_cache_,
-                                               scratch);
+  mlat::SubsetResult bestr{grid::Region(g), {}, 0};
+  bestr.n_used =
+      rc ? mlat::refine_largest_consistent_subset_into(
+               *rc, retained, mask, plan_cache_, scratch, bestr.region,
+               bestr.used)
+         : mlat::largest_consistent_subset_into(g, retained, mask, plan_cache_,
+                                                scratch, bestr.region,
+                                                bestr.used);
   detail.bestline_subset_size = bestr.n_used;
   detail.estimate = GeoEstimate{std::move(bestr.region)};
   // Byzantine diagnostics: a landmark participates iff its disk survived

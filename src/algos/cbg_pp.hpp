@@ -59,9 +59,17 @@ class CbgPlusPlusGeolocator final : public Geolocator {
     plan_cache_ = cache;
   }
 
+  /// Route both subset solves (baseline and bestline) through the
+  /// multi-resolution driver; bit-identical results, flat fallback when
+  /// the context does not apply to a call.
+  void set_refine(const mlat::RefineContext* ctx) noexcept override {
+    refine_ = ctx;
+  }
+
  private:
   CbgPlusPlusOptions options_;
   grid::CapPlanCache* plan_cache_ = nullptr;
+  const mlat::RefineContext* refine_ = nullptr;
 };
 
 }  // namespace ageo::algos

@@ -21,6 +21,10 @@ namespace ageo::grid {
 class CapPlanCache;
 }
 
+namespace ageo::mlat {
+class RefineContext;
+}
+
 namespace ageo::algos {
 
 /// One landmark's measurement of the target.
@@ -95,6 +99,14 @@ class Geolocator {
   /// without a cache. Default is a no-op for algorithms with no
   /// per-landmark geometry worth caching.
   virtual void set_plan_cache(grid::CapPlanCache* /*cache*/) noexcept {}
+
+  /// Opt in to coarse-to-fine refinement (mlat/refine.hpp): locate()
+  /// runs the constraint solve through the multi-resolution driver when
+  /// `ctx` applies to the call's grid and mask, with bit-identical
+  /// results, and falls back to the flat path otherwise. Not owned; null
+  /// disables. Default is a no-op for algorithms whose solve has no
+  /// refined counterpart.
+  virtual void set_refine(const mlat::RefineContext* /*ctx*/) noexcept {}
 
  protected:
   /// Shared precondition checks for implementations.

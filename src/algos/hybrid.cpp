@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "grid/scratch.hpp"
 #include "mlat/multilateration.hpp"
+#include "mlat/refine.hpp"
 
 namespace ageo::algos {
 
@@ -27,16 +28,27 @@ GeoEstimate HybridGeolocator::locate(
     rings.push_back({ob.landmark, std::max(0.0, mu - n_sigma_ * sigma),
                      mu + n_sigma_ * sigma});
   }
+  grid::Scratch* scratch = &grid::Scratch::tls();
+  const mlat::RefineContext* rc =
+      refine_ && refine_->applies_to(g, mask) ? refine_ : nullptr;
   if (!robust_subset_) {
-    return GeoEstimate{mlat::intersect_rings(g, rings, mask, plan_cache_,
-                                             &grid::Scratch::tls())};
+    return GeoEstimate{
+        rc ? mlat::refine_intersect_rings(*rc, rings, mask, plan_cache_,
+                                          scratch)
+           : mlat::intersect_rings(g, rings, mask, plan_cache_, scratch)};
   }
   // Byzantine-robust mode: the subset engine's intersect-first fast
   // path makes a consistent (honest) ring set bit-identical to plain
   // intersect_rings; an inconsistent one keeps the largest consistent
   // coalition and reports who was excluded.
-  auto subset = mlat::largest_consistent_subset(g, rings, mask, plan_cache_,
-                                                &grid::Scratch::tls());
+  mlat::SubsetResult subset{grid::Region(g), {}, 0};
+  subset.n_used =
+      rc ? mlat::refine_largest_consistent_subset_into(
+               *rc, rings, mask, plan_cache_, scratch, subset.region,
+               subset.used)
+         : mlat::largest_consistent_subset_into(g, rings, mask, plan_cache_,
+                                                scratch, subset.region,
+                                                subset.used);
   GeoEstimate est{std::move(subset.region)};
   est.constraints_total = rings.size();
   est.constraints_used = subset.n_used;

@@ -33,10 +33,17 @@ class HybridGeolocator final : public Geolocator {
     plan_cache_ = cache;
   }
 
+  /// Route the ring solve (plain or robust) through the
+  /// multi-resolution driver; bit-identical results either way.
+  void set_refine(const mlat::RefineContext* ctx) noexcept override {
+    refine_ = ctx;
+  }
+
  private:
   double n_sigma_;
   bool robust_subset_;
   grid::CapPlanCache* plan_cache_ = nullptr;
+  const mlat::RefineContext* refine_ = nullptr;
 };
 
 }  // namespace ageo::algos

@@ -33,6 +33,16 @@ class IclabChecker {
   std::size_t violations(const grid::Region& claimed_country,
                          std::span<const Observation> observations) const;
 
+  /// Same checks against a precomputed distance table:
+  /// `landmark_min_km[ob.landmark_id]` must equal
+  /// `claimed_country.distance_from_km(ob.landmark)`. Lets a caller that
+  /// checks many proxies against the same country pay the region scans
+  /// once per (country, landmark) pair instead of once per observation.
+  bool accepts(std::span<const Observation> observations,
+               std::span<const double> landmark_min_km) const;
+  std::size_t violations(std::span<const Observation> observations,
+                         std::span<const double> landmark_min_km) const;
+
  private:
   IclabOptions options_;
 };

@@ -3,6 +3,7 @@
 #include "common/error.hpp"
 #include "grid/scratch.hpp"
 #include "mlat/multilateration.hpp"
+#include "mlat/refine.hpp"
 #include "obs/obs.hpp"
 
 namespace ageo::algos {
@@ -26,6 +27,13 @@ GeoEstimate SpotterGeolocator::locate(
   for (const auto& ob : observations) {
     rings.push_back({ob.landmark, model.mu_km(ob.one_way_delay_ms),
                      model.sigma_km(ob.one_way_delay_ms)});
+  }
+  // Coarse-to-fine: the posterior lives on a window-sized sub-field and
+  // the full-grid Field is never touched; the cut is bit-identical.
+  if (refine_ && refine_->applies_to(g, mask)) {
+    return GeoEstimate{mlat::refine_spotter_credible(
+        *refine_, rings, credible_mass_, mask, plan_cache_,
+        &grid::Scratch::tls())};
   }
   // Pooled posterior: the Field (and its internal temporaries, via the
   // attached arena) comes from the thread's scratch pool; only the

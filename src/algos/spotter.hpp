@@ -26,9 +26,16 @@ class SpotterGeolocator final : public Geolocator {
     plan_cache_ = cache;
   }
 
+  /// Build the posterior on a window-sized sub-field via the
+  /// multi-resolution driver; the credible region is bit-identical.
+  void set_refine(const mlat::RefineContext* ctx) noexcept override {
+    refine_ = ctx;
+  }
+
  private:
   double credible_mass_;
   grid::CapPlanCache* plan_cache_ = nullptr;
+  const mlat::RefineContext* refine_ = nullptr;
 };
 
 }  // namespace ageo::algos

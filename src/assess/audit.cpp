@@ -1,6 +1,7 @@
 #include "assess/audit.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <map>
 
@@ -9,6 +10,8 @@
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "geo/geodesy.hpp"
+#include "geo/units.hpp"
+#include "geo/vec3.hpp"
 #include "grid/scratch.hpp"
 #include "obs/obs.hpp"
 
@@ -47,13 +50,24 @@ Auditor::Auditor(measure::Testbed& bed, AuditConfig config)
       mask_(bed.world().plausibility_mask(*grid_)),
       raster_(bed.world().country_raster(*grid_)),
       country_regions_(bed.world().country_count()),
+      country_landmark_km_(bed.world().country_count()),
       plan_cache_(config.plan_cache_capacity != 0
                       ? config.plan_cache_capacity
-                      : std::max<std::size_t>(512, bed.landmarks().size())),
+                      // Auto-size: one slot per landmark AND per
+                      // refinement level (each coarse grid gets its own
+                      // plans), so refined audits never thrash either.
+                      : std::max<std::size_t>(
+                            512, bed.landmarks().size() *
+                                     (1 + config.refine.levels.size()))),
       run_board_(config.campaign.breaker),
       locator_(make_locator(config)),
       iclab_(config.iclab) {
   locator_->set_plan_cache(&plan_cache_);
+  if (config_.refine.enabled()) {
+    refine_ctx_.emplace(*grid_, config_.refine);  // validates the schedule
+    refine_ctx_->prepare_mask(mask_);
+    locator_->set_refine(&*refine_ctx_);
+  }
 }
 
 const grid::Region& Auditor::country_region(world::CountryId id) {
@@ -67,6 +81,41 @@ const grid::Region& Auditor::country_region(world::CountryId id) {
     country_regions_[id] = std::move(r);
   }
   return *country_regions_[id];
+}
+
+std::span<const double> Auditor::country_landmark_km(world::CountryId id) {
+  detail::require(id < country_landmark_km_.size(),
+                  "Auditor::country_landmark_km: bad country id");
+  std::vector<double>& table = country_landmark_km_[id];
+  if (table.empty()) {
+    const grid::Region& region = country_region(id);
+    const auto& landmarks = bed_->landmarks();
+    // One pass over the region, folding the max center dot per landmark
+    // — the same order-independent fold Region::distance_from_km runs
+    // per query, so each entry is bit-identical to the per-observation
+    // scan it replaces.
+    std::vector<geo::Vec3> vecs;
+    vecs.reserve(landmarks.size());
+    for (const auto& lm : landmarks) vecs.push_back(geo::to_vec3(lm.location));
+    std::vector<double> dots(landmarks.size(), -2.0);
+    region.for_each_cell([&](std::size_t idx) {
+      const geo::Vec3& c = grid_->center_vec(idx);
+      for (std::size_t j = 0; j < vecs.size(); ++j) {
+        const double d = vecs[j].dot(c);
+        if (d > dots[j]) dots[j] = d;
+      }
+    });
+    table.resize(landmarks.size());
+    for (std::size_t j = 0; j < landmarks.size(); ++j) {
+      if (region.test(grid_->cell_at(landmarks[j].location))) {
+        table[j] = 0.0;
+        continue;
+      }
+      const double b = std::min(1.0, std::max(-1.0, dots[j]));
+      table[j] = geo::kEarthRadiusKm * std::acos(b);
+    }
+  }
+  return table;
 }
 
 AuditReport Auditor::run(const world::Fleet& fleet) {
@@ -108,9 +157,38 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
   }
   AGEO_GAUGE_SET("assess.audit.eta", report.eta.eta);
 
-  // Warm the lazily-cached country regions while still single-threaded;
-  // the workers below only read them.
-  for (const auto& h : fleet.hosts) country_region(h.claimed_country);
+  // Warm the lazily-cached country regions and their per-landmark
+  // distance tables while still single-threaded; the workers below only
+  // read them. All missing regions are built in ONE raster pass (the
+  // lazy path pays a full-grid scan per country); per-country bits are
+  // identical either way, since both set exactly the raster-match cells
+  // plus the capital.
+  {
+    AGEO_SPAN("assess", "audit.warm_countries");
+    std::vector<std::uint8_t> pending(country_regions_.size(), 0);
+    bool any_pending = false;
+    for (const auto& h : fleet.hosts) {
+      const world::CountryId id = h.claimed_country;
+      detail::require(id < country_regions_.size(),
+                      "Auditor: bad claimed country id");
+      if (!country_regions_[id] && !pending[id]) {
+        pending[id] = 1;
+        any_pending = true;
+        country_regions_[id].emplace(*grid_);
+      }
+    }
+    if (any_pending) {
+      for (std::size_t c = 0; c < grid_->size(); ++c) {
+        const world::CountryId id = raster_.at(c);
+        if (id < pending.size() && pending[id]) country_regions_[id]->set(c);
+      }
+      for (std::size_t id = 0; id < pending.size(); ++id)
+        if (pending[id])
+          country_regions_[id]->set(
+              grid_->cell_at(bed_->world().country(id).capital));
+    }
+    for (const auto& h : fleet.hosts) country_landmark_km(h.claimed_country);
+  }
 
   // Per-proxy fan-out. Every campaign is self-contained: its own RNG
   // streams and network lane (both derived from seed xor host index),
@@ -204,7 +282,7 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
     }
     row.iclab_accepted =
         !row.observations.empty() &&
-        iclab_.accepts(country_region(row.claimed), row.observations);
+        iclab_.accepts(row.observations, country_landmark_km(row.claimed));
 
     rows[i] = std::move(row);
   });

@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "algos/cbg_pp.hpp"
@@ -20,6 +21,7 @@
 #include "measure/testbed.hpp"
 #include "measure/two_phase.hpp"
 #include "mlat/byzantine.hpp"
+#include "mlat/refine.hpp"
 #include "obs/metrics.hpp"
 #include "world/fleet.hpp"
 
@@ -46,6 +48,13 @@ struct AuditConfig {
   bool use_data_centers = true;
   bool use_as_grouping = true;
   AuditAlgorithm algorithm = AuditAlgorithm::kCbgPlusPlus;
+  /// Coarse-to-fine refinement schedule for the per-proxy localization
+  /// (mlat/refine.hpp). Disabled (flat solves) by default; an enabled
+  /// schedule is validated against the audit grid when the Auditor is
+  /// built and yields bit-identical reports — refinement is purely a
+  /// performance lever. Typical: RefineSchedule::parse("2.0,0.5") for a
+  /// 0.25-degree audit grid.
+  mlat::RefineSchedule refine;
   /// Plan-cache capacity (resident CapScanPlans). 0 = auto: one slot per
   /// testbed landmark (min 512), so the cache never thrashes — with
   /// fewer slots than landmarks the LRU evicts every plan once per
@@ -178,6 +187,13 @@ class Auditor {
   /// worker threads only read the cache).
   const grid::Region& country_region(world::CountryId id);
 
+  /// Per-landmark minimum distances from the country's region, indexed
+  /// by landmark id — exactly country_region(id).distance_from_km(lm)
+  /// for every landmark, computed in one region pass and cached under
+  /// the same warm-then-read discipline as country_region. Feeds the
+  /// ICLab checker's table overload.
+  std::span<const double> country_landmark_km(world::CountryId id);
+
   /// Merged breaker state of the last run(): every proxy's per-campaign
   /// board folded in host-index order (see BreakerBoard::merge).
   const measure::BreakerBoard& run_board() const noexcept {
@@ -191,6 +207,7 @@ class Auditor {
   grid::Region mask_;
   world::CountryRaster raster_;
   std::vector<std::optional<grid::Region>> country_regions_;
+  std::vector<std::vector<double>> country_landmark_km_;
   /// Per-landmark rasterization plans shared by every proxy's locate();
   /// internally synchronized, persists across runs.
   grid::CapPlanCache plan_cache_;
@@ -198,6 +215,10 @@ class Auditor {
   /// Built from config_.algorithm; shared (const) across the worker
   /// threads, with per-landmark geometry served by plan_cache_.
   std::unique_ptr<algos::Geolocator> locator_;
+  /// Coarse grids + downsampled mask of config_.refine; shared
+  /// read-only by the workers. Engaged only when the schedule is
+  /// enabled.
+  std::optional<mlat::RefineContext> refine_ctx_;
   algos::IclabChecker iclab_;
 
   void apply_as_grouping(std::vector<ProxyAuditRow>& rows,

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "geo/units.hpp"
 #include "grid/annulus_scan.hpp"
+#include "grid/window.hpp"
 #include "obs/obs.hpp"
 
 namespace ageo::grid {
@@ -170,16 +171,9 @@ void CapScanPlan::accumulate_annulus(double inner_km, double outer_km,
       });
 }
 
-void CapScanPlan::intersect_annulus_into(double inner_km, double outer_km,
-                                         Region& out) const {
-  ageo::detail::require(out.grid() == g_,
-                        "CapScanPlan: region on a different grid");
+void CapScanPlan::intersect_rows(const detail::AnnulusScan& s, std::size_t lo,
+                                 std::size_t hi, Region& out) const {
   const Grid& g = *g_;
-  const detail::AnnulusScan s(g, center_, inner_km, outer_km);
-  if (s.empty) {  // empty annulus: intersection clears everything
-    out.clear();
-    return;
-  }
   const long ncols = static_cast<long>(g.cols());
   const std::size_t cols = g.cols();
   const auto in_annulus = [&](std::size_t idx) {
@@ -187,12 +181,8 @@ void CapScanPlan::intersect_annulus_into(double inner_km, double outer_km,
     return d >= s.cos_outer && d <= s.cos_inner;
   };
 
-  // Rows outside the latitude band cannot intersect the annulus.
-  out.clear_span(0, s.r0 * cols);
-  out.clear_span(s.r1 * cols, g.size());
-
   detail::RowZones z;
-  for (std::size_t r = s.r0; r < s.r1; ++r) {
+  for (std::size_t r = lo; r < hi; ++r) {
     const std::size_t base = g.index(r, 0);
     switch (classify_row(s, r, z)) {
       case RowClass::kNaive:
@@ -247,6 +237,44 @@ void CapScanPlan::intersect_annulus_into(double inner_km, double outer_km,
         // Guaranteed-inside fill spans: AND with 1 — leave untouched.
         [](long, long) {});
   }
+}
+
+void CapScanPlan::intersect_annulus_into(double inner_km, double outer_km,
+                                         Region& out) const {
+  ageo::detail::require(out.grid() == g_,
+                        "CapScanPlan: region on a different grid");
+  const Grid& g = *g_;
+  const detail::AnnulusScan s(g, center_, inner_km, outer_km);
+  if (s.empty) {  // empty annulus: intersection clears everything
+    out.clear();
+    return;
+  }
+  // Rows outside the latitude band cannot intersect the annulus.
+  const std::size_t cols = g.cols();
+  out.clear_span(0, s.r0 * cols);
+  out.clear_span(s.r1 * cols, g.size());
+  intersect_rows(s, s.r0, s.r1, out);
+}
+
+void CapScanPlan::intersect_annulus_into(double inner_km, double outer_km,
+                                         Region& out,
+                                         const Window& win) const {
+  ageo::detail::require(out.grid() == g_,
+                        "CapScanPlan: region on a different grid");
+  const Grid& g = *g_;
+  const std::size_t cols = g.cols();
+  const detail::AnnulusScan s(g, center_, inner_km, outer_km);
+  if (s.empty) {  // nothing survives anywhere in the window
+    out.clear_span(win.r0 * cols, win.r1 * cols);
+    return;
+  }
+  const std::size_t lo = std::max(s.r0, win.r0);
+  const std::size_t hi = std::min(s.r1, win.r1);
+  // Window rows outside the latitude band cannot survive; rows outside
+  // the window hold no set bits by the precondition and stay untouched.
+  out.clear_span(win.r0 * cols, std::min(lo, win.r1) * cols);
+  out.clear_span(std::max(hi, win.r0) * cols, win.r1 * cols);
+  if (lo < hi) intersect_rows(s, lo, hi, out);
 }
 
 void CapScanPlan::subtract_annulus_into(double inner_km, double outer_km,
@@ -327,6 +355,7 @@ std::size_t CapPlanCache::KeyHash::operator()(const Key& k) const noexcept {
     return h;
   };
   std::size_t h = std::hash<const void*>{}(k.grid);
+  h = mix(h, std::bit_cast<std::uint64_t>(k.cell));
   h = mix(h, std::bit_cast<std::uint64_t>(k.lat));
   h = mix(h, std::bit_cast<std::uint64_t>(k.lon));
   return h;
@@ -334,7 +363,7 @@ std::size_t CapPlanCache::KeyHash::operator()(const Key& k) const noexcept {
 
 std::shared_ptr<const CapScanPlan> CapPlanCache::plan(
     const Grid& g, const geo::LatLon& center) {
-  const Key key{&g, center.lat_deg, center.lon_deg};
+  const Key key{&g, g.cell_deg(), center.lat_deg, center.lon_deg};
   std::lock_guard lock(mu_);
   if (auto it = map_.find(key); it != map_.end()) {
     ++stats_.hits;

@@ -29,6 +29,8 @@
 
 namespace ageo::grid {
 
+struct Window;
+
 /// Precomputed scan geometry for annuli centered at one point on one
 /// grid. Immutable after construction; safe to share across threads.
 class CapScanPlan {
@@ -66,6 +68,16 @@ class CapScanPlan {
   void intersect_annulus_into(double inner_km, double outer_km,
                               Region& out) const;
 
+  /// Window-clipped fused intersect for the coarse-to-fine refinement
+  /// driver (mlat/refine.hpp): the row loop and the outside-band clears
+  /// are restricted to `win`'s row range. Precondition: `out` has no set
+  /// bit outside the window (the driver seeds it from
+  /// window_region_into), so the cells the clipped scan never visits are
+  /// already zero and the result equals the unclipped kernel bit for bit
+  /// — inside the window the per-row work is the very same code path.
+  void intersect_annulus_into(double inner_km, double outer_km, Region& out,
+                              const Window& win) const;
+
   /// Fused subtract: out &= ~{ cells within [inner_km, outer_km] }.
   /// Bit-identical to rasterize_annulus + Region::subtract, by the same
   /// argument as intersect_annulus_into.
@@ -96,6 +108,13 @@ class CapScanPlan {
   /// fused kernels bit-compatible with rasterize_annulus.
   RowClass classify_row(const detail::AnnulusScan& s, std::size_t r,
                         detail::RowZones& z) const;
+
+  /// Row loop shared by the full and window-clipped intersect kernels:
+  /// AND the annulus into `out` over rows [lo, hi). One body for both
+  /// entry points is what keeps the clipped kernel bit-compatible with
+  /// the full one by construction.
+  void intersect_rows(const detail::AnnulusScan& s, std::size_t lo,
+                      std::size_t hi, Region& out) const;
 
   template <typename CellF, typename SpanF>
   void scan(double inner_km, double outer_km, CellF&& f, SpanF&& fs) const;
@@ -142,6 +161,12 @@ class CapPlanCache {
  private:
   struct Key {
     const Grid* grid;
+    /// Cell size rides along with the pointer: refinement contexts own
+    /// short-lived coarse grids, and if a freed grid's address is reused
+    /// by a new Grid the stale entry must at least be for the same
+    /// geometry (plans depend only on the cell size, so an
+    /// address+cell_deg match serves identical values).
+    double cell;
     double lat, lon;
     bool operator==(const Key&) const = default;
   };

@@ -1,0 +1,66 @@
+// Weighted credible-set selection shared by Field and SubField.
+//
+// Both posterior representations pick the highest-density cells until a
+// target mass is reached. The selection must be bit-identical between
+// the full-grid Field and the windowed SubField (refine_equivalence_test
+// pins them against each other), so there is exactly one copy of the
+// quickselect: callers hand in the candidate ordering, the density
+// comparator and the per-candidate weight, and every arithmetic step —
+// bracket sums, accumulator order, the spill pass — runs the same
+// instructions on the same values in both paths.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ageo::grid::detail {
+
+/// Select a prefix of `order` (reordered in place) by decreasing density
+/// until the accumulated weight reaches `target`, calling emit(i) for
+/// every selected candidate. `denser` must be a strict weak ordering and
+/// a deterministic total order (ties broken by index) so the outcome
+/// never depends on sort implementation details.
+///
+/// Weighted quickselect: shrink a bracket around the density threshold
+/// with nth_element (expected O(n)) instead of sorting every candidate
+/// cell (O(n log n)). Halves that land entirely inside the region are
+/// committed unsorted; only the final small bracket is sorted to place
+/// the exact cut.
+template <typename Denser, typename Weight, typename Emit>
+void weighted_select_into(std::vector<std::uint32_t>& order, Denser&& denser,
+                          Weight&& weight, double target, Emit&& emit) {
+  std::size_t lo = 0, hi = order.size();
+  double acc = 0.0;
+  while (hi - lo > 256) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    std::nth_element(order.begin() + lo, order.begin() + mid,
+                     order.begin() + hi, denser);
+    double top = 0.0;
+    for (std::size_t k = lo; k < mid; ++k) top += weight(order[k]);
+    if (acc + top >= target) {
+      hi = mid;
+    } else {
+      for (std::size_t k = lo; k < mid; ++k) emit(order[k]);
+      acc += top;
+      lo = mid;
+    }
+  }
+  std::sort(order.begin() + lo, order.begin() + hi, denser);
+  for (std::size_t k = lo; k < hi && acc < target; ++k) {
+    emit(order[k]);
+    acc += weight(order[k]);
+  }
+  if (acc < target && hi < order.size()) {
+    // Summation-order rounding can leave the bracket a hair short of the
+    // target; spill into the remaining (less dense) cells.
+    std::sort(order.begin() + hi, order.end(), denser);
+    for (std::size_t k = hi; k < order.size() && acc < target; ++k) {
+      emit(order[k]);
+      acc += weight(order[k]);
+    }
+  }
+}
+
+}  // namespace ageo::grid::detail

@@ -8,36 +8,24 @@
 #include "geo/units.hpp"
 #include "geo/vec3.hpp"
 #include "grid/cap_cache.hpp"
+#include "grid/credible_select.hpp"
 #include "grid/raster.hpp"
 #include "grid/scratch.hpp"
 #include "obs/obs.hpp"
 
 namespace ageo::grid {
 
-namespace {
+namespace detail {
 
-/// exp(-a) is exactly +0.0 in IEEE-754 double precision for every
-/// a >= 746: the smallest subnormal is 2^-1074, so any result below
-/// 2^-1075 rounds to zero under round-to-nearest, and exp underflows
-/// that far once a > 1075 * ln 2 ~= 745.133. A cell whose Gaussian
-/// exponent a = ((d - mu)^2) / (2 sigma^2) clears this cutoff therefore
-/// multiplies the density by a bit-exact +0.0 — which is why the fast
-/// path may zero it without evaluating exp at all.
-constexpr double kGaussianCut = 746.0;
+// The support constants are documented in field.hpp (they moved there so
+// the refinement driver can window the same support annuli).
+double gaussian_support_halfwidth_km(double sigma_km) noexcept {
+  return sigma_km * std::sqrt(2.0 * kGaussianCut) + kSupportSlackKm;
+}
 
-/// Slack (km) added to the support annulus radii. The annulus membership
-/// test works in dot-product space while the Gaussian distance uses
-/// atan2(cross, dot); the two can disagree by the angle-equivalent of a
-/// few ulps of the dot product (< 1e-3 km everywhere on Earth, worst at
-/// the poles of the cap where |sin| vanishes), plus ulp-level rounding in
-/// the a >= kGaussianCut comparison itself. 4 km is three orders of
-/// magnitude of headroom; cells inside the annulus but outside the true
-/// support still go through the exact comparison, so correctness never
-/// depends on this constant — only the guarantee that no live cell is
-/// zeroed wholesale does.
-constexpr double kSupportSlackKm = 4.0;
+}  // namespace detail
 
-}  // namespace
+using detail::kGaussianCut;
 
 namespace reference {
 
@@ -115,8 +103,7 @@ void Field::multiply_ring_windowed(double mu_km, double sigma_km, DistF&& dist,
   // ring's support, zero the complement a word at a time, and record the
   // survivors as the live list for the rings that follow. The support
   // Region is a pooled temporary when the field carries an arena.
-  const double w =
-      sigma_km * std::sqrt(2.0 * kGaussianCut) + kSupportSlackKm;
+  const double w = detail::gaussian_support_halfwidth_km(sigma_km);
   Scratch::RegionLease slease = Scratch::region(scratch_, *grid_);
   Region& s = slease.ref();
   support(std::max(0.0, mu_km - w), mu_km + w, s);
@@ -283,41 +270,11 @@ Region Field::credible_region(double mass) const {
   };
   const double target = mass * total;
 
-  // Weighted quickselect: shrink a bracket around the density threshold
-  // with nth_element (expected O(n)) instead of sorting every candidate
-  // cell (O(n log n)). Halves that land entirely inside the region are
-  // committed unsorted; only the final small bracket is sorted to place
-  // the exact cut.
-  std::size_t lo = 0, hi = order.size();
-  double acc = 0.0;
-  while (hi - lo > 256) {
-    const std::size_t mid = lo + (hi - lo) / 2;
-    std::nth_element(order.begin() + lo, order.begin() + mid,
-                     order.begin() + hi, denser);
-    double top = 0.0;
-    for (std::size_t k = lo; k < mid; ++k) top += weight(order[k]);
-    if (acc + top >= target) {
-      hi = mid;
-    } else {
-      for (std::size_t k = lo; k < mid; ++k) out.set(order[k]);
-      acc += top;
-      lo = mid;
-    }
-  }
-  std::sort(order.begin() + lo, order.begin() + hi, denser);
-  for (std::size_t k = lo; k < hi && acc < target; ++k) {
-    out.set(order[k]);
-    acc += weight(order[k]);
-  }
-  if (acc < target && hi < order.size()) {
-    // Summation-order rounding can leave the bracket a hair short of the
-    // target; spill into the remaining (less dense) cells.
-    std::sort(order.begin() + hi, order.end(), denser);
-    for (std::size_t k = hi; k < order.size() && acc < target; ++k) {
-      out.set(order[k]);
-      acc += weight(order[k]);
-    }
-  }
+  // One shared selection core (credible_select.hpp) places the cut; the
+  // windowed SubField posterior calls the same code on the same values,
+  // which is what keeps the two credible regions bit-identical.
+  detail::weighted_select_into(order, denser, weight, target,
+                               [&](std::uint32_t i) { out.set(i); });
   return out;
 }
 

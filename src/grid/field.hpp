@@ -38,6 +38,38 @@ void multiply_gaussian_ring(Field& f, const geo::LatLon& center, double mu_km,
                             double sigma_km);
 }  // namespace reference
 
+namespace detail {
+
+/// exp(-a) is exactly +0.0 in IEEE-754 double precision for every
+/// a >= 746: the smallest subnormal is 2^-1074, so any result below
+/// 2^-1075 rounds to zero under round-to-nearest, and exp underflows
+/// that far once a > 1075 * ln 2 ~= 745.133. A cell whose Gaussian
+/// exponent a = ((d - mu)^2) / (2 sigma^2) clears this cutoff therefore
+/// multiplies the density by a bit-exact +0.0 — which is why the fast
+/// path may zero it without evaluating exp at all.
+inline constexpr double kGaussianCut = 746.0;
+
+/// Slack (km) added to the support annulus radii. The annulus membership
+/// test works in dot-product space while the Gaussian distance uses
+/// atan2(cross, dot); the two can disagree by the angle-equivalent of a
+/// few ulps of the dot product (< 1e-3 km everywhere on Earth, worst at
+/// the poles of the cap where |sin| vanishes), plus ulp-level rounding in
+/// the a >= kGaussianCut comparison itself. 4 km is three orders of
+/// magnitude of headroom; cells inside the annulus but outside the true
+/// support still go through the exact comparison, so correctness never
+/// depends on this constant — only the guarantee that no live cell is
+/// zeroed wholesale does.
+inline constexpr double kSupportSlackKm = 4.0;
+
+/// Half-width (km) of a Gaussian ring's hard support: every cell whose
+/// |distance - mu| is at least this multiplies the density by a
+/// bit-exact +0.0. One definition shared by the Field fast path and the
+/// refinement driver's coarse support windowing (mlat/refine.cpp), so
+/// both window the same annulus [mu - w, mu + w].
+double gaussian_support_halfwidth_km(double sigma_km) noexcept;
+
+}  // namespace detail
+
 class Field {
  public:
   Field() = default;

@@ -62,6 +62,33 @@ class Region {
     for (std::size_t w = w0 + 1; w < w1; ++w) words_[w] = 0;
     words_[w1] &= ~last;
   }
+  /// this &= other, restricted to the words covering cells [begin, end).
+  /// Bits outside the range are left untouched, so callers whose set
+  /// bits all lie inside the range (the windowed refinement scans) get
+  /// the exact global AND at a fraction of the word traffic.
+  void intersect_with_in(const Region& other, std::size_t begin,
+                         std::size_t end) noexcept {
+    if (begin >= end) return;
+    const std::size_t w1 = (end - 1) >> 6;
+    for (std::size_t w = begin >> 6; w <= w1; ++w)
+      words_[w] &= other.words_[w];
+  }
+  /// Number of set cells in [begin, end).
+  std::size_t count_in(std::size_t begin, std::size_t end) const noexcept {
+    if (begin >= end) return 0;
+    std::size_t w0 = begin >> 6, w1 = (end - 1) >> 6;
+    std::uint64_t first = ~0ULL << (begin & 63);
+    std::uint64_t last = ~0ULL >> (63 - ((end - 1) & 63));
+    if (w0 == w1)
+      return static_cast<std::size_t>(
+          __builtin_popcountll(words_[w0] & first & last));
+    std::size_t n = static_cast<std::size_t>(
+        __builtin_popcountll(words_[w0] & first));
+    for (std::size_t w = w0 + 1; w < w1; ++w)
+      n += static_cast<std::size_t>(__builtin_popcountll(words_[w]));
+    return n + static_cast<std::size_t>(
+                   __builtin_popcountll(words_[w1] & last));
+  }
   /// True if any cell in [begin, end) is set.
   bool any_in(std::size_t begin, std::size_t end) const noexcept {
     if (begin >= end) return false;

@@ -53,6 +53,10 @@ std::uint64_t index_bytes(const std::vector<std::uint32_t>& b) noexcept {
   return b.capacity() * sizeof(std::uint32_t);
 }
 
+std::uint64_t double_bytes(const std::vector<double>& b) noexcept {
+  return b.capacity() * sizeof(double);
+}
+
 std::uint64_t region_bytes(const Region& r) noexcept {
   return r.words().capacity() * sizeof(std::uint64_t);
 }
@@ -70,6 +74,7 @@ struct ScratchStore {
   std::vector<Region> regions;
   std::vector<Field> fields;
   std::vector<std::vector<std::uint32_t>> indices;
+  std::vector<std::vector<double>> dbls;
 };
 
 namespace {
@@ -115,6 +120,13 @@ Scratch::~Scratch() {
       st.indices.push_back(std::move(ix));
     } else {
       stats().on_release(index_bytes(ix));
+    }
+  }
+  for (auto& db : dbls_) {
+    if (st.dbls.size() < kStoreCap) {
+      st.dbls.push_back(std::move(db));
+    } else {
+      stats().on_release(double_bytes(db));
     }
   }
 }
@@ -425,6 +437,62 @@ Scratch::IndexLease::IndexLease(IndexLease&& o) noexcept
 
 Scratch::IndexLease::~IndexLease() {
   if (owner_) owner_->give_indices(*this);
+}
+
+// ---------------------------------------------------------------------------
+// Double vectors (windowed sub-field densities)
+
+std::vector<double> Scratch::take_doubles() {
+  if (!dbls_.empty()) {
+    std::vector<double> v = std::move(dbls_.back());
+    dbls_.pop_back();
+    stats().on_release(double_bytes(v));
+    return v;
+  }
+  ScratchStore& st = store();
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (!st.dbls.empty()) {
+    std::vector<double> v = std::move(st.dbls.back());
+    st.dbls.pop_back();
+    stats().on_release(double_bytes(v));
+    return v;
+  }
+  return {};
+}
+
+void Scratch::give_doubles(DoublesLease& lease) {
+  const std::size_t cap_bytes = double_bytes(lease.buf_);
+  if (cap_bytes > lease.bytes_at_acquire_) {
+    stats().on_alloc(cap_bytes - lease.bytes_at_acquire_);
+    AGEO_COUNT_WALL("grid.alloc.double_buffers");
+  }
+  if (dbls_.size() >= kLocalCap) return;
+  stats().on_retain(cap_bytes);
+  lease.buf_.clear();
+  dbls_.push_back(std::move(lease.buf_));
+}
+
+Scratch::DoublesLease Scratch::doubles(Scratch* arena) {
+  AGEO_COUNT("mlat.scratch.double_acquires");
+  DoublesLease lease;
+  if (arena) {
+    lease.buf_ = arena->take_doubles();
+    lease.buf_.clear();
+    lease.owner_ = arena;
+  }
+  lease.bytes_at_acquire_ = double_bytes(lease.buf_);
+  return lease;
+}
+
+Scratch::DoublesLease::DoublesLease(DoublesLease&& o) noexcept
+    : owner_(o.owner_),
+      buf_(std::move(o.buf_)),
+      bytes_at_acquire_(o.bytes_at_acquire_) {
+  o.owner_ = nullptr;
+}
+
+Scratch::DoublesLease::~DoublesLease() {
+  if (owner_) owner_->give_doubles(*this);
 }
 
 // ---------------------------------------------------------------------------

@@ -127,6 +127,7 @@ class Scratch {
   class IndexLease {
    public:
     std::vector<std::uint32_t>& vec() noexcept { return buf_; }
+    const std::vector<std::uint32_t>& vec() const noexcept { return buf_; }
 
     IndexLease(IndexLease&&) noexcept;
     IndexLease& operator=(IndexLease&&) = delete;
@@ -141,6 +142,27 @@ class Scratch {
     std::size_t bytes_at_acquire_ = 0;
   };
 
+  /// Pooled double vector, handed out empty with warm capacity (the
+  /// windowed SubField posteriors of the refinement driver, sized to the
+  /// window instead of the globe).
+  class DoublesLease {
+   public:
+    std::vector<double>& vec() noexcept { return buf_; }
+    const std::vector<double>& vec() const noexcept { return buf_; }
+
+    DoublesLease(DoublesLease&&) noexcept;
+    DoublesLease& operator=(DoublesLease&&) = delete;
+    DoublesLease(const DoublesLease&) = delete;
+    ~DoublesLease();
+
+   private:
+    friend class Scratch;
+    DoublesLease() = default;
+    Scratch* owner_ = nullptr;
+    std::vector<double> buf_;
+    std::size_t bytes_at_acquire_ = 0;
+  };
+
   /// `n` zeroed words. A null arena yields a plain owned buffer.
   static WordsLease words(Scratch* arena, std::size_t n);
   /// Empty word buffer with warm capacity (append-mode tenants).
@@ -151,6 +173,8 @@ class Scratch {
   static FieldLease field(Scratch* arena, const Grid& g);
   /// Empty index vector.
   static IndexLease indices(Scratch* arena);
+  /// Empty double vector.
+  static DoublesLease doubles(Scratch* arena);
 
   /// Process-wide allocation statistics, aggregated over every arena
   /// (live or retired) and the shared store.
@@ -179,11 +203,14 @@ class Scratch {
   void give_field(FieldLease& lease);
   std::vector<std::uint32_t> take_indices();
   void give_indices(IndexLease& lease);
+  std::vector<double> take_doubles();
+  void give_doubles(DoublesLease& lease);
 
   std::vector<WordBuf> words_;
   std::vector<Region> regions_;
   std::vector<Field> fields_;
   std::vector<std::vector<std::uint32_t>> indices_;
+  std::vector<std::vector<double>> dbls_;
 };
 
 }  // namespace ageo::grid

@@ -1,0 +1,107 @@
+// Grid windows: axis-aligned sub-rectangles of the global raster.
+//
+// The coarse-to-fine refinement driver (mlat/refine.hpp) localizes at a
+// coarse resolution first, takes the bounding window of the surviving
+// region, and re-runs the fine-resolution scans only inside that window.
+// A Window is the [r0, r1) row band and a circular column interval
+// [c0, c0 + width) of that plan: the column interval may wrap across the
+// antimeridian (c0 + width > cols), mirroring how annuli wrap, so a
+// region hugging longitude 180 still gets a tight window instead of the
+// whole globe.
+//
+// Windows are plain row/column index ranges on a specific Grid; mapping
+// a window between two grids whose cell sizes have an exact integer
+// ratio (map_window) is pure index arithmetic, which is what makes the
+// refinement levels composable without any floating-point geometry.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "grid/grid.hpp"
+#include "grid/region.hpp"
+
+namespace ageo::grid {
+
+class Scratch;
+
+/// A row band and a circular column interval of one grid. Rows are
+/// [r0, r1); columns are the `width` columns starting at c0, taken
+/// modulo cols (wrapping the antimeridian when c0 + width > cols).
+/// width == cols means every column. Grids are passed to the member
+/// helpers rather than stored so a Window is trivially copyable and
+/// never dangles.
+struct Window {
+  std::size_t r0 = 0;
+  std::size_t r1 = 0;
+  std::size_t c0 = 0;
+  std::size_t width = 0;
+
+  bool empty() const noexcept { return r0 >= r1 || width == 0; }
+  std::size_t rows() const noexcept { return r1 > r0 ? r1 - r0 : 0; }
+  std::size_t cells() const noexcept { return rows() * width; }
+  bool wraps(std::size_t cols) const noexcept { return c0 + width > cols; }
+
+  bool operator==(const Window&) const = default;
+
+  /// True when the window covers the whole grid.
+  bool is_full(const Grid& g) const noexcept {
+    return r0 == 0 && r1 == g.rows() && width == g.cols();
+  }
+
+  /// Cell-index membership test.
+  bool contains(const Grid& g, std::size_t idx) const noexcept {
+    const std::size_t r = g.row_of(idx);
+    if (r < r0 || r >= r1) return false;
+    const std::size_t cols = g.cols();
+    return (g.col_of(idx) + cols - c0) % cols < width;
+  }
+
+  /// Visit row r's column interval as one or two ascending half-open
+  /// [begin, end) cell-index spans (two when the interval wraps the
+  /// antimeridian — the wrapped low-column part is emitted first, so a
+  /// caller walking rows in order visits cells in ascending global
+  /// index order).
+  template <typename SpanF>
+  void for_row_spans(const Grid& g, std::size_t r, SpanF&& f) const {
+    const std::size_t cols = g.cols();
+    const std::size_t base = g.index(r, 0);
+    if (c0 + width <= cols) {
+      f(base + c0, base + c0 + width);
+    } else {
+      f(base, base + (c0 + width - cols));
+      f(base + c0, base + cols);
+    }
+  }
+};
+
+/// The whole grid as a window.
+Window full_window(const Grid& g) noexcept;
+
+/// Minimal window covering every set cell of `region`: the exact row
+/// band, and the shortest circular column interval containing every
+/// occupied column (the complement of the largest circular run of empty
+/// columns — on a sphere the tight interval may cross the antimeridian).
+/// Empty regions have no bounding window. `scratch` pools the internal
+/// column-occupancy scan; null degrades to a plain allocation.
+std::optional<Window> bounding_window(const Region& region,
+                                      Scratch* scratch = nullptr);
+
+/// Grow a window by `margin` cells on every side, clamping rows to the
+/// grid and widening to the full column range when the grown interval
+/// would meet itself around the globe.
+Window expand_window(const Window& w, const Grid& g, std::size_t margin);
+
+/// Map a window from a coarse grid onto a finer one sharing the same
+/// origin. from.cell_deg() must be an exact integer multiple of
+/// to.cell_deg() (throws InvalidArgument otherwise): coarse row r maps
+/// to fine rows [r*k, (r+1)*k) and likewise for columns, so the mapped
+/// window covers precisely the fine cells lying under the coarse ones.
+Window map_window(const Window& w, const Grid& from, const Grid& to);
+
+/// out := the window's cells, intersected with `mask` when non-null.
+/// `out` must be an empty region on `g` (typically a pooled one).
+void window_region_into(const Grid& g, const Window& w, const Region* mask,
+                        Region& out);
+
+}  // namespace ageo::grid
