@@ -39,6 +39,19 @@ class CbgPlusPlusGeolocator final : public Geolocator {
                      std::span<const Observation> observations,
                      const grid::Region* mask = nullptr) const override;
 
+  /// Landmark-major batched locate: every landmark's scan plan is
+  /// fetched once per batch and its fused intersect applied to all
+  /// proxies' running regions before moving to the next landmark — the
+  /// plan's row geometry stays hot in cache across the whole batch.
+  /// Covers the flat subset-filter path (the audit default); refined,
+  /// cache-less, and ablation configs fall back to per-item locate().
+  /// A proxy whose fast-path intersection empties is re-run through the
+  /// full scalar solve, so results are bit-identical to locate() for
+  /// every item (pinned by audit_parallel_test).
+  void locate_batch(const grid::Grid& g, const calib::CalibrationStore& store,
+                    std::span<const BatchLocateItem> batch,
+                    const grid::Region* mask = nullptr) const override;
+
   /// Detailed result for diagnostics and tests.
   struct Detail {
     GeoEstimate estimate;
@@ -60,8 +73,10 @@ class CbgPlusPlusGeolocator final : public Geolocator {
   }
 
   /// Route both subset solves (baseline and bestline) through the
-  /// multi-resolution driver; bit-identical results, flat fallback when
-  /// the context does not apply to a call.
+  /// multi-resolution driver — as one paired ladder when the baseline
+  /// filter discards nothing, so stage 3 reuses the coarse levels stage
+  /// 1 already walked; bit-identical results, flat fallback when the
+  /// context does not apply to a call.
   void set_refine(const mlat::RefineContext* ctx) noexcept override {
     refine_ = ctx;
   }

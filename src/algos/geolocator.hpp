@@ -78,6 +78,13 @@ struct GeoEstimate {
   double area_km2() const noexcept { return region.area_km2(); }
 };
 
+/// One proxy's slot in a batched locate: its observations in, its
+/// estimate out. The spans/pointers must stay valid for the call.
+struct BatchLocateItem {
+  std::span<const Observation> observations;
+  GeoEstimate* out = nullptr;
+};
+
 class Geolocator {
  public:
   virtual ~Geolocator() = default;
@@ -91,6 +98,17 @@ class Geolocator {
                              const calib::CalibrationStore& store,
                              std::span<const Observation> observations,
                              const grid::Region* mask = nullptr) const = 0;
+
+  /// Locate a batch of proxies against one grid/store/mask. The default
+  /// runs locate() per item; algorithms with landmark-major batched
+  /// paths (CBG++) override it to touch each landmark's scan plan once
+  /// per batch instead of once per proxy, with bit-identical results —
+  /// batching is purely a memory-locality lever. Every item's `out` is
+  /// written exactly once.
+  virtual void locate_batch(const grid::Grid& g,
+                            const calib::CalibrationStore& store,
+                            std::span<const BatchLocateItem> batch,
+                            const grid::Region* mask = nullptr) const;
 
   /// Reuse per-landmark scan plans (rasterization geometry + distance
   /// tables) from `cache` across locate() calls — the audit points every

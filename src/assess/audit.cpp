@@ -205,6 +205,8 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
   for (std::size_t i = 0; i < n; ++i)
     lanes.push_back(bed_->net().make_lane(proxy_seed(config_.seed, i)));
 
+  // Phase A: measurement campaigns. Each proxy's campaign is entirely
+  // self-contained (own RNG streams, lane, breaker board).
   parallel_for(n, config_.threads, [&](std::size_t i) {
     AGEO_SPAN("assess", "audit.proxy");
     AGEO_TIMED_US("assess.audit.proxy_us", 10.0, 1e8);
@@ -234,13 +236,38 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
     // fresh per proxy, so each row publishes exactly once; the TLS
     // shard merge makes the totals thread-count independent.
     measure::publish_campaign_stats(row.campaign);
+    rows[i] = std::move(row);
+  });
 
-    if (row.observations.empty()) {
-      row.empty_prediction = true;
-      row.region = grid::Region(*grid_);
+  // Phase B: localization, in contiguous host-index blocks of
+  // config_.locate_batch proxies handed to the locator's batched entry
+  // point. Block composition depends only on host order, and each
+  // block's result depends only on its own observations, so reports are
+  // bit-identical across both thread counts and batch sizes.
+  std::vector<std::size_t> to_locate;
+  to_locate.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rows[i].observations.empty()) {
+      rows[i].empty_prediction = true;
+      rows[i].region = grid::Region(*grid_);
     } else {
-      auto est =
-          locator_->locate(*grid_, bed_->store(), row.observations, &mask_);
+      to_locate.push_back(i);
+    }
+  }
+  const std::size_t bsz = std::max<std::size_t>(1, config_.locate_batch);
+  const std::size_t nblocks = (to_locate.size() + bsz - 1) / bsz;
+  parallel_for(nblocks, config_.threads, [&](std::size_t blk) {
+    AGEO_SPAN("assess", "audit.locate_block");
+    const std::size_t lo = blk * bsz;
+    const std::size_t hi = std::min(lo + bsz, to_locate.size());
+    std::vector<algos::GeoEstimate> ests(hi - lo);
+    std::vector<algos::BatchLocateItem> items(hi - lo);
+    for (std::size_t k = 0; k < hi - lo; ++k)
+      items[k] = {rows[to_locate[lo + k]].observations, &ests[k]};
+    locator_->locate_batch(*grid_, bed_->store(), items, &mask_);
+    for (std::size_t k = 0; k < hi - lo; ++k) {
+      ProxyAuditRow& row = rows[to_locate[lo + k]];
+      algos::GeoEstimate& est = ests[k];
       row.region = std::move(est.region);
       row.constraints_total = est.constraints_total;
       row.constraints_used = est.constraints_used;
@@ -253,7 +280,13 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
           row.constraints_total >= config_.byzantine_min_constraints &&
           row.agreement() < config_.byzantine_min_agreement;
     }
+  });
 
+  // Phase C: per-proxy claim assessment and disambiguation (read-only
+  // shared state, warmed above).
+  parallel_for(n, config_.threads, [&](std::size_t i) {
+    AGEO_SPAN("assess", "audit.assess");
+    ProxyAuditRow& row = rows[i];
     ClaimAssessment base =
         assess_claim(bed_->world(), raster_, row.region, row.claimed);
     row.verdict_raw = base.country;
@@ -283,8 +316,6 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
     row.iclab_accepted =
         !row.observations.empty() &&
         iclab_.accepts(row.observations, country_landmark_km(row.claimed));
-
-    rows[i] = std::move(row);
   });
 
   // Deterministic joins: fold per-proxy stats and breaker boards in

@@ -91,6 +91,13 @@ struct AuditConfig {
   /// bit-identical reports: every proxy's campaign draws from its own
   /// (seed xor host-index)-derived RNG streams and network lane.
   int threads = 1;
+  /// Proxies per locate_batch() call in run()'s localization phase
+  /// (blocks are contiguous in host-index order, so the composition is
+  /// thread-count independent). 1 = per-proxy locate(); larger values
+  /// let batch-aware locators (CBG++) touch each landmark's scan plan
+  /// once per block instead of once per proxy. Any value yields
+  /// bit-identical reports.
+  std::size_t locate_batch = 8;
 };
 
 struct ProxyAuditRow {

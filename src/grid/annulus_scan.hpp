@@ -156,6 +156,46 @@ inline void emit_zones(const RowZones& z, TestO&& test, FillO&& fill) {
   }
 }
 
+/// Same walk as emit_zones, but boundary-band offsets are grouped into
+/// maximal inclusive runs handed to `run(o_lo, o_hi)` instead of one
+/// callback per offset — the shape the SIMD dot-test kernels consume.
+/// The set of offsets visited (and the fills emitted) is identical to
+/// emit_zones by construction.
+template <typename RunO, typename FillO>
+inline void emit_zone_runs(const RowZones& z, RunO&& run, FillO&& fill) {
+  long run_lo = kEmptyLo;
+  long run_hi = kEmptyLo - 1;
+  auto flush = [&] {
+    if (run_lo <= run_hi) run(run_lo, run_hi);
+    run_lo = kEmptyLo;
+    run_hi = kEmptyLo - 1;
+  };
+  for (long o = z.cand_lo; o <= z.cand_hi;) {
+    if (o >= z.core_lo && o <= z.core_hi) {
+      flush();
+      o = z.core_hi + 1;
+      continue;
+    }
+    const bool in_hole = o >= z.hole_lo && o <= z.hole_hi;
+    if (!in_hole && o >= z.fill_lo && o <= z.fill_hi) {
+      flush();
+      long end = z.fill_hi;
+      if (o < z.hole_lo) end = std::min(end, z.hole_lo - 1);
+      fill(o, end);
+      o = end + 1;
+      continue;
+    }
+    if (run_hi + 1 == o) {
+      run_hi = o;
+    } else {
+      flush();
+      run_lo = run_hi = o;
+    }
+    ++o;
+  }
+  flush();
+}
+
 /// Map an inclusive offset run to at most two ascending half-open column
 /// ranges [begin, end) — two when the run crosses the antimeridian.
 template <typename SpanF>

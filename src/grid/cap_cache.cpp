@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "geo/units.hpp"
 #include "grid/annulus_scan.hpp"
+#include "grid/simd.hpp"
 #include "grid/window.hpp"
 #include "obs/obs.hpp"
 
@@ -146,9 +147,52 @@ void CapScanPlan::scan(double inner_km, double outer_km, CellF&& f,
 void CapScanPlan::rasterize_annulus(double inner_km, double outer_km,
                                     Region& out) const {
   ageo::detail::require(out.grid() == g_, "CapScanPlan: region on a different grid");
-  scan(
-      inner_km, outer_km, [&](std::size_t idx) { out.set(idx); },
-      [&](std::size_t b, std::size_t e) { out.set_span(b, e); });
+  const Grid& g = *g_;
+  const detail::AnnulusScan s(g, center_, inner_km, outer_km);
+  if (s.empty) return;
+  const long ncols = static_cast<long>(g.cols());
+  const std::size_t cols = g.cols();
+  // Boundary-band cells go through the dot-test kernel as contiguous
+  // runs (SIMD lanes when dispatched); the kernel evaluates the same
+  // clamped-dot pass test as scan()'s per-cell path, in the same
+  // operation order, so the result is bit-identical.
+  const simd::KernelTable& kt = simd::kernels();
+  const geo::Vec3* centers = &g.center_vec(0);
+  std::uint64_t* words = out.words().data();
+
+  detail::RowZones z;
+  for (std::size_t r = s.r0; r < s.r1; ++r) {
+    const std::size_t base = g.index(r, 0);
+    switch (classify_row(s, r, z)) {
+      case RowClass::kNaive:  // ill-conditioned window: test the whole row
+        kt.annulus_set(centers, base, base + cols, s.v, s.cos_outer,
+                       s.cos_inner, words);
+        continue;
+      case RowClass::kOutside:
+        continue;
+      case RowClass::kZones:
+        break;
+    }
+    detail::emit_zone_runs(
+        z,
+        [&](long o_lo, long o_hi) {
+          detail::for_col_spans(c_round_, o_lo, o_hi, ncols,
+                                [&](long b0, long b1) {
+                                  kt.annulus_set(centers,
+                                                 base + static_cast<std::size_t>(b0),
+                                                 base + static_cast<std::size_t>(b1),
+                                                 s.v, s.cos_outer, s.cos_inner,
+                                                 words);
+                                });
+        },
+        [&](long o_lo, long o_hi) {
+          detail::for_col_spans(c_round_, o_lo, o_hi, ncols,
+                                [&](long b0, long b1) {
+                                  out.set_span(base + static_cast<std::size_t>(b0),
+                                               base + static_cast<std::size_t>(b1));
+                                });
+        });
+  }
 }
 
 void CapScanPlan::accumulate_annulus(double inner_km, double outer_km,
@@ -180,6 +224,9 @@ void CapScanPlan::intersect_rows(const detail::AnnulusScan& s, std::size_t lo,
     double d = std::clamp(s.v.dot(g.center_vec(idx)), -1.0, 1.0);
     return d >= s.cos_outer && d <= s.cos_inner;
   };
+  const simd::KernelTable& kt = simd::kernels();
+  const geo::Vec3* centers = &g.center_vec(0);
+  std::uint64_t* words = out.words().data();
 
   detail::RowZones z;
   for (std::size_t r = lo; r < hi; ++r) {
@@ -226,13 +273,19 @@ void CapScanPlan::intersect_rows(const detail::AnnulusScan& s, std::size_t lo,
                                              base + static_cast<std::size_t>(b1));
                             });
     }
-    detail::emit_zones(
+    // Boundary runs AND pass bits into the surviving words (the kernel
+    // tests every run cell; a clear bit stays clear either way, so this
+    // matches the old test-surviving-bits-only walk exactly).
+    detail::emit_zone_runs(
         z,
-        [&](long o) {
-          long c = (c_round_ + o) % ncols;
-          if (c < 0) c += ncols;
-          const std::size_t idx = base + static_cast<std::size_t>(c);
-          if (out.test(idx) && !in_annulus(idx)) out.reset(idx);
+        [&](long o_lo, long o_hi) {
+          detail::for_col_spans(
+              c_round_, o_lo, o_hi, ncols, [&](long b0, long b1) {
+                kt.annulus_intersect(centers,
+                                     base + static_cast<std::size_t>(b0),
+                                     base + static_cast<std::size_t>(b1), s.v,
+                                     s.cos_outer, s.cos_inner, words);
+              });
         },
         // Guaranteed-inside fill spans: AND with 1 — leave untouched.
         [](long, long) {});
@@ -290,6 +343,9 @@ void CapScanPlan::subtract_annulus_into(double inner_km, double outer_km,
     double d = std::clamp(s.v.dot(g.center_vec(idx)), -1.0, 1.0);
     return d >= s.cos_outer && d <= s.cos_inner;
   };
+  const simd::KernelTable& kt = simd::kernels();
+  const geo::Vec3* centers = &g.center_vec(0);
+  std::uint64_t* words = out.words().data();
 
   detail::RowZones z;
   for (std::size_t r = s.r0; r < s.r1; ++r) {
@@ -305,13 +361,18 @@ void CapScanPlan::subtract_annulus_into(double inner_km, double outer_km,
       case RowClass::kZones:
         break;
     }
-    detail::emit_zones(
+    // Boundary runs clear the pass bits (a clear bit stays clear, so
+    // this matches the old test-surviving-bits-only walk exactly).
+    detail::emit_zone_runs(
         z,
-        [&](long o) {
-          long c = (c_round_ + o) % ncols;
-          if (c < 0) c += ncols;
-          const std::size_t idx = base + static_cast<std::size_t>(c);
-          if (out.test(idx) && in_annulus(idx)) out.reset(idx);
+        [&](long o_lo, long o_hi) {
+          detail::for_col_spans(
+              c_round_, o_lo, o_hi, ncols, [&](long b0, long b1) {
+                kt.annulus_subtract(centers,
+                                    base + static_cast<std::size_t>(b0),
+                                    base + static_cast<std::size_t>(b1), s.v,
+                                    s.cos_outer, s.cos_inner, words);
+              });
         },
         // Guaranteed-inside fill spans are removed wholesale; the core
         // and everything beyond cand are guaranteed outside the annulus

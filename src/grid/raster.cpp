@@ -9,6 +9,7 @@
 #include "geo/units.hpp"
 #include "geo/vec3.hpp"
 #include "grid/annulus_scan.hpp"
+#include "grid/simd.hpp"
 
 namespace ageo::grid {
 
@@ -40,12 +41,16 @@ void scan_annulus_naive(const Grid& g, const geo::LatLon& center,
 /// computed analytically from d(c) = P + Q*cos(dlon_c) with
 /// P = sin(lat0)sin(lat_c) and Q = cos(lat0)cos(lat_c) >= 0. Guaranteed
 /// cells are emitted as spans via `fs(begin, end)` (word fills downstream);
-/// only the boundary bands evaluate the exact per-cell test and call
-/// `f(idx)`. Bit-for-bit identical to scan_annulus_naive; see
-/// annulus_scan.hpp for the error budget.
-template <typename CellF, typename SpanF>
-void scan_annulus(const Grid& g, const geo::LatLon& center, double inner_km,
-                  double outer_km, CellF&& f, SpanF&& fs) {
+/// boundary-band cells are emitted as contiguous half-open index runs via
+/// `fr(begin, end, s)` — each run cell still needs the exact per-cell test
+/// (the SIMD kernels evaluate it four lanes at a time). The cells visited
+/// are the same as the per-cell scan_annulus below, which is bit-for-bit
+/// identical to scan_annulus_naive; see annulus_scan.hpp for the error
+/// budget.
+template <typename RunF, typename SpanF>
+void scan_annulus_runs(const Grid& g, const geo::LatLon& center,
+                       double inner_km, double outer_km, RunF&& fr,
+                       SpanF&& fs) {
   const AnnulusScan s(g, center, inner_km, outer_km);
   if (s.empty) return;
   const long ncols = static_cast<long>(g.cols());
@@ -65,18 +70,14 @@ void scan_annulus(const Grid& g, const geo::LatLon& center, double inner_km,
   const auto cols_of = [&](double u) {
     return geo::rad_to_deg(std::acos(std::clamp(u, -1.0, 1.0))) * inv_cell;
   };
-  const auto exact_test = [&](std::size_t idx) {
-    double d = std::clamp(s.v.dot(g.center_vec(idx)), -1.0, 1.0);
-    if (d >= s.cos_outer && d <= s.cos_inner) f(idx);
-  };
 
   for (std::size_t r = s.r0; r < s.r1; ++r) {
     const std::size_t base = g.index(r, 0);
     const double latc = geo::deg_to_rad(g.row_lat_south(r) + cell / 2.0);
     const double P = sin0 * std::sin(latc);
     const double Q = cos0 * std::cos(latc);
-    if (Q < detail::kMinQ) {  // ill-conditioned window: scan the whole row
-      for (std::size_t c = 0; c < g.cols(); ++c) exact_test(base + c);
+    if (Q < detail::kMinQ) {  // ill-conditioned window: test the whole row
+      fr(base, base + g.cols(), s);
       continue;
     }
     // Pass requires cos(dlon) in [u_out, u_in]; widen by the margin for
@@ -95,12 +96,14 @@ void scan_annulus(const Grid& g, const geo::LatLon& center, double inner_km,
       b.hole = cols_of(u_in_safe) + 1.0;
       b.core = u_in_wide >= 1.0 ? -1.0 : cols_of(u_in_wide) - 1.0;
     }
-    detail::emit_zones(
+    detail::emit_zone_runs(
         detail::zones_from_radii(frac, b, ncols),
-        [&](long o) {
-          long c = (c_round + o) % ncols;
-          if (c < 0) c += ncols;
-          exact_test(base + static_cast<std::size_t>(c));
+        [&](long o_lo, long o_hi) {
+          detail::for_col_spans(c_round, o_lo, o_hi, ncols,
+                                [&](long b0, long b1) {
+                                  fr(base + static_cast<std::size_t>(b0),
+                                     base + static_cast<std::size_t>(b1), s);
+                                });
         },
         [&](long o_lo, long o_hi) {
           detail::for_col_spans(c_round, o_lo, o_hi, ncols,
@@ -110,6 +113,23 @@ void scan_annulus(const Grid& g, const geo::LatLon& center, double inner_km,
                                 });
         });
   }
+}
+
+/// Per-cell flavor of the pruned scan, expressed over the run scan so the
+/// two cannot drift: each boundary-run cell gets the exact clamped-dot
+/// test and `f(idx)` on pass.
+template <typename CellF, typename SpanF>
+void scan_annulus(const Grid& g, const geo::LatLon& center, double inner_km,
+                  double outer_km, CellF&& f, SpanF&& fs) {
+  scan_annulus_runs(
+      g, center, inner_km, outer_km,
+      [&](std::size_t b, std::size_t e, const AnnulusScan& s) {
+        for (std::size_t idx = b; idx < e; ++idx) {
+          double d = std::clamp(s.v.dot(g.center_vec(idx)), -1.0, 1.0);
+          if (d >= s.cos_outer && d <= s.cos_inner) f(idx);
+        }
+      },
+      static_cast<SpanF&&>(fs));
 }
 
 }  // namespace
@@ -130,8 +150,14 @@ void rasterize_cap_into(const Grid& g, const geo::Cap& cap, Region& out) {
   ageo::detail::require(geo::is_valid(cap.center), "rasterize_cap: invalid center");
   ageo::detail::require(out.grid() == &g,
                         "rasterize_cap_into: region on a different grid");
-  scan_annulus(
-      g, cap.center, 0.0, cap.radius_km, [&](std::size_t idx) { out.set(idx); },
+  const simd::KernelTable& kt = simd::kernels();
+  const geo::Vec3* centers = &g.center_vec(0);
+  std::uint64_t* words = out.words().data();
+  scan_annulus_runs(
+      g, cap.center, 0.0, cap.radius_km,
+      [&](std::size_t b, std::size_t e, const AnnulusScan& s) {
+        kt.annulus_set(centers, b, e, s.v, s.cos_outer, s.cos_inner, words);
+      },
       [&](std::size_t b, std::size_t e) { out.set_span(b, e); });
 }
 
@@ -140,9 +166,14 @@ void rasterize_ring_into(const Grid& g, const geo::Ring& ring, Region& out) {
                   "rasterize_ring: invalid center");
   ageo::detail::require(out.grid() == &g,
                         "rasterize_ring_into: region on a different grid");
-  scan_annulus(
+  const simd::KernelTable& kt = simd::kernels();
+  const geo::Vec3* centers = &g.center_vec(0);
+  std::uint64_t* words = out.words().data();
+  scan_annulus_runs(
       g, ring.center, ring.inner_km, ring.outer_km,
-      [&](std::size_t idx) { out.set(idx); },
+      [&](std::size_t b, std::size_t e, const AnnulusScan& s) {
+        kt.annulus_set(centers, b, e, s.v, s.cos_outer, s.cos_inner, words);
+      },
       [&](std::size_t b, std::size_t e) { out.set_span(b, e); });
 }
 

@@ -1,0 +1,168 @@
+#include "grid/simd.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+#include "grid/simd_detail.hpp"
+
+namespace ageo::grid::simd {
+
+namespace detail {
+// Defined in simd_avx2.cpp: null unless the AVX2 TU was compiled in AND
+// the running CPU supports AVX2.
+const KernelTable* avx2_table() noexcept;
+bool avx2_compiled() noexcept;
+}  // namespace detail
+
+namespace {
+
+using detail::AnnulusOp;
+
+template <AnnulusOp Op>
+void annulus_scalar(const geo::Vec3* centers, std::size_t begin,
+                    std::size_t end, const geo::Vec3& v, double cos_outer,
+                    double cos_inner, std::uint64_t* words) {
+  if (begin >= end) return;
+  const std::size_t w0 = begin >> 6;
+  const std::size_t w1 = (end - 1) >> 6;
+  for (std::size_t wi = w0; wi <= w1; ++wi) {
+    const std::size_t lo = std::max(begin, wi << 6);
+    const std::size_t hi = std::min(end, (wi << 6) + 64);
+    const std::uint64_t pass =
+        detail::annulus_pass_bits(centers, lo, hi, v, cos_outer, cos_inner);
+    const std::uint64_t rm = detail::word_run_mask(
+        static_cast<unsigned>(lo - (wi << 6)),
+        static_cast<unsigned>(hi - (wi << 6)));
+    detail::fold_word<Op>(words[wi], pass, rm);
+  }
+}
+
+void exp_neg_scalar(const double* a, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = detail::exp_neg_core(a[i]);
+}
+
+void ring_multiply_span_scalar(double* density, const double* dist,
+                               std::size_t n, double mu_km, double inv_2s2) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = density[i];
+    if (d == 0.0) continue;
+    density[i] = d * detail::exp_neg_core(detail::ring_arg(dist[i], mu_km,
+                                                           inv_2s2));
+  }
+}
+
+void ring_multiply_gather_scalar(double* density, const std::uint32_t* didx,
+                                 const double* dist, const std::uint32_t* gidx,
+                                 std::size_t n, double mu_km, double inv_2s2) {
+  for (std::size_t j = 0; j < n; ++j) {
+    density[didx[j]] *= detail::exp_neg_core(
+        detail::ring_arg(dist[gidx[j]], mu_km, inv_2s2));
+  }
+}
+
+void popcount_cells_scalar(const std::uint64_t* cover, std::size_t stride,
+                           std::size_t planes, std::size_t base, std::size_t n,
+                           std::uint32_t* pc) {
+  for (std::size_t j = 0; j < n; ++j) {
+    std::uint32_t s = 0;
+    for (std::size_t w = 0; w < planes; ++w) {
+      s += static_cast<std::uint32_t>(std::popcount(cover[w * stride + base + j]));
+    }
+    pc[j] = s;
+  }
+}
+
+constexpr KernelTable kScalarTable = {
+    Level::kScalar,
+    annulus_scalar<AnnulusOp::kSet>,
+    annulus_scalar<AnnulusOp::kIntersect>,
+    annulus_scalar<AnnulusOp::kSubtract>,
+    exp_neg_scalar,
+    ring_multiply_span_scalar,
+    ring_multiply_gather_scalar,
+    popcount_cells_scalar,
+};
+
+std::atomic<const KernelTable*> g_active{nullptr};
+std::atomic<int> g_exp_mode{-1};  // -1 = uninitialized
+
+bool env_is(const char* value, std::string_view a, std::string_view b = {}) {
+  const std::string_view v(value);
+  return v == a || (!b.empty() && v == b);
+}
+
+const KernelTable* resolve_default() {
+  bool want_simd = true;
+  if (const char* env = std::getenv("AGEO_SIMD")) {
+    if (env_is(env, "off", "scalar") || env_is(env, "0")) want_simd = false;
+  }
+  if (want_simd) {
+    if (const KernelTable* t = detail::avx2_table()) return t;
+  }
+  return &kScalarTable;
+}
+
+const KernelTable* active_table() noexcept {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    t = resolve_default();
+    const KernelTable* expected = nullptr;
+    if (!g_active.compare_exchange_strong(expected, t,
+                                          std::memory_order_acq_rel)) {
+      t = expected;
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+bool compiled() noexcept { return detail::avx2_compiled(); }
+
+bool cpu_supported() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+Level active_level() noexcept { return active_table()->level; }
+
+void force_level(Level level) noexcept {
+  const KernelTable* t = &kScalarTable;
+  if (level == Level::kAvx2) {
+    if (const KernelTable* a = detail::avx2_table()) t = a;
+  }
+  g_active.store(t, std::memory_order_release);
+}
+
+ExpMode exp_mode() noexcept {
+  int m = g_exp_mode.load(std::memory_order_acquire);
+  if (m < 0) {
+    m = 0;
+    if (const char* env = std::getenv("AGEO_SIMD_EXP")) {
+      if (env_is(env, "fast", "1")) m = 1;
+    }
+    int expected = -1;
+    if (!g_exp_mode.compare_exchange_strong(expected, m,
+                                            std::memory_order_acq_rel)) {
+      m = expected;
+    }
+  }
+  return static_cast<ExpMode>(m);
+}
+
+void set_exp_mode(ExpMode mode) noexcept {
+  g_exp_mode.store(static_cast<int>(mode), std::memory_order_release);
+}
+
+const KernelTable& kernels() noexcept { return *active_table(); }
+
+const KernelTable& scalar_kernels() noexcept { return kScalarTable; }
+
+const KernelTable* avx2_kernels() noexcept { return detail::avx2_table(); }
+
+}  // namespace ageo::grid::simd

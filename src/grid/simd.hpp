@@ -1,0 +1,121 @@
+// Runtime-dispatched SIMD kernels for the grid/mlat hot paths.
+//
+// Three kernel families (DESIGN.md §13):
+//   - annulus dot-test runs: evaluate the exact clamped-dot pass test for
+//     a contiguous run of cells and fold the pass bits into a Region's
+//     words (set / intersect / subtract). The vector lanes multiply and
+//     add in exactly the scalar expression's order, so the AVX2 path is
+//     bit-for-bit identical to the scalar one (see simd_avx2.cpp for the
+//     codegen argument) — it is a pure speedup, pinned by
+//     raster_equivalence_test and the dispatch-agreement suite.
+//   - Gaussian ring multiplies: density[i] *= exp(-((dist-mu)^2/2s^2)).
+//     The default ("exact") mode keeps libm's std::exp per cell and is
+//     bit-identical everywhere; the opt-in fast mode substitutes a
+//     vectorized exponential whose worst-case error is pinned in ULPs by
+//     simd_test (the a >= 746 hard-underflow cutoff is preserved exactly
+//     in both modes).
+//   - multi-plane popcount: per-cell coverage counts across the sparse
+//     LCS engine's bit planes (integer, trivially bit-identical).
+//
+// Dispatch: a process-wide kernel table chosen from the compile gate
+// (-DAGEO_SIMD), CPUID, and the AGEO_SIMD env override; force_level()
+// lets tests and benches pin either path on the same build.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geo/vec3.hpp"
+
+namespace ageo::grid::simd {
+
+enum class Level { kScalar = 0, kAvx2 = 1 };
+
+/// Opt-in approximation mode for the ring-multiply exponential. kExact
+/// (the default) calls std::exp per surviving cell — bit-identical to
+/// the reference oracle; kFast uses the vectorized exponential (within
+/// the ULP bound pinned by simd_test) and is for throughput-critical
+/// callers that accept approximate posteriors. Env: AGEO_SIMD_EXP=fast.
+enum class ExpMode { kExact = 0, kFast = 1 };
+
+/// True when the AVX2 kernel TU was compiled in (-DAGEO_SIMD=ON on an
+/// x86-64 toolchain).
+bool compiled() noexcept;
+
+/// True when the running CPU (and OS) support AVX2.
+bool cpu_supported() noexcept;
+
+/// The level the kernel table currently dispatches to. Resolved once at
+/// first use: kAvx2 iff compiled() && cpu_supported() and the AGEO_SIMD
+/// env var is not "off"/"scalar"; overridable via force_level().
+Level active_level() noexcept;
+
+/// Pin the dispatch level (test/bench hook). Requests above what the
+/// build/CPU support are clamped to kScalar. Not thread-safe against
+/// concurrent kernel use; call from single-threaded setup code.
+void force_level(Level level) noexcept;
+
+ExpMode exp_mode() noexcept;
+void set_exp_mode(ExpMode mode) noexcept;
+
+/// One resolved set of kernel entry points. All pointers are always
+/// valid; the scalar table is the fallback for every entry.
+struct KernelTable {
+  Level level;
+
+  // ---- annulus pass-test runs ----
+  // For cells idx in [begin, end) (contiguous global indices), evaluate
+  //   d = clamp(v . centers[idx], -1, 1); pass = d >= cos_outer && d <= cos_inner
+  // and fold into the region's word array:
+  //   set:       word bit |= pass
+  //   intersect: word bit &= pass   (bits outside [begin, end) untouched)
+  //   subtract:  word bit &= !pass  (bits outside [begin, end) untouched)
+  void (*annulus_set)(const geo::Vec3* centers, std::size_t begin,
+                      std::size_t end, const geo::Vec3& v, double cos_outer,
+                      double cos_inner, std::uint64_t* words);
+  void (*annulus_intersect)(const geo::Vec3* centers, std::size_t begin,
+                            std::size_t end, const geo::Vec3& v,
+                            double cos_outer, double cos_inner,
+                            std::uint64_t* words);
+  void (*annulus_subtract)(const geo::Vec3* centers, std::size_t begin,
+                           std::size_t end, const geo::Vec3& v,
+                           double cos_outer, double cos_inner,
+                           std::uint64_t* words);
+
+  // ---- fast exponential (kFast ring multiplies + its ULP test) ----
+  // out[i] = exp(-a[i]), with the field fast path's exact edge
+  // semantics: a >= 746 -> +0.0, a <= -710 -> +inf, NaN -> NaN,
+  // +/-0.0 -> 1.0 exactly.
+  void (*exp_neg)(const double* a, double* out, std::size_t n);
+
+  // density[i] *= exp_neg((dist[i] - mu)^2 * inv_2s2) for i in [0, n),
+  // skipping (preserving) cells with density == 0.0.
+  void (*ring_multiply_span)(double* density, const double* dist,
+                             std::size_t n, double mu_km, double inv_2s2);
+
+  // Gathered variant for live-cell lists:
+  //   density[didx[j]] *= exp_neg((dist[gidx[j]] - mu)^2 * inv_2s2).
+  // didx/gidx may alias (flat fields index density and distance by the
+  // same cell id); entries must be distinct within the call.
+  void (*ring_multiply_gather)(double* density, const std::uint32_t* didx,
+                               const double* dist, const std::uint32_t* gidx,
+                               std::size_t n, double mu_km, double inv_2s2);
+
+  // ---- multi-plane popcount (sparse LCS max-coverage sweep) ----
+  // pc[j] = sum over w < planes of popcount(cover[w * stride + base + j])
+  // for j in [0, n).
+  void (*popcount_cells)(const std::uint64_t* cover, std::size_t stride,
+                         std::size_t planes, std::size_t base, std::size_t n,
+                         std::uint32_t* pc);
+};
+
+/// The currently active kernel table (atomic snapshot; hot-path callers
+/// should load it once per scan, not per run).
+const KernelTable& kernels() noexcept;
+
+/// The two tables, for direct A/B comparisons in tests and benches.
+const KernelTable& scalar_kernels() noexcept;
+/// Null when the AVX2 TU is not compiled in or the CPU lacks support.
+const KernelTable* avx2_kernels() noexcept;
+
+}  // namespace ageo::grid::simd

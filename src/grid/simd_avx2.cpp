@@ -1,0 +1,296 @@
+// AVX2 kernel table. This TU is the ONLY one compiled with -mavx2 (plus
+// -ffp-contract=off so GCC cannot contract the explicit mul/add
+// intrinsic pairs into FMAs — the rest of the project targets baseline
+// x86-64, which has no FMA, and bit-identity with the scalar table
+// depends on every product and sum rounding individually in the same
+// order). Everything here is reached only through the runtime-dispatch
+// table, after a CPUID check, so no AVX2 instruction can execute on an
+// unsupported CPU.
+//
+// When the AGEO_SIMD CMake option is OFF the flags are absent, __AVX2__
+// is not defined, and this file compiles to nullptr-returning stubs.
+#include "grid/simd.hpp"
+
+#include "grid/simd_detail.hpp"
+
+#if defined(__AVX2__) && defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace ageo::grid::simd {
+namespace {
+
+using detail::AnnulusOp;
+
+// Transpose 4 consecutive Vec3 (12 packed doubles x0 y0 z0 x1 y1 z1 ...)
+// into X/Y/Z lane vectors.
+inline void load_centers4(const geo::Vec3* c, __m256d& X, __m256d& Y,
+                          __m256d& Z) {
+  static_assert(sizeof(geo::Vec3) == 3 * sizeof(double));
+  const double* p = reinterpret_cast<const double*>(c);
+  const __m256d t0 = _mm256_loadu_pd(p);      // x0 y0 z0 x1
+  const __m256d t1 = _mm256_loadu_pd(p + 4);  // y1 z1 x2 y2
+  const __m256d t2 = _mm256_loadu_pd(p + 8);  // z2 x3 y3 z3
+  const __m256d s0 = _mm256_permute2f128_pd(t0, t1, 0x30);  // x0 y0 | x2 y2
+  const __m256d s1 = _mm256_permute2f128_pd(t0, t2, 0x21);  // z0 x1 | z2 x3
+  const __m256d s2 = _mm256_permute2f128_pd(t1, t2, 0x30);  // y1 z1 | y3 z3
+  X = _mm256_shuffle_pd(s0, s1, 0b1010);  // x0 x1 x2 x3
+  Y = _mm256_shuffle_pd(s0, s2, 0b0101);  // y0 y1 y2 y3
+  Z = _mm256_shuffle_pd(s1, s2, 0b1010);  // z0 z1 z2 z3
+}
+
+template <AnnulusOp Op>
+void annulus_avx2(const geo::Vec3* centers, std::size_t begin, std::size_t end,
+                  const geo::Vec3& v, double cos_outer, double cos_inner,
+                  std::uint64_t* words) {
+  if (begin >= end) return;
+  const __m256d vx = _mm256_set1_pd(v.x);
+  const __m256d vy = _mm256_set1_pd(v.y);
+  const __m256d vz = _mm256_set1_pd(v.z);
+  const __m256d lo1 = _mm256_set1_pd(-1.0);
+  const __m256d hi1 = _mm256_set1_pd(1.0);
+  const __m256d co = _mm256_set1_pd(cos_outer);
+  const __m256d ci = _mm256_set1_pd(cos_inner);
+  const std::size_t w0 = begin >> 6;
+  const std::size_t w1 = (end - 1) >> 6;
+  for (std::size_t wi = w0; wi <= w1; ++wi) {
+    const std::size_t lo = std::max(begin, wi << 6);
+    const std::size_t hi = std::min(end, (wi << 6) + 64);
+    std::uint64_t pass = 0;
+    std::size_t j = lo;
+    // Scalar head to a 4-cell boundary (lane k of a group lands at bit
+    // (j & 63) + k, so groups must not straddle the word).
+    const std::size_t head = std::min(hi, (j + 3) & ~std::size_t{3});
+    pass |= detail::annulus_pass_bits(centers, j, head, v, cos_outer, cos_inner);
+    j = head;
+    for (; j + 4 <= hi; j += 4) {
+      __m256d X, Y, Z;
+      load_centers4(centers + j, X, Y, Z);
+      // Same order as Vec3::dot: (x*vx + y*vy) + z*vz.
+      const __m256d dot = _mm256_add_pd(
+          _mm256_add_pd(_mm256_mul_pd(X, vx), _mm256_mul_pd(Y, vy)),
+          _mm256_mul_pd(Z, vz));
+      const __m256d cl = _mm256_min_pd(_mm256_max_pd(dot, lo1), hi1);
+      const __m256d ok = _mm256_and_pd(_mm256_cmp_pd(cl, co, _CMP_GE_OQ),
+                                       _mm256_cmp_pd(cl, ci, _CMP_LE_OQ));
+      pass |= static_cast<std::uint64_t>(
+                  static_cast<unsigned>(_mm256_movemask_pd(ok)))
+              << (j & 63);
+    }
+    pass |= detail::annulus_pass_bits(centers, j, hi, v, cos_outer, cos_inner);
+    const std::uint64_t rm = detail::word_run_mask(
+        static_cast<unsigned>(lo - (wi << 6)),
+        static_cast<unsigned>(hi - (wi << 6)));
+    detail::fold_word<Op>(words[wi], pass, rm);
+  }
+}
+
+// ---- vector exponential ----------------------------------------------
+
+// exp(-a) for 4 lanes, matching detail::exp_neg_core operation-for-
+// operation (see that header for the algorithm notes). Edge lanes
+// (underflow / overflow / NaN) may compute garbage in the polynomial
+// path — cvtpd_epi32 saturates, no traps — and are overwritten by the
+// final blends.
+inline __m256d exp_neg4(__m256d a) {
+  const __m256d x = _mm256_sub_pd(_mm256_setzero_pd(), a);
+  const __m256d nd = _mm256_round_pd(
+      _mm256_mul_pd(x, _mm256_set1_pd(detail::kLog2E)),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  const __m128i n = _mm256_cvtpd_epi32(nd);
+  const __m256d r = _mm256_sub_pd(
+      _mm256_sub_pd(x, _mm256_mul_pd(nd, _mm256_set1_pd(detail::kLn2Hi))),
+      _mm256_mul_pd(nd, _mm256_set1_pd(detail::kLn2Lo)));
+  __m256d p = _mm256_set1_pd(1.0 / 6227020800.0);
+#define AGEO_HORNER(c) p = _mm256_add_pd(_mm256_mul_pd(p, r), _mm256_set1_pd(c))
+  AGEO_HORNER(1.0 / 479001600.0);
+  AGEO_HORNER(1.0 / 39916800.0);
+  AGEO_HORNER(1.0 / 3628800.0);
+  AGEO_HORNER(1.0 / 362880.0);
+  AGEO_HORNER(1.0 / 40320.0);
+  AGEO_HORNER(1.0 / 5040.0);
+  AGEO_HORNER(1.0 / 720.0);
+  AGEO_HORNER(1.0 / 120.0);
+  AGEO_HORNER(1.0 / 24.0);
+  AGEO_HORNER(1.0 / 6.0);
+  AGEO_HORNER(0.5);
+  AGEO_HORNER(1.0);
+  AGEO_HORNER(1.0);
+#undef AGEO_HORNER
+  // Two-step 2^n scaling: n1 = n >> 1 (arithmetic), n2 = n - n1, each
+  // built directly in the exponent field. First multiply is exact;
+  // the second is the single rounding step (subnormal-correct).
+  const __m128i n1 = _mm_srai_epi32(n, 1);
+  const __m128i n2 = _mm_sub_epi32(n, n1);
+  const __m256i bias = _mm256_set1_epi64x(1023);
+  const __m256d s1 = _mm256_castsi256_pd(_mm256_slli_epi64(
+      _mm256_add_epi64(_mm256_cvtepi32_epi64(n1), bias), 52));
+  const __m256d s2 = _mm256_castsi256_pd(_mm256_slli_epi64(
+      _mm256_add_epi64(_mm256_cvtepi32_epi64(n2), bias), 52));
+  __m256d res = _mm256_mul_pd(_mm256_mul_pd(p, s1), s2);
+  const __m256d zero_mask =
+      _mm256_cmp_pd(a, _mm256_set1_pd(detail::kExpZeroCut), _CMP_GE_OQ);
+  const __m256d inf_mask =
+      _mm256_cmp_pd(a, _mm256_set1_pd(detail::kExpInfCut), _CMP_LE_OQ);
+  const __m256d nan_mask = _mm256_cmp_pd(a, a, _CMP_UNORD_Q);
+  res = _mm256_blendv_pd(res, _mm256_setzero_pd(), zero_mask);
+  res = _mm256_blendv_pd(
+      res, _mm256_set1_pd(std::numeric_limits<double>::infinity()), inf_mask);
+  res = _mm256_blendv_pd(res, a, nan_mask);
+  return res;
+}
+
+void exp_neg_avx2(const double* a, double* out, std::size_t n) {
+  std::size_t i = 0;
+  // Two independent Horner chains in flight to hide the ~13-step
+  // mul/add latency.
+  for (; i + 8 <= n; i += 8) {
+    const __m256d r0 = exp_neg4(_mm256_loadu_pd(a + i));
+    const __m256d r1 = exp_neg4(_mm256_loadu_pd(a + i + 4));
+    _mm256_storeu_pd(out + i, r0);
+    _mm256_storeu_pd(out + i + 4, r1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, exp_neg4(_mm256_loadu_pd(a + i)));
+  }
+  for (; i < n; ++i) out[i] = detail::exp_neg_core(a[i]);
+}
+
+inline __m256d ring_arg4(__m256d dist, __m256d mu, __m256d inv_2s2) {
+  const __m256d r = _mm256_sub_pd(dist, mu);
+  return _mm256_mul_pd(_mm256_mul_pd(r, r), inv_2s2);
+}
+
+void ring_multiply_span_avx2(double* density, const double* dist,
+                             std::size_t n, double mu_km, double inv_2s2) {
+  const __m256d mu = _mm256_set1_pd(mu_km);
+  const __m256d is = _mm256_set1_pd(inv_2s2);
+  const __m256d zero = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d = _mm256_loadu_pd(density + i);
+    const __m256d e = exp_neg4(ring_arg4(_mm256_loadu_pd(dist + i), mu, is));
+    // Zero cells stay untouched (the scalar path skips them).
+    const __m256d nz = _mm256_cmp_pd(d, zero, _CMP_NEQ_OQ);
+    _mm256_storeu_pd(density + i,
+                     _mm256_blendv_pd(d, _mm256_mul_pd(d, e), nz));
+  }
+  for (; i < n; ++i) {
+    const double d = density[i];
+    if (d == 0.0) continue;
+    density[i] =
+        d * detail::exp_neg_core(detail::ring_arg(dist[i], mu_km, inv_2s2));
+  }
+}
+
+void ring_multiply_gather_avx2(double* density, const std::uint32_t* didx,
+                               const double* dist, const std::uint32_t* gidx,
+                               std::size_t n, double mu_km, double inv_2s2) {
+  const __m256d mu = _mm256_set1_pd(mu_km);
+  const __m256d is = _mm256_set1_pd(inv_2s2);
+  // Masked gather with an all-ones mask: same loads as the plain form,
+  // but GCC 12's plain-gather intrinsic seeds its result with an
+  // undefined value and trips -Wmaybe-uninitialized.
+  const __m256d gather_all =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  std::size_t j = 0;
+  alignas(32) double prod[4];
+  for (; j + 4 <= n; j += 4) {
+    const __m128i gi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(gidx + j));
+    const __m256d dist4 = _mm256_mask_i32gather_pd(_mm256_setzero_pd(), dist,
+                                                   gi, gather_all, 8);
+    const __m256d e = exp_neg4(ring_arg4(dist4, mu, is));
+    const __m128i di = _mm_loadu_si128(reinterpret_cast<const __m128i*>(didx + j));
+    const __m256d d4 = _mm256_mask_i32gather_pd(_mm256_setzero_pd(), density,
+                                                di, gather_all, 8);
+    _mm256_store_pd(prod, _mm256_mul_pd(d4, e));
+    density[didx[j + 0]] = prod[0];
+    density[didx[j + 1]] = prod[1];
+    density[didx[j + 2]] = prod[2];
+    density[didx[j + 3]] = prod[3];
+  }
+  for (; j < n; ++j) {
+    density[didx[j]] *= detail::exp_neg_core(
+        detail::ring_arg(dist[gidx[j]], mu_km, inv_2s2));
+  }
+}
+
+// ---- multi-plane popcount ---------------------------------------------
+
+// Per-byte nibble-LUT popcount, summed per 64-bit lane via SAD.
+inline __m256i popcnt_epi64(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i nib = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, nib);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), nib);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+void popcount_cells_avx2(const std::uint64_t* cover, std::size_t stride,
+                         std::size_t planes, std::size_t base, std::size_t n,
+                         std::uint32_t* pc) {
+  std::size_t j = 0;
+  alignas(32) std::uint64_t tmp[4];
+  for (; j + 4 <= n; j += 4) {
+    __m256i acc = _mm256_setzero_si256();
+    for (std::size_t w = 0; w < planes; ++w) {
+      acc = _mm256_add_epi64(
+          acc, popcnt_epi64(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                   cover + w * stride + base + j))));
+    }
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), acc);
+    pc[j + 0] = static_cast<std::uint32_t>(tmp[0]);
+    pc[j + 1] = static_cast<std::uint32_t>(tmp[1]);
+    pc[j + 2] = static_cast<std::uint32_t>(tmp[2]);
+    pc[j + 3] = static_cast<std::uint32_t>(tmp[3]);
+  }
+  for (; j < n; ++j) {
+    std::uint32_t s = 0;
+    for (std::size_t w = 0; w < planes; ++w) {
+      s += static_cast<std::uint32_t>(std::popcount(cover[w * stride + base + j]));
+    }
+    pc[j] = s;
+  }
+}
+
+constexpr KernelTable kAvx2Table = {
+    Level::kAvx2,
+    annulus_avx2<AnnulusOp::kSet>,
+    annulus_avx2<AnnulusOp::kIntersect>,
+    annulus_avx2<AnnulusOp::kSubtract>,
+    exp_neg_avx2,
+    ring_multiply_span_avx2,
+    ring_multiply_gather_avx2,
+    popcount_cells_avx2,
+};
+
+}  // namespace
+
+namespace detail {
+
+const KernelTable* avx2_table() noexcept {
+  return cpu_supported() ? &kAvx2Table : nullptr;
+}
+
+bool avx2_compiled() noexcept { return true; }
+
+}  // namespace detail
+}  // namespace ageo::grid::simd
+
+#else  // !(__AVX2__ && __x86_64__)
+
+namespace ageo::grid::simd::detail {
+
+const KernelTable* avx2_table() noexcept { return nullptr; }
+bool avx2_compiled() noexcept { return false; }
+
+}  // namespace ageo::grid::simd::detail
+
+#endif

@@ -1,0 +1,135 @@
+// Shared scalar cores for the SIMD kernel tables (simd.cpp and
+// simd_avx2.cpp both include this). The AVX2 lanes perform the same
+// floating-point operations in the same order as these cores, so the
+// two tables agree bit-for-bit; keeping the cores in one header means
+// the scalar table and the AVX2 head/tail loops cannot drift apart.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "geo/vec3.hpp"
+
+namespace ageo::grid::simd::detail {
+
+// ---- annulus pass test ------------------------------------------------
+
+/// The exact per-cell membership test used by every annulus rasterize /
+/// intersect path: clamp the dot product of unit vectors (guards the
+/// acos domain at the callers that derive cos bounds) and compare
+/// against the closed [cos_outer, cos_inner] band.
+inline bool annulus_pass(const geo::Vec3& c, const geo::Vec3& v,
+                         double cos_outer, double cos_inner) noexcept {
+  double d = v.dot(c);
+  if (d > 1.0) d = 1.0;
+  if (d < -1.0) d = -1.0;
+  return d >= cos_outer && d <= cos_inner;
+}
+
+/// Pass bits (at positions idx & 63) for cells [lo, hi) within one
+/// 64-cell word.
+inline std::uint64_t annulus_pass_bits(const geo::Vec3* centers,
+                                       std::size_t lo, std::size_t hi,
+                                       const geo::Vec3& v, double cos_outer,
+                                       double cos_inner) noexcept {
+  std::uint64_t pass = 0;
+  for (std::size_t idx = lo; idx < hi; ++idx) {
+    pass |= static_cast<std::uint64_t>(
+                annulus_pass(centers[idx], v, cos_outer, cos_inner))
+            << (idx & 63);
+  }
+  return pass;
+}
+
+/// Bit mask for positions [lo, hi) of a 64-bit word (lo < hi <= 64).
+inline std::uint64_t word_run_mask(unsigned lo, unsigned hi) noexcept {
+  const std::uint64_t upper = (hi == 64) ? ~0ull : ((1ull << hi) - 1ull);
+  return upper & ~((1ull << lo) - 1ull);
+}
+
+enum class AnnulusOp { kSet, kIntersect, kSubtract };
+
+/// Fold one word's pass bits into the region word. `rm` masks the
+/// positions actually covered by the run; bits outside it are never
+/// touched (pass bits are zero outside [lo, hi) by construction, so
+/// only intersect needs the mask explicitly).
+template <AnnulusOp Op>
+inline void fold_word(std::uint64_t& w, std::uint64_t pass,
+                      std::uint64_t rm) noexcept {
+  if constexpr (Op == AnnulusOp::kSet) {
+    w |= pass;
+  } else if constexpr (Op == AnnulusOp::kIntersect) {
+    w &= pass | ~rm;
+  } else {
+    w &= ~pass;
+  }
+}
+
+// ---- fast exponential -------------------------------------------------
+
+/// exp(-a) underflows to +0.0 at a >= 746 (matches field.cpp's
+/// kGaussianCut — the hard-support cutoff the ring fast paths rely on).
+inline constexpr double kExpZeroCut = 746.0;
+/// exp(-a) overflows to +inf below a <= -710 (exp(709.79) is the last
+/// finite double).
+inline constexpr double kExpInfCut = -710.0;
+
+inline constexpr double kLog2E = 1.4426950408889634074;
+// Cody–Waite split of ln2 (fdlibm): ln2_hi has enough trailing zero
+// mantissa bits that n * ln2_hi is exact for |n| <= 2^20.
+inline constexpr double kLn2Hi = 6.93147180369123816490e-01;
+inline constexpr double kLn2Lo = 1.90821492927058770002e-10;
+
+/// 2^k by exponent-field construction, for k in [-1022, 1023].
+inline double pow2i(int k) noexcept {
+  return std::bit_cast<double>(static_cast<std::uint64_t>(k + 1023) << 52);
+}
+
+/// exp(-a) via round-to-nearest base-2 argument reduction and a
+/// degree-13 Taylor Horner chain (|r| <= ln2/2 + eps keeps the
+/// truncation under ~0.05 ulp; end-to-end error vs std::exp is pinned
+/// in ULPs by simd_test). Edge semantics match the field fast path
+/// exactly: a >= 746 -> +0.0, a <= -710 -> +inf, NaN -> NaN (input
+/// propagated), +/-0.0 -> 1.0.
+///
+/// The two-step 2^n scaling (n split as n1 = n >> 1, n2 = n - n1)
+/// keeps both scale factors representable and makes the final multiply
+/// the only rounding step, so results entering the subnormal range
+/// (a in (708, 746)) round correctly instead of double-rounding.
+inline double exp_neg_core(double a) noexcept {
+  if (std::isnan(a)) return a;
+  if (a >= kExpZeroCut) return 0.0;
+  if (a <= kExpInfCut) return std::numeric_limits<double>::infinity();
+  const double x = -a;
+  const double nd = std::nearbyint(x * kLog2E);
+  const int n = static_cast<int>(nd);
+  const double r = (x - nd * kLn2Hi) - nd * kLn2Lo;
+  double p = 1.0 / 6227020800.0;   // 1/13!
+  p = p * r + 1.0 / 479001600.0;   // 1/12!
+  p = p * r + 1.0 / 39916800.0;    // 1/11!
+  p = p * r + 1.0 / 3628800.0;     // 1/10!
+  p = p * r + 1.0 / 362880.0;      // 1/9!
+  p = p * r + 1.0 / 40320.0;       // 1/8!
+  p = p * r + 1.0 / 5040.0;        // 1/7!
+  p = p * r + 1.0 / 720.0;         // 1/6!
+  p = p * r + 1.0 / 120.0;         // 1/5!
+  p = p * r + 1.0 / 24.0;          // 1/4!
+  p = p * r + 1.0 / 6.0;           // 1/3!
+  p = p * r + 0.5;                 // 1/2!
+  p = p * r + 1.0;
+  p = p * r + 1.0;
+  const int n1 = n >> 1;
+  return (p * pow2i(n1)) * pow2i(n - n1);
+}
+
+/// The ring weight argument, in the field fast path's exact operation
+/// order: r = dist - mu, a = (r * r) * inv_2s2.
+inline double ring_arg(double dist, double mu_km, double inv_2s2) noexcept {
+  const double r = dist - mu_km;
+  return (r * r) * inv_2s2;
+}
+
+}  // namespace ageo::grid::simd::detail

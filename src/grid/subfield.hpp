@@ -41,6 +41,17 @@ class SubField {
   /// both are sized to the window, never the globe.
   SubField(const Grid& g, const Window& w, Scratch* scratch);
 
+  /// Sub-field seeded from `seed` (a Region on `g`): window cells in the
+  /// seed start at 1.0 and form the live set, every other window cell
+  /// starts at the exact +0.0 a flat multiply chain would leave it at.
+  /// Sound only when the seed contains every cell the flat posterior
+  /// leaves nonzero — the refinement driver's survivor upsample
+  /// guarantees exactly that — so the ring multiplies walk the (much
+  /// smaller) seed set from the first constraint on instead of
+  /// discovering the zeros one multiply at a time.
+  SubField(const Grid& g, const Window& w, const Region& seed,
+           Scratch* scratch);
+
   const Grid& grid() const noexcept { return *grid_; }
   const Window& window() const noexcept { return win_; }
   std::size_t cells() const noexcept { return global_.vec().size(); }
@@ -73,6 +84,10 @@ class SubField {
  private:
   template <typename DistF>
   void multiply_ring(double mu_km, double sigma_km, DistF&& dist);
+
+  /// Opt-in vectorized-exp multiply (simd::ExpMode::kFast with a plan's
+  /// distance table); see Field::multiply_ring_fast.
+  void multiply_ring_fast(const double* dist, double mu_km, double sigma_km);
 
   const Grid* grid_;
   Window win_;

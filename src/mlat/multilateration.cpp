@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "grid/raster.hpp"
+#include "grid/simd.hpp"
 #include "obs/obs.hpp"
 
 namespace ageo::mlat {
@@ -316,26 +317,39 @@ std::size_t lcs_annuli_into(const grid::Grid& g, std::size_t n,
   auto ties_lease = grid::Scratch::indices(scratch);
   std::vector<std::uint32_t>& ties = ties_lease.vec();
   std::size_t best = 0;
+  const auto consider = [&](std::size_t idx, std::size_t pc) {
+    if (pc == 0 || pc < best) return;
+    if (pc > best) {
+      best = pc;
+      ties.clear();
+      std::fill(ormask, ormask + planes, 0);
+    }
+    ties.push_back(static_cast<std::uint32_t>(idx));
+    for (std::size_t w = 0; w < planes; ++w)
+      ormask[w] |= cover[w * size + idx];
+  };
+  // Multi-plane coverage counts go through the SIMD popcount kernel in
+  // fixed-size chunks (integer counts — trivially identical to the
+  // scalar loop); the single-plane case stays a one-word popcount.
+  const grid::simd::KernelTable& kt = grid::simd::kernels();
+  constexpr std::size_t kPcChunk = 256;
+  std::uint32_t pcbuf[kPcChunk];
   for_each_row_run(rowmap, rows, [&](std::size_t ra, std::size_t rb) {
-    for (std::size_t idx = ra * cols; idx < rb * cols; ++idx) {
-      if (!candidate(idx)) continue;
-      std::size_t pc;
-      if (planes == 1) {
-        pc = static_cast<std::size_t>(std::popcount(cover[idx]));
-      } else {
-        pc = 0;
-        for (std::size_t w = 0; w < planes; ++w)
-          pc += static_cast<std::size_t>(std::popcount(cover[w * size + idx]));
+    const std::size_t lo = ra * cols, hi = rb * cols;
+    if (planes == 1) {
+      for (std::size_t idx = lo; idx < hi; ++idx) {
+        if (!candidate(idx)) continue;
+        consider(idx, static_cast<std::size_t>(std::popcount(cover[idx])));
       }
-      if (pc == 0 || pc < best) continue;
-      if (pc > best) {
-        best = pc;
-        ties.clear();
-        std::fill(ormask, ormask + planes, 0);
+      return;
+    }
+    for (std::size_t b0 = lo; b0 < hi; b0 += kPcChunk) {
+      const std::size_t m = std::min(kPcChunk, hi - b0);
+      kt.popcount_cells(cover, size, planes, b0, m, pcbuf);
+      for (std::size_t j = 0; j < m; ++j) {
+        if (!candidate(b0 + j)) continue;
+        consider(b0 + j, pcbuf[j]);
       }
-      ties.push_back(static_cast<std::uint32_t>(idx));
-      for (std::size_t w = 0; w < planes; ++w)
-        ormask[w] |= cover[w * size + idx];
     }
   });
   if (best == 0) {

@@ -1,0 +1,357 @@
+// SIMD kernel table tests: runtime-dispatch agreement (scalar vs AVX2
+// paths must agree bit-for-bit on the same build), the vector-exp
+// max-ULP/abs-error sweep against std::exp including the a >= 746
+// underflow boundary and the NaN/inf/±0 edge cells, and the opt-in
+// fast-exp field path's accuracy envelope.
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesy.hpp"
+#include "geo/latlon.hpp"
+#include "geo/vec3.hpp"
+#include "grid/cap_cache.hpp"
+#include "grid/field.hpp"
+#include "grid/grid.hpp"
+#include "grid/raster.hpp"
+#include "grid/region.hpp"
+#include "grid/simd.hpp"
+#include "grid/simd_detail.hpp"
+
+namespace simd = ageo::grid::simd;
+using ageo::geo::LatLon;
+using ageo::geo::Vec3;
+using ageo::grid::CapScanPlan;
+using ageo::grid::Grid;
+using ageo::grid::Region;
+
+namespace {
+
+/// Restores the dispatch level and exp mode on scope exit so tests
+/// cannot leak a forced level into each other.
+struct SimdGuard {
+  simd::Level level = simd::active_level();
+  simd::ExpMode mode = simd::exp_mode();
+  ~SimdGuard() {
+    simd::force_level(level);
+    simd::set_exp_mode(mode);
+  }
+};
+
+bool avx2_available() { return simd::avx2_kernels() != nullptr; }
+
+/// ULP distance for the nonnegative range the exp kernels produce
+/// (both arguments >= +0.0; inf/NaN handled by the callers).
+std::int64_t ulp_diff(double a, double b) {
+  const std::int64_t ia = std::bit_cast<std::int64_t>(a);
+  const std::int64_t ib = std::bit_cast<std::int64_t>(b);
+  return ia > ib ? ia - ib : ib - ia;
+}
+
+}  // namespace
+
+TEST(SimdDispatch, LevelStateIsConsistent) {
+  SimdGuard guard;
+  if (simd::compiled() && simd::cpu_supported()) {
+    ASSERT_NE(simd::avx2_kernels(), nullptr);
+    simd::force_level(simd::Level::kAvx2);
+    EXPECT_EQ(simd::active_level(), simd::Level::kAvx2);
+    EXPECT_EQ(simd::kernels().level, simd::Level::kAvx2);
+  } else {
+    EXPECT_EQ(simd::avx2_kernels(), nullptr);
+    // Requests above what the build/CPU support clamp to scalar.
+    simd::force_level(simd::Level::kAvx2);
+    EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+  }
+  simd::force_level(simd::Level::kScalar);
+  EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+  EXPECT_EQ(simd::scalar_kernels().level, simd::Level::kScalar);
+}
+
+// ---- raw kernel agreement (scalar vs AVX2 table on the same build) ----
+
+TEST(SimdKernels, AnnulusOpsMatchScalarBitForBit) {
+  if (!avx2_available()) GTEST_SKIP() << "AVX2 not available";
+  const Grid g(2.0);
+  const Vec3* centers = &g.center_vec(0);
+  const simd::KernelTable& sc = simd::scalar_kernels();
+  const simd::KernelTable& vx = *simd::avx2_kernels();
+
+  std::mt19937_64 rng(20260809);
+  std::uniform_real_distribution<double> lat(-90.0, 90.0), lon(-180.0, 180.0);
+  std::uniform_real_distribution<double> cosw(-1.0, 1.0);
+  std::uniform_int_distribution<std::size_t> pick(0, g.size() - 65);
+  std::uniform_int_distribution<std::size_t> len(1, 300);
+  std::uniform_int_distribution<std::uint64_t> word;
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vec3 v = ageo::geo::to_vec3(LatLon{lat(rng), lon(rng)});
+    double a = cosw(rng), b = cosw(rng);
+    const double cos_outer = std::min(a, b), cos_inner = std::max(a, b);
+    const std::size_t begin = pick(rng);
+    const std::size_t end = std::min(begin + len(rng), g.size());
+    const std::size_t nwords = (g.size() + 63) / 64;
+    std::vector<std::uint64_t> ws(nwords), wv(nwords);
+    for (std::size_t i = 0; i < nwords; ++i) ws[i] = wv[i] = word(rng);
+    auto run_pair = [&](auto op_s, auto op_v) {
+      op_s(centers, begin, end, v, cos_outer, cos_inner, ws.data());
+      op_v(centers, begin, end, v, cos_outer, cos_inner, wv.data());
+      EXPECT_EQ(ws, wv) << "trial " << trial << " [" << begin << "," << end
+                        << ")";
+    };
+    switch (trial % 3) {
+      case 0: run_pair(sc.annulus_set, vx.annulus_set); break;
+      case 1: run_pair(sc.annulus_intersect, vx.annulus_intersect); break;
+      default: run_pair(sc.annulus_subtract, vx.annulus_subtract); break;
+    }
+  }
+}
+
+TEST(SimdKernels, AnnulusOpsTouchOnlyTheRun) {
+  const Grid g(2.0);
+  const Vec3* centers = &g.center_vec(0);
+  const std::size_t nwords = (g.size() + 63) / 64;
+  const Vec3 v = ageo::geo::to_vec3(LatLon{10.0, 20.0});
+  for (const simd::KernelTable* kt :
+       {&simd::scalar_kernels(), simd::avx2_kernels()}) {
+    if (kt == nullptr) continue;
+    // A run [70, 130) may only alter bits 70..129; everything else of the
+    // prefilled pattern must survive intersect and subtract untouched.
+    std::vector<std::uint64_t> w(nwords, 0xAAAAAAAAAAAAAAAAull);
+    kt->annulus_intersect(centers, 70, 130, v, -0.5, 0.5, w.data());
+    kt->annulus_subtract(centers, 70, 130, v, -0.5, 0.5, w.data());
+    EXPECT_EQ(w[0], 0xAAAAAAAAAAAAAAAAull);
+    // Bits of word 1 below position 6 (cells 64..69) are outside the run.
+    EXPECT_EQ(w[1] & 0x3Full, 0xAAAAAAAAAAAAAAAAull & 0x3Full);
+    // Word 2: cells 128..129 are inside the run, 130+ outside.
+    EXPECT_EQ(w[2] & ~0x3ull, 0xAAAAAAAAAAAAAAAAull & ~0x3ull);
+    for (std::size_t i = 3; i < nwords; ++i)
+      EXPECT_EQ(w[i], 0xAAAAAAAAAAAAAAAAull) << i;
+  }
+}
+
+TEST(SimdKernels, PopcountCellsMatchesScalar) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::uint64_t> word;
+  const std::size_t stride = 512, planes = 5;
+  std::vector<std::uint64_t> cover(stride * planes);
+  for (auto& w : cover) w = word(rng);
+  for (const simd::KernelTable* kt :
+       {&simd::scalar_kernels(), simd::avx2_kernels()}) {
+    if (kt == nullptr) continue;
+    for (const std::size_t base : {std::size_t{0}, std::size_t{3}}) {
+      for (const std::size_t n : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{67}, std::size_t{509 - base}}) {
+        std::vector<std::uint32_t> pc(n, 0xdeadu);
+        kt->popcount_cells(cover.data(), stride, planes, base, n, pc.data());
+        for (std::size_t j = 0; j < n; ++j) {
+          std::uint32_t want = 0;
+          for (std::size_t w = 0; w < planes; ++w)
+            want += static_cast<std::uint32_t>(
+                std::popcount(cover[w * stride + base + j]));
+          ASSERT_EQ(pc[j], want) << "base " << base << " j " << j;
+        }
+      }
+    }
+  }
+}
+
+// ---- whole-path dispatch agreement ------------------------------------
+
+TEST(SimdDispatch, PlanPathsAgreeAcrossLevels) {
+  if (!avx2_available()) GTEST_SKIP() << "AVX2 not available";
+  SimdGuard guard;
+  const Grid g(1.0);
+  const CapScanPlan plan(g, LatLon{47.3, 8.5});
+  auto run_all = [&] {
+    Region r1(g);
+    plan.rasterize_annulus(300.0, 2800.0, r1);
+    Region r2 = ageo::grid::rasterize_cap(g, ageo::geo::Cap{{47.3, 8.5}, 3500.0});
+    plan.intersect_annulus_into(500.0, 2500.0, r2);
+    Region r3 = ageo::grid::rasterize_cap(g, ageo::geo::Cap{{40.0, 2.0}, 4000.0});
+    plan.subtract_annulus_into(0.0, 1500.0, r3);
+    return std::tuple{r1.words(), r2.words(), r3.words()};
+  };
+  simd::force_level(simd::Level::kScalar);
+  const auto scalar = run_all();
+  simd::force_level(simd::Level::kAvx2);
+  const auto vector = run_all();
+  EXPECT_EQ(scalar, vector);
+}
+
+// ---- vector exp accuracy (satellite: ULP sweep vs std::exp) -----------
+
+TEST(SimdExp, EdgeSemantics) {
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const simd::KernelTable* kt :
+       {&simd::scalar_kernels(), simd::avx2_kernels()}) {
+    if (kt == nullptr) continue;
+    const double in[8] = {746.0, std::nextafter(746.0, 747.0), 1e300,
+                          inf,  -710.0, -inf,
+                          std::numeric_limits<double>::quiet_NaN(), 0.0};
+    double out[8];
+    kt->exp_neg(in, out, 8);
+    // a >= 746: hard underflow to +0.0, preserved exactly.
+    EXPECT_EQ(out[0], 0.0);
+    EXPECT_FALSE(std::signbit(out[0]));
+    EXPECT_EQ(out[1], 0.0);
+    EXPECT_EQ(out[2], 0.0);
+    EXPECT_EQ(out[3], 0.0);
+    // a <= -710: overflow to +inf.
+    EXPECT_EQ(out[4], inf);
+    EXPECT_EQ(out[5], inf);
+    EXPECT_TRUE(std::isnan(out[6]));
+    EXPECT_EQ(out[7], 1.0);  // exp(-0) == 1 exactly
+    const double zeros[2] = {0.0, -0.0};
+    double ones[2];
+    kt->exp_neg(zeros, ones, 2);
+    EXPECT_EQ(ones[0], 1.0);
+    EXPECT_EQ(ones[1], 1.0);
+  }
+}
+
+TEST(SimdExp, MaxUlpSweepVsStdExp) {
+  // Dense sweep of the full annulus-argument range [0, 746) both linear
+  // and log-spaced, plus the negative tail down to the overflow cutoff.
+  std::vector<double> args;
+  for (int i = 0; i < 200000; ++i) args.push_back(746.0 * i / 200000.0);
+  for (int i = -320; i < 28; ++i) {
+    const double mag = std::pow(10.0, 0.1 * i);
+    args.push_back(mag);
+    args.push_back(-std::min(mag, 709.9));
+  }
+  // The subnormal-result band (a in (708, 746)) exercises the two-step
+  // scaling's single-rounding property.
+  for (int i = 0; i < 20000; ++i) args.push_back(708.0 + 38.0 * i / 20000.0);
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> u(-709.0, 746.0);
+  for (int i = 0; i < 50000; ++i) args.push_back(u(rng));
+
+  for (const simd::KernelTable* kt :
+       {&simd::scalar_kernels(), simd::avx2_kernels()}) {
+    if (kt == nullptr) continue;
+    std::vector<double> out(args.size());
+    kt->exp_neg(args.data(), out.data(), args.size());
+    std::int64_t max_ulp = 0;
+    double max_rel = 0.0, at = 0.0;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const double want = std::exp(-args[i]);
+      ASSERT_TRUE(std::isfinite(out[i]) || !std::isfinite(want))
+          << "a=" << args[i];
+      const std::int64_t d = ulp_diff(out[i], want);
+      if (d > max_ulp) {
+        max_ulp = d;
+        at = args[i];
+      }
+      // Relative error is only meaningful for normal results; the ULP
+      // bound above covers the subnormal band where 1 ulp is relatively
+      // huge.
+      if (want >= std::numeric_limits<double>::min() && std::isfinite(want)) {
+        max_rel = std::max(max_rel, std::abs(out[i] - want) / want);
+      }
+    }
+    // Measured: 1 ulp max on this toolchain (normals and subnormals).
+    // Bound pinned with slack for other libms; the abs bound is the
+    // normal-range translation of the same envelope.
+    EXPECT_LE(max_ulp, 4) << "worst at a=" << at << " (level "
+                          << int(kt->level) << ")";
+    EXPECT_LE(max_rel, 1e-15);
+  }
+}
+
+TEST(SimdExp, ScalarAndVectorTablesAgreeBitForBit) {
+  if (!avx2_available()) GTEST_SKIP() << "AVX2 not available";
+  std::mt19937_64 rng(123);
+  std::uniform_real_distribution<double> u(-746.0, 800.0);
+  std::vector<double> args(40000);
+  for (auto& a : args) a = u(rng);
+  args.insert(args.end(), {0.0, -0.0, 746.0, 745.999, 710.0, -710.0});
+  std::vector<double> s(args.size()), v(args.size());
+  simd::scalar_kernels().exp_neg(args.data(), s.data(), args.size());
+  simd::avx2_kernels()->exp_neg(args.data(), v.data(), args.size());
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(s[i]),
+              std::bit_cast<std::uint64_t>(v[i]))
+        << "a=" << args[i];
+  }
+}
+
+TEST(SimdExp, RingMultiplyKernelsAgreeBitForBit) {
+  if (!avx2_available()) GTEST_SKIP() << "AVX2 not available";
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> dkm(0.0, 20000.0);
+  std::uniform_real_distribution<double> den(0.0, 1.0);
+  const std::size_t n = 1337;
+  std::vector<double> dist(n), base(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dist[i] = dkm(rng);
+    base[i] = (i % 7 == 0) ? 0.0 : den(rng);  // interleave dead cells
+  }
+  const double mu = 5000.0, inv_2s2 = 1.0 / (2.0 * 300.0 * 300.0);
+  std::vector<double> ds = base, dv = base;
+  simd::scalar_kernels().ring_multiply_span(ds.data(), dist.data(), n, mu,
+                                            inv_2s2);
+  simd::avx2_kernels()->ring_multiply_span(dv.data(), dist.data(), n, mu,
+                                           inv_2s2);
+  EXPECT_EQ(ds, dv);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (base[i] == 0.0) {
+      EXPECT_EQ(ds[i], 0.0) << i;  // dead cells stay dead
+    }
+  }
+
+  std::vector<std::uint32_t> didx, gidx;
+  for (std::size_t i = 0; i < n; i += 2) {
+    didx.push_back(static_cast<std::uint32_t>(i));
+    gidx.push_back(static_cast<std::uint32_t>(n - 1 - i));
+  }
+  ds = base;
+  dv = base;
+  simd::scalar_kernels().ring_multiply_gather(ds.data(), didx.data(),
+                                              dist.data(), gidx.data(),
+                                              didx.size(), mu, inv_2s2);
+  simd::avx2_kernels()->ring_multiply_gather(dv.data(), didx.data(),
+                                             dist.data(), gidx.data(),
+                                             didx.size(), mu, inv_2s2);
+  EXPECT_EQ(ds, dv);
+}
+
+// ---- fast-exp field path ---------------------------------------------
+
+TEST(SimdExp, FastFieldPathStaysInAccuracyEnvelope) {
+  SimdGuard guard;
+  const Grid g(1.0);
+  ageo::grid::CapPlanCache cache(4);
+  const LatLon lm1{47.0, 8.0}, lm2{44.0, 12.0};
+
+  auto posterior = [&](simd::ExpMode mode) {
+    simd::set_exp_mode(mode);
+    ageo::grid::Field f(g);
+    f.multiply_gaussian_ring(*cache.plan(g, lm1), 900.0, 140.0);
+    f.multiply_gaussian_ring(*cache.plan(g, lm2), 600.0, 120.0);
+    f.multiply_gaussian_ring(*cache.plan(g, lm1), 950.0, 200.0);
+    return f;
+  };
+  const ageo::grid::Field exact = posterior(simd::ExpMode::kExact);
+  const ageo::grid::Field fast = posterior(simd::ExpMode::kFast);
+
+  double max_rel = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const double e = exact.at(i), f = fast.at(i);
+    if (e == 0.0) {
+      // The hard-underflow cutoff is shared exactly, so wholesale zeros
+      // agree; near-cutoff subnormal products may differ by rounding.
+      EXPECT_LT(std::abs(f), 1e-290) << i;
+    } else if (e > 1e-290) {
+      max_rel = std::max(max_rel, std::abs(f - e) / e);
+    }
+  }
+  // Three stacked rings, each within ~1 ulp of std::exp per factor.
+  EXPECT_LE(max_rel, 1e-14);
+  EXPECT_GT(fast.total_mass(), 0.0);
+}
