@@ -3,12 +3,15 @@
 //   ageo_audit_cli [--scale F] [--seed N] [--grid DEG] [--grid-deg DEG]
 //                  [--refine SCHED] [--threads N] [--algo NAME]
 //                  [--json FILE] [--ground-truth] [--metrics FILE|-]
-//                  [--trace FILE] [--attackers FRAC] [--attack STRATEGY]
+//                  [--trace FILE] [--journal FILE] [--explain N]
+//                  [--attackers FRAC] [--attack STRATEGY]
 //
 // Runs the seven-provider audit and prints the per-provider summary;
 // optionally writes the complete per-proxy results as JSON, the
-// telemetry snapshot as Prometheus text (--metrics), and a Chrome
-// trace_event profile of the run (--trace).
+// telemetry snapshot as Prometheus text (--metrics), a Chrome
+// trace_event profile of the run (--trace), the verdict provenance
+// journal as JSONL (--journal), and a per-proxy decision narrative
+// rendered from that journal (--explain, repeatable).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -20,9 +23,11 @@
 #include <vector>
 
 #include "assess/audit.hpp"
+#include "assess/explain.hpp"
 #include "assess/report.hpp"
 #include "measure/testbed.hpp"
 #include "netsim/adversary.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "world/fleet.hpp"
@@ -61,6 +66,12 @@ void usage(const char* argv0) {
                "Prometheus text (- = stdout)\n"
                "  --trace FILE      write a Chrome trace_event profile "
                "(open in chrome://tracing); FILE.jsonl gets the flat log\n"
+               "  --journal FILE    write the verdict provenance journal "
+               "as JSONL (one event per line)\n"
+               "  --explain N       print proxy N's decision narrative, "
+               "rendered from the journal alone\n"
+               "                    (repeatable; implies journaling for "
+               "the run)\n"
                "  --attackers FRAC  compromise this fraction of landmarks "
                "(default 0 = honest fleet)\n"
                "  --attack NAME     adversary strategy: inflate | deflate "
@@ -113,6 +124,8 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string metrics_path;
   std::string trace_path;
+  std::string journal_path;
+  std::vector<std::uint64_t> explain_ids;
   bool ground_truth = false;
   double attackers = 0.0;
   std::string attack = "collude";
@@ -158,6 +171,15 @@ int main(int argc, char** argv) {
       metrics_path = need_value("--metrics");
     } else if (!std::strcmp(argv[i], "--trace")) {
       trace_path = need_value("--trace");
+    } else if (!std::strcmp(argv[i], "--journal")) {
+      journal_path = need_value("--journal");
+    } else if (!std::strcmp(argv[i], "--explain")) {
+      const long long id = parse_int("--explain", need_value("--explain"));
+      if (id < 0) {
+        std::fprintf(stderr, "--explain: proxy index must be >= 0\n");
+        return 2;
+      }
+      explain_ids.push_back(static_cast<std::uint64_t>(id));
     } else if (!std::strcmp(argv[i], "--attackers")) {
       attackers = parse_double("--attackers", need_value("--attackers"));
     } else if (!std::strcmp(argv[i], "--attack")) {
@@ -221,6 +243,8 @@ int main(int argc, char** argv) {
   if (!metrics_path.empty() || !json_path.empty())
     obs::set_metrics_enabled(true);
   if (!trace_path.empty()) obs::set_tracing_enabled(true);
+  if (!journal_path.empty() || !explain_ids.empty())
+    obs::set_journal_enabled(true);
 
   assess::AuditConfig ac;
   if (algo == "cbgpp") {
@@ -388,6 +412,21 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "wrote %s\n", metrics_path.c_str());
     } else {
       return 1;
+    }
+  }
+
+  if (!journal_path.empty() || !explain_ids.empty()) {
+    const obs::JournalDump jdump = obs::collect_journal();
+    if (!journal_path.empty()) {
+      if (!write_text_file(journal_path, obs::journal_to_jsonl(jdump)))
+        return 1;
+      std::fprintf(stderr, "wrote %s (%zu events, %llu dropped)\n",
+                   journal_path.c_str(), jdump.events.size(),
+                   static_cast<unsigned long long>(jdump.dropped));
+    }
+    for (std::uint64_t id : explain_ids) {
+      const std::string text = assess::explain_proxy(jdump, id);
+      std::fwrite(text.data(), 1, text.size(), stdout);
     }
   }
 

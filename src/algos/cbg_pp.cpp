@@ -12,9 +12,22 @@
 #include "grid/scratch.hpp"
 #include "mlat/multilateration.hpp"
 #include "mlat/refine.hpp"
+#include "obs/journal.hpp"
 #include "obs/obs.hpp"
 
 namespace ageo::algos {
+
+namespace {
+
+/// Copy a solve's ladder trace into the estimate's provenance (journal
+/// recording only — the trace is empty when the TLS hook was disarmed).
+void fill_ladder(GeoEstimate& est, const mlat::RefineTrace& rtrace) {
+  est.prov.ladder.reserve(rtrace.levels.size());
+  for (const auto& l : rtrace.levels)
+    est.prov.ladder.push_back({l.cell_deg, l.survivors});
+}
+
+}  // namespace
 
 CbgPlusPlusGeolocator::CbgPlusPlusGeolocator(CbgPlusPlusOptions options)
     : options_(options) {}
@@ -39,6 +52,13 @@ CbgPlusPlusGeolocator::Detail CbgPlusPlusGeolocator::locate_detailed(
   // refined solves are pinned bit-identical to the flat ones.
   const mlat::RefineContext* rc =
       refine_ && refine_->applies_to(g, mask) ? refine_ : nullptr;
+
+  // Ladder provenance for the journal: per-level survivor counts,
+  // recorded only while a journal is live (a disarmed hook is one TLS
+  // load per level).
+  mlat::RefineTrace rtrace;
+  mlat::ScopedRefineTrace trace_guard(
+      obs::journal_runtime_on() && rc ? &rtrace : nullptr);
 
   std::vector<mlat::DiskConstraint> bestline, baseline;
   bestline.reserve(observations.size());
@@ -66,6 +86,9 @@ CbgPlusPlusGeolocator::Detail CbgPlusPlusGeolocator::locate_detailed(
     detail.estimate.constraints_total = observations.size();
     detail.estimate.constraints_used = observations.size();
     detail.estimate.used.assign(observations.size(), true);
+    detail.estimate.prov.baseline_subset = observations.size();
+    detail.estimate.prov.refined = rc != nullptr;
+    fill_ladder(detail.estimate, rtrace);
     return detail;
   }
 
@@ -155,6 +178,11 @@ CbgPlusPlusGeolocator::Detail CbgPlusPlusGeolocator::locate_detailed(
   detail.estimate.used.assign(observations.size(), false);
   for (std::size_t j = 0; j < retained_idx.size(); ++j)
     if (bestr.used[j]) detail.estimate.used[retained_idx[j]] = true;
+  detail.estimate.prov.baseline_subset = detail.baseline_subset_size;
+  detail.estimate.prov.discarded_by_baseline =
+      detail.disks_discarded_by_baseline;
+  detail.estimate.prov.refined = rc != nullptr;
+  fill_ladder(detail.estimate, rtrace);
   return detail;
 }
 
@@ -329,6 +357,11 @@ void CbgPlusPlusGeolocator::locate_batch(
     est.region = *s.region;
     est.constraints_total = nobs;
     est.constraints_used = s.n_retained;
+    // Fast-path provenance: a nonempty stage-1 intersection means the
+    // scalar largest-consistent-subset would keep every baseline disk.
+    est.prov.batched_fast_path = true;
+    est.prov.baseline_subset = nobs;
+    est.prov.discarded_by_baseline = s.discarded;
     est.used.assign(nobs, false);
     for (std::size_t j = 0; j < nobs; ++j)
       if (s.retained[j]) est.used[j] = true;

@@ -38,11 +38,40 @@ struct Observation {
   double one_way_delay_ms = 0.0;
 };
 
+/// Survivor count after one refine-ladder level's solve (provenance for
+/// the journal; filled only while a journal is recording).
+struct RefineLevelTrace {
+  double cell_deg = 0.0;        ///< coarse cell size of the level
+  std::uint64_t survivors = 0;  ///< region cells alive after the level
+};
+
+/// How an estimate was produced — execution-schedule provenance carried
+/// alongside the result for the verdict journal (obs/journal.hpp).
+/// The subset fields are schedule-invariant; `batched_fast_path`,
+/// `refined`, and `ladder` describe the path actually taken.
+struct LocateProvenance {
+  /// Baseline disks in the stage-1 consistent coalition (subset-filter
+  /// locators only; 0 elsewhere).
+  std::size_t baseline_subset = 0;
+  /// Bestline disks discarded for missing the baseline region.
+  std::size_t discarded_by_baseline = 0;
+  /// Solved by the landmark-major batched fast path.
+  bool batched_fast_path = false;
+  /// Solved through the coarse-to-fine refine driver.
+  bool refined = false;
+  /// Per-level survivor counts (empty unless refined and journaling).
+  std::vector<RefineLevelTrace> ladder;
+};
+
 struct GeoEstimate {
   GeoEstimate() = default;
   explicit GeoEstimate(grid::Region r) : region(std::move(r)) {}
 
   grid::Region region;
+
+  /// Decision provenance for the journal; does not affect equality of
+  /// results (no algorithm reads it back).
+  LocateProvenance prov;
 
   // --- Byzantine-robustness diagnostics (DESIGN.md §11) ---
   // Filled by the subset-based locators (CBG++, Hybrid); zero/empty for

@@ -6,6 +6,7 @@
 #include "grid/scratch.hpp"
 #include "mlat/multilateration.hpp"
 #include "mlat/refine.hpp"
+#include "obs/journal.hpp"
 
 namespace ageo::algos {
 
@@ -31,11 +32,21 @@ GeoEstimate HybridGeolocator::locate(
   grid::Scratch* scratch = &grid::Scratch::tls();
   const mlat::RefineContext* rc =
       refine_ && refine_->applies_to(g, mask) ? refine_ : nullptr;
+  mlat::RefineTrace rtrace;
+  mlat::ScopedRefineTrace trace_guard(
+      obs::journal_runtime_on() && rc ? &rtrace : nullptr);
+  const auto finish = [&](GeoEstimate est) {
+    est.prov.refined = rc != nullptr;
+    est.prov.ladder.reserve(rtrace.levels.size());
+    for (const auto& l : rtrace.levels)
+      est.prov.ladder.push_back({l.cell_deg, l.survivors});
+    return est;
+  };
   if (!robust_subset_) {
-    return GeoEstimate{
+    return finish(GeoEstimate{
         rc ? mlat::refine_intersect_rings(*rc, rings, mask, plan_cache_,
                                           scratch)
-           : mlat::intersect_rings(g, rings, mask, plan_cache_, scratch)};
+           : mlat::intersect_rings(g, rings, mask, plan_cache_, scratch)});
   }
   // Byzantine-robust mode: the subset engine's intersect-first fast
   // path makes a consistent (honest) ring set bit-identical to plain
@@ -53,7 +64,7 @@ GeoEstimate HybridGeolocator::locate(
   est.constraints_total = rings.size();
   est.constraints_used = subset.n_used;
   est.used = std::move(subset.used);
-  return est;
+  return finish(std::move(est));
 }
 
 }  // namespace ageo::algos

@@ -4,6 +4,7 @@
 #include "grid/scratch.hpp"
 #include "mlat/multilateration.hpp"
 #include "mlat/refine.hpp"
+#include "obs/journal.hpp"
 #include "obs/obs.hpp"
 
 namespace ageo::algos {
@@ -31,9 +32,17 @@ GeoEstimate SpotterGeolocator::locate(
   // Coarse-to-fine: the posterior lives on a window-sized sub-field and
   // the full-grid Field is never touched; the cut is bit-identical.
   if (refine_ && refine_->applies_to(g, mask)) {
-    return GeoEstimate{mlat::refine_spotter_credible(
+    mlat::RefineTrace rtrace;
+    mlat::ScopedRefineTrace trace_guard(
+        obs::journal_runtime_on() ? &rtrace : nullptr);
+    GeoEstimate est{mlat::refine_spotter_credible(
         *refine_, rings, credible_mass_, mask, plan_cache_,
         &grid::Scratch::tls())};
+    est.prov.refined = true;
+    est.prov.ladder.reserve(rtrace.levels.size());
+    for (const auto& l : rtrace.levels)
+      est.prov.ladder.push_back({l.cell_deg, l.survivors});
+    return est;
   }
   // Pooled posterior: the Field (and its internal temporaries, via the
   // attached arena) comes from the thread's scratch pool; only the

@@ -1,6 +1,7 @@
 #include "assess/audit.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <map>
@@ -13,6 +14,7 @@
 #include "geo/units.hpp"
 #include "geo/vec3.hpp"
 #include "grid/scratch.hpp"
+#include "obs/journal.hpp"
 #include "obs/obs.hpp"
 
 namespace ageo::assess {
@@ -39,6 +41,24 @@ std::unique_ptr<algos::Geolocator> make_locator(const AuditConfig& c) {
 std::uint64_t proxy_seed(std::uint64_t seed, std::size_t host_index) {
   return seed ^ ((static_cast<std::uint64_t>(host_index) + 1) *
                  0x9e3779b97f4a7c15ULL);
+}
+
+/// "2:134 0.5:17" — one cell_deg:survivors pair per refine-ladder level
+/// pass, for the journal's refine event.
+std::string ladder_string(const algos::LocateProvenance& prov) {
+  std::string out;
+  for (const auto& l : prov.ladder) {
+    if (!out.empty()) out += ' ';
+    out += obs::format_double(l.cell_deg);
+    out += ':' + std::to_string(l.survivors);
+  }
+  return out;
+}
+
+double elapsed_us(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 }  // namespace
@@ -197,6 +217,21 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
   // bit-identical reports, and the serial path IS the parallel path run
   // on one worker.
   const std::size_t n = fleet.hosts.size();
+
+  // Verdict provenance journal (obs/journal.hpp). Each proxy gets its
+  // own event sequence counter; the phases are barrier-separated and
+  // exactly one worker touches a proxy within a phase, so the counters
+  // need no synchronization, and the (proxy, seq) merge key makes the
+  // collected journal thread-count independent.
+  const bool journal = obs::journal_runtime_on();
+  std::vector<std::uint32_t> jseq(journal ? n : 0, 0);
+  // Wall-clock verdict latency per proxy, accumulated across the three
+  // phases (phase B attributes its block's elapsed time evenly to the
+  // block members). Clocks are read only when telemetry wants them, so
+  // the runtime-off path stays free.
+  const bool timing = obs::metrics_enabled() || journal;
+  std::vector<double> lat_us(timing ? n : 0, 0.0);
+
   std::vector<ProxyAuditRow> rows(n);
   std::vector<measure::BreakerBoard> boards(
       n, measure::BreakerBoard(config_.campaign.breaker));
@@ -210,6 +245,8 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
   parallel_for(n, config_.threads, [&](std::size_t i) {
     AGEO_SPAN("assess", "audit.proxy");
     AGEO_TIMED_US("assess.audit.proxy_us", 10.0, 1e8);
+    std::chrono::steady_clock::time_point t0;
+    if (timing) t0 = std::chrono::steady_clock::now();
     const auto& host = fleet.hosts[i];
     ProxyAuditRow row;
     row.host_index = i;
@@ -236,7 +273,29 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
     // fresh per proxy, so each row publishes exactly once; the TLS
     // shard merge makes the totals thread-count independent.
     measure::publish_campaign_stats(row.campaign);
+    if (journal) {
+      const measure::CampaignStats& st = row.campaign;
+      obs::Event(i, jseq[i]++, obs::Scope::kVerdict, "campaign")
+          .text("provider", row.provider)
+          .num("claimed_country", row.claimed)
+          .num("observations", row.observations.size())
+          .num("probes_sent", st.probes_sent)
+          .num("ok", st.ok)
+          .num("refused_measured", st.refused_measured)
+          .num("timeouts", st.timeouts)
+          .num("dropped", st.dropped)
+          .num("retries", st.retries)
+          .num("retry_exhausted", st.retry_exhausted)
+          .num("breaker_trips", st.breaker_trips)
+          .num("breaker_skips", st.breaker_skips)
+          .num("replacements", st.replacements)
+          .num("tunnel_drops", st.tunnel_drops)
+          .num("rounds", st.rounds)
+          .flag("tunnel_flagged", row.tunnel_flagged)
+          .emit();
+    }
     rows[i] = std::move(row);
+    if (timing) lat_us[i] = elapsed_us(t0);
   });
 
   // Phase B: localization, in contiguous host-index blocks of
@@ -258,6 +317,8 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
   const std::size_t nblocks = (to_locate.size() + bsz - 1) / bsz;
   parallel_for(nblocks, config_.threads, [&](std::size_t blk) {
     AGEO_SPAN("assess", "audit.locate_block");
+    std::chrono::steady_clock::time_point t0;
+    if (timing) t0 = std::chrono::steady_clock::now();
     const std::size_t lo = blk * bsz;
     const std::size_t hi = std::min(lo + bsz, to_locate.size());
     std::vector<algos::GeoEstimate> ests(hi - lo);
@@ -266,7 +327,8 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
       items[k] = {rows[to_locate[lo + k]].observations, &ests[k]};
     locator_->locate_batch(*grid_, bed_->store(), items, &mask_);
     for (std::size_t k = 0; k < hi - lo; ++k) {
-      ProxyAuditRow& row = rows[to_locate[lo + k]];
+      const std::size_t pid = to_locate[lo + k];
+      ProxyAuditRow& row = rows[pid];
       algos::GeoEstimate& est = ests[k];
       row.region = std::move(est.region);
       row.constraints_total = est.constraints_total;
@@ -279,6 +341,46 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
       row.byzantine =
           row.constraints_total >= config_.byzantine_min_constraints &&
           row.agreement() < config_.byzantine_min_agreement;
+      if (journal) {
+        std::uint32_t& sq = jseq[pid];
+        for (std::size_t j = 0; j < row.observations.size(); ++j) {
+          const algos::Observation& ob = row.observations[j];
+          obs::Event(pid, sq++, obs::Scope::kVerdict, "constraint")
+              .num("idx", j)
+              .num("landmark", ob.landmark_id)
+              .real("lat", ob.landmark.lat_deg)
+              .real("lon", ob.landmark.lon_deg)
+              .real("delay_ms", ob.one_way_delay_ms)
+              .flag("used", j < row.landmark_used.size()
+                                ? static_cast<bool>(row.landmark_used[j])
+                                : true)
+              .emit();
+        }
+        // Subset facts are execution-schedule invariant (the batched
+        // fast path and refined solves are pinned bit-identical to the
+        // scalar flat ones), so the lcs event is kVerdict; the path
+        // actually taken is kSchedule by nature.
+        obs::Event(pid, sq++, obs::Scope::kVerdict, "lcs")
+            .num("total", row.constraints_total)
+            .num("used", row.constraints_used)
+            .num("baseline_subset", est.prov.baseline_subset)
+            .num("discarded_by_baseline", est.prov.discarded_by_baseline)
+            .real("agreement", row.agreement())
+            .num("margin", row.constraints_total - row.constraints_used)
+            .flag("byzantine", row.byzantine)
+            .emit();
+        obs::Event(pid, sq++, obs::Scope::kSchedule, "refine")
+            .flag("refined", est.prov.refined)
+            .flag("batched", est.prov.batched_fast_path)
+            .num("levels", est.prov.ladder.size())
+            .text("ladder", ladder_string(est.prov))
+            .emit();
+      }
+    }
+    if (timing && hi > lo) {
+      const double per = elapsed_us(t0) / static_cast<double>(hi - lo);
+      for (std::size_t k = 0; k < hi - lo; ++k)
+        lat_us[to_locate[lo + k]] += per;
     }
   });
 
@@ -286,6 +388,8 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
   // shared state, warmed above).
   parallel_for(n, config_.threads, [&](std::size_t i) {
     AGEO_SPAN("assess", "audit.assess");
+    std::chrono::steady_clock::time_point t0;
+    if (timing) t0 = std::chrono::steady_clock::now();
     ProxyAuditRow& row = rows[i];
     ClaimAssessment base =
         assess_claim(bed_->world(), raster_, row.region, row.claimed);
@@ -316,6 +420,23 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
     row.iclab_accepted =
         !row.observations.empty() &&
         iclab_.accepts(row.observations, country_landmark_km(row.claimed));
+    if (journal) {
+      obs::Event ev(i, jseq[i]++, obs::Scope::kVerdict, "assess");
+      ev.text("verdict_raw", to_string(row.verdict_raw))
+          .text("verdict_dc", to_string(row.verdict_dc))
+          .text("continent", to_string(row.continent_verdict))
+          .flag("empty_prediction", row.empty_prediction)
+          .real("area_km2", row.area_km2)
+          .num("candidates", row.candidates.size())
+          .flag("iclab_accepted", row.iclab_accepted);
+      if (row.centroid) {
+        ev.real("centroid_lat", row.centroid->lat_deg)
+            .real("centroid_lon", row.centroid->lon_deg)
+            .real("nearest_landmark_km", row.nearest_landmark_km);
+      }
+      ev.emit();
+    }
+    if (timing) lat_us[i] += elapsed_us(t0);
   });
 
   // Deterministic joins: fold per-proxy stats and breaker boards in
@@ -348,6 +469,39 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
         config_.suspicion_min_score, config_.suspicion_min_solves);
   }
 
+  // Drift watchdogs (DESIGN.md §14): per-landmark EWMA of the residual
+  // between each observed delay and what the landmark's own bestline
+  // predicts at the distance to the verdict centroid. Honest bestline
+  // residuals sit at or above zero (the fit is a lower envelope), so a
+  // strongly negative EWMA means impossible-fast replies — a deflating
+  // landmark — while a far-positive one means the landmark's path has
+  // degraded since calibration. Fed serially in host-index order so the
+  // entries and flag set are thread-count independent.
+  {
+    measure::DriftWatchdog dog(bed_->landmarks().size(), config_.drift);
+    for (const auto& row : report.rows) {
+      if (!row.centroid) continue;
+      for (const auto& ob : row.observations) {
+        const calib::CbgModel& m = bed_->store().cbg(ob.landmark_id);
+        const double dist = geo::distance_km(ob.landmark, *row.centroid);
+        dog.observe(ob.landmark_id,
+                    ob.one_way_delay_ms -
+                        (m.intercept_ms() + m.slope_ms_per_km() * dist));
+      }
+    }
+    report.drift = dog.entries();
+    report.drift_flagged = dog.flagged();
+    // The report's suspicious set is the union of both signals —
+    // exclusion frequency and drift — sorted ascending.
+    std::vector<std::size_t> merged_ids = report.suspicious_landmarks;
+    merged_ids.insert(merged_ids.end(), report.drift_flagged.begin(),
+                      report.drift_flagged.end());
+    std::sort(merged_ids.begin(), merged_ids.end());
+    merged_ids.erase(std::unique(merged_ids.begin(), merged_ids.end()),
+                     merged_ids.end());
+    report.suspicious_landmarks = std::move(merged_ids);
+  }
+
   // Serial epilogue: verdict tallies and run-level gauges, then the
   // run's telemetry snapshot. Everything here is counted exactly once
   // from the joining thread, so it is deterministic by construction.
@@ -369,6 +523,25 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
       if (row.byzantine) AGEO_COUNT("assess.audit.byzantine_rows");
       AGEO_HIST("assess.audit.region_area_km2", row.area_km2, 1e3, 1e9);
     }
+    // SLO view of per-proxy verdict latency (campaign + locate share +
+    // assess). Wall-clock by nature, so it lives outside determinism
+    // diffs; the exporters surface p50/p90/p99 from the histogram.
+    for (const auto& row : report.rows)
+      AGEO_HIST_WALL("assess.audit.verdict_latency_us",
+                     lat_us[row.host_index], 10.0, 1e8);
+    {
+      std::uint64_t drift_samples = 0;
+      double max_abs_ewma = 0.0;
+      for (const auto& e : report.drift) {
+        drift_samples += e.samples;
+        if (e.samples > 0)
+          max_abs_ewma = std::max(max_abs_ewma, std::abs(e.ewma_ms));
+      }
+      AGEO_COUNTER_ADD("obs.drift.samples", drift_samples);
+      AGEO_GAUGE_SET("obs.drift.flagged_landmarks",
+                     static_cast<double>(report.drift_flagged.size()));
+      AGEO_GAUGE_SET("obs.drift.max_abs_ewma_ms", max_abs_ewma);
+    }
     AGEO_COUNTER_ADD("assess.audit.suspicious_landmarks",
                      report.suspicious_landmarks.size());
     AGEO_GAUGE_SET("grid.plan_cache.size",
@@ -384,6 +557,66 @@ AuditReport Auditor::run(const world::Fleet& fleet) {
     AGEO_GAUGE_SET_WALL("mlat.scratch.bytes_allocated",
                         static_cast<double>(arena.bytes_allocated));
     report.telemetry = obs::Registry::global().snapshot();
+  }
+
+  // Journal epilogue: the final verdict per proxy (after AS grouping),
+  // its wall latency, and the run-level suspicion/drift/summary ledger.
+  // Run events carry the kRunEvent sentinel so they sort after every
+  // proxy's stream in the merged JSONL.
+  if (journal) {
+    for (const auto& row : report.rows) {
+      std::uint32_t& sq = jseq[row.host_index];
+      obs::Event(row.host_index, sq++, obs::Scope::kVerdict, "verdict")
+          .text("final", to_string(row.verdict_final))
+          .flag("byzantine", row.byzantine)
+          .flag("tunnel_flagged", row.tunnel_flagged)
+          .real("area_km2", row.area_km2)
+          .emit();
+      obs::Event(row.host_index, sq++, obs::Scope::kWall, "latency")
+          .real("verdict_us", lat_us[row.host_index])
+          .emit();
+    }
+    std::uint32_t rseq = 0;
+    for (std::size_t id : report.suspicion.flagged(
+             config_.suspicion_min_score, config_.suspicion_min_solves)) {
+      const mlat::LandmarkSuspicion& e = report.suspicion.entry(id);
+      obs::Event(obs::kRunEvent, rseq++, obs::Scope::kVerdict, "suspicion")
+          .num("landmark", id)
+          .num("solves", e.solves)
+          .num("excluded", e.excluded)
+          .real("score", e.score())
+          .emit();
+    }
+    for (std::size_t id : report.drift_flagged) {
+      const measure::DriftEntry& e = report.drift[id];
+      obs::Event(obs::kRunEvent, rseq++, obs::Scope::kVerdict, "drift")
+          .num("landmark", id)
+          .num("samples", e.samples)
+          .real("ewma_ms", e.ewma_ms)
+          .real("min_ms", e.min_ms)
+          .real("max_ms", e.max_ms)
+          .emit();
+    }
+    std::uint64_t credible = 0, uncertain = 0, false_ = 0, empty = 0,
+                  byz = 0;
+    for (const auto& row : report.rows) {
+      switch (row.verdict_final) {
+        case Verdict::kCredible: ++credible; break;
+        case Verdict::kUncertain: ++uncertain; break;
+        case Verdict::kFalse: ++false_; break;
+      }
+      if (row.empty_prediction) ++empty;
+      if (row.byzantine) ++byz;
+    }
+    obs::Event(obs::kRunEvent, rseq++, obs::Scope::kVerdict, "summary")
+        .num("proxies", report.rows.size())
+        .num("credible", credible)
+        .num("uncertain", uncertain)
+        .num("false", false_)
+        .num("empty_predictions", empty)
+        .num("byzantine", byz)
+        .num("suspicious_landmarks", report.suspicious_landmarks.size())
+        .emit();
   }
   return report;
 }

@@ -17,6 +17,7 @@
 #include "algos/iclab.hpp"
 #include "assess/claim.hpp"
 #include "measure/campaign.hpp"
+#include "measure/drift.hpp"
 #include "measure/proxy_measure.hpp"
 #include "measure/testbed.hpp"
 #include "measure/two_phase.hpp"
@@ -85,6 +86,10 @@ struct AuditConfig {
   /// ...over at least this many solves (guards against one unlucky
   /// campaign condemning a landmark).
   std::uint64_t suspicion_min_solves = 4;
+  /// Per-landmark RTT-drift watchdog thresholds (measure/drift.hpp).
+  /// Residuals are folded against each verdict's centroid in the serial
+  /// epilogue; flagged landmarks join `suspicious_landmarks`.
+  measure::DriftConfig drift;
   std::uint64_t seed = 99;
   /// Worker threads for the per-proxy fan-out of run(). 1 = serial in
   /// the calling thread; 0 = one per hardware thread. Any value yields
@@ -174,8 +179,15 @@ struct AuditReport {
   /// run, folded from the rows in host-index order (thread-count
   /// independent). Empty when the algorithm has no subset semantics.
   mlat::SuspicionTable suspicion;
-  /// Landmarks whose exclusion frequency crossed the config thresholds,
-  /// ascending by landmark id.
+  /// Per-landmark drift watchdog state (measure/drift.hpp), indexed by
+  /// landmark id: EWMA of the residual between each observed delay and
+  /// the landmark's calibrated prediction at the distance to the
+  /// verdict centroid, folded in host-index order.
+  std::vector<measure::DriftEntry> drift;
+  /// Landmarks whose drift EWMA crossed a threshold, ascending by id.
+  std::vector<std::size_t> drift_flagged;
+  /// Landmarks flagged by either signal — exclusion frequency over the
+  /// config thresholds, or a drift watchdog trip — ascending by id.
   std::vector<std::size_t> suspicious_landmarks;
 };
 

@@ -1,0 +1,34 @@
+// Verdict provenance renderer: turn one proxy's journal stream into a
+// human-readable narrative.
+//
+// The input is a journal dump (obs/journal.hpp) — live from
+// obs::collect_journal() or re-parsed from a JSONL file with
+// obs::parse_journal_jsonl() — and every line of the output is sourced
+// ONLY from journal events: the campaign ledger, the per-landmark
+// constraint set with used/discarded marks, the
+// largest-consistent-subset agreement and margin, the refine ladder,
+// the claim assessment, the final verdict, and the run-level
+// suspicion/drift evidence restricted to landmarks that actually
+// appear in this proxy's constraint set. If a fact is not in the
+// journal, it is not in the explanation — that is the point: the
+// journal alone must justify the verdict.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/journal.hpp"
+
+namespace ageo::assess {
+
+/// Render the decision narrative for `proxy` (a host index). Returns a
+/// short "no journal events" note when the dump holds nothing for it.
+std::string explain_proxy(const obs::JournalDump& dump,
+                          std::uint64_t proxy);
+
+/// Every real proxy id present in the dump, ascending (run-level
+/// events excluded). Lets a CLI enumerate what can be explained.
+std::vector<std::uint64_t> journaled_proxies(const obs::JournalDump& dump);
+
+}  // namespace ageo::assess

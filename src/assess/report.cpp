@@ -1,6 +1,7 @@
 #include "assess/report.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <ostream>
 
 namespace ageo::assess {
@@ -160,12 +161,40 @@ void write_text_summary(std::ostream& os, const AuditReport& report,
                 static_cast<unsigned long long>(c.breaker_trips),
                 static_cast<unsigned long long>(c.tunnel_drops));
   os << buf;
+  const std::uint64_t cache_lookups =
+      report.plan_cache.hits + report.plan_cache.misses;
   std::snprintf(buf, sizeof buf,
-                "plan cache: %llu hits, %llu misses, %llu evictions\n",
+                "plan cache: %llu hits, %llu misses, %llu evictions "
+                "(%.1f%% hit rate)\n",
                 static_cast<unsigned long long>(report.plan_cache.hits),
                 static_cast<unsigned long long>(report.plan_cache.misses),
-                static_cast<unsigned long long>(report.plan_cache.evictions));
+                static_cast<unsigned long long>(report.plan_cache.evictions),
+                cache_lookups ? 100.0 *
+                                    static_cast<double>(
+                                        report.plan_cache.hits) /
+                                    static_cast<double>(cache_lookups)
+                              : 0.0);
   os << buf;
+  // SLO lines from the telemetry snapshot's histograms (present when
+  // metrics were on for the run).
+  for (const auto& h : report.telemetry.histograms) {
+    if (h.count == 0) continue;
+    if (h.name == "assess.audit.verdict_latency_us") {
+      std::snprintf(buf, sizeof buf,
+                    "verdict latency: p50 %.0f us, p90 %.0f us, "
+                    "p99 %.0f us (%llu verdicts)\n",
+                    h.quantile(0.5), h.quantile(0.9), h.quantile(0.99),
+                    static_cast<unsigned long long>(h.count));
+      os << buf;
+    } else if (h.name == "measure.rtt_ms") {
+      std::snprintf(buf, sizeof buf,
+                    "probe rtt: p50 %.2f ms, p90 %.2f ms, p99 %.2f ms "
+                    "(%llu samples)\n",
+                    h.quantile(0.5), h.quantile(0.9), h.quantile(0.99),
+                    static_cast<unsigned long long>(h.count));
+      os << buf;
+    }
+  }
   std::size_t byz = 0;
   for (const auto& r : report.rows)
     if (r.byzantine) ++byz;

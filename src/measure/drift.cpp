@@ -1,0 +1,44 @@
+#include "measure/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ageo::measure {
+
+DriftWatchdog::DriftWatchdog(std::size_t n_landmarks, DriftConfig cfg)
+    : cfg_(cfg), entries_(n_landmarks) {
+  if (!(cfg_.ewma_alpha > 0.0) || cfg_.ewma_alpha > 1.0)
+    cfg_.ewma_alpha = 0.25;
+}
+
+void DriftWatchdog::observe(std::size_t landmark_id,
+                            double residual_ms) noexcept {
+  if (landmark_id >= entries_.size() || !std::isfinite(residual_ms)) return;
+  DriftEntry& e = entries_[landmark_id];
+  if (e.samples == 0) {
+    e.ewma_ms = residual_ms;
+    e.min_ms = residual_ms;
+    e.max_ms = residual_ms;
+  } else {
+    e.ewma_ms += cfg_.ewma_alpha * (residual_ms - e.ewma_ms);
+    e.min_ms = std::min(e.min_ms, residual_ms);
+    e.max_ms = std::max(e.max_ms, residual_ms);
+  }
+  ++e.samples;
+}
+
+bool DriftWatchdog::is_flagged(std::size_t landmark_id) const noexcept {
+  if (landmark_id >= entries_.size()) return false;
+  const DriftEntry& e = entries_[landmark_id];
+  if (e.samples < cfg_.min_samples) return false;
+  return e.ewma_ms <= -cfg_.deflate_ms || e.ewma_ms >= cfg_.inflate_ms;
+}
+
+std::vector<std::size_t> DriftWatchdog::flagged() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < entries_.size(); ++i)
+    if (is_flagged(i)) out.push_back(i);
+  return out;
+}
+
+}  // namespace ageo::measure

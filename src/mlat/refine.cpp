@@ -160,6 +160,8 @@ void upsample_into(const grid::Region& coarse, const grid::Grid& cg,
   });
 }
 
+thread_local RefineTrace* t_refine_trace = nullptr;
+
 /// Result of the coarse ladder: the fine-grid window plus the last
 /// level's surviving region (and its grid), which seeds the fine pass.
 struct LadderResult {
@@ -213,8 +215,12 @@ std::optional<LadderResult> coarse_window(const RefineContext& ctx,
     if (!intersect_window_constraints(cg, win, n, padded, cache, scratch,
                                       region)) {
       AGEO_COUNT("mlat.refine.coarse_empty");
+      if (t_refine_trace)
+        t_refine_trace->levels.push_back({cg.cell_deg(), 0});
       return std::nullopt;
     }
+    if (t_refine_trace)
+      t_refine_trace->levels.push_back({cg.cell_deg(), region.count()});
     const std::optional<grid::Window> bw =
         grid::bounding_window(region, scratch);
     const grid::Window grown =
@@ -276,9 +282,13 @@ void coarse_window_pair(const RefineContext& ctx, std::size_t n,
     if (!intersect_window_constraints(cg, t.win, n, padded, cache, scratch,
                                       region)) {
       AGEO_COUNT("mlat.refine.coarse_empty");
+      if (t_refine_trace)
+        t_refine_trace->levels.push_back({cg.cell_deg(), 0});
       t.alive = false;
       return;
     }
+    if (t_refine_trace)
+      t_refine_trace->levels.push_back({cg.cell_deg(), region.count()});
     const std::optional<grid::Window> bw =
         grid::bounding_window(region, scratch);
     const grid::Window grown =
@@ -336,6 +346,8 @@ grid::Region refined_intersect(const RefineContext& ctx, std::size_t n,
 }
 
 }  // namespace
+
+void set_refine_trace(RefineTrace* trace) noexcept { t_refine_trace = trace; }
 
 RefineSchedule RefineSchedule::parse(std::string_view spec) {
   RefineSchedule s;

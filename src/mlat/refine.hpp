@@ -45,6 +45,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
@@ -140,6 +141,40 @@ class RefineContext {
   std::vector<std::unique_ptr<grid::Grid>> grids_;
   std::vector<grid::Region> masks_;
   const grid::Region* prepared_for_ = nullptr;
+};
+
+/// Per-level survivor counts of a refined solve, for the verdict
+/// journal (obs/journal.hpp). Arm a pointer with set_refine_trace on
+/// the solving thread before the solve; every coarse-ladder level pass
+/// appends one (cell_deg, survivors) entry — a paired ladder appends
+/// both tracks' passes in level order. Disarm with nullptr. The hook is
+/// thread-local and costs one TLS load per level when disarmed; it
+/// never affects the solve itself.
+struct RefineTrace {
+  struct Level {
+    double cell_deg = 0.0;        ///< coarse cell size of the level
+    std::uint64_t survivors = 0;  ///< surviving coarse cells
+  };
+  std::vector<Level> levels;
+};
+void set_refine_trace(RefineTrace* trace) noexcept;
+
+/// RAII arm/disarm of the thread-local trace hook; arms only when
+/// `trace` is non-null, so callers can pass null to stay disarmed.
+class ScopedRefineTrace {
+ public:
+  explicit ScopedRefineTrace(RefineTrace* trace) noexcept
+      : armed_(trace != nullptr) {
+    if (armed_) set_refine_trace(trace);
+  }
+  ~ScopedRefineTrace() {
+    if (armed_) set_refine_trace(nullptr);
+  }
+  ScopedRefineTrace(const ScopedRefineTrace&) = delete;
+  ScopedRefineTrace& operator=(const ScopedRefineTrace&) = delete;
+
+ private:
+  bool armed_;
 };
 
 /// Refined intersect_disks: same arguments past the context, same

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -63,6 +64,34 @@ std::size_t bucket_index(const std::vector<double>& bounds,
   // boundary lands in the overflow bucket at index bounds.size().
   return static_cast<std::size_t>(
       std::lower_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
+}
+
+double HistogramSample::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  if (!(q > 0.0)) return min;
+  if (q >= 1.0) return max;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    if (counts[k] == 0) continue;
+    const double prev = static_cast<double>(cum);
+    cum += counts[k];
+    if (static_cast<double>(cum) < target) continue;
+    // The target rank lands in bucket k = (bounds[k-1], bounds[k]].
+    // Tighten the edges with the recorded extrema (the first/last
+    // nonempty buckets only hold values in [min, max]).
+    double lo = k == 0 ? min : std::max(bounds[k - 1], min);
+    double hi = k < bounds.size() ? std::min(bounds[k], max) : max;
+    if (!(hi > lo)) return std::min(std::max(lo, min), max);
+    const double frac = (target - prev) / static_cast<double>(counts[k]);
+    // Log interpolation matches the log-spaced layout; fall back to
+    // linear when an edge is non-positive (negative observations land
+    // in bucket 0).
+    const double v = lo > 0.0 ? lo * std::pow(hi / lo, frac)
+                              : lo + (hi - lo) * frac;
+    return std::min(std::max(v, min), max);
+  }
+  return max;
 }
 
 // ---- storage ----
@@ -333,14 +362,39 @@ std::size_t Registry::histogram_count() const {
 // ---- exporters ----
 
 std::string format_double(double v) {
-  char buf[40];
   if (std::isnan(v)) return "NaN";
   if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
-  for (int p = 1; p <= 17; ++p) {
-    std::snprintf(buf, sizeof buf, "%.*g", p, v);
-    if (std::strtod(buf, nullptr) == v) return buf;
+  // Shortest %g rendering that parses back to exactly v. to_chars with
+  // chars_format::general and an explicit precision is specified to
+  // produce the same characters as printf "%.*g" in the C locale, and
+  // rounding v to p+1 significant digits is never farther from v than
+  // rounding to p (the p-digit values are a subset of the (p+1)-digit
+  // ones under %g's trailing-zero trimming), so round-trip success is
+  // monotone in p and the smallest working precision can be found by
+  // bisection. This sits on the journal's per-constraint hot path;
+  // the old linear scan paid ~17 snprintf+strtod calls for a
+  // full-precision double.
+  char buf[40];
+  std::size_t len = 0;
+  const auto roundtrips = [&](int p) {
+    const auto res = std::to_chars(buf, buf + sizeof buf, v,
+                                   std::chars_format::general, p);
+    len = static_cast<std::size_t>(res.ptr - buf);
+    double parsed = 0.0;
+    std::from_chars(buf, buf + len, parsed);
+    return parsed == v;
+  };
+  int lo = 1, hi = 17;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (roundtrips(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
   }
-  return buf;
+  roundtrips(lo);  // re-render at the winning precision
+  return std::string(buf, len);
 }
 
 namespace {
@@ -399,6 +453,14 @@ std::string Snapshot::to_prometheus(bool include_wall_clock) const {
     out += n + "_min " + format_double(h.min) + "\n";
     out += "# TYPE " + n + "_max gauge\n";
     out += n + "_max " + format_double(h.max) + "\n";
+    // Log-interpolated quantile estimates (HistogramSample::quantile):
+    // gauges, since Prometheus cannot aggregate them further.
+    for (const auto& [suffix, q] : {std::pair{"_p50", 0.5},
+                                    std::pair{"_p90", 0.9},
+                                    std::pair{"_p99", 0.99}}) {
+      out += "# TYPE " + n + suffix + " gauge\n";
+      out += n + suffix + " " + format_double(h.quantile(q)) + "\n";
+    }
   }
   return out;
 }
@@ -437,6 +499,9 @@ std::string Snapshot::to_json(bool include_wall_clock) const {
     out += ",\"sum\":" + format_double(h.sum);
     out += ",\"min\":" + format_double(h.min);
     out += ",\"max\":" + format_double(h.max);
+    out += ",\"p50\":" + format_double(h.quantile(0.5));
+    out += ",\"p90\":" + format_double(h.quantile(0.9));
+    out += ",\"p99\":" + format_double(h.quantile(0.99));
     out += ",\"buckets\":[";
     for (std::size_t k = 0; k < h.counts.size(); ++k) {
       if (k) out += ',';

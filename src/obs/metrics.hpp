@@ -116,6 +116,14 @@ struct HistogramSample {
   double sum = 0.0;  ///< exact fixed-point accumulation, exported here
   double min = 0.0;  ///< 0 when count == 0
   double max = 0.0;
+
+  /// Estimate the q-quantile (q in [0,1]) from the bucket counts by
+  /// log-interpolating inside the bucket the rank falls in — the
+  /// natural interpolation for log-spaced boundaries. Exact at the
+  /// recorded min/max, clamped to [min, max], 0 when count == 0.
+  /// Deterministic: derives only from the merged bucket counts, so a
+  /// deterministic histogram's quantiles are thread-count-invariant.
+  double quantile(double q) const noexcept;
 };
 
 /// A merged, named view of every registered metric, sorted by name.

@@ -175,6 +175,10 @@ std::string trace_to_chrome_json(const TraceDump& dump) {
 std::string trace_to_jsonl(const TraceDump& dump) {
   std::string out;
   for (const TraceEvent& e : dump.events) append_jsonl_event(out, e);
+  // Always-present trailer so a grep for dropped_events answers "did
+  // the ring wrap?" even when nothing was lost (mirrors the Chrome
+  // exporter's otherData field).
+  out += "{\"dropped_events\":" + std::to_string(dump.dropped) + "}\n";
   return out;
 }
 

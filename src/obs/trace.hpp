@@ -62,7 +62,9 @@ struct TraceDump {
 };
 TraceDump collect_trace();
 
-/// Serialize a dump: Chrome trace_event JSON / flat JSONL.
+/// Serialize a dump: Chrome trace_event JSON / flat JSONL. Both surface
+/// the drop counter — Chrome JSON in otherData.dropped_events, JSONL as
+/// an always-present final {"dropped_events":N} line.
 std::string trace_to_chrome_json(const TraceDump& dump);
 std::string trace_to_jsonl(const TraceDump& dump);
 

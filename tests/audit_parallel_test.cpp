@@ -11,9 +11,11 @@
 #include <vector>
 
 #include "assess/audit.hpp"
+#include "assess/explain.hpp"
 #include "common/thread_pool.hpp"
 #include "measure/testbed.hpp"
 #include "netsim/adversary.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "world/fleet.hpp"
 
@@ -167,6 +169,8 @@ void expect_reports_identical(const AuditReport& a, const AuditReport& b) {
   }
   EXPECT_EQ(a.suspicion, b.suspicion);
   EXPECT_EQ(a.suspicious_landmarks, b.suspicious_landmarks);
+  EXPECT_EQ(a.drift, b.drift);
+  EXPECT_EQ(a.drift_flagged, b.drift_flagged);
 }
 
 }  // namespace
@@ -513,4 +517,275 @@ TEST(ParallelAudit, RerunIsDeterministic) {
   Auditor a1(bed1, audit_config(3));
   Auditor a2(bed2, audit_config(2));
   expect_reports_identical(a1.run(fleet), a2.run(fleet));
+}
+
+// ---- drift watchdogs ----
+
+TEST(DriftWatchdog, AsymmetricThresholdsAndWarmup) {
+  measure::DriftConfig cfg;
+  cfg.ewma_alpha = 1.0;  // EWMA = last sample, for exact arithmetic
+  cfg.deflate_ms = 10.0;
+  cfg.inflate_ms = 150.0;
+  cfg.min_samples = 3;
+  measure::DriftWatchdog dog(4, cfg);
+  // Landmark 0: honest residuals (small positive) — never flagged.
+  // Landmark 1: impossible-fast replies — flagged once warmed up.
+  // Landmark 2: mild positive drift below the wide inflate bar.
+  // Landmark 3: pathological inflation.
+  for (int i = 0; i < 2; ++i) dog.observe(1, -40.0);
+  EXPECT_FALSE(dog.is_flagged(1)) << "min_samples gates the verdict";
+  for (int i = 0; i < 4; ++i) {
+    dog.observe(0, 3.0);
+    dog.observe(1, -40.0);
+    dog.observe(2, 60.0);
+    dog.observe(3, 500.0);
+  }
+  EXPECT_FALSE(dog.is_flagged(0));
+  EXPECT_TRUE(dog.is_flagged(1));
+  EXPECT_FALSE(dog.is_flagged(2)) << "positive drift needs a wide margin";
+  EXPECT_TRUE(dog.is_flagged(3));
+  EXPECT_EQ(dog.flagged(), (std::vector<std::size_t>{1, 3}));
+  // Degraded inputs are ignored, never fatal.
+  dog.observe(99, 1.0);
+  dog.observe(0, std::nan(""));
+  EXPECT_EQ(dog.entries()[0].samples, 4u);
+}
+
+// ---- verdict provenance journal ----
+
+namespace {
+
+/// Journal the given audit on a fresh testbed; returns the JSONL dump
+/// capped at `scope`. Resets the process-global journal around the run.
+std::string journaled_run(const AuditConfig& cfg, obs::Scope scope,
+                          double attackers = 0.0) {
+  measure::Testbed bed(small_bed_config());
+  if (attackers > 0.0) {
+    std::vector<netsim::HostId> hosts;
+    for (std::size_t i = 0; i < bed.landmarks().size(); ++i)
+      hosts.push_back(bed.landmark_host(i));
+    netsim::attach_adversaries(bed.net(), hosts, attackers, "deflate", 2024,
+                               geo::LatLon{40.0, -100.0});
+  }
+  auto fleet = small_fleet(bed.world());
+  obs::reset_journal();
+  obs::set_journal_enabled(true);
+  Auditor auditor(bed, cfg);
+  (void)auditor.run(fleet);
+  obs::set_journal_enabled(false);
+  const auto dump = obs::collect_journal();
+  obs::reset_journal();
+  EXPECT_EQ(dump.dropped, 0u);
+  return obs::journal_to_jsonl(dump, scope);
+}
+
+}  // namespace
+
+TEST(ParallelAudit, JournalByteIdenticalAcrossThreadCounts) {
+  if (!obs::journal_runtime_on() && !obs::journal_enabled()) {
+    // Probe: under -DAGEO_OBS=OFF the audit never journals.
+    obs::set_journal_enabled(true);
+    const bool on = obs::journal_runtime_on();
+    obs::set_journal_enabled(false);
+    if (!on) GTEST_SKIP() << "observability compiled out";
+  }
+  // Everything below wall-clock scope must merge byte-identically
+  // whatever the fan-out: seq keys are per-proxy, phases are
+  // barrier-separated, run events come from the serial epilogue.
+  const std::string serial =
+      journaled_run(audit_config(1), obs::Scope::kSchedule);
+  const std::string threaded =
+      journaled_run(audit_config(4), obs::Scope::kSchedule);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, threaded);
+}
+
+TEST(ParallelAudit, JournalVerdictViewInvariantAcrossBatchAndRefine) {
+  {
+    obs::set_journal_enabled(true);
+    const bool on = obs::journal_runtime_on();
+    obs::set_journal_enabled(false);
+    if (!on) GTEST_SKIP() << "observability compiled out";
+  }
+  // The kVerdict view records only execution-schedule-invariant facts,
+  // so changing the locate batch size AND the refinement ladder (both
+  // bit-identical performance levers) must not move a byte.
+  AuditConfig scalar_cfg = audit_config(1);
+  scalar_cfg.locate_batch = 1;
+  scalar_cfg.refine = {};
+  AuditConfig batched_cfg = audit_config(4);
+  batched_cfg.locate_batch = 8;
+  AuditConfig refined_cfg = refined_audit_config(2);
+  refined_cfg.locate_batch = 3;
+  const std::string flat = journaled_run(scalar_cfg, obs::Scope::kVerdict);
+  const std::string batched =
+      journaled_run(batched_cfg, obs::Scope::kVerdict);
+  const std::string refined =
+      journaled_run(refined_cfg, obs::Scope::kVerdict);
+  ASSERT_FALSE(flat.empty());
+  EXPECT_EQ(flat, batched);
+  EXPECT_EQ(flat, refined);
+}
+
+TEST(ParallelAudit, JournalByteIdenticalUnderByzantineFleet) {
+  {
+    obs::set_journal_enabled(true);
+    const bool on = obs::journal_runtime_on();
+    obs::set_journal_enabled(false);
+    if (!on) GTEST_SKIP() << "observability compiled out";
+  }
+  // A quarter of the landmarks deflating pushes the subset engine onto
+  // its slow path and populates the suspicion/drift run events; the
+  // journal must still be schedule-independent.
+  const std::string serial =
+      journaled_run(audit_config(1), obs::Scope::kSchedule, 0.25);
+  const std::string threaded =
+      journaled_run(audit_config(4), obs::Scope::kSchedule, 0.25);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, threaded);
+  EXPECT_NE(serial.find("\"kind\":\"suspicion\""), std::string::npos);
+}
+
+TEST(ParallelAudit, DriftWatchdogFlagsOnlyCompromisedLandmarks) {
+  // Honest fleet: residuals hug the bestline from above, nothing trips.
+  measure::Testbed honest_bed(small_bed_config());
+  auto fleet = small_fleet(honest_bed.world());
+  AuditConfig cfg = audit_config(2);
+  cfg.drift.min_samples = 2;  // small fleet: few samples per landmark
+  {
+    Auditor auditor(honest_bed, cfg);
+    auto report = auditor.run(fleet);
+    std::uint64_t samples = 0;
+    for (const auto& e : report.drift) samples += e.samples;
+    EXPECT_GT(samples, 0u) << "watchdogs saw no residuals at all";
+    EXPECT_TRUE(report.drift_flagged.empty())
+        << "honest landmark tripped a drift watchdog";
+  }
+  // A quarter of the landmarks deflating: impossible-fast replies push
+  // their EWMAs strongly negative. Every trip must be a real attacker.
+  measure::Testbed byz_bed(small_bed_config());
+  std::vector<netsim::HostId> hosts;
+  for (std::size_t i = 0; i < byz_bed.landmarks().size(); ++i)
+    hosts.push_back(byz_bed.landmark_host(i));
+  auto compromised = netsim::attach_adversaries(
+      byz_bed.net(), hosts, 0.25, "deflate", 2024, geo::LatLon{40.0, -100.0});
+  ASSERT_FALSE(compromised.empty());
+  Auditor auditor(byz_bed, cfg);
+  auto report = auditor.run(fleet);
+  EXPECT_FALSE(report.drift_flagged.empty())
+      << "no deflating landmark drifted past the threshold";
+  for (std::size_t id : report.drift_flagged) {
+    SCOPED_TRACE("landmark " + std::to_string(id));
+    EXPECT_NE(std::find(compromised.begin(), compromised.end(),
+                        byz_bed.landmark_host(id)),
+              compromised.end());
+    // Flagged landmarks are folded into the report's suspicious set.
+    EXPECT_NE(std::find(report.suspicious_landmarks.begin(),
+                        report.suspicious_landmarks.end(), id),
+              report.suspicious_landmarks.end());
+  }
+}
+
+TEST(ParallelAudit, ExplainRendersProvenanceFromJournalAlone) {
+  {
+    obs::set_journal_enabled(true);
+    const bool on = obs::journal_runtime_on();
+    obs::set_journal_enabled(false);
+    if (!on) GTEST_SKIP() << "observability compiled out";
+  }
+  // Byzantine fleet, journaled; then the narratives for one honest and
+  // one attacked proxy are rendered from the *re-parsed JSONL text* —
+  // the journal alone must reproduce the constraint set, the subset
+  // verdict, and the suspicion evidence.
+  measure::Testbed bed(small_bed_config());
+  std::vector<netsim::HostId> hosts;
+  for (std::size_t i = 0; i < bed.landmarks().size(); ++i)
+    hosts.push_back(bed.landmark_host(i));
+  auto compromised = netsim::attach_adversaries(
+      bed.net(), hosts, 0.25, "deflate", 2024, geo::LatLon{40.0, -100.0});
+  auto fleet = small_fleet(bed.world());
+  AuditConfig cfg = audit_config(2);
+  cfg.drift.min_samples = 2;
+  obs::reset_journal();
+  obs::set_journal_enabled(true);
+  Auditor auditor(bed, cfg);
+  auto report = auditor.run(fleet);
+  obs::set_journal_enabled(false);
+  const std::string jsonl = obs::journal_to_jsonl(obs::collect_journal());
+  obs::reset_journal();
+  const obs::JournalDump dump = obs::parse_journal_jsonl(jsonl);
+  EXPECT_EQ(journaled_proxies(dump).size(), fleet.hosts.size());
+
+  const auto count_of = [](const std::string& text, std::string_view tok) {
+    std::size_t n = 0;
+    for (std::size_t p = text.find(tok); p != std::string::npos;
+         p = text.find(tok, p + 1))
+      ++n;
+    return n;
+  };
+  const auto verify = [&](const ProxyAuditRow& row) {
+    SCOPED_TRACE("proxy " + std::to_string(row.host_index));
+    const std::string text = explain_proxy(dump, row.host_index);
+    // The exact constraint set, landmark by landmark.
+    EXPECT_EQ(count_of(text, "] landmark "), row.observations.size());
+    for (const auto& ob : row.observations)
+      EXPECT_NE(text.find("landmark " + std::to_string(ob.landmark_id) +
+                          " @ ("),
+                std::string::npos);
+    EXPECT_EQ(count_of(text, "DISCARDED"),
+              row.constraints_total - row.constraints_used);
+    EXPECT_NE(text.find(std::string("verdict: ") +
+                        to_string(row.verdict_final)),
+              std::string::npos);
+    return text;
+  };
+
+  // One honest proxy: fully consistent constraint set, no flag.
+  const ProxyAuditRow* honest = nullptr;
+  for (const auto& row : report.rows)
+    if (!row.byzantine && !row.observations.empty() &&
+        row.constraints_used == row.constraints_total) {
+      honest = &row;
+      break;
+    }
+  ASSERT_NE(honest, nullptr);
+  const std::string honest_text = verify(*honest);
+  EXPECT_EQ(honest_text.find("BYZANTINE"), std::string::npos);
+
+  // One attacked proxy: the subset engine discarded constraints.
+  const ProxyAuditRow* attacked = nullptr;
+  for (const auto& row : report.rows)
+    if (row.constraints_used < row.constraints_total &&
+        (!attacked || row.constraints_total - row.constraints_used >
+                          attacked->constraints_total -
+                              attacked->constraints_used))
+      attacked = &row;
+  ASSERT_NE(attacked, nullptr) << "deflate attack discarded nothing";
+  const std::string attacked_text = verify(*attacked);
+  if (attacked->byzantine)
+    EXPECT_NE(attacked_text.find("BYZANTINE"), std::string::npos);
+
+  // Suspicion evidence: fleet-wide flagged landmarks that constrained a
+  // proxy must show up in its narrative with their tallies.
+  ASSERT_FALSE(report.suspicious_landmarks.empty());
+  bool evidence_checked = false;
+  for (const auto& row : report.rows) {
+    for (const auto& ob : row.observations) {
+      if (std::find(report.suspicious_landmarks.begin(),
+                    report.suspicious_landmarks.end(),
+                    ob.landmark_id) == report.suspicious_landmarks.end())
+        continue;
+      const std::string text = explain_proxy(dump, row.host_index);
+      EXPECT_NE(text.find("landmark evidence (fleet-wide):"),
+                std::string::npos);
+      EXPECT_NE(text.find("landmark " + std::to_string(ob.landmark_id) +
+                          ":"),
+                std::string::npos);
+      evidence_checked = true;
+      break;
+    }
+    if (evidence_checked) break;
+  }
+  EXPECT_TRUE(evidence_checked)
+      << "no proxy was constrained by a suspicious landmark";
 }

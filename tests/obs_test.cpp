@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
@@ -369,7 +370,9 @@ TEST(ObsTrace, SpansRecordAndExport) {
   const std::string jsonl = obs::trace_to_jsonl(dump);
   const auto lines =
       static_cast<std::size_t>(std::count(jsonl.begin(), jsonl.end(), '\n'));
-  EXPECT_EQ(lines, dump.events.size());
+  // One line per event plus the dropped_events trailer.
+  EXPECT_EQ(lines, dump.events.size() + 1);
+  EXPECT_NE(jsonl.find("{\"dropped_events\":0}"), std::string::npos);
 }
 
 TEST(ObsTrace, DisabledSpansCostNothingAndRecordNothing) {
@@ -396,4 +399,195 @@ TEST(ObsTrace, MultiThreadedSpansAllRecorded) {
       ++mine;
   EXPECT_EQ(mine, 64u);
   EXPECT_EQ(dump.dropped, 0u);
+}
+
+// ---- histogram quantiles ----
+
+TEST(ObsQuantile, EmptyAndExtremeQuantiles) {
+  MetricsOn on;
+  Registry& reg = Registry::global();
+  const auto id = reg.histogram("obs_test.q_empty", {1.0, 1024.0, 1});
+  auto snap = reg.snapshot();
+  const obs::HistogramSample* h = find_hist(snap, "obs_test.q_empty");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->quantile(0.5), 0.0);  // no samples
+  reg.observe(id, 3.0);
+  reg.observe(id, 700.0);
+  snap = reg.snapshot();
+  h = find_hist(snap, "obs_test.q_empty");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->quantile(0.0), 3.0);    // q<=0 -> recorded min
+  EXPECT_DOUBLE_EQ(h->quantile(-1.0), 3.0);
+  EXPECT_DOUBLE_EQ(h->quantile(1.0), 700.0);  // q>=1 -> recorded max
+  EXPECT_DOUBLE_EQ(h->quantile(2.0), 700.0);
+}
+
+TEST(ObsQuantile, MonotoneAndWithinRecordedRange) {
+  MetricsOn on;
+  Registry& reg = Registry::global();
+  const auto id = reg.histogram("obs_test.q_mono", {1.0, 4096.0, 2});
+  for (int i = 1; i <= 200; ++i) reg.observe(id, static_cast<double>(i));
+  const auto snap = reg.snapshot();
+  const obs::HistogramSample* h = find_hist(snap, "obs_test.q_mono");
+  ASSERT_NE(h, nullptr);
+  double prev = 0.0;
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double v = h->quantile(q);
+    EXPECT_GE(v, h->min);
+    EXPECT_LE(v, h->max);
+    EXPECT_GE(v, prev) << "quantiles must be monotone in q";
+    prev = v;
+  }
+  // Log-bucket interpolation is approximate but should land within one
+  // octave of the true empirical quantile for a uniform fill.
+  EXPECT_NEAR(h->quantile(0.5), 100.0, 64.0);
+  EXPECT_NEAR(h->quantile(0.99), 198.0, 64.0);
+}
+
+TEST(ObsQuantile, SingleValueCollapses) {
+  MetricsOn on;
+  Registry& reg = Registry::global();
+  const auto id = reg.histogram("obs_test.q_single", {1.0, 1024.0, 1});
+  for (int i = 0; i < 32; ++i) reg.observe(id, 42.0);
+  const auto snap = reg.snapshot();
+  const obs::HistogramSample* h = find_hist(snap, "obs_test.q_single");
+  ASSERT_NE(h, nullptr);
+  // min == max == 42 clamps every quantile to the point mass.
+  for (double q : {0.1, 0.5, 0.9, 0.99})
+    EXPECT_DOUBLE_EQ(h->quantile(q), 42.0);
+}
+
+TEST(ObsQuantile, ExportersCarryQuantileGauges) {
+  MetricsOn on;
+  Registry& reg = Registry::global();
+  reg.reset();
+  const auto id = reg.histogram("obs_test.q_export", {1.0, 64.0, 1});
+  for (int i = 1; i <= 10; ++i) reg.observe(id, static_cast<double>(i));
+  const auto snap = reg.snapshot();
+  const std::string prom = snap.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE ageo_obs_test_q_export_p50 gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ageo_obs_test_q_export_p90 "), std::string::npos);
+  EXPECT_NE(prom.find("ageo_obs_test_q_export_p99 "), std::string::npos);
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+// ---- verdict provenance journal ----
+
+namespace {
+/// Enable journaling for one test, restore the prior state after.
+struct JournalOn {
+  bool prev = obs::journal_enabled();
+  JournalOn() {
+    obs::reset_journal();
+    obs::set_journal_enabled(true);
+  }
+  ~JournalOn() {
+    obs::set_journal_enabled(prev);
+    obs::reset_journal();
+  }
+};
+}  // namespace
+
+TEST(ObsJournal, EmitCollectAndMergeSort) {
+  JournalOn on;
+  // Out-of-order proxies; the collector must sort by (proxy, seq) with
+  // the run sentinel last.
+  obs::Event(obs::kRunEvent, 0, obs::Scope::kVerdict, "summary")
+      .num("proxies", 2)
+      .emit();
+  obs::Event(1, 0, obs::Scope::kVerdict, "campaign").num("ok", 7).emit();
+  obs::Event(0, 1, obs::Scope::kSchedule, "refine").flag("refined", true).emit();
+  obs::Event(0, 0, obs::Scope::kVerdict, "lcs").num("total", 3).emit();
+  const auto dump = obs::collect_journal();
+  ASSERT_EQ(dump.events.size(), 4u);
+  EXPECT_EQ(dump.dropped, 0u);
+  EXPECT_EQ(dump.events[0].proxy, 0u);
+  EXPECT_EQ(dump.events[0].kind, "lcs");
+  EXPECT_EQ(dump.events[1].kind, "refine");
+  EXPECT_EQ(dump.events[2].proxy, 1u);
+  EXPECT_EQ(dump.events[3].proxy, obs::kRunEvent);
+}
+
+TEST(ObsJournal, ScopeCappedViewsAndRunSentinel) {
+  JournalOn on;
+  obs::Event(0, 0, obs::Scope::kVerdict, "lcs").num("total", 5).emit();
+  obs::Event(0, 1, obs::Scope::kSchedule, "refine").num("levels", 2).emit();
+  obs::Event(0, 2, obs::Scope::kWall, "latency").real("us", 12.5).emit();
+  obs::Event(obs::kRunEvent, 0, obs::Scope::kVerdict, "summary").emit();
+  const auto dump = obs::collect_journal();
+  const std::string all = obs::journal_to_jsonl(dump);
+  const std::string sched =
+      obs::journal_to_jsonl(dump, obs::Scope::kSchedule);
+  const std::string verdict =
+      obs::journal_to_jsonl(dump, obs::Scope::kVerdict);
+  auto lines = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), '\n');
+  };
+  EXPECT_EQ(lines(all), 4);
+  EXPECT_EQ(lines(sched), 3);
+  EXPECT_EQ(lines(verdict), 2);
+  EXPECT_EQ(verdict.find("latency"), std::string::npos);
+  EXPECT_EQ(verdict.find("refine"), std::string::npos);
+  EXPECT_NE(all.find("\"proxy\":\"run\""), std::string::npos);
+  // A capped view is a strict prefix-filter of the full one: every
+  // kVerdict line appears verbatim in both.
+  EXPECT_NE(all.find(verdict.substr(0, verdict.find('\n'))),
+            std::string::npos);
+}
+
+TEST(ObsJournal, JsonlParseRoundTrip) {
+  JournalOn on;
+  obs::Event(3, 0, obs::Scope::kVerdict, "constraint")
+      .num("idx", 0)
+      .num("landmark", 12)
+      .real("delay_ms", 17.25)
+      .flag("used", true)
+      .text("note", "quote \" backslash \\ tab \t")
+      .emit();
+  obs::Event(obs::kRunEvent, 0, obs::Scope::kVerdict, "summary")
+      .num("proxies", 1)
+      .emit();
+  const auto dump = obs::collect_journal();
+  const std::string jsonl = obs::journal_to_jsonl(dump);
+  const auto parsed = obs::parse_journal_jsonl(jsonl);
+  ASSERT_EQ(parsed.events.size(), dump.events.size());
+  // Round trip: re-serializing the parsed dump is byte-identical.
+  EXPECT_EQ(obs::journal_to_jsonl(parsed), jsonl);
+  const auto& ev = parsed.events[0];
+  EXPECT_EQ(ev.proxy, 3u);
+  EXPECT_EQ(ev.kind, "constraint");
+  ASSERT_TRUE(obs::journal_field(ev, "landmark").has_value());
+  EXPECT_EQ(*obs::journal_field(ev, "landmark"), "12");
+  EXPECT_EQ(*obs::journal_field(ev, "delay_ms"), "17.25");
+  EXPECT_EQ(*obs::journal_field(ev, "used"), "true");
+  EXPECT_EQ(*obs::journal_field(ev, "note"),
+            "quote \" backslash \\ tab \t");
+  EXPECT_FALSE(obs::journal_field(ev, "absent").has_value());
+  EXPECT_EQ(parsed.events[1].proxy, obs::kRunEvent);
+}
+
+TEST(ObsJournal, DisabledEmitsNothing) {
+  obs::reset_journal();
+  obs::set_journal_enabled(false);
+  obs::Event(0, 0, obs::Scope::kVerdict, "ghost").num("x", 1).emit();
+  EXPECT_TRUE(obs::collect_journal().events.empty());
+}
+
+TEST(ObsJournal, MultiThreadedMergeMatchesSerial) {
+  auto run = [](int threads) {
+    JournalOn on;
+    parallel_for(32, threads, [&](std::size_t i) {
+      obs::Event(i, 0, obs::Scope::kVerdict, "campaign").num("i", i).emit();
+      obs::Event(i, 1, obs::Scope::kVerdict, "lcs").num("total", i * 2).emit();
+    });
+    return obs::journal_to_jsonl(obs::collect_journal());
+  };
+  const std::string serial = run(1);
+  const std::string parallel = run(8);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
 }
